@@ -1,0 +1,219 @@
+// Benchmark harness: one benchmark per paper table and figure, plus
+// the ablations of DESIGN.md. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The benchmarks measure the cost of regenerating each artefact; the
+// artefact values themselves are locked by the test suite.
+package hsched_test
+
+import (
+	"testing"
+
+	"hsched"
+	"hsched/internal/analysis"
+	"hsched/internal/design"
+	"hsched/internal/experiments"
+	"hsched/internal/gen"
+	"hsched/internal/server"
+	"hsched/internal/sim"
+)
+
+// BenchmarkTable1BestCaseBounds regenerates the φmin column of Table 1
+// (best-case start times of the example's tasks).
+func BenchmarkTable1BestCaseBounds(b *testing.B) {
+	sys := experiments.PaperSystem()
+	for i := 0; i < b.N; i++ {
+		starts, _ := analysis.BestBounds(sys, false)
+		if starts[0][3] != 5 {
+			b.Fatalf("φmin(τ1,4) = %v", starts[0][3])
+		}
+	}
+}
+
+// BenchmarkTable2PlatformModels regenerates the platform triples of
+// Table 2 from concrete periodic servers (the reverse direction:
+// server → (α, Δ, β)).
+func BenchmarkTable2PlatformModels(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, p := range experiments.PaperPlatforms() {
+			srv, err := hsched.ServerFor(p, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = srv.Params()
+		}
+	}
+}
+
+// BenchmarkTable3Holistic regenerates Table 3: the full holistic
+// fixed-point analysis of the paper example.
+func BenchmarkTable3Holistic(b *testing.B) {
+	sys := experiments.PaperSystem()
+	for i := 0; i < b.N; i++ {
+		res, err := analysis.Analyze(sys, analysis.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Schedulable {
+			b.Fatal("unschedulable")
+		}
+	}
+}
+
+// BenchmarkFigure3SupplyCurves regenerates the supply-function
+// geometry of Figure 3 (exact Zmin/Zmax of a periodic server plus the
+// linear bounds).
+func BenchmarkFigure3SupplyCurves(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure3Compute(1, 4, 16, 512); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure5Transformation regenerates Figure 5: the
+// component-to-transaction transformation of the example assembly.
+func BenchmarkFigure5Transformation(b *testing.B) {
+	asm := experiments.PaperAssembly()
+	for i := 0; i < b.N; i++ {
+		if _, err := asm.Transactions(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkA1ExactAnalysis measures the exact scenario-enumeration
+// analysis (ablation A1) on a random system.
+func BenchmarkA1ExactAnalysis(b *testing.B) {
+	sys, err := gen.System(gen.Config{
+		Seed: 7, Platforms: 2, Transactions: 3, ChainLen: 3,
+		PeriodMin: 20, PeriodMax: 200, Utilization: 0.45,
+		AlphaMin: 0.35, AlphaMax: 0.8,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := analysis.Analyze(sys, analysis.Options{Exact: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkA1ApproxAnalysis is the approximate counterpart of
+// BenchmarkA1ExactAnalysis (same system, Section 3.1.2 scenarios).
+func BenchmarkA1ApproxAnalysis(b *testing.B) {
+	sys, err := gen.System(gen.Config{
+		Seed: 7, Platforms: 2, Transactions: 3, ChainLen: 3,
+		PeriodMin: 20, PeriodMax: 200, Utilization: 0.45,
+		AlphaMin: 0.35, AlphaMax: 0.8,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := analysis.Analyze(sys, analysis.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkA3Simulation measures one soundness-sweep simulation run
+// (ablation A3): the paper example on concrete polling servers.
+func BenchmarkA3Simulation(b *testing.B) {
+	sys := experiments.PaperSystem()
+	servers := make([]server.Server, len(sys.Platforms))
+	for m, p := range sys.Platforms {
+		srv, err := server.ForPlatform(p, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		servers[m] = srv
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(sys, servers, sim.Config{Horizon: 2100, Step: 0.01}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkA5DesignSearch measures the platform-parameter optimisation
+// (ablation A5) on the paper example.
+func BenchmarkA5DesignSearch(b *testing.B) {
+	sys := experiments.PaperSystem()
+	fams := []design.Family{
+		design.PollingFamily(0.8333),
+		design.PollingFamily(0.8333),
+		design.PollingFamily(1.25),
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := design.Minimize(sys, fams, design.Options{Tolerance: 1e-2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkA6NetworkedAnalysis measures the analysis of the example
+// with explicit RPC messages on a shared bus (ablation A6).
+func BenchmarkA6NetworkedAnalysis(b *testing.B) {
+	asm, _ := experiments.NetworkedAssembly()
+	sys, err := asm.Transactions()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := analysis.Analyze(sys, analysis.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkA7EDFAdmission measures the local-EDF demand/supply
+// admission test (ablation A7) on a concrete periodic server.
+func BenchmarkA7EDFAdmission(b *testing.B) {
+	tasks := []hsched.EDFTask{
+		{WCET: 2, Period: 10}, {WCET: 4.5, Period: 14}, {WCET: 1, Period: 40},
+	}
+	srv := hsched.PeriodicServer{Q: 1, P: 1.25}
+	for i := 0; i < b.N; i++ {
+		res, err := hsched.EDFSchedulable(tasks, srv)
+		if err != nil || !res.Schedulable {
+			b.Fatalf("admission failed: %v %v", res, err)
+		}
+	}
+}
+
+// BenchmarkA8AcceptanceSweep measures one point of the acceptance-
+// ratio sweep (ablation A8): 10 random systems analysed by all three
+// variants at utilisation 0.5.
+func BenchmarkA8AcceptanceSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AcceptanceRatio([]float64{0.5}, 10, 77); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHolisticScaling measures how the holistic analysis scales
+// with system size (tasks ≈ 3 platforms × 12 transactions × ≤4 chain).
+func BenchmarkHolisticScaling(b *testing.B) {
+	sys, err := gen.System(gen.Config{
+		Seed: 11, Platforms: 3, Transactions: 12, ChainLen: 4,
+		PeriodMin: 10, PeriodMax: 1000, Utilization: 0.4,
+		AlphaMin: 0.4, AlphaMax: 0.9,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := analysis.Analyze(sys, analysis.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,23 @@
+// Command hsched analyses the schedulability of a hierarchical
+// scheduling system: it loads a JSON system specification (or the
+// paper's built-in example), runs the holistic analysis of Lorente,
+// Lipari & Bini (IPDPS 2006) and prints per-task response-time bounds
+// and the verdict.
+//
+// Usage:
+//
+//	hsched [-spec system.json] [-exact] [-static] [-tight] [-dump] [-sensitivity]
+//
+// Exit status is 0 when the system is schedulable, 2 when it is not,
+// and 1 on errors.
+package main
+
+import (
+	"os"
+
+	"hsched/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.Analyze(os.Args[1:], os.Stdout, os.Stderr))
+}

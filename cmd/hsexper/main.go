@@ -1,0 +1,20 @@
+// Command hsexper regenerates every table and figure of the paper and
+// the ablation studies of DESIGN.md.
+//
+// Usage:
+//
+//	hsexper            # everything
+//	hsexper -table 3   # one table (1, 2 or 3)
+//	hsexper -figure 3  # one figure (3 or 5)
+//	hsexper -ablation exact|pessimism|soundness|design|network|edf|acceptance
+package main
+
+import (
+	"os"
+
+	"hsched/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.Exper(os.Args[1:], os.Stdout, os.Stderr))
+}

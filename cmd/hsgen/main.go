@@ -1,0 +1,20 @@
+// Command hsgen draws a random hierarchical scheduling system (random
+// platforms realisable by periodic servers, UUniFast-distributed
+// utilisations, log-uniform periods) and prints it as a JSON
+// specification consumable by hsched and hsim.
+//
+// Usage:
+//
+//	hsgen [-seed n] [-platforms M] [-transactions n] [-chain k]
+//	      [-util u] [-alpha-min a] [-alpha-max b] [-o file.json]
+package main
+
+import (
+	"os"
+
+	"hsched/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.Generate(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -1,0 +1,120 @@
+package hsched_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"hsched"
+	"hsched/internal/experiments"
+)
+
+// Example_analyze demonstrates the façade on a two-task pipeline
+// spanning two abstract platforms.
+func Example_analyze() {
+	sys := &hsched.System{
+		Platforms: []hsched.Platform{
+			{Alpha: 0.5, Delta: 1, Beta: 0.5},
+			{Alpha: 0.25, Delta: 2, Beta: 0.5},
+		},
+		Transactions: []hsched.Transaction{{
+			Name: "pipeline", Period: 40, Deadline: 40,
+			Tasks: []hsched.Task{
+				{Name: "produce", WCET: 1, BCET: 1, Priority: 2, Platform: 0},
+				{Name: "consume", WCET: 1, BCET: 1, Priority: 1, Platform: 1},
+			},
+		}},
+	}
+	res, err := hsched.Analyze(sys, hsched.AnalysisOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("R = %g, schedulable = %v\n", res.TransactionResponse(0), res.Schedulable)
+	// Output:
+	// R = 9, schedulable = true
+}
+
+// TestFacadeEndToEnd drives the whole public surface once: component
+// assembly → transactions → analysis → server realisation →
+// simulation → JSON round trip.
+func TestFacadeEndToEnd(t *testing.T) {
+	asm := experiments.PaperAssembly()
+	sys, err := asm.Transactions()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := hsched.Analyze(sys, hsched.AnalysisOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Schedulable {
+		t.Fatalf("paper assembly unschedulable")
+	}
+
+	servers := make([]hsched.Server, len(sys.Platforms))
+	for m, p := range sys.Platforms {
+		if servers[m], err = hsched.ServerFor(p, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	simres, err := hsched.Simulate(sys, servers, hsched.SimConfig{Horizon: 1050, Step: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sys.Transactions {
+		if simres.MaxEndToEnd(i) > res.TransactionResponse(i)+0.1 {
+			t.Errorf("Γ%d: simulated %v above bound %v", i+1,
+				simres.MaxEndToEnd(i), res.TransactionResponse(i))
+		}
+	}
+
+	path := t.TempDir() + "/sys.json"
+	if err := hsched.SaveSystem(sys, path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := hsched.LoadSystem(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := hsched.Analyze(back, hsched.AnalysisOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sys.Transactions {
+		if math.Abs(res2.TransactionResponse(i)-res.TransactionResponse(i)) > 1e-9 {
+			t.Errorf("Γ%d: response changed after JSON round trip", i+1)
+		}
+	}
+}
+
+// TestFacadeDesignSearch exercises MinimizeBandwidth through the
+// façade.
+func TestFacadeDesignSearch(t *testing.T) {
+	sys := experiments.PaperSystem()
+	fams := []hsched.ServerFamily{
+		hsched.PollingFamily(0.8333),
+		hsched.PollingFamily(0.8333),
+		hsched.PollingFamily(1.25),
+	}
+	res, err := hsched.MinimizeBandwidth(sys, fams, hsched.DesignOptions{Tolerance: 1e-2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Analysis.Schedulable || res.TotalBandwidth >= 1 {
+		t.Errorf("design search: total %v, schedulable %v", res.TotalBandwidth, res.Analysis.Schedulable)
+	}
+}
+
+// TestFacadeLinearize exercises platform linearisation through the
+// façade.
+func TestFacadeLinearize(t *testing.T) {
+	srv := hsched.PeriodicServer{Q: 1, P: 4}
+	p, err := hsched.Linearize(srv, 80, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.Alpha-0.25) > 1e-9 || math.Abs(p.Delta-6) > 0.05 {
+		t.Errorf("linearised %v, want ≈ (0.25, 6, 1.5)", p)
+	}
+}

@@ -1,0 +1,228 @@
+// Package hsched is a hierarchical scheduling framework for
+// component-based real-time systems: a from-scratch reproduction of
+// Lorente, Lipari & Bini, "A Hierarchical Scheduling Model for
+// Component-Based Real-Time Systems" (IPDPS 2006).
+//
+// The package is a façade over the implementation packages:
+//
+//   - Components (Class, Instance, Assembly) describe systems the way
+//     the paper's Section 2 does — provided/required interfaces,
+//     periodic and handler threads, synchronous RPC — and transform
+//     into transaction sets (Assembly.Transactions).
+//   - Systems (System, Transaction, Task) are the transaction model of
+//     Section 2.4: task chains over abstract computing platforms.
+//   - Platforms (Platform, PeriodicServer, TDMA, Pfair) carry the
+//     supply model of Section 2.3: the (α, Δ, β) linearisation of the
+//     minimum/maximum supply functions.
+//   - Analyze / AnalyzeStatic run the schedulability analysis of
+//     Section 3 (holistic dynamic-offset, approximate or exact).
+//   - Simulate executes the system on concrete budget servers and
+//     reports observed response times, for validation and exploration.
+//   - MinimizeBandwidth searches minimal platform parameters keeping
+//     the system schedulable (the paper's Section 5 future work).
+//
+// The quickstart example in examples/quickstart builds the paper's
+// running sensor-fusion example end to end.
+package hsched
+
+import (
+	"hsched/internal/analysis"
+	"hsched/internal/component"
+	"hsched/internal/design"
+	"hsched/internal/edf"
+	"hsched/internal/model"
+	"hsched/internal/network"
+	"hsched/internal/platform"
+	"hsched/internal/server"
+	"hsched/internal/sim"
+	"hsched/internal/spec"
+)
+
+// Transaction-model types (Section 2.4).
+type (
+	// System is a set of transactions over abstract platforms.
+	System = model.System
+	// Transaction is a precedence chain of tasks released periodically.
+	Transaction = model.Transaction
+	// Task is one step of a transaction, mapped onto one platform.
+	Task = model.Task
+)
+
+// Platform types (Section 2.3).
+type (
+	// Platform is the linear platform model (α, Δ, β).
+	Platform = platform.Params
+	// Supplier bounds the cycles a mechanism provides in any window.
+	Supplier = platform.Supplier
+	// PeriodicServer is the Q-every-P budget server of Figure 3.
+	PeriodicServer = platform.PeriodicServer
+	// TDMA is a static time partition.
+	TDMA = platform.TDMA
+	// Pfair is a quantum-based proportional-share server.
+	Pfair = platform.Pfair
+	// SupplyCurve is an arbitrary piecewise-linear supply specification.
+	SupplyCurve = platform.Curve
+)
+
+// Component-model types (Sections 2.1-2.2).
+type (
+	// Class is a component class: interfaces plus threaded
+	// implementation.
+	Class = component.Class
+	// Method is an interface method with its minimum inter-arrival
+	// time.
+	Method = component.Method
+	// Thread is a periodic or handler thread of a component.
+	Thread = component.Thread
+	// Step is a task or synchronous call in a thread body.
+	Step = component.Step
+	// Instance is a class placed on a platform.
+	Instance = component.Instance
+	// Binding wires a required method to a provided one.
+	Binding = component.Binding
+	// Assembly is an integrated component system.
+	Assembly = component.Assembly
+	// MessageModel configures RPC messages over a network platform.
+	MessageModel = component.MessageModel
+)
+
+// Analysis types (Section 3).
+type (
+	// AnalysisOptions tunes the schedulability analysis.
+	AnalysisOptions = analysis.Options
+	// AnalysisResult is the outcome: per-task bounds plus verdict.
+	AnalysisResult = analysis.Result
+	// TaskBounds are the per-task analysis outcome.
+	TaskBounds = analysis.TaskResult
+)
+
+// Simulation types.
+type (
+	// SimConfig tunes a simulation run.
+	SimConfig = sim.Config
+	// SimResult is the observed outcome of a simulation.
+	SimResult = sim.Result
+	// Server is a runtime platform realisation consumed by Simulate.
+	Server = server.Server
+	// LocalPolicy selects a platform's local scheduler in simulations.
+	LocalPolicy = sim.Policy
+)
+
+// Local scheduling policies for SimConfig.Policies.
+const (
+	// FixedPriorityPolicy is the paper's baseline local scheduler.
+	FixedPriorityPolicy = sim.FixedPriority
+	// EDFPolicy schedules by earliest absolute deadline.
+	EDFPolicy = sim.EDF
+)
+
+// Local-EDF admission (the extension sketched in Section 2.1).
+type (
+	// EDFTask is one sporadic task of an EDF-scheduled component.
+	EDFTask = edf.Task
+	// EDFResult is the outcome of the demand/supply admission test.
+	EDFResult = edf.Result
+)
+
+// EDFSchedulable tests a set of independent sporadic tasks under local
+// EDF on a platform: schedulable iff the demand bound function never
+// exceeds the platform's minimum supply.
+func EDFSchedulable(tasks []EDFTask, p Supplier) (*EDFResult, error) {
+	return edf.Schedulable(tasks, p)
+}
+
+// EDFMinimalRate searches the minimal platform bandwidth keeping a
+// task set EDF-schedulable within a one-parameter platform family.
+func EDFMinimalRate(tasks []EDFTask, family func(alpha float64) Supplier, tol float64) (float64, error) {
+	return edf.MinimalRate(tasks, family, tol)
+}
+
+// Re-exported constructors and helpers.
+var (
+	// DedicatedPlatform returns (α, Δ, β) = (1, 0, 0).
+	DedicatedPlatform = platform.Dedicated
+	// Linearize numerically extracts (α, Δ, β) from any Supplier.
+	Linearize = platform.Linearize
+	// ComposePlatforms stacks a reservation on a reservation (nested
+	// hierarchies): rates multiply, the inner delay dilates by the
+	// outer rate.
+	ComposePlatforms = platform.Compose
+	// TaskStep builds a task step of a thread body.
+	TaskStep = component.Task
+	// TaskStepPrio builds a task step with a priority override.
+	TaskStepPrio = component.TaskPrio
+	// CallStep builds a synchronous call step of a thread body.
+	CallStep = component.Call
+	// LoadSystem reads a JSON system specification.
+	LoadSystem = spec.Load
+	// SaveSystem writes a JSON system specification.
+	SaveSystem = spec.Save
+)
+
+// Thread and step kinds.
+const (
+	// PeriodicThread marks a time-triggered thread.
+	PeriodicThread = component.Periodic
+	// HandlerThread marks an event-triggered thread realising a
+	// provided method.
+	HandlerThread = component.Handler
+)
+
+// Network and design-search types.
+type (
+	// Bus is a shared communication link modelled as a platform.
+	Bus = network.Bus
+	// ServerFamily maps a bandwidth α to full platform parameters,
+	// used by MinimizeBandwidth.
+	ServerFamily = design.Family
+	// DesignOptions tunes MinimizeBandwidth.
+	DesignOptions = design.Options
+	// DesignResult reports the minimised bandwidths.
+	DesignResult = design.Result
+)
+
+// Design-search families and network helpers.
+var (
+	// PollingFamily is the periodic-server family of a fixed period.
+	PollingFamily = design.PollingFamily
+	// TDMAFamily is the static-partition family of a fixed frame.
+	TDMAFamily = design.TDMAFamily
+	// PfairFamily is the proportional-share family of a fixed quantum.
+	PfairFamily = design.PfairFamily
+	// ApplyBusBlocking adds a bus's non-preemptive blocking to every
+	// message task on the network platform.
+	ApplyBusBlocking = network.ApplyBlocking
+)
+
+// Analyze runs the holistic dynamic-offset schedulability analysis of
+// Section 3.2: offsets and jitters of non-initial tasks are derived
+// from predecessor response times and iterated to a fixed point.
+func Analyze(sys *System, opt AnalysisOptions) (*AnalysisResult, error) {
+	return analysis.Analyze(sys, opt)
+}
+
+// AnalyzeStatic runs one pass of the static-offset analysis of
+// Section 3.1 with the offsets and jitters stored in the system.
+func AnalyzeStatic(sys *System, opt AnalysisOptions) (*AnalysisResult, error) {
+	return analysis.AnalyzeStatic(sys, opt)
+}
+
+// Simulate executes the system on one concrete server per platform.
+func Simulate(sys *System, servers []Server, cfg SimConfig) (*SimResult, error) {
+	return sim.Run(sys, servers, cfg)
+}
+
+// ServerFor builds a runtime server realising the given platform
+// parameters (a polling server with the tightest compatible period, a
+// proportional-share server for Δ = 0, or a dedicated processor).
+func ServerFor(p Platform, phase float64) (Server, error) {
+	return server.ForPlatform(p, phase)
+}
+
+// MinimizeBandwidth searches per-platform bandwidths minimising total
+// bandwidth subject to schedulability, within one server family per
+// platform (the paper's Section 5 future work). See package design for
+// the families.
+func MinimizeBandwidth(sys *System, families []ServerFamily, opt DesignOptions) (*DesignResult, error) {
+	return design.Minimize(sys, families, opt)
+}

@@ -1,0 +1,99 @@
+package analysis_test
+
+import (
+	"math"
+	"testing"
+
+	"hsched/internal/analysis"
+	"hsched/internal/experiments"
+	"hsched/internal/model"
+	"hsched/internal/platform"
+)
+
+// TestCriticalScenarioReporting pins the critical-instant attribution
+// on the paper example: τ1,1's worst case arises when its own jittered
+// release opens the busy period (initiator index 0, interfered by the
+// τ1,4 job already pending), and τ1,4's worst case arises in its own
+// critical instant (initiator index 3).
+func TestCriticalScenarioReporting(t *testing.T) {
+	res, err := analysis.Analyze(experiments.PaperSystem(), analysis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Tasks[0][0].CriticalInitiator; got != 0 {
+		t.Errorf("τ1,1 critical initiator = %d, want 0 (itself)", got)
+	}
+	if got := res.Tasks[0][3].CriticalInitiator; got != 3 {
+		t.Errorf("τ1,4 critical initiator = %d, want 3 (itself)", got)
+	}
+	// Single-task transactions can only initiate their own busy
+	// period.
+	for i := 1; i < 4; i++ {
+		if got := res.Tasks[i][0].CriticalInitiator; got != 0 {
+			t.Errorf("τ%d,1 critical initiator = %d, want 0", i+1, got)
+		}
+	}
+	// The paper example's worst cases all arise at the first job.
+	for i := range res.Tasks {
+		for j, tr := range res.Tasks[i] {
+			if tr.CriticalJob > 1 {
+				t.Errorf("τ%d,%d critical job = %d, want ≤ 1", i+1, j+1, tr.CriticalJob)
+			}
+		}
+	}
+}
+
+// TestCriticalScenarioUnbounded: an unbounded task reports initiator
+// −1.
+func TestCriticalScenarioUnbounded(t *testing.T) {
+	sys := experiments.PaperSystem()
+	sys.Transactions[3].Tasks[0].WCET = 50 // overload Π3
+	res, err := analysis.Analyze(sys, analysis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for i := range res.Tasks {
+		for _, tr := range res.Tasks[i] {
+			if math.IsInf(tr.Worst, 1) {
+				found = true
+				if tr.CriticalInitiator != -1 {
+					t.Errorf("unbounded task reports initiator %d, want -1", tr.CriticalInitiator)
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("expected an unbounded task after overloading Π3")
+	}
+}
+
+// TestCriticalJobBeyondFirst: with hi (T=10, C=6.5) and lo (T=7, C=2)
+// on a dedicated CPU, the level-1 busy period is 19 long and spans
+// three lo jobs with responses 8.5, 10 and 5 — the worst case is the
+// *second* job (p = 1 in the code's numbering, where job p=0 opens the
+// busy period), which Tindell's multi-job examination must find.
+func TestCriticalJobBeyondFirst(t *testing.T) {
+	sys := &model.System{
+		Platforms: []platform.Params{platform.Dedicated()},
+		Transactions: []model.Transaction{
+			{Name: "hi", Period: 10, Deadline: 10,
+				Tasks: []model.Task{{WCET: 6.5, BCET: 6.5, Priority: 2}}},
+			{Name: "lo", Period: 7, Deadline: 10,
+				Tasks: []model.Task{{WCET: 2, BCET: 2, Priority: 1}}},
+		},
+	}
+	res, err := analysis.Analyze(sys, analysis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.TransactionResponse(1); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("R(lo) = %v, want 10 (attained by the second job)", got)
+	}
+	if got := res.Tasks[1][0].CriticalJob; got != 1 {
+		t.Errorf("lo critical job = %d, want 1 (the second job in the busy period)", got)
+	}
+	if !res.Schedulable {
+		t.Errorf("system should be schedulable")
+	}
+}

@@ -1,0 +1,32 @@
+// Package analysis implements the schedulability analysis of Section 3
+// of Lorente, Lipari & Bini, "A Hierarchical Scheduling Model for
+// Component-Based Real-Time Systems" (IPDPS 2006): worst-case response
+// times of transactions whose tasks execute on abstract computing
+// platforms (α, Δ, β).
+//
+// The analysis generalises the holistic / offset-based response-time
+// analysis of Tindell & Clark and Palencia & González Harbour: all
+// execution times are scaled by 1/α of the platform of the task under
+// analysis, every busy period additionally pays the platform delay Δ
+// once, and only tasks mapped to the same platform interfere (Eq. 17).
+//
+// Three entry points are provided:
+//
+//   - AnalyzeStatic — the static-offset analysis of Section 3.1: one
+//     pass with the offsets φ and jitters J given in the system.
+//     Options.Exact selects the exact analysis (all scenario vectors
+//     ν, Eq. 12-14); the default is the approximate analysis of
+//     Section 3.1.2 (W* upper bound, Eq. 15-16) whose scenario count
+//     is only Na+1.
+//   - Analyze — the dynamic-offset holistic iteration of Section 3.2:
+//     offsets and jitters of every non-initial task are derived from
+//     the predecessor's best/worst response times (Eq. 18) and the
+//     static analysis is iterated to a fixed point.
+//   - BestStarts/BestResponses — the best-case bounds used by Eq. 18,
+//     including the burstiness credit max(0, Cbest/α − β).
+//
+// All response times are measured from the activation of the
+// transaction (not of the task), so the response time of the last task
+// of a transaction is directly its end-to-end response time, to be
+// compared against the transaction deadline.
+package analysis

@@ -1,0 +1,65 @@
+package analysis_test
+
+import (
+	"fmt"
+
+	"hsched/internal/analysis"
+	"hsched/internal/experiments"
+	"hsched/internal/model"
+	"hsched/internal/platform"
+)
+
+// ExampleAnalyze runs the paper's running example end to end: the
+// holistic iteration converges to R(Γ1) = 31 ≤ 50 (see EXPERIMENTS.md
+// for the Table 3 comparison).
+func ExampleAnalyze() {
+	res, err := analysis.Analyze(experiments.PaperSystem(), analysis.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("R(Γ1) = %g after %d iterations, schedulable = %v\n",
+		res.TransactionResponse(0), res.Iterations, res.Schedulable)
+	// Output:
+	// R(Γ1) = 31 after 5 iterations, schedulable = true
+}
+
+// ExampleAnalyzeStatic analyses a task under externally fixed offset
+// and jitter (Section 3.1).
+func ExampleAnalyzeStatic() {
+	sys := &model.System{
+		Platforms: []platform.Params{{Alpha: 0.5, Delta: 1, Beta: 0}},
+		Transactions: []model.Transaction{{
+			Period: 20, Deadline: 20,
+			Tasks: []model.Task{{WCET: 2, BCET: 2, Priority: 1, Offset: 3, Jitter: 4}},
+		}},
+	}
+	res, err := analysis.AnalyzeStatic(sys, analysis.Options{})
+	if err != nil {
+		panic(err)
+	}
+	// Response from the transaction activation: offset 3 + jitter 4 +
+	// delay 1 + 2/0.5.
+	fmt.Println(res.TransactionResponse(0))
+	// Output:
+	// 12
+}
+
+// ExampleCriticalScaling measures the spare capacity of the paper
+// example: all WCETs can grow by ~24% before a deadline breaks.
+func ExampleCriticalScaling() {
+	k, err := analysis.CriticalScaling(experiments.PaperSystem(), analysis.Options{}, 1e-4, 0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("critical scaling ≈ %.2f\n", k)
+	// Output:
+	// critical scaling ≈ 1.24
+}
+
+// ExampleBestBounds derives the φmin column of the paper's Table 1.
+func ExampleBestBounds() {
+	starts, _ := analysis.BestBounds(experiments.PaperSystem(), false)
+	fmt.Println(starts[0])
+	// Output:
+	// [0 3 4 5]
+}

@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"fmt"
+
+	"hsched/internal/model"
+)
+
+// ErrTooManyScenarios is wrapped in the error returned when the exact
+// analysis would exceed Options.MaxScenarios scenario vectors.
+var ErrTooManyScenarios = fmt.Errorf("analysis: exact scenario count exceeds limit")
+
+// analyzer carries the per-run state of the static-offset analysis:
+// the system under analysis (whose offsets/jitters the holistic loop
+// rewrites between rounds) and caches that depend only on priorities
+// and platform mappings.
+type analyzer struct {
+	sys *model.System
+	opt Options
+
+	// hpCache[a][b][i] lists the task indices j of transaction i that
+	// can interfere with τa,b per Eq. (17): priority ≥ pa,b and same
+	// platform. For i == a the task (a,b) itself is excluded (its own
+	// jobs are accounted separately in Eq. 13/16).
+	hpCache [][][][]int
+
+	// reduced[i][j] is the offset φi,j reduced modulo Ti, recomputed
+	// at the start of every analysis round.
+	reduced [][]float64
+}
+
+func newAnalyzer(sys *model.System, opt Options) *analyzer {
+	an := &analyzer{sys: sys, opt: opt}
+	an.buildHP()
+	an.refreshOffsets()
+	return an
+}
+
+func (an *analyzer) buildHP() {
+	n := len(an.sys.Transactions)
+	an.hpCache = make([][][][]int, n)
+	for a := range an.sys.Transactions {
+		tasksA := an.sys.Transactions[a].Tasks
+		an.hpCache[a] = make([][][]int, len(tasksA))
+		for b := range tasksA {
+			ta := &tasksA[b]
+			sets := make([][]int, n)
+			for i := range an.sys.Transactions {
+				for j := range an.sys.Transactions[i].Tasks {
+					if i == a && j == b {
+						continue
+					}
+					tj := &an.sys.Transactions[i].Tasks[j]
+					if tj.Platform == ta.Platform && tj.Priority >= ta.Priority {
+						sets[i] = append(sets[i], j)
+					}
+				}
+			}
+			an.hpCache[a][b] = sets
+		}
+	}
+}
+
+// refreshOffsets recomputes the reduced offsets; the holistic loop
+// calls it after rewriting φ and J.
+func (an *analyzer) refreshOffsets() {
+	an.reduced = make([][]float64, len(an.sys.Transactions))
+	for i := range an.sys.Transactions {
+		tr := &an.sys.Transactions[i]
+		an.reduced[i] = make([]float64, len(tr.Tasks))
+		for j := range tr.Tasks {
+			an.reduced[i][j] = modPos(tr.Tasks[j].Offset, tr.Period)
+		}
+	}
+}
+
+// phaseK returns ϕ^k_{i,j} (Eq. 10) with reduced offsets.
+func (an *analyzer) phaseK(i, k, j int) float64 {
+	tr := &an.sys.Transactions[i]
+	return phase(an.reduced[i][k], tr.Tasks[k].Jitter, an.reduced[i][j], tr.Period)
+}
+
+// wk returns W^k_i(τa,b, t) per Eq. (11): the worst-case interference
+// of transaction Γi on the busy period of τa,b when the busy period is
+// initiated by τi,k at its maximal jitter. alpha is the rate of the
+// platform of the task under analysis.
+func (an *analyzer) wk(i, k int, hpI []int, alpha, t float64) float64 {
+	tr := &an.sys.Transactions[i]
+	eps := an.opt.eps()
+	sum := 0.0
+	for _, j := range hpI {
+		tj := &tr.Tasks[j]
+		phi := an.phaseK(i, k, j)
+		jobs := floorE((tj.Jitter+phi)/tr.Period, eps) + ceilE((t-phi)/tr.Period, eps)
+		if jobs > 0 {
+			sum += jobs * tj.WCET / alpha
+		}
+	}
+	return sum
+}
+
+// wstar returns W*_i(τa,b, t) per Eq. (15): the pointwise maximum of
+// W^k_i over every candidate critical-instant task k in hp_i(τa,b).
+func (an *analyzer) wstar(i int, hpI []int, alpha, t float64) float64 {
+	best := 0.0
+	for _, k := range hpI {
+		if w := an.wk(i, k, hpI, alpha, t); w > best {
+			best = w
+		}
+	}
+	return best
+}

@@ -1,0 +1,161 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"hsched/internal/model"
+	"hsched/internal/platform"
+)
+
+// paperSystem is a local copy of the Table 1 / Table 2 fixture (the
+// canonical one lives in internal/experiments, which cannot be
+// imported here without a cycle).
+func paperSystem() *model.System {
+	return &model.System{
+		Platforms: []platform.Params{
+			{Alpha: 0.4, Delta: 1, Beta: 1},
+			{Alpha: 0.4, Delta: 1, Beta: 1},
+			{Alpha: 0.2, Delta: 2, Beta: 1},
+		},
+		Transactions: []model.Transaction{
+			{Name: "Gamma1", Period: 50, Deadline: 50, Tasks: []model.Task{
+				{Name: "tau1,1", WCET: 1, BCET: 0.8, Priority: 2, Platform: 2},
+				{Name: "tau1,2", WCET: 1, BCET: 0.8, Priority: 1, Platform: 0},
+				{Name: "tau1,3", WCET: 1, BCET: 0.8, Priority: 1, Platform: 1},
+				{Name: "tau1,4", WCET: 1, BCET: 0.8, Priority: 3, Platform: 2},
+			}},
+			{Name: "Gamma2", Period: 15, Deadline: 15, Tasks: []model.Task{
+				{Name: "tau2,1", WCET: 1, BCET: 0.25, Priority: 3, Platform: 0},
+			}},
+			{Name: "Gamma3", Period: 15, Deadline: 15, Tasks: []model.Task{
+				{Name: "tau3,1", WCET: 1, BCET: 0.25, Priority: 3, Platform: 1},
+			}},
+			{Name: "Gamma4", Period: 70, Deadline: 70, Tasks: []model.Task{
+				{Name: "tau4,1", WCET: 7, BCET: 5, Priority: 1, Platform: 2},
+			}},
+		},
+	}
+}
+
+// newPaperAnalyzer prepares the paper example at iteration 0 of the
+// holistic loop: offsets at the φmin values, jitters zero.
+func newPaperAnalyzer(t *testing.T) *analyzer {
+	t.Helper()
+	sys := paperSystem()
+	starts, _ := bestBounds(sys, false)
+	for i := range sys.Transactions {
+		for j := 1; j < len(sys.Transactions[i].Tasks); j++ {
+			sys.Transactions[i].Tasks[j].Offset = starts[i][j]
+		}
+	}
+	return newAnalyzer(sys, Options{})
+}
+
+// TestHPFiltering pins Eq. 17: only same-platform tasks of greater or
+// equal priority interfere.
+func TestHPFiltering(t *testing.T) {
+	an := newPaperAnalyzer(t)
+	// τ1,1 (Π3, p=2): within Γ1 only τ1,4 (Π3, p=3); τ4,1 has p=1.
+	hp := an.hpCache[0][0]
+	if len(hp[0]) != 1 || hp[0][0] != 3 {
+		t.Errorf("hp_1(τ1,1) = %v, want [3]", hp[0])
+	}
+	if len(hp[3]) != 0 {
+		t.Errorf("hp_4(τ1,1) = %v, want empty (priority 1 < 2)", hp[3])
+	}
+	// τ1,4 (Π3, p=3): nothing interferes.
+	for i, set := range an.hpCache[0][3] {
+		if len(set) != 0 {
+			t.Errorf("hp_%d(τ1,4) = %v, want empty", i+1, set)
+		}
+	}
+	// τ1,2 (Π1, p=1): τ2,1 (Π1, p=3) interferes; τ1,3 is on Π2.
+	hp = an.hpCache[0][1]
+	if len(hp[1]) != 1 || hp[1][0] != 0 {
+		t.Errorf("hp_2(τ1,2) = %v, want [0]", hp[1])
+	}
+	if len(hp[0]) != 0 {
+		t.Errorf("hp_1(τ1,2) = %v, want empty (τ1,3 is on Π2)", hp[0])
+	}
+}
+
+// TestPhaseKPaperValues pins Eq. 10 at iteration 0.
+func TestPhaseKPaperValues(t *testing.T) {
+	an := newPaperAnalyzer(t)
+	cases := []struct {
+		i, k, j int
+		want    float64
+	}{
+		{0, 0, 0, 50}, // self, zero jitter
+		{0, 0, 3, 5},  // τ1,1 starts, τ1,4 at offset 5
+		{0, 3, 0, 45}, // τ1,4 starts, τ1,1 at offset 0
+		{1, 0, 0, 15}, // τ2,1 self
+	}
+	for _, c := range cases {
+		if got := an.phaseK(c.i, c.k, c.j); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("ϕ^%d_{%d,%d} = %v, want %v", c.k+1, c.i+1, c.j+1, got, c.want)
+		}
+	}
+}
+
+// TestWkPaperValues pins Eq. 11: the interference τ2,1 exerts on τ1,2
+// (C/α = 1/0.4 = 2.5) as a function of the busy-period length.
+func TestWkPaperValues(t *testing.T) {
+	an := newPaperAnalyzer(t)
+	hp21 := an.hpCache[0][1][1] // tasks of Γ2 interfering with τ1,2
+	alpha := 0.4
+	cases := []struct{ t, want float64 }{
+		{0.5, 2.5},  // one pending job (ϕ = 15: released at t=0)
+		{6, 2.5},    // still one
+		{15.5, 5},   // second period began
+		{30.5, 7.5}, // third
+	}
+	for _, c := range cases {
+		if got := an.wk(1, 0, hp21, alpha, c.t); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("W^1_2(τ1,2, %v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+}
+
+// TestWstarIsMaxOfWk: on a transaction with two interfering tasks, W*
+// is the pointwise max over both candidate initiators.
+func TestWstarIsMaxOfWk(t *testing.T) {
+	sys := paperSystem()
+	// Give Γ1 two tasks on Π3 with priority ≥ τ4,1's (p=1): τ1,1 (p=2)
+	// and τ1,4 (p=3) both interfere with τ4,1.
+	an := newAnalyzer(sys, Options{})
+	hp := an.hpCache[3][0] // interferers of τ4,1
+	if len(hp[0]) != 2 {
+		t.Fatalf("hp_1(τ4,1) = %v, want two tasks", hp[0])
+	}
+	alpha := 0.2
+	for _, x := range []float64{1, 5, 12, 26, 51} {
+		w0 := an.wk(0, hp[0][0], hp[0], alpha, x)
+		w1 := an.wk(0, hp[0][1], hp[0], alpha, x)
+		star := an.wstar(0, hp[0], alpha, x)
+		if got := math.Max(w0, w1); math.Abs(star-got) > 1e-12 {
+			t.Errorf("W*(t=%v) = %v, want max(%v, %v)", x, star, w0, w1)
+		}
+	}
+}
+
+// TestExactReproducesTable3: on the paper example the exact analysis
+// coincides with the approximate one (every per-transaction candidate
+// set has at most one element besides the task under analysis), so it
+// must also converge to R(Γ1) = 31.
+func TestExactReproducesTable3(t *testing.T) {
+	res, err := Analyze(paperSystem(), Options{Exact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.TransactionResponse(0); math.Abs(got-31) > 1e-9 {
+		t.Errorf("exact R(Γ1) = %v, want 31", got)
+	}
+	want := []float64{31, 3.5, 3.5, 52}
+	for i, w := range want {
+		if got := res.TransactionResponse(i); math.Abs(got-w) > 1e-9 {
+			t.Errorf("exact R(Γ%d) = %v, want %v", i+1, got, w)
+		}
+	}
+}

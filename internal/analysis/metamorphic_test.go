@@ -1,0 +1,180 @@
+package analysis_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hsched/internal/analysis"
+	"hsched/internal/gen"
+	"hsched/internal/model"
+)
+
+// randomSystems draws a deterministic batch of small systems spanning
+// schedulable and unschedulable regimes.
+func randomSystems(t *testing.T, n int) []*model.System {
+	t.Helper()
+	var out []*model.System
+	for k := 0; k < n; k++ {
+		sys, err := gen.System(gen.Config{
+			Seed:      int64(1000 + k),
+			Platforms: 2, Transactions: 3, ChainLen: 3,
+			PeriodMin: 10, PeriodMax: 200,
+			Utilization: 0.3 + 0.25*float64(k%3),
+			AlphaMin:    0.4, AlphaMax: 0.9,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, sys)
+	}
+	return out
+}
+
+func analyzeOK(t *testing.T, sys *model.System) *analysis.Result {
+	t.Helper()
+	res, err := analysis.Analyze(sys, analysis.Options{StopAtDeadlineMiss: true, MaxIterations: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestMetamorphicTimeScaling: multiplying every time quantity (periods,
+// deadlines, execution times, offsets, jitters, platform delays and
+// burstinesses) by a common factor scales every response time by the
+// same factor. Rates α are dimensionless and stay put.
+func TestMetamorphicTimeScaling(t *testing.T) {
+	const k = 3.7
+	for _, sys := range randomSystems(t, 9) {
+		base := analyzeOK(t, sys)
+
+		scaled := sys.Clone()
+		for m := range scaled.Platforms {
+			scaled.Platforms[m].Delta *= k
+			scaled.Platforms[m].Beta *= k
+		}
+		for i := range scaled.Transactions {
+			tr := &scaled.Transactions[i]
+			tr.Period *= k
+			tr.Deadline *= k
+			for j := range tr.Tasks {
+				tr.Tasks[j].WCET *= k
+				tr.Tasks[j].BCET *= k
+				tr.Tasks[j].Offset *= k
+				tr.Tasks[j].Jitter *= k
+				tr.Tasks[j].Blocking *= k
+			}
+		}
+		got := analyzeOK(t, scaled)
+
+		if base.Schedulable != got.Schedulable {
+			t.Fatalf("time scaling changed the verdict: %v -> %v", base.Schedulable, got.Schedulable)
+		}
+		for i := range base.Tasks {
+			for j := range base.Tasks[i] {
+				b, g := base.Tasks[i][j].Worst, got.Tasks[i][j].Worst
+				if math.IsInf(b, 1) && math.IsInf(g, 1) {
+					continue
+				}
+				if math.Abs(g-k*b) > 1e-6*(1+k*b) {
+					t.Fatalf("τ%d,%d: scaled R = %v, want %v·%v = %v", i+1, j+1, g, k, b, k*b)
+				}
+			}
+		}
+	}
+}
+
+// TestMetamorphicTransactionPermutation: the order in which
+// transactions are listed is irrelevant.
+func TestMetamorphicTransactionPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, sys := range randomSystems(t, 9) {
+		base := analyzeOK(t, sys)
+
+		perm := rng.Perm(len(sys.Transactions))
+		shuffled := sys.Clone()
+		for to, from := range perm {
+			shuffled.Transactions[to] = *&sys.Clone().Transactions[from]
+		}
+		got := analyzeOK(t, shuffled)
+
+		if base.Schedulable != got.Schedulable {
+			t.Fatalf("permutation changed the verdict")
+		}
+		for to, from := range perm {
+			for j := range base.Tasks[from] {
+				b, g := base.Tasks[from][j].Worst, got.Tasks[to][j].Worst
+				if math.IsInf(b, 1) && math.IsInf(g, 1) {
+					continue
+				}
+				if math.Abs(b-g) > 1e-9 {
+					t.Fatalf("transaction %d task %d: R %v -> %v after permutation", from, j, b, g)
+				}
+			}
+		}
+	}
+}
+
+// TestMetamorphicPriorityShift: priorities are ordinal — adding a
+// constant to every priority changes nothing.
+func TestMetamorphicPriorityShift(t *testing.T) {
+	for _, sys := range randomSystems(t, 6) {
+		base := analyzeOK(t, sys)
+		shifted := sys.Clone()
+		for i := range shifted.Transactions {
+			for j := range shifted.Transactions[i].Tasks {
+				shifted.Transactions[i].Tasks[j].Priority += 1000
+			}
+		}
+		got := analyzeOK(t, shifted)
+		for i := range base.Tasks {
+			for j := range base.Tasks[i] {
+				b, g := base.Tasks[i][j].Worst, got.Tasks[i][j].Worst
+				if math.IsInf(b, 1) && math.IsInf(g, 1) {
+					continue
+				}
+				if math.Abs(b-g) > 1e-9 {
+					t.Fatalf("τ%d,%d: R %v -> %v after priority shift", i+1, j+1, b, g)
+				}
+			}
+		}
+	}
+}
+
+// TestMetamorphicDeadlineIrrelevance: deadlines classify, they do not
+// shape the computation — growing every deadline leaves response
+// times unchanged (only the verdict may flip to schedulable). Needs
+// the full iteration (no early stop), since early exit depends on
+// deadlines.
+func TestMetamorphicDeadlineIrrelevance(t *testing.T) {
+	for _, sys := range randomSystems(t, 6) {
+		opt := analysis.Options{MaxIterations: 60}
+		base, err := analysis.Analyze(sys, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !base.Converged {
+			continue // skip near-divergent draws
+		}
+		relaxed := sys.Clone()
+		for i := range relaxed.Transactions {
+			relaxed.Transactions[i].Deadline *= 10
+		}
+		got, err := analysis.Analyze(relaxed, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range base.Tasks {
+			for j := range base.Tasks[i] {
+				b, g := base.Tasks[i][j].Worst, got.Tasks[i][j].Worst
+				if math.IsInf(b, 1) && math.IsInf(g, 1) {
+					continue
+				}
+				if math.Abs(b-g) > 1e-9 {
+					t.Fatalf("τ%d,%d: R %v -> %v after deadline relaxation", i+1, j+1, b, g)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package analysis
+
+import (
+	"math"
+
+	"hsched/internal/model"
+)
+
+// Options tunes the analysis. The zero value selects sensible
+// defaults: approximate analysis, ε = 1e-9, at most 1000 holistic
+// iterations and 10^6 inner fixed-point steps.
+type Options struct {
+	// Exact selects the exact analysis of Section 3.1.1, which
+	// enumerates every scenario vector ν (Eq. 12). Exponential in the
+	// number of transactions with interfering tasks; guarded by
+	// MaxScenarios.
+	Exact bool
+
+	// MaxScenarios bounds the scenario count of the exact analysis
+	// for a single task; ErrTooManyScenarios is returned beyond it.
+	// Defaults to 1<<20.
+	MaxScenarios int
+
+	// Epsilon is the convergence tolerance of all fixed-point
+	// iterations and the guard band of floor/ceil evaluations.
+	// Defaults to 1e-9.
+	Epsilon float64
+
+	// MaxIterations bounds the outer holistic iteration. Defaults to
+	// 1000.
+	MaxIterations int
+
+	// MaxInner bounds every inner fixed-point iteration (busy-period
+	// length and completion times). If exceeded the task's response
+	// time is reported as +Inf. Defaults to 10^6.
+	MaxInner int
+
+	// TightBestCase refines the best-case bounds with the response
+	// times of the preceding analysis round (never below the simple
+	// supply-based bound). Off by default: the paper's example uses
+	// the simple bound, and Table 3 is reproduced with it.
+	TightBestCase bool
+
+	// StopAtDeadlineMiss ends the holistic iteration as soon as any
+	// transaction's end-to-end response exceeds its deadline. Sound
+	// for the verdict — responses grow monotonically across rounds, so
+	// an intermediate miss implies a miss at the fixed point — but the
+	// reported response times are then lower bounds of the fixed
+	// point, not the fixed point itself. Verdict-only consumers (the
+	// design search, sensitivity analysis, acceptance sweeps) enable
+	// it for speed; reporting consumers leave it off.
+	StopAtDeadlineMiss bool
+
+	// Recorder, when non-nil, is invoked after every holistic
+	// iteration with the iteration index (0-based) and a snapshot of
+	// the per-task jitters and response times. It powers the
+	// reproduction of Table 3.
+	Recorder func(iteration int, snapshot *Result)
+}
+
+func (o Options) maxScenarios() int {
+	if o.MaxScenarios <= 0 {
+		return 1 << 20
+	}
+	return o.MaxScenarios
+}
+
+func (o Options) eps() float64 {
+	if o.Epsilon <= 0 {
+		return 1e-9
+	}
+	return o.Epsilon
+}
+
+func (o Options) maxIter() int {
+	if o.MaxIterations <= 0 {
+		return 1000
+	}
+	return o.MaxIterations
+}
+
+func (o Options) maxInner() int {
+	if o.MaxInner <= 0 {
+		return 1_000_000
+	}
+	return o.MaxInner
+}
+
+// TaskResult holds the per-task outcome of an analysis round.
+type TaskResult struct {
+	// Offset is the (possibly reduced-to-be-derived) activation offset
+	// φ used in the final round.
+	Offset float64
+	// Jitter is the activation jitter J used in the final round.
+	Jitter float64
+	// Best is the lower bound on the task's response time (best-case
+	// completion measured from the transaction activation).
+	Best float64
+	// Worst is the upper bound R on the task's response time measured
+	// from the transaction activation. +Inf if the busy period did not
+	// converge (platform overload).
+	Worst float64
+	// CriticalInitiator is the task index (within the same
+	// transaction) whose maximally-jittered release started the
+	// worst-case busy period — the scenario c attaining Worst. It is
+	// −1 when the response time is unbounded.
+	CriticalInitiator int
+	// CriticalJob is the job index p of the task under analysis that
+	// attained Worst (job p is released in ((p−1)T, pT]; p ≤ 0 marks a
+	// jitter-pended job released before the busy period began).
+	CriticalJob int
+}
+
+// Result is the outcome of an analysis: per-task bounds plus the
+// system-level verdict.
+type Result struct {
+	// System is the analysed copy of the input, with the offsets and
+	// jitters of the final iteration filled in.
+	System *model.System
+	// Tasks mirrors System.Transactions: Tasks[i][j] is the result for
+	// τ(i+1),(j+1).
+	Tasks [][]TaskResult
+	// Iterations is the number of holistic rounds executed (1 for the
+	// static analysis).
+	Iterations int
+	// Converged reports whether the holistic iteration reached a fixed
+	// point within Options.MaxIterations.
+	Converged bool
+	// Schedulable reports whether every transaction's end-to-end
+	// response time is finite and within its deadline.
+	Schedulable bool
+}
+
+// TransactionResponse returns the end-to-end worst-case response time
+// of transaction i (the response time of its last task).
+func (r *Result) TransactionResponse(i int) float64 {
+	row := r.Tasks[i]
+	return row[len(row)-1].Worst
+}
+
+// clone returns a deep copy of the per-task results (the system
+// pointer is shared; it is only read by consumers).
+func (r *Result) clone() *Result {
+	c := &Result{
+		System:      r.System,
+		Tasks:       make([][]TaskResult, len(r.Tasks)),
+		Iterations:  r.Iterations,
+		Converged:   r.Converged,
+		Schedulable: r.Schedulable,
+	}
+	for i, row := range r.Tasks {
+		c.Tasks[i] = append([]TaskResult(nil), row...)
+	}
+	return c
+}
+
+func (r *Result) computeVerdict() {
+	r.Schedulable = true
+	for i := range r.Tasks {
+		rt := r.TransactionResponse(i)
+		if math.IsInf(rt, 1) || rt > r.System.Transactions[i].Deadline+1e-9 {
+			r.Schedulable = false
+			return
+		}
+	}
+}

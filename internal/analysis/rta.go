@@ -1,0 +1,270 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"hsched/internal/model"
+)
+
+// interference maps a busy-period length t to the total higher-priority
+// demand charged to it (already scaled by 1/α), excluding the jobs of
+// the task under analysis itself.
+type interference func(t float64) float64
+
+// scenario is one candidate worst-case configuration for τa,b: the
+// task of Γa whose maximally-jittered release starts the busy period,
+// together with the combined interference of all transactions under
+// that configuration.
+type scenario struct {
+	c      int
+	interf interference
+}
+
+// critical identifies the configuration attaining a worst-case
+// response: the busy-period initiator c and the job index p.
+type critical struct {
+	initiator int
+	job       int
+}
+
+// unboundedCritical marks an unbounded response.
+var unboundedCritical = critical{initiator: -1}
+
+// responseTime computes the worst-case response time R of τa,b
+// (0-based indices), measured from the activation of Γa, with the
+// offsets and jitters currently stored in the system, together with
+// the scenario attaining it. It returns +Inf when the busy period does
+// not converge (platform overload).
+func (an *analyzer) responseTime(a, b int) (float64, critical, error) {
+	ta := &an.sys.Transactions[a].Tasks[b]
+	alpha := an.sys.Platforms[ta.Platform].Alpha
+	hp := an.hpCache[a][b]
+
+	if an.overloaded(a, b, alpha) {
+		return math.Inf(1), unboundedCritical, nil
+	}
+
+	var scenarios []scenario
+	var err error
+	if an.opt.Exact {
+		scenarios, err = an.exactScenarios(a, b, hp, alpha)
+		if err != nil {
+			return 0, unboundedCritical, err
+		}
+	} else {
+		scenarios = an.approxScenarios(a, b, hp, alpha)
+	}
+
+	best := 0.0
+	crit := critical{initiator: b}
+	for _, sc := range scenarios {
+		r, p, ok := an.scenarioResponse(a, b, sc, alpha)
+		if !ok {
+			return math.Inf(1), unboundedCritical, nil
+		}
+		if r > best {
+			best = r
+			crit = critical{initiator: sc.c, job: p}
+		}
+	}
+	return best, crit, nil
+}
+
+// overloaded reports whether the long-run demand of τa,b plus its
+// interfering set exceeds the platform rate, which makes the busy
+// period unbounded.
+func (an *analyzer) overloaded(a, b int, alpha float64) bool {
+	ta := &an.sys.Transactions[a].Tasks[b]
+	u := ta.WCET / (an.sys.Transactions[a].Period * alpha)
+	for i, hpI := range an.hpCache[a][b] {
+		tr := &an.sys.Transactions[i]
+		for _, j := range hpI {
+			u += tr.Tasks[j].WCET / (tr.Period * alpha)
+		}
+	}
+	return u >= 1-1e-12
+}
+
+// approxScenarios builds the reduced scenario set of Section 3.1.2:
+// one scenario per c ∈ hp_a(τa,b) ∪ {τa,b}, charging every other
+// transaction its upper bound W* (Eq. 15) and Γa its exact
+// contribution W^c_a (Eq. 16).
+func (an *analyzer) approxScenarios(a, b int, hp [][]int, alpha float64) []scenario {
+	cands := append(append([]int(nil), hp[a]...), b)
+	scenarios := make([]scenario, 0, len(cands))
+	for _, c := range cands {
+		c := c
+		interf := func(t float64) float64 {
+			sum := 0.0
+			for i, hpI := range hp {
+				if len(hpI) == 0 {
+					continue
+				}
+				if i == a {
+					sum += an.wk(a, c, hpI, alpha, t)
+				} else {
+					sum += an.wstar(i, hpI, alpha, t)
+				}
+			}
+			return sum
+		}
+		scenarios = append(scenarios, scenario{c: c, interf: interf})
+	}
+	return scenarios
+}
+
+// exactScenarios builds every scenario vector ν of Section 3.1.1: the
+// cartesian product of the candidate critical-instant tasks of every
+// transaction with interfering tasks (Eq. 12), with the task under
+// analysis added to its own transaction's candidates.
+func (an *analyzer) exactScenarios(a, b int, hp [][]int, alpha float64) ([]scenario, error) {
+	type axis struct {
+		tr    int
+		cands []int
+	}
+	var axes []axis
+	count := 1
+	for i, hpI := range hp {
+		var cands []int
+		if i == a {
+			cands = append(append([]int(nil), hpI...), b)
+		} else if len(hpI) > 0 {
+			cands = hpI
+		} else {
+			continue
+		}
+		axes = append(axes, axis{tr: i, cands: cands})
+		count *= len(cands)
+		if count > an.opt.maxScenarios() {
+			return nil, fmt.Errorf("%w: task τ%d,%d needs more than %d scenarios",
+				ErrTooManyScenarios, a+1, b+1, an.opt.maxScenarios())
+		}
+	}
+
+	scenarios := make([]scenario, 0, count)
+	pick := make([]int, len(axes))
+	for {
+		// One (transaction, initiator) pair per axis, in axis order, so
+		// the interference sum is evaluated deterministically.
+		type choice struct{ tr, k int }
+		nu := make([]choice, len(axes))
+		cA := b // default: Γa has no interfering tasks, τa,b starts its own busy period
+		for ai, ax := range axes {
+			nu[ai] = choice{tr: ax.tr, k: ax.cands[pick[ai]]}
+			if ax.tr == a {
+				cA = nu[ai].k
+			}
+		}
+		interf := func(t float64) float64 {
+			sum := 0.0
+			for _, ch := range nu {
+				if len(hp[ch.tr]) == 0 {
+					continue
+				}
+				sum += an.wk(ch.tr, ch.k, hp[ch.tr], alpha, t)
+			}
+			return sum
+		}
+		scenarios = append(scenarios, scenario{c: cA, interf: interf})
+
+		// Advance the mixed-radix counter.
+		ai := 0
+		for ; ai < len(axes); ai++ {
+			pick[ai]++
+			if pick[ai] < len(axes[ai].cands) {
+				break
+			}
+			pick[ai] = 0
+		}
+		if ai == len(axes) {
+			break
+		}
+	}
+	return scenarios, nil
+}
+
+// scenarioResponse evaluates one scenario: busy-period length (the
+// iterative expression below Eq. 16), the job range p0..pL (Eq. 14)
+// and the completion-time fixed point for every job (Eq. 16),
+// returning the largest response time and the job index attaining it.
+// ok is false when a fixed point was not reached within
+// Options.MaxInner steps.
+func (an *analyzer) scenarioResponse(a, b int, sc scenario, alpha float64) (float64, int, bool) {
+	tr := &an.sys.Transactions[a]
+	ta := &tr.Tasks[b]
+	eps := an.opt.eps()
+	delta := an.sys.Platforms[ta.Platform].Delta
+	cOverAlpha := ta.WCET / alpha
+	base := delta + ta.Blocking
+
+	phi := an.phaseK(a, sc.c, b)
+	p0 := 1 - floorE((ta.Jitter+phi)/tr.Period, eps)
+
+	// Busy-period length L.
+	L := base + cOverAlpha
+	converged := false
+	for it := 0; it < an.opt.maxInner(); it++ {
+		jobs := ceilE((L-phi)/tr.Period, eps) - p0 + 1
+		if jobs < 0 {
+			jobs = 0
+		}
+		next := base + jobs*cOverAlpha + sc.interf(L)
+		if next <= L+eps {
+			converged = true
+			break
+		}
+		L = next
+	}
+	if !converged {
+		return 0, 0, false
+	}
+	pL := ceilE((L-phi)/tr.Period, eps)
+
+	best := 0.0
+	bestJob := int(p0)
+	w := 0.0
+	for p := p0; p <= pL; p++ {
+		floor := base + (p-p0+1)*cOverAlpha
+		if w < floor {
+			w = floor
+		}
+		converged = false
+		for it := 0; it < an.opt.maxInner(); it++ {
+			next := base + (p-p0+1)*cOverAlpha + sc.interf(w)
+			if next <= w+eps {
+				converged = true
+				break
+			}
+			w = next
+		}
+		if !converged {
+			return 0, 0, false
+		}
+		// Response measured from the transaction activation: the job's
+		// transaction was released at ϕ + (p−1)T − φ (full offset).
+		r := w - (phi + (p-1)*tr.Period - ta.Offset)
+		if r > best {
+			best = r
+			bestJob = int(p)
+		}
+	}
+	return best, bestJob, true
+}
+
+// ScenarioCount returns N(τa,b) of Eq. (12): the number of scenario
+// vectors the exact analysis must examine for task (a, b) (0-based),
+// versus Na+1 for the approximate analysis.
+func ScenarioCount(sys *model.System, a, b int) (exact, approximate int) {
+	an := newAnalyzer(sys, Options{})
+	hp := an.hpCache[a][b]
+	exact = len(hp[a]) + 1
+	approximate = len(hp[a]) + 1
+	for i, hpI := range hp {
+		if i == a || len(hpI) == 0 {
+			continue
+		}
+		exact *= len(hpI)
+	}
+	return exact, approximate
+}

@@ -1,0 +1,101 @@
+package analysis_test
+
+import (
+	"math"
+	"testing"
+
+	"hsched/internal/analysis"
+	"hsched/internal/experiments"
+	"hsched/internal/model"
+	"hsched/internal/platform"
+)
+
+// TestCriticalScalingSingleTask: one task on a dedicated CPU with
+// D = T = 10 and C = 2 tolerates exactly k = 5.
+func TestCriticalScalingSingleTask(t *testing.T) {
+	sys := &model.System{
+		Platforms: []platform.Params{platform.Dedicated()},
+		Transactions: []model.Transaction{
+			{Period: 10, Deadline: 10, Tasks: []model.Task{{WCET: 2, BCET: 2, Priority: 1}}},
+		},
+	}
+	k, err := analysis.CriticalScaling(sys, analysis.Options{}, 1e-4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(k-5) > 1e-3 {
+		t.Errorf("critical scaling = %v, want 5", k)
+	}
+}
+
+// TestCriticalScalingPaperExample: the paper example has slack, so
+// k > 1; and the system scaled by the found k must verify while
+// k + 2·tol must not.
+func TestCriticalScalingPaperExample(t *testing.T) {
+	sys := experiments.PaperSystem()
+	const tol = 1e-3
+	k, err := analysis.CriticalScaling(sys, analysis.Options{}, tol, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k <= 1 {
+		t.Fatalf("paper example should have slack, got k = %v", k)
+	}
+	check := func(f float64) bool {
+		scaled := sys.Clone()
+		for i := range scaled.Transactions {
+			for j := range scaled.Transactions[i].Tasks {
+				scaled.Transactions[i].Tasks[j].WCET *= f
+				scaled.Transactions[i].Tasks[j].BCET *= f
+			}
+		}
+		res, err := analysis.Analyze(scaled, analysis.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Schedulable
+	}
+	if !check(k) {
+		t.Errorf("system not schedulable at the returned factor %v", k)
+	}
+	if check(k + 2*tol) {
+		t.Errorf("system still schedulable just above the returned factor %v", k)
+	}
+}
+
+// TestCriticalScalingOverloaded: a system unschedulable at any factor
+// above the probe floor reports a factor below 1.
+func TestCriticalScalingOverloaded(t *testing.T) {
+	sys := &model.System{
+		Platforms: []platform.Params{{Alpha: 0.5, Delta: 1, Beta: 0}},
+		Transactions: []model.Transaction{
+			{Period: 10, Deadline: 10, Tasks: []model.Task{{WCET: 8, BCET: 8, Priority: 1}}},
+		},
+	}
+	k, err := analysis.CriticalScaling(sys, analysis.Options{}, 1e-3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Needs Δ + kC/α ≤ 10 → k ≤ 9·0.5/8 = 0.5625.
+	if math.Abs(k-0.5625) > 2e-3 {
+		t.Errorf("critical scaling = %v, want ≈ 0.5625", k)
+	}
+}
+
+// TestCriticalScalingCapped: a trivially underloaded system saturates
+// at maxFactor.
+func TestCriticalScalingCapped(t *testing.T) {
+	sys := &model.System{
+		Platforms: []platform.Params{platform.Dedicated()},
+		Transactions: []model.Transaction{
+			{Period: 1000, Deadline: 1000, Tasks: []model.Task{{WCET: 1, BCET: 1, Priority: 1}}},
+		},
+	}
+	k, err := analysis.CriticalScaling(sys, analysis.Options{}, 1e-3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 8 {
+		t.Errorf("critical scaling = %v, want the cap 8", k)
+	}
+}

@@ -1,0 +1,109 @@
+// Package batch runs schedulability analyses and simulations over
+// large collections of systems in parallel. Evaluation sweeps
+// (acceptance ratios, soundness campaigns, design-space exploration)
+// are embarrassingly parallel: every system is independent, so the
+// package provides a deterministic parallel map with bounded workers,
+// first-error propagation and optional progress reporting.
+package batch
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Options tunes a batch run.
+type Options struct {
+	// Workers bounds the concurrent evaluations; 0 selects
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// Progress, when non-nil, is called after every completed item
+	// with the number of items done so far. It must be safe for
+	// concurrent use (the package serialises calls).
+	Progress func(done, total int)
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Map evaluates fn(i) for i in [0, n) on a bounded worker pool and
+// collects the results in index order, so the output is deterministic
+// regardless of scheduling. The first error cancels the remaining
+// work (already-started evaluations finish) and is returned.
+func Map[T any](n int, opt Options, fn func(i int) (T, error)) ([]T, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("batch: negative item count %d", n)
+	}
+	out := make([]T, n)
+	if n == 0 {
+		return out, nil
+	}
+
+	var (
+		next     atomic.Int64
+		done     atomic.Int64
+		firstErr error
+		errOnce  sync.Once
+		failed   atomic.Bool
+		progMu   sync.Mutex
+		wg       sync.WaitGroup
+	)
+
+	workers := opt.workers()
+	if workers > n {
+		workers = n
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n || failed.Load() {
+					return
+				}
+				v, err := fn(i)
+				if err != nil {
+					errOnce.Do(func() {
+						firstErr = fmt.Errorf("batch: item %d: %w", i, err)
+						failed.Store(true)
+					})
+					return
+				}
+				out[i] = v
+				if opt.Progress != nil {
+					d := int(done.Add(1))
+					progMu.Lock()
+					opt.Progress(d, n)
+					progMu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// Count evaluates pred(i) for i in [0, n) in parallel and returns how
+// many returned true — the shape of every acceptance-ratio experiment.
+func Count(n int, opt Options, pred func(i int) (bool, error)) (int, error) {
+	hits, err := Map(n, opt, func(i int) (bool, error) { return pred(i) })
+	if err != nil {
+		return 0, err
+	}
+	c := 0
+	for _, h := range hits {
+		if h {
+			c++
+		}
+	}
+	return c, nil
+}

@@ -1,0 +1,109 @@
+// Package cli implements the command-line tools (cmd/hsched, cmd/hsim,
+// cmd/hsgen, cmd/hsexper) as testable functions: each command takes
+// its argument list and output writers and returns a process exit
+// code.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"text/tabwriter"
+
+	"hsched/internal/analysis"
+	"hsched/internal/experiments"
+	"hsched/internal/model"
+	"hsched/internal/spec"
+)
+
+// loadSystem reads a JSON specification, or returns the built-in paper
+// example when path is empty.
+func loadSystem(path string, out io.Writer) (*model.System, error) {
+	if path == "" {
+		fmt.Fprintln(out, "no -spec given: using the built-in paper example (Tables 1-2)")
+		return experiments.PaperSystem(), nil
+	}
+	return spec.Load(path)
+}
+
+// Analyze implements cmd/hsched: load a system, run the holistic (or
+// static) analysis, print per-task bounds and the verdict. Exit codes:
+// 0 schedulable, 2 unschedulable, 1 error.
+func Analyze(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("hsched", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		specPath    = fs.String("spec", "", "JSON system specification (default: built-in paper example)")
+		exact       = fs.Bool("exact", false, "use the exact scenario enumeration of Sec. 3.1.1")
+		static      = fs.Bool("static", false, "single static-offset pass (Sec. 3.1) with the offsets/jitters in the spec")
+		tight       = fs.Bool("tight", false, "use the per-run burstiness refinement of the best-case bounds")
+		dump        = fs.Bool("dump", false, "dump the system back as JSON and exit")
+		sensitivity = fs.Bool("sensitivity", false, "also report the critical WCET scaling factor")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+
+	sys, err := loadSystem(*specPath, stdout)
+	if err != nil {
+		fmt.Fprintln(stderr, "hsched:", err)
+		return 1
+	}
+	if *dump {
+		data, err := spec.Marshal(sys)
+		if err != nil {
+			fmt.Fprintln(stderr, "hsched:", err)
+			return 1
+		}
+		stdout.Write(data)
+		return 0
+	}
+
+	opt := analysis.Options{Exact: *exact, TightBestCase: *tight}
+	var res *analysis.Result
+	if *static {
+		res, err = analysis.AnalyzeStatic(sys, opt)
+	} else {
+		res, err = analysis.Analyze(sys, opt)
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "hsched:", err)
+		return 1
+	}
+
+	w := tabwriter.NewWriter(stdout, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "task\tplatform\tphi\tJ\tRbest\tR\tdeadline\tverdict")
+	for i := range res.Tasks {
+		tr := &res.System.Transactions[i]
+		for j, tb := range res.Tasks[i] {
+			verdict := ""
+			if j == len(res.Tasks[i])-1 {
+				if math.IsInf(tb.Worst, 1) || tb.Worst > tr.Deadline {
+					verdict = "MISS"
+				} else {
+					verdict = "ok"
+				}
+			}
+			fmt.Fprintf(w, "%s\tPi%d\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\t%s\n",
+				res.System.TaskName(i, j), tr.Tasks[j].Platform+1,
+				tb.Offset, tb.Jitter, tb.Best, tb.Worst, tr.Deadline, verdict)
+		}
+	}
+	w.Flush()
+	fmt.Fprintf(stdout, "iterations: %d  converged: %v  schedulable: %v\n",
+		res.Iterations, res.Converged, res.Schedulable)
+
+	if *sensitivity {
+		k, err := analysis.CriticalScaling(sys, opt, 1e-3, 0)
+		if err != nil {
+			fmt.Fprintln(stderr, "hsched:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "critical WCET scaling factor: %.3f\n", k)
+	}
+	if !res.Schedulable {
+		return 2
+	}
+	return 0
+}

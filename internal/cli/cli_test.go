@@ -1,0 +1,201 @@
+package cli
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}
+
+func TestAnalyzePaperExample(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := Analyze(nil, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	for _, want := range []string{"tau1,4", "31.000", "schedulable: true", "ok"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestAnalyzeSensitivityFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := Analyze([]string{"-sensitivity"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "critical WCET scaling factor") {
+		t.Errorf("missing sensitivity line:\n%s", out.String())
+	}
+}
+
+func TestAnalyzeDumpAndReload(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := Analyze([]string{"-dump"}, &out, &errb); code != 0 {
+		t.Fatalf("dump exit %d: %s", code, errb.String())
+	}
+	// The dump starts after the "no -spec" banner; find the JSON.
+	s := out.String()
+	idx := strings.Index(s, "{")
+	if idx < 0 {
+		t.Fatalf("no JSON in dump output")
+	}
+	path := filepath.Join(t.TempDir(), "sys.json")
+	if err := writeFile(path, []byte(s[idx:])); err != nil {
+		t.Fatal(err)
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := Analyze([]string{"-spec", path}, &out, &errb); code != 0 {
+		t.Fatalf("reload exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "schedulable: true") {
+		t.Errorf("reloaded analysis output:\n%s", out.String())
+	}
+}
+
+func TestAnalyzeUnschedulableExitCode(t *testing.T) {
+	doc := `{"platforms":[{"alpha":0.3,"delta":1,"beta":0}],
+	         "transactions":[{"period":10,"tasks":[{"wcet":5,"priority":1,"platform":1}]}]}`
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := writeFile(path, []byte(doc)); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if code := Analyze([]string{"-spec", path}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2; out:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "MISS") {
+		t.Errorf("missing MISS marker:\n%s", out.String())
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := Analyze([]string{"-spec", "/nonexistent.json"}, &out, &errb); code != 1 {
+		t.Errorf("missing file: exit %d, want 1", code)
+	}
+	if code := Analyze([]string{"-bogus-flag"}, &out, &errb); code != 1 {
+		t.Errorf("bad flag: exit %d, want 1", code)
+	}
+}
+
+func TestSimulatePaperExample(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := Simulate([]string{"-horizon", "1050", "-step", "0.01"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	for _, want := range []string{"realised by", "max end-to-end", "misses 0"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestSimulateEDFAndTrace(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := Simulate([]string{"-horizon", "200", "-step", "0.01", "-policy", "edf", "-trace", "5"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "release") {
+		t.Errorf("trace not printed:\n%s", out.String())
+	}
+}
+
+func TestSimulateBadFlags(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := Simulate([]string{"-mode", "chaotic"}, &out, &errb); code != 1 {
+		t.Errorf("bad mode: exit %d, want 1", code)
+	}
+	if code := Simulate([]string{"-policy", "lottery"}, &out, &errb); code != 1 {
+		t.Errorf("bad policy: exit %d, want 1", code)
+	}
+}
+
+func TestGenerateRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "gen.json")
+	var out, errb bytes.Buffer
+	code := Generate([]string{"-seed", "7", "-platforms", "2", "-transactions", "4", "-o", path}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	out.Reset()
+	errb.Reset()
+	if code := Analyze([]string{"-spec", path}, &out, &errb); code != 0 && code != 2 {
+		t.Fatalf("analysing generated spec: exit %d, stderr: %s", code, errb.String())
+	}
+}
+
+func TestGenerateToStdout(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := Generate([]string{"-seed", "3"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), `"platforms"`) {
+		t.Errorf("no JSON on stdout:\n%s", out.String())
+	}
+}
+
+func TestGenerateBadConfig(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := Generate([]string{"-util", "1.5"}, &out, &errb); code != 1 {
+		t.Errorf("bad util: exit %d, want 1", code)
+	}
+}
+
+func TestExperCSV(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := Exper([]string{"-table", "3", "-csv"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	if !strings.HasPrefix(out.String(), "iteration,task,jitter,response\n") {
+		t.Errorf("csv header missing:\n%s", out.String())
+	}
+	out.Reset()
+	if code := Exper([]string{"-figure", "3", "-csv"}, &out, &errb); code != 0 {
+		t.Fatalf("figure csv exit %d", code)
+	}
+	if !strings.HasPrefix(out.String(), "t,zmin,zmax,lower,upper\n") {
+		t.Errorf("figure csv header missing")
+	}
+	if code := Exper([]string{"-table", "1", "-csv"}, &out, &errb); code != 1 {
+		t.Errorf("unsupported csv target: exit %d, want 1", code)
+	}
+}
+
+func TestExperSingleArtefacts(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-table", "1"}, "phi_min"},
+		{[]string{"-table", "2"}, "Pi3 (Integrator)"},
+		{[]string{"-table", "3"}, "holistic iterations"},
+		{[]string{"-figure", "3"}, "supply functions"},
+		{[]string{"-figure", "5"}, "example application"},
+		{[]string{"-ablation", "exact"}, "Ablation A1"},
+		{[]string{"-ablation", "design"}, "Ablation A5"},
+		{[]string{"-ablation", "network"}, "Ablation A6"},
+		{[]string{"-ablation", "edf"}, "Ablation A7"},
+		{[]string{"-ablation", "acceptance"}, "Ablation A8"},
+	}
+	for _, c := range cases {
+		var out, errb bytes.Buffer
+		if code := Exper(c.args, &out, &errb); code != 0 {
+			t.Fatalf("%v: exit %d, stderr: %s", c.args, code, errb.String())
+		}
+		if !strings.Contains(out.String(), c.want) {
+			t.Errorf("%v: output missing %q", c.args, c.want)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+
+	"hsched/internal/experiments"
+)
+
+// Exper implements cmd/hsexper: regenerate paper tables/figures and
+// the ablations of DESIGN.md. Exit codes: 0 success, 1 error.
+func Exper(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("hsexper", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		table    = fs.Int("table", 0, "reproduce one table (1, 2 or 3)")
+		figure   = fs.Int("figure", 0, "reproduce one figure (3 or 5)")
+		ablation = fs.String("ablation", "", "run one ablation: exact, pessimism, soundness, design, network, edf or acceptance")
+		asCSV    = fs.Bool("csv", false, "emit plot-ready CSV instead of text (table 3, figure 3, pessimism, acceptance)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+
+	if *asCSV {
+		var err error
+		switch {
+		case *table == 3:
+			err = experiments.Table3CSV(stdout)
+		case *figure == 3:
+			err = experiments.Figure3CSV(stdout, 1, 4, 16, 64)
+		case *ablation == "pessimism":
+			rows, rerr := experiments.Pessimism([]float64{0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9})
+			if rerr == nil {
+				err = experiments.PessimismCSV(stdout, rows)
+			} else {
+				err = rerr
+			}
+		case *ablation == "acceptance":
+			pts, rerr := experiments.AcceptanceRatio([]float64{0.2, 0.35, 0.5, 0.65, 0.8, 0.9}, 25, 1000)
+			if rerr == nil {
+				err = experiments.AcceptanceCSV(stdout, pts)
+			} else {
+				err = rerr
+			}
+		default:
+			err = fmt.Errorf("-csv supports -table 3, -figure 3, -ablation pessimism and -ablation acceptance")
+		}
+		if err != nil {
+			fmt.Fprintln(stderr, "hsexper:", err)
+			return 1
+		}
+		return 0
+	}
+
+	all := *table == 0 && *figure == 0 && *ablation == ""
+	failed := false
+	run := func(name string, gen func() (string, error)) {
+		out, err := gen()
+		if err != nil {
+			fmt.Fprintf(stderr, "hsexper: %s: %v\n", name, err)
+			failed = true
+			return
+		}
+		fmt.Fprintln(stdout, out)
+	}
+
+	if all || *table == 1 {
+		fmt.Fprintln(stdout, experiments.Table1())
+	}
+	if all || *table == 2 {
+		fmt.Fprintln(stdout, experiments.Table2())
+	}
+	if all || *table == 3 {
+		run("table 3", experiments.Table3)
+	}
+	if all || *figure == 3 {
+		run("figure 3", func() (string, error) { return experiments.Figure3(1, 4) })
+	}
+	if all || *figure == 5 {
+		run("figure 5", experiments.Figure5)
+	}
+	if all || *ablation == "exact" {
+		run("ablation A1", func() (string, error) {
+			rows, err := experiments.ExactVsApprox([]int64{1, 2, 3, 4, 5})
+			if err != nil {
+				return "", err
+			}
+			return experiments.RenderExactVsApprox(rows), nil
+		})
+	}
+	if all || *ablation == "pessimism" {
+		run("ablation A2", func() (string, error) {
+			rows, err := experiments.Pessimism([]float64{0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9})
+			if err != nil {
+				return "", err
+			}
+			return experiments.RenderPessimism(rows), nil
+		})
+	}
+	if all || *ablation == "soundness" {
+		run("ablation A3", func() (string, error) {
+			rows, err := experiments.SimVsAnalysis([]int64{1, 2, 3, 4, 5, 6, 7, 8})
+			if err != nil {
+				return "", err
+			}
+			return experiments.RenderSimVsAnalysis(rows), nil
+		})
+	}
+	if all || *ablation == "design" {
+		run("ablation A5", func() (string, error) {
+			out, _, err := experiments.DesignSearch()
+			return out, err
+		})
+	}
+	if all || *ablation == "network" {
+		run("ablation A6", experiments.NetworkExperiment)
+	}
+	if all || *ablation == "edf" {
+		run("ablation A7", func() (string, error) {
+			rows, err := experiments.EDFvsFP()
+			if err != nil {
+				return "", err
+			}
+			return experiments.RenderEDFvsFP(rows), nil
+		})
+	}
+	if all || *ablation == "acceptance" {
+		run("ablation A8", func() (string, error) {
+			pts, err := experiments.AcceptanceRatio([]float64{0.2, 0.35, 0.5, 0.65, 0.8, 0.9}, 25, 1000)
+			if err != nil {
+				return "", err
+			}
+			return experiments.RenderAcceptanceRatio(pts), nil
+		})
+	}
+	if failed {
+		return 1
+	}
+	return 0
+}

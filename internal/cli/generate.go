@@ -1,0 +1,71 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+
+	"hsched/internal/gen"
+	"hsched/internal/spec"
+)
+
+// Generate implements cmd/hsgen: draw a random system and print it as
+// a JSON specification consumable by hsched and hsim. Exit codes: 0
+// success, 1 error.
+func Generate(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("hsgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		seed         = fs.Int64("seed", 1, "random seed")
+		platforms    = fs.Int("platforms", 3, "number of abstract platforms")
+		transactions = fs.Int("transactions", 5, "number of transactions")
+		chain        = fs.Int("chain", 3, "maximum tasks per transaction")
+		periodMin    = fs.Float64("period-min", 10, "minimum period")
+		periodMax    = fs.Float64("period-max", 1000, "maximum period (log-uniform draw)")
+		util         = fs.Float64("util", 0.5, "per-platform utilisation target in (0, 1)")
+		alphaMin     = fs.Float64("alpha-min", 0.3, "minimum platform rate")
+		alphaMax     = fs.Float64("alpha-max", 0.9, "maximum platform rate")
+		serverPeriod = fs.Float64("server-period", 0, "implied periodic-server period (0: period-min/4)")
+		bcet         = fs.Float64("bcet", 0.5, "BCET as a fraction of WCET")
+		dfactor      = fs.Float64("deadline-factor", 1, "deadline as a multiple of the period")
+		randomPrio   = fs.Bool("random-priorities", false, "random priorities instead of rate-monotonic")
+		out          = fs.String("o", "", "write to a file instead of stdout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+
+	sys, err := gen.System(gen.Config{
+		Seed:         *seed,
+		Platforms:    *platforms,
+		Transactions: *transactions,
+		ChainLen:     *chain,
+		PeriodMin:    *periodMin, PeriodMax: *periodMax,
+		Utilization: *util,
+		AlphaMin:    *alphaMin, AlphaMax: *alphaMax,
+		ServerPeriod:     *serverPeriod,
+		BCETFraction:     *bcet,
+		DeadlineFactor:   *dfactor,
+		RandomPriorities: *randomPrio,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "hsgen:", err)
+		return 1
+	}
+	if *out != "" {
+		if err := spec.Save(sys, *out); err != nil {
+			fmt.Fprintln(stderr, "hsgen:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wrote %d transactions on %d platforms to %s\n",
+			len(sys.Transactions), len(sys.Platforms), *out)
+		return 0
+	}
+	data, err := spec.Marshal(sys)
+	if err != nil {
+		fmt.Fprintln(stderr, "hsgen:", err)
+		return 1
+	}
+	stdout.Write(data)
+	return 0
+}

@@ -1,0 +1,129 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"hsched/internal/analysis"
+	"hsched/internal/server"
+	"hsched/internal/sim"
+)
+
+// Simulate implements cmd/hsim: simulate a system on concrete budget
+// servers realising its platforms and compare observations against the
+// analysed bounds. Exit codes: 0 success, 1 error, 2 deadline misses
+// observed.
+func Simulate(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("hsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		specPath = fs.String("spec", "", "JSON system specification (default: built-in paper example)")
+		horizon  = fs.Float64("horizon", 0, "simulated time (0: twice the hyperperiod)")
+		step     = fs.Float64("step", 0.01, "simulation step")
+		mode     = fs.String("mode", "worst", "execution-time mode: worst, best or random")
+		seed     = fs.Int64("seed", 1, "random seed")
+		phase    = fs.Float64("phase", 0, "server alignment phase")
+		policy   = fs.String("policy", "fp", "local scheduling policy: fp or edf")
+		traceN   = fs.Int("trace", 0, "print the first N timeline events")
+		gantt    = fs.Float64("gantt", 0, "render an ASCII Gantt chart of the first N time units")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+
+	sys, err := loadSystem(*specPath, stdout)
+	if err != nil {
+		fmt.Fprintln(stderr, "hsim:", err)
+		return 1
+	}
+	var execMode sim.ExecMode
+	switch *mode {
+	case "worst":
+		execMode = sim.WorstCase
+	case "best":
+		execMode = sim.BestCase
+	case "random":
+		execMode = sim.RandomCase
+	default:
+		fmt.Fprintf(stderr, "hsim: unknown -mode %q\n", *mode)
+		return 1
+	}
+	var policies []sim.Policy
+	switch *policy {
+	case "fp":
+	case "edf":
+		policies = make([]sim.Policy, len(sys.Platforms))
+		for m := range policies {
+			policies[m] = sim.EDF
+		}
+	default:
+		fmt.Fprintf(stderr, "hsim: unknown -policy %q\n", *policy)
+		return 1
+	}
+
+	servers := make([]server.Server, len(sys.Platforms))
+	for m, p := range sys.Platforms {
+		srv, err := server.ForPlatform(p, *phase*float64(m+1))
+		if err != nil {
+			fmt.Fprintln(stderr, "hsim:", err)
+			return 1
+		}
+		servers[m] = srv
+		fmt.Fprintf(stdout, "Pi%d %v realised by %s\n", m+1, p, srv.Name())
+	}
+
+	ana, err := analysis.Analyze(sys, analysis.Options{})
+	if err != nil {
+		fmt.Fprintln(stderr, "hsim:", err)
+		return 1
+	}
+	res, err := sim.Run(sys, servers, sim.Config{
+		Horizon: *horizon, Step: *step, Mode: execMode, Seed: *seed,
+		Policies: policies, TraceLimit: *traceN, RecordRuns: *gantt > 0,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "hsim:", err)
+		return 1
+	}
+
+	w := tabwriter.NewWriter(stdout, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "task\tjobs\tmean R\tmax R\tanalysed R")
+	for i := range res.Tasks {
+		for j, st := range res.Tasks[i] {
+			fmt.Fprintf(w, "%s\t%d\t%.3f\t%.3f\t%.3f\n",
+				sys.TaskName(i, j), st.Completions, st.Mean(), st.MaxResponse, ana.Tasks[i][j].Worst)
+		}
+	}
+	w.Flush()
+	misses := 0
+	for i := range sys.Transactions {
+		fmt.Fprintf(stdout, "%s: max end-to-end %.3f (bound %.3f, deadline %g), misses %d\n",
+			sys.Transactions[i].Name, res.MaxEndToEnd(i), ana.TransactionResponse(i),
+			sys.Transactions[i].Deadline, res.Misses[i])
+		misses += res.Misses[i]
+	}
+	for m, ps := range res.Platforms {
+		fmt.Fprintf(stdout, "Pi%d: supplied %.1f (%.1f%% of horizon), busy %.1f (%.1f%% of supplied)\n",
+			m+1, ps.Supplied, 100*ps.Supplied/res.Horizon, ps.Busy, 100*ps.Busy/maxF(ps.Supplied, 1e-12))
+	}
+	fmt.Fprintf(stdout, "horizon %.1f, unfinished jobs at horizon: %d\n", res.Horizon, res.Unfinished)
+	if *traceN > 0 {
+		fmt.Fprint(stdout, sim.FormatTrace(sys, res.Trace))
+	}
+	if *gantt > 0 {
+		fmt.Fprint(stdout, sim.Gantt(sys, res.Runs, 0, *gantt, 100))
+	}
+	if misses > 0 {
+		return 2
+	}
+	return 0
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

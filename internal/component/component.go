@@ -1,0 +1,166 @@
+package component
+
+import "hsched/internal/platform"
+
+// Method is one method of a provided or required interface. Following
+// Section 2.1, the only activation-pattern parameter is the minimum
+// inter-arrival time between two consecutive invocations.
+type Method struct {
+	// Name is the method signature's name (parameters are irrelevant
+	// to the timing model and omitted).
+	Name string
+	// MIT is the minimum inter-arrival time between invocations; 0
+	// leaves the pattern unspecified (no admission check).
+	MIT float64
+}
+
+// StepKind discriminates the two kinds of steps in a thread body.
+type StepKind int
+
+const (
+	// StepTask is a piece of code implemented by the component itself.
+	StepTask StepKind = iota
+	// StepCall is a synchronous invocation of a required-interface
+	// method: the thread suspends until the remote method completes.
+	StepCall
+)
+
+// Step is one element of a thread body: either a task or a synchronous
+// call of a required method.
+type Step struct {
+	// Kind selects between StepTask and StepCall.
+	Kind StepKind
+	// Name labels a task step (ignored for calls).
+	Name string
+	// WCET and BCET are the execution bounds of a task step in cycles.
+	WCET, BCET float64
+	// Method is the required-interface method a call step invokes.
+	Method string
+	// Priority optionally overrides the thread priority for a task
+	// step; 0 inherits the thread's priority. (The paper's running
+	// example needs this: its Table 1 assigns the "compute" task a
+	// priority distinct from the thread that contains it.)
+	Priority int
+}
+
+// Task builds a task step.
+func Task(name string, wcet, bcet float64) Step {
+	return Step{Kind: StepTask, Name: name, WCET: wcet, BCET: bcet}
+}
+
+// TaskPrio builds a task step with an explicit priority override.
+func TaskPrio(name string, wcet, bcet float64, prio int) Step {
+	return Step{Kind: StepTask, Name: name, WCET: wcet, BCET: bcet, Priority: prio}
+}
+
+// Call builds a synchronous call step of a required method.
+func Call(method string) Step {
+	return Step{Kind: StepCall, Method: method}
+}
+
+// ThreadKind discriminates time-triggered from event-triggered threads.
+type ThreadKind int
+
+const (
+	// Periodic threads are time-triggered: activated every Period.
+	Periodic ThreadKind = iota
+	// Handler threads are event-triggered: activated by a call to the
+	// provided method they realise.
+	Handler
+)
+
+// Thread is one concurrent thread of a component implementation,
+// scheduled by the component's local fixed-priority scheduler.
+type Thread struct {
+	// Name identifies the thread within its class.
+	Name string
+	// Kind selects Periodic or Handler.
+	Kind ThreadKind
+	// Period is the activation period of a periodic thread.
+	Period float64
+	// Deadline is the relative end-to-end deadline of a periodic
+	// thread; 0 defaults to the period.
+	Deadline float64
+	// Offset and Jitter describe the external release of a periodic
+	// thread relative to its nominal period grid.
+	Offset, Jitter float64
+	// Realizes names the provided method an event-triggered thread is
+	// attached to.
+	Realizes string
+	// Priority is the thread's local fixed priority; greater is
+	// higher.
+	Priority int
+	// Body is the ordered sequence of tasks and synchronous calls the
+	// thread executes per activation.
+	Body []Step
+}
+
+// Class is a component class: interfaces plus implementation
+// (Figure 1 and Figure 2 of the paper are two instances of this type).
+type Class struct {
+	// Name identifies the class.
+	Name string
+	// Provided lists the methods offered to other components.
+	Provided []Method
+	// Required lists the methods this component needs.
+	Required []Method
+	// Threads is the implementation. The local scheduler is fixed
+	// priority, per the paper's assumption.
+	Threads []Thread
+}
+
+// Instance is a named occurrence of a class placed on an abstract
+// computing platform.
+type Instance struct {
+	// Name identifies the instance in the assembly.
+	Name string
+	// Class is the component class this instance realises.
+	Class *Class
+	// Platform indexes Assembly.Platforms: the abstract computing
+	// platform the whole instance executes on.
+	Platform int
+}
+
+// Binding connects one required method of one instance to a provided
+// method of another (the integration step of Section 2.2.1).
+type Binding struct {
+	// Caller is the instance whose required method is bound.
+	Caller string
+	// Method is the required method's name.
+	Method string
+	// Callee is the instance providing the implementation.
+	Callee string
+	// Provided is the callee's provided method name; empty defaults to
+	// Method.
+	Provided string
+}
+
+// MessageModel configures the RPC message expansion of Section 2.2.1:
+// when caller and callee are on different platforms, the invocation is
+// carried by a request and a reply message scheduled on a network
+// platform like ordinary tasks.
+type MessageModel struct {
+	// Network indexes Assembly.Platforms: the abstract platform
+	// modelling the network.
+	Network int
+	// RequestWCET and RequestBCET bound the request transmission.
+	RequestWCET, RequestBCET float64
+	// ReplyWCET and ReplyBCET bound the reply transmission.
+	ReplyWCET, ReplyBCET float64
+	// Priority is the fixed priority of the messages on the network.
+	Priority int
+}
+
+// Assembly is an integrated system: instances on platforms, bindings,
+// and optionally a message model for cross-platform RPC.
+type Assembly struct {
+	// Platforms are the abstract computing platforms of the system.
+	Platforms []platform.Params
+	// Instances are the integrated component instances.
+	Instances []Instance
+	// Bindings wire required to provided interfaces.
+	Bindings []Binding
+	// Messages, when non-nil, inserts network messages around
+	// cross-platform calls.
+	Messages *MessageModel
+}

@@ -1,0 +1,28 @@
+// Package component implements the component model of Sections 2.1,
+// 2.2 and 2.4 of Lorente, Lipari & Bini (IPDPS 2006).
+//
+// A component class declares a provided interface and a required
+// interface — sets of methods, each with a worst-case activation
+// pattern reduced to a minimum inter-arrival time (MIT) — plus an
+// implementation: a set of threads under a local fixed-priority
+// scheduler. Threads are either time-triggered (periodic) or
+// event-triggered (handlers realising a provided method), and their
+// bodies are sequences of tasks (code implemented by the component)
+// and synchronous calls to required-interface methods.
+//
+// Component instances are integrated into a system by an Assembly:
+// every instance is placed on an abstract computing platform and every
+// required method is bound to a provided method of another instance.
+// Assembly.Transactions applies the transformation of Section 2.4: a
+// transaction is derived from every periodic thread by recursively
+// inlining the handler threads reached through its synchronous calls,
+// each inlined task keeping the priority of the thread it belongs to
+// and the platform of the instance that implements it.
+//
+// When caller and callee reside on different platforms the RPC is
+// carried by a network: with a MessageModel configured, the
+// transformation inserts a request and a reply message as additional
+// "tasks" executed on the network platform, exactly as Section 2.2.1
+// prescribes (the paper's own example omits messages; so does the
+// reproduction of Table 1, which leaves Messages nil).
+package component

@@ -1,0 +1,61 @@
+package component_test
+
+import (
+	"fmt"
+
+	"hsched/internal/component"
+	"hsched/internal/platform"
+)
+
+// Example builds a minimal producer/consumer assembly — one periodic
+// caller, one handler on a different platform — and derives its
+// transaction per Section 2.4 of the paper.
+func Example() {
+	producer := &component.Class{
+		Name:     "Producer",
+		Required: []component.Method{{Name: "store"}},
+		Threads: []component.Thread{
+			{Name: "Main", Kind: component.Periodic, Period: 100, Priority: 1,
+				Body: []component.Step{
+					component.Task("sample", 2, 1),
+					component.Call("store"),
+					component.Task("cleanup", 1, 0.5),
+				}},
+		},
+	}
+	storage := &component.Class{
+		Name:     "Storage",
+		Provided: []component.Method{{Name: "store", MIT: 50}},
+		Threads: []component.Thread{
+			{Name: "Writer", Kind: component.Handler, Realizes: "store", Priority: 2,
+				Body: []component.Step{component.Task("write", 3, 2)}},
+		},
+	}
+	asm := &component.Assembly{
+		Platforms: []platform.Params{
+			{Alpha: 0.5, Delta: 1, Beta: 0.5},
+			{Alpha: 0.25, Delta: 2, Beta: 1},
+		},
+		Instances: []component.Instance{
+			{Name: "P", Class: producer, Platform: 0},
+			{Name: "S", Class: storage, Platform: 1},
+		},
+		Bindings: []component.Binding{
+			{Caller: "P", Method: "store", Callee: "S"},
+		},
+	}
+	sys, err := asm.Transactions()
+	if err != nil {
+		panic(err)
+	}
+	tr := sys.Transactions[0]
+	fmt.Printf("%s: T=%g, %d tasks\n", tr.Name, tr.Period, len(tr.Tasks))
+	for _, t := range tr.Tasks {
+		fmt.Printf("  %-16s Π%d p=%d C=%g\n", t.Name, t.Platform+1, t.Priority, t.WCET)
+	}
+	// Output:
+	// P.Main: T=100, 3 tasks
+	//   P.Main.sample    Π1 p=1 C=2
+	//   S.Writer.write   Π2 p=2 C=3
+	//   P.Main.cleanup   Π1 p=1 C=1
+}

@@ -1,0 +1,252 @@
+package component
+
+import (
+	"fmt"
+
+	"hsched/internal/model"
+)
+
+// Transactions applies the transformation of Section 2.4: every
+// periodic thread of every instance originates one transaction; its
+// body's tasks become the transaction's tasks, and every synchronous
+// call is replaced by the (recursively inlined) body of the handler
+// thread bound to it — each inlined task carrying the priority of the
+// thread it belongs to and the platform of the instance implementing
+// it. With a MessageModel configured, cross-platform calls are
+// bracketed by a request and a reply message task on the network
+// platform (Section 2.2.1).
+//
+// Recursive RPC (a call chain revisiting a handler already on the call
+// stack) is rejected, as it would unroll forever.
+func (a *Assembly) Transactions() (*model.System, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	tx := &transformer{asm: a, byName: map[string]*Instance{}}
+	for i := range a.Instances {
+		tx.byName[a.Instances[i].Name] = &a.Instances[i]
+	}
+	sys := &model.System{Platforms: a.Platforms}
+	for ii := range a.Instances {
+		inst := &a.Instances[ii]
+		for ti := range inst.Class.Threads {
+			th := &inst.Class.Threads[ti]
+			if th.Kind != Periodic {
+				continue
+			}
+			tr, err := tx.transaction(inst, th)
+			if err != nil {
+				return nil, err
+			}
+			sys.Transactions = append(sys.Transactions, tr)
+		}
+	}
+	if len(sys.Transactions) == 0 {
+		return nil, fmt.Errorf("component: assembly has no periodic threads, nothing to analyse")
+	}
+	if err := sys.Validate(); err != nil {
+		return nil, fmt.Errorf("component: derived transaction set invalid: %w", err)
+	}
+	return sys, nil
+}
+
+type transformer struct {
+	asm    *Assembly
+	byName map[string]*Instance
+}
+
+type frame struct {
+	inst   string
+	thread string
+}
+
+func (tx *transformer) transaction(inst *Instance, th *Thread) (model.Transaction, error) {
+	deadline := th.Deadline
+	if deadline == 0 {
+		deadline = th.Period
+	}
+	tr := model.Transaction{
+		Name:     inst.Name + "." + th.Name,
+		Period:   th.Period,
+		Deadline: deadline,
+	}
+	stack := []frame{{inst.Name, th.Name}}
+	if err := tx.inline(&tr, inst, th, stack); err != nil {
+		return model.Transaction{}, err
+	}
+	if len(tr.Tasks) == 0 {
+		return model.Transaction{}, fmt.Errorf("component: %s.%s produces no tasks", inst.Name, th.Name)
+	}
+	// The external release offset/jitter of the periodic thread attach
+	// to the first task of the transaction.
+	tr.Tasks[0].Offset = th.Offset
+	tr.Tasks[0].Jitter = th.Jitter
+	return tr, nil
+}
+
+// inline appends the tasks of one thread body, descending into calls.
+func (tx *transformer) inline(tr *model.Transaction, inst *Instance, th *Thread, stack []frame) error {
+	for si := range th.Body {
+		s := &th.Body[si]
+		switch s.Kind {
+		case StepTask:
+			prio := s.Priority
+			if prio == 0 {
+				prio = th.Priority
+			}
+			name := s.Name
+			if name == "" {
+				name = fmt.Sprintf("step%d", si+1)
+			}
+			tr.Tasks = append(tr.Tasks, model.Task{
+				Name:     fmt.Sprintf("%s.%s.%s", inst.Name, th.Name, name),
+				WCET:     s.WCET,
+				BCET:     s.BCET,
+				Priority: prio,
+				Platform: inst.Platform,
+			})
+		case StepCall:
+			callee, handler, err := tx.resolve(inst, s.Method)
+			if err != nil {
+				return err
+			}
+			for _, f := range stack {
+				if f.inst == callee.Name && f.thread == handler.Name {
+					return fmt.Errorf("component: recursive RPC: %s.%s reached again via %s.%s",
+						callee.Name, handler.Name, inst.Name, th.Name)
+				}
+			}
+			remote := callee.Platform != inst.Platform
+			if remote && tx.asm.Messages != nil {
+				m := tx.asm.Messages
+				tr.Tasks = append(tr.Tasks, model.Task{
+					Name:     fmt.Sprintf("%s.%s.req(%s)", inst.Name, th.Name, s.Method),
+					WCET:     m.RequestWCET,
+					BCET:     m.RequestBCET,
+					Priority: m.Priority,
+					Platform: m.Network,
+				})
+			}
+			if err := tx.inline(tr, callee, handler, append(stack, frame{callee.Name, handler.Name})); err != nil {
+				return err
+			}
+			if remote && tx.asm.Messages != nil {
+				m := tx.asm.Messages
+				tr.Tasks = append(tr.Tasks, model.Task{
+					Name:     fmt.Sprintf("%s.%s.rep(%s)", inst.Name, th.Name, s.Method),
+					WCET:     m.ReplyWCET,
+					BCET:     m.ReplyBCET,
+					Priority: m.Priority,
+					Platform: m.Network,
+				})
+			}
+		}
+	}
+	return nil
+}
+
+// resolve follows the binding of a required method of inst to the
+// handler thread realising it in the callee instance.
+func (tx *transformer) resolve(inst *Instance, method string) (*Instance, *Thread, error) {
+	for _, b := range tx.asm.Bindings {
+		if b.Caller != inst.Name || b.Method != method {
+			continue
+		}
+		callee := tx.byName[b.Callee]
+		prov := b.Provided
+		if prov == "" {
+			prov = b.Method
+		}
+		for ti := range callee.Class.Threads {
+			h := &callee.Class.Threads[ti]
+			if h.Kind == Handler && h.Realizes == prov {
+				return callee, h, nil
+			}
+		}
+		return nil, nil, fmt.Errorf("component: %s provides %q but no handler realises it", b.Callee, prov)
+	}
+	return nil, nil, fmt.Errorf("component: required method %s.%s is not bound", inst.Name, method)
+}
+
+// MITViolation reports a provided method whose declared minimum
+// inter-arrival time is exceeded by the aggregate invocation rate of
+// the periodic threads (transitively) calling it.
+type MITViolation struct {
+	// Instance and Method identify the overloaded provided method.
+	Instance, Method string
+	// MIT is the declared minimum inter-arrival time.
+	MIT float64
+	// Rate is the aggregate invocation rate (calls per time unit); the
+	// method can only sustain 1/MIT.
+	Rate float64
+}
+
+func (v MITViolation) String() string {
+	return fmt.Sprintf("%s.%s: aggregate call rate %.6g exceeds 1/MIT = %.6g",
+		v.Instance, v.Method, v.Rate, 1/v.MIT)
+}
+
+// CheckMITs verifies every provided method's worst-case activation
+// pattern against the system integration: each periodic thread of
+// period T contributes rate 1/T to every method its transaction
+// (transitively) invokes; a method with MIT m can sustain an aggregate
+// rate of at most 1/m. The assembly must be valid.
+func (a *Assembly) CheckMITs() ([]MITViolation, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	tx := &transformer{asm: a, byName: map[string]*Instance{}}
+	for i := range a.Instances {
+		tx.byName[a.Instances[i].Name] = &a.Instances[i]
+	}
+	rates := map[[2]string]float64{} // (instance, provided method) → rate
+	for ii := range a.Instances {
+		inst := &a.Instances[ii]
+		for ti := range inst.Class.Threads {
+			th := &inst.Class.Threads[ti]
+			if th.Kind != Periodic {
+				continue
+			}
+			if err := tx.accumulateRates(inst, th, 1/th.Period, rates, nil); err != nil {
+				return nil, err
+			}
+		}
+	}
+	var out []MITViolation
+	for ii := range a.Instances {
+		inst := &a.Instances[ii]
+		for _, m := range inst.Class.Provided {
+			if m.MIT <= 0 {
+				continue
+			}
+			if r := rates[[2]string{inst.Name, m.Name}]; r > 1/m.MIT+1e-12 {
+				out = append(out, MITViolation{Instance: inst.Name, Method: m.Name, MIT: m.MIT, Rate: r})
+			}
+		}
+	}
+	return out, nil
+}
+
+func (tx *transformer) accumulateRates(inst *Instance, th *Thread, rate float64, rates map[[2]string]float64, stack []frame) error {
+	for _, f := range stack {
+		if f.inst == inst.Name && f.thread == th.Name {
+			return fmt.Errorf("component: recursive RPC via %s.%s", inst.Name, th.Name)
+		}
+	}
+	stack = append(stack, frame{inst.Name, th.Name})
+	for si := range th.Body {
+		s := &th.Body[si]
+		if s.Kind != StepCall {
+			continue
+		}
+		callee, handler, err := tx.resolve(inst, s.Method)
+		if err != nil {
+			return err
+		}
+		rates[[2]string{callee.Name, handler.Realizes}] += rate
+		if err := tx.accumulateRates(callee, handler, rate, rates, stack); err != nil {
+			return err
+		}
+	}
+	return nil
+}

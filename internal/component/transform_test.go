@@ -1,0 +1,161 @@
+package component_test
+
+import (
+	"math"
+	"testing"
+
+	"hsched/internal/analysis"
+	"hsched/internal/component"
+	"hsched/internal/experiments"
+)
+
+// TestPaperAssemblyReproducesTable1 checks that the component-level
+// sensor-fusion assembly of Section 2.2, pushed through the Section
+// 2.4 transformation, yields exactly the transaction set of Table 1 /
+// Figure 5.
+func TestPaperAssemblyReproducesTable1(t *testing.T) {
+	got, err := experiments.PaperAssembly().Transactions()
+	if err != nil {
+		t.Fatalf("Transactions: %v", err)
+	}
+	want := experiments.PaperSystem()
+
+	if len(got.Transactions) != len(want.Transactions) {
+		t.Fatalf("derived %d transactions, want %d", len(got.Transactions), len(want.Transactions))
+	}
+	for i := range want.Transactions {
+		wt, gt := want.Transactions[i], got.Transactions[i]
+		if gt.Period != wt.Period || gt.Deadline != wt.Deadline {
+			t.Errorf("Γ%d: period/deadline (%v, %v), want (%v, %v)", i+1, gt.Period, gt.Deadline, wt.Period, wt.Deadline)
+		}
+		if len(gt.Tasks) != len(wt.Tasks) {
+			t.Errorf("Γ%d: %d tasks, want %d", i+1, len(gt.Tasks), len(wt.Tasks))
+			continue
+		}
+		for j := range wt.Tasks {
+			w, g := wt.Tasks[j], gt.Tasks[j]
+			if g.WCET != w.WCET || g.BCET != w.BCET || g.Priority != w.Priority || g.Platform != w.Platform {
+				t.Errorf("τ%d,%d: (C=%v, Cb=%v, p=%d, Π=%d), want (C=%v, Cb=%v, p=%d, Π=%d)",
+					i+1, j+1, g.WCET, g.BCET, g.Priority, g.Platform, w.WCET, w.BCET, w.Priority, w.Platform)
+			}
+		}
+	}
+
+	// The derived system must analyse identically to the hand-written
+	// one: R(Γ1) = 31 (see the Table 3 reproduction note).
+	res, err := analysis.Analyze(got, analysis.Options{})
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if !res.Schedulable {
+		t.Errorf("derived system should be schedulable")
+	}
+	if r := res.TransactionResponse(0); math.Abs(r-31) > 1e-6 {
+		t.Errorf("R(Γ1) = %v, want 31", r)
+	}
+}
+
+// TestCheckMITs verifies the admission check on provided-method MITs.
+func TestCheckMITs(t *testing.T) {
+	asm := experiments.PaperAssembly()
+	v, err := asm.CheckMITs()
+	if err != nil {
+		t.Fatalf("CheckMITs: %v", err)
+	}
+	if len(v) != 0 {
+		t.Errorf("paper assembly should satisfy all MITs, got %v", v)
+	}
+
+	// Dropping the integrator period below the sensors' declared MIT
+	// must be flagged for both sensors.
+	asm.Instances[0].Class.Threads[1].Period = 25
+	v, err = asm.CheckMITs()
+	if err != nil {
+		t.Fatalf("CheckMITs: %v", err)
+	}
+	if len(v) != 2 {
+		t.Fatalf("want 2 MIT violations (both sensors), got %v", v)
+	}
+	for _, viol := range v {
+		if viol.Method != "read" || viol.MIT != 50 || math.Abs(viol.Rate-1.0/25) > 1e-12 {
+			t.Errorf("unexpected violation %+v", viol)
+		}
+	}
+}
+
+// TestRecursiveRPCRejected checks that a cyclic call chain is detected
+// rather than unrolled forever.
+func TestRecursiveRPCRejected(t *testing.T) {
+	ping := &component.Class{
+		Name:     "Ping",
+		Provided: []component.Method{{Name: "ping"}},
+		Required: []component.Method{{Name: "pong"}},
+		Threads: []component.Thread{
+			{Name: "Driver", Kind: component.Periodic, Period: 10, Priority: 1,
+				Body: []component.Step{component.Task("work", 1, 1), component.Call("pong")}},
+			{Name: "Serve", Kind: component.Handler, Realizes: "ping", Priority: 2,
+				Body: []component.Step{component.Task("serve", 1, 1), component.Call("pong")}},
+		},
+	}
+	pong := &component.Class{
+		Name:     "Pong",
+		Provided: []component.Method{{Name: "pong"}},
+		Required: []component.Method{{Name: "ping"}},
+		Threads: []component.Thread{
+			{Name: "Serve", Kind: component.Handler, Realizes: "pong", Priority: 2,
+				Body: []component.Step{component.Task("serve", 1, 1), component.Call("ping")}},
+			{Name: "Idle", Kind: component.Periodic, Period: 100, Priority: 1,
+				Body: []component.Step{component.Task("idle", 1, 1)}},
+		},
+	}
+	asm := &component.Assembly{
+		Platforms: experiments.PaperPlatforms(),
+		Instances: []component.Instance{
+			{Name: "A", Class: ping, Platform: 0},
+			{Name: "B", Class: pong, Platform: 1},
+		},
+		Bindings: []component.Binding{
+			{Caller: "A", Method: "pong", Callee: "B"},
+			{Caller: "B", Method: "ping", Callee: "A"},
+		},
+	}
+	if _, err := asm.Transactions(); err == nil {
+		t.Fatalf("recursive RPC should be rejected")
+	}
+}
+
+// TestMessagesInsertedForRemoteCalls checks the Section 2.2.1 message
+// expansion: a cross-platform call gains a request and a reply task on
+// the network platform, while a local call does not.
+func TestMessagesInsertedForRemoteCalls(t *testing.T) {
+	asm := experiments.PaperAssembly()
+	asm.Platforms = append(asm.Platforms, experiments.PaperPlatforms()[0]) // network platform
+	net := len(asm.Platforms) - 1
+	asm.Messages = &component.MessageModel{
+		Network:     net,
+		RequestWCET: 0.5, RequestBCET: 0.2,
+		ReplyWCET: 0.5, ReplyBCET: 0.2,
+		Priority: 1,
+	}
+	sys, err := asm.Transactions()
+	if err != nil {
+		t.Fatalf("Transactions: %v", err)
+	}
+	// Γ1 = init, req, read1, rep, req, read2, rep, compute: 8 tasks.
+	if n := len(sys.Transactions[0].Tasks); n != 8 {
+		t.Fatalf("Γ1 with messages has %d tasks, want 8", n)
+	}
+	wantNet := []bool{false, true, false, true, true, false, true, false}
+	for j, w := range wantNet {
+		onNet := sys.Transactions[0].Tasks[j].Platform == net
+		if onNet != w {
+			t.Errorf("Γ1 task %d: on network = %v, want %v", j+1, onNet, w)
+		}
+	}
+	// Single-task transactions are unchanged.
+	for i := 1; i < len(sys.Transactions); i++ {
+		if n := len(sys.Transactions[i].Tasks); n != 1 {
+			t.Errorf("Γ%d has %d tasks, want 1", i+1, n)
+		}
+	}
+}

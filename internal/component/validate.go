@@ -1,0 +1,204 @@
+package component
+
+import (
+	"fmt"
+	"math"
+)
+
+// Validate checks the structural well-formedness of a class: method
+// names unique per interface, every handler realises a distinct
+// provided method, every provided method is realised by exactly one
+// thread, periodic threads have positive periods, bodies reference
+// declared required methods, and execution bounds are sane.
+func (c *Class) Validate() error {
+	if c.Name == "" {
+		return fmt.Errorf("component: class has no name")
+	}
+	prov := map[string]bool{}
+	for _, m := range c.Provided {
+		if m.Name == "" {
+			return fmt.Errorf("component: %s: provided method without a name", c.Name)
+		}
+		if prov[m.Name] {
+			return fmt.Errorf("component: %s: duplicate provided method %q", c.Name, m.Name)
+		}
+		if m.MIT < 0 || math.IsNaN(m.MIT) {
+			return fmt.Errorf("component: %s.provided.%s: MIT %v must be non-negative", c.Name, m.Name, m.MIT)
+		}
+		prov[m.Name] = true
+	}
+	req := map[string]bool{}
+	for _, m := range c.Required {
+		if m.Name == "" {
+			return fmt.Errorf("component: %s: required method without a name", c.Name)
+		}
+		if req[m.Name] {
+			return fmt.Errorf("component: %s: duplicate required method %q", c.Name, m.Name)
+		}
+		req[m.Name] = true
+	}
+
+	realized := map[string]string{}
+	names := map[string]bool{}
+	for ti := range c.Threads {
+		t := &c.Threads[ti]
+		if t.Name == "" {
+			return fmt.Errorf("component: %s: thread %d has no name", c.Name, ti)
+		}
+		if names[t.Name] {
+			return fmt.Errorf("component: %s: duplicate thread name %q", c.Name, t.Name)
+		}
+		names[t.Name] = true
+		switch t.Kind {
+		case Periodic:
+			if !(t.Period > 0) || math.IsInf(t.Period, 0) || math.IsNaN(t.Period) {
+				return fmt.Errorf("component: %s.%s: periodic thread needs a positive period, got %v", c.Name, t.Name, t.Period)
+			}
+			if t.Deadline < 0 || math.IsNaN(t.Deadline) {
+				return fmt.Errorf("component: %s.%s: deadline %v must be non-negative", c.Name, t.Name, t.Deadline)
+			}
+			if t.Offset < 0 || t.Jitter < 0 {
+				return fmt.Errorf("component: %s.%s: offset/jitter must be non-negative", c.Name, t.Name)
+			}
+			if t.Realizes != "" {
+				return fmt.Errorf("component: %s.%s: a periodic thread cannot realise a method", c.Name, t.Name)
+			}
+		case Handler:
+			if t.Realizes == "" {
+				return fmt.Errorf("component: %s.%s: handler thread must realise a provided method", c.Name, t.Name)
+			}
+			if !prov[t.Realizes] {
+				return fmt.Errorf("component: %s.%s: realises unknown provided method %q", c.Name, t.Name, t.Realizes)
+			}
+			if prev, dup := realized[t.Realizes]; dup {
+				return fmt.Errorf("component: %s: provided method %q realised by both %q and %q", c.Name, t.Realizes, prev, t.Name)
+			}
+			realized[t.Realizes] = t.Name
+		default:
+			return fmt.Errorf("component: %s.%s: unknown thread kind %d", c.Name, t.Name, t.Kind)
+		}
+		if len(t.Body) == 0 {
+			return fmt.Errorf("component: %s.%s: thread has an empty body", c.Name, t.Name)
+		}
+		for si, s := range t.Body {
+			switch s.Kind {
+			case StepTask:
+				if !(s.WCET > 0) || math.IsInf(s.WCET, 0) {
+					return fmt.Errorf("component: %s.%s step %d: task WCET %v must be positive and finite", c.Name, t.Name, si, s.WCET)
+				}
+				if s.BCET < 0 || s.BCET > s.WCET {
+					return fmt.Errorf("component: %s.%s step %d: task BCET %v outside [0, WCET=%v]", c.Name, t.Name, si, s.BCET, s.WCET)
+				}
+			case StepCall:
+				if !req[s.Method] {
+					return fmt.Errorf("component: %s.%s step %d: call of undeclared required method %q", c.Name, t.Name, si, s.Method)
+				}
+			default:
+				return fmt.Errorf("component: %s.%s step %d: unknown step kind %d", c.Name, t.Name, si, s.Kind)
+			}
+		}
+	}
+	for _, m := range c.Provided {
+		if _, ok := realized[m.Name]; !ok {
+			return fmt.Errorf("component: %s: provided method %q is not realised by any thread", c.Name, m.Name)
+		}
+	}
+	return nil
+}
+
+// Validate checks the assembly: valid platforms and classes, unique
+// instance names, in-range platform indices, every required method of
+// every instance bound exactly once to an existing provided method,
+// and a sane message model.
+func (a *Assembly) Validate() error {
+	if len(a.Platforms) == 0 {
+		return fmt.Errorf("component: assembly has no platforms")
+	}
+	for i, p := range a.Platforms {
+		if err := p.Validate(); err != nil {
+			return fmt.Errorf("component: platform %d: %w", i+1, err)
+		}
+	}
+	if len(a.Instances) == 0 {
+		return fmt.Errorf("component: assembly has no instances")
+	}
+	byName := map[string]*Instance{}
+	for ii := range a.Instances {
+		inst := &a.Instances[ii]
+		if inst.Name == "" {
+			return fmt.Errorf("component: instance %d has no name", ii)
+		}
+		if _, dup := byName[inst.Name]; dup {
+			return fmt.Errorf("component: duplicate instance name %q", inst.Name)
+		}
+		if inst.Class == nil {
+			return fmt.Errorf("component: instance %q has no class", inst.Name)
+		}
+		if err := inst.Class.Validate(); err != nil {
+			return fmt.Errorf("component: instance %q: %w", inst.Name, err)
+		}
+		if inst.Platform < 0 || inst.Platform >= len(a.Platforms) {
+			return fmt.Errorf("component: instance %q: platform index %d outside [0, %d)", inst.Name, inst.Platform, len(a.Platforms))
+		}
+		byName[inst.Name] = inst
+	}
+
+	bound := map[string]map[string]bool{}
+	for _, b := range a.Bindings {
+		caller, ok := byName[b.Caller]
+		if !ok {
+			return fmt.Errorf("component: binding references unknown caller instance %q", b.Caller)
+		}
+		callee, ok := byName[b.Callee]
+		if !ok {
+			return fmt.Errorf("component: binding references unknown callee instance %q", b.Callee)
+		}
+		if !hasMethod(caller.Class.Required, b.Method) {
+			return fmt.Errorf("component: binding: %s has no required method %q", b.Caller, b.Method)
+		}
+		prov := b.Provided
+		if prov == "" {
+			prov = b.Method
+		}
+		if !hasMethod(callee.Class.Provided, prov) {
+			return fmt.Errorf("component: binding: %s has no provided method %q", b.Callee, prov)
+		}
+		if bound[b.Caller] == nil {
+			bound[b.Caller] = map[string]bool{}
+		}
+		if bound[b.Caller][b.Method] {
+			return fmt.Errorf("component: required method %s.%s bound twice", b.Caller, b.Method)
+		}
+		bound[b.Caller][b.Method] = true
+	}
+	for name, inst := range byName {
+		for _, m := range inst.Class.Required {
+			if !bound[name][m.Name] {
+				return fmt.Errorf("component: required method %s.%s is not bound", name, m.Name)
+			}
+		}
+	}
+
+	if msg := a.Messages; msg != nil {
+		if msg.Network < 0 || msg.Network >= len(a.Platforms) {
+			return fmt.Errorf("component: message model: network platform index %d outside [0, %d)", msg.Network, len(a.Platforms))
+		}
+		if !(msg.RequestWCET > 0) || !(msg.ReplyWCET > 0) {
+			return fmt.Errorf("component: message model: request/reply WCET must be positive")
+		}
+		if msg.RequestBCET < 0 || msg.RequestBCET > msg.RequestWCET ||
+			msg.ReplyBCET < 0 || msg.ReplyBCET > msg.ReplyWCET {
+			return fmt.Errorf("component: message model: BCET outside [0, WCET]")
+		}
+	}
+	return nil
+}
+
+func hasMethod(ms []Method, name string) bool {
+	for _, m := range ms {
+		if m.Name == name {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,140 @@
+package component_test
+
+import (
+	"strings"
+	"testing"
+
+	"hsched/internal/component"
+	"hsched/internal/experiments"
+)
+
+func validClass() *component.Class {
+	return &component.Class{
+		Name:     "C",
+		Provided: []component.Method{{Name: "serve", MIT: 10}},
+		Required: []component.Method{{Name: "helper"}},
+		Threads: []component.Thread{
+			{Name: "P", Kind: component.Periodic, Period: 20, Priority: 2,
+				Body: []component.Step{component.Task("work", 1, 0.5), component.Call("helper")}},
+			{Name: "H", Kind: component.Handler, Realizes: "serve", Priority: 1,
+				Body: []component.Step{component.Task("reply", 1, 0.5)}},
+		},
+	}
+}
+
+func TestClassValidateOK(t *testing.T) {
+	if err := validClass().Validate(); err != nil {
+		t.Fatalf("valid class rejected: %v", err)
+	}
+}
+
+func TestClassValidateErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*component.Class)
+		want   string
+	}{
+		{"no name", func(c *component.Class) { c.Name = "" }, "no name"},
+		{"unnamed provided", func(c *component.Class) { c.Provided[0].Name = "" }, "without a name"},
+		{"dup provided", func(c *component.Class) { c.Provided = append(c.Provided, component.Method{Name: "serve"}) }, "duplicate provided"},
+		{"negative MIT", func(c *component.Class) { c.Provided[0].MIT = -1 }, "MIT"},
+		{"unnamed required", func(c *component.Class) { c.Required[0].Name = "" }, "without a name"},
+		{"dup required", func(c *component.Class) { c.Required = append(c.Required, component.Method{Name: "helper"}) }, "duplicate required"},
+		{"unnamed thread", func(c *component.Class) { c.Threads[0].Name = "" }, "has no name"},
+		{"dup thread", func(c *component.Class) { c.Threads[1].Name = "P" }, "duplicate thread"},
+		{"periodic without period", func(c *component.Class) { c.Threads[0].Period = 0 }, "positive period"},
+		{"negative deadline", func(c *component.Class) { c.Threads[0].Deadline = -1 }, "deadline"},
+		{"negative offset", func(c *component.Class) { c.Threads[0].Offset = -1 }, "offset"},
+		{"periodic realizes", func(c *component.Class) { c.Threads[0].Realizes = "serve" }, "cannot realise"},
+		{"handler without method", func(c *component.Class) { c.Threads[1].Realizes = "" }, "must realise"},
+		{"handler unknown method", func(c *component.Class) { c.Threads[1].Realizes = "nope" }, "unknown provided"},
+		{"double realisation", func(c *component.Class) {
+			c.Threads = append(c.Threads, component.Thread{
+				Name: "H2", Kind: component.Handler, Realizes: "serve", Priority: 1,
+				Body: []component.Step{component.Task("x", 1, 0)},
+			})
+		}, "realised by both"},
+		{"empty body", func(c *component.Class) { c.Threads[0].Body = nil }, "empty body"},
+		{"zero wcet", func(c *component.Class) { c.Threads[0].Body[0].WCET = 0 }, "WCET"},
+		{"bcet above wcet", func(c *component.Class) { c.Threads[0].Body[0].BCET = 9 }, "BCET"},
+		{"undeclared call", func(c *component.Class) { c.Threads[0].Body[1].Method = "ghost" }, "undeclared required"},
+		{"unrealised provided", func(c *component.Class) {
+			c.Threads = c.Threads[:1]
+		}, "not realised"},
+	}
+	for _, cse := range cases {
+		c := validClass()
+		cse.mutate(c)
+		err := c.Validate()
+		if err == nil {
+			t.Errorf("%s: accepted", cse.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), cse.want) {
+			t.Errorf("%s: error %q does not mention %q", cse.name, err, cse.want)
+		}
+	}
+}
+
+func TestAssemblyValidateErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*component.Assembly)
+		want   string
+	}{
+		{"no platforms", func(a *component.Assembly) { a.Platforms = nil }, "no platforms"},
+		{"bad platform", func(a *component.Assembly) { a.Platforms[0].Alpha = 2 }, "rate"},
+		{"no instances", func(a *component.Assembly) { a.Instances = nil }, "no instances"},
+		{"unnamed instance", func(a *component.Assembly) { a.Instances[0].Name = "" }, "has no name"},
+		{"dup instance", func(a *component.Assembly) { a.Instances[1].Name = a.Instances[0].Name }, "duplicate instance"},
+		{"nil class", func(a *component.Assembly) { a.Instances[0].Class = nil }, "no class"},
+		{"platform out of range", func(a *component.Assembly) { a.Instances[0].Platform = 99 }, "platform index"},
+		{"unknown caller", func(a *component.Assembly) { a.Bindings[0].Caller = "ghost" }, "unknown caller"},
+		{"unknown callee", func(a *component.Assembly) { a.Bindings[0].Callee = "ghost" }, "unknown callee"},
+		{"unknown required", func(a *component.Assembly) { a.Bindings[0].Method = "ghost" }, "no required method"},
+		{"unknown provided", func(a *component.Assembly) { a.Bindings[0].Provided = "ghost" }, "no provided method"},
+		{"double binding", func(a *component.Assembly) { a.Bindings = append(a.Bindings, a.Bindings[0]) }, "bound twice"},
+		{"unbound required", func(a *component.Assembly) { a.Bindings = a.Bindings[:1] }, "not bound"},
+		{"bad network index", func(a *component.Assembly) {
+			a.Messages = &component.MessageModel{Network: 9, RequestWCET: 1, ReplyWCET: 1}
+		}, "network platform index"},
+		{"zero message wcet", func(a *component.Assembly) {
+			a.Messages = &component.MessageModel{Network: 0, RequestWCET: 0, ReplyWCET: 1}
+		}, "must be positive"},
+		{"message bcet above wcet", func(a *component.Assembly) {
+			a.Messages = &component.MessageModel{Network: 0, RequestWCET: 1, RequestBCET: 2, ReplyWCET: 1}
+		}, "BCET"},
+	}
+	for _, cse := range cases {
+		a := experiments.PaperAssembly()
+		cse.mutate(a)
+		err := a.Validate()
+		if err == nil {
+			t.Errorf("%s: accepted", cse.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), cse.want) {
+			t.Errorf("%s: error %q does not mention %q", cse.name, err, cse.want)
+		}
+	}
+}
+
+// TestTransactionsRejectNoPeriodicThreads: an assembly of only
+// handlers has nothing to analyse.
+func TestTransactionsRejectNoPeriodicThreads(t *testing.T) {
+	cls := &component.Class{
+		Name:     "OnlyHandlers",
+		Provided: []component.Method{{Name: "m"}},
+		Threads: []component.Thread{
+			{Name: "H", Kind: component.Handler, Realizes: "m", Priority: 1,
+				Body: []component.Step{component.Task("x", 1, 0)}},
+		},
+	}
+	asm := &component.Assembly{
+		Platforms: experiments.PaperPlatforms(),
+		Instances: []component.Instance{{Name: "A", Class: cls, Platform: 0}},
+	}
+	if _, err := asm.Transactions(); err == nil || !strings.Contains(err.Error(), "no periodic threads") {
+		t.Errorf("expected 'no periodic threads' error, got %v", err)
+	}
+}

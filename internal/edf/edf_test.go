@@ -1,0 +1,205 @@
+package edf_test
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hsched/internal/edf"
+	"hsched/internal/model"
+	"hsched/internal/platform"
+	"hsched/internal/server"
+	"hsched/internal/sim"
+)
+
+func TestDemandBound(t *testing.T) {
+	tasks := []edf.Task{
+		{Name: "a", WCET: 1, Period: 4},
+		{Name: "b", WCET: 2, Period: 6, Deadline: 5},
+	}
+	cases := []struct{ t, want float64 }{
+		// a has deadlines at 4, 8, 12, …; b at 5, 11, 17, ….
+		{0, 0}, {3.9, 0}, {4, 1}, {5, 3}, {8, 4}, {11, 6}, {12, 7},
+	}
+	for _, c := range cases {
+		if got := edf.DemandBound(tasks, c.t); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("dbf(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+	if got := edf.Utilization(tasks); math.Abs(got-(0.25+2.0/6)) > 1e-12 {
+		t.Errorf("U = %v", got)
+	}
+}
+
+// TestFullProcessorEDF: on a dedicated processor, EDF admits exactly
+// the task sets with dbf(t) ≤ t; an implicit-deadline set with U ≤ 1
+// passes, and one with U > 1 fails.
+func TestFullProcessorEDF(t *testing.T) {
+	ok := []edf.Task{{WCET: 2, Period: 4}, {WCET: 3, Period: 6}} // U = 1
+	res, err := edf.Schedulable(ok, platform.Dedicated())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Schedulable {
+		t.Errorf("U = 1 implicit-deadline set rejected at t = %v (dbf %v > sbf %v)",
+			res.CriticalTime, res.Demand, res.Supply)
+	}
+	bad := []edf.Task{{WCET: 3, Period: 4}, {WCET: 3, Period: 6}} // U = 1.25
+	res, err = edf.Schedulable(bad, platform.Dedicated())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedulable {
+		t.Errorf("U = 1.25 set accepted")
+	}
+}
+
+// TestEDFOnPeriodicServer: the classic compositional example — a task
+// set feasible on a dedicated CPU may fail on a server of sufficient
+// bandwidth but excessive delay, and pass when the server period
+// shrinks.
+func TestEDFOnPeriodicServer(t *testing.T) {
+	tasks := []edf.Task{{WCET: 1, Period: 8}, {WCET: 2, Period: 12}} // U ≈ 0.29
+	// Coarse server: Q=4, P=10 → α=0.4, initial gap 2(P−Q)=12 > first
+	// deadline 8: must fail.
+	coarse := platform.PeriodicServer{Q: 4, P: 10}
+	res, err := edf.Schedulable(tasks, coarse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedulable {
+		t.Errorf("coarse server accepted despite 12-unit initial gap before deadline 8")
+	}
+	// Fine server of the same bandwidth: Q=1, P=2.5 → gap 3.
+	fine := platform.PeriodicServer{Q: 1, P: 2.5}
+	res, err = edf.Schedulable(tasks, fine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Schedulable {
+		t.Errorf("fine server rejected at t = %v (dbf %v > sbf %v)", res.CriticalTime, res.Demand, res.Supply)
+	}
+}
+
+// TestLinearBoundMorePessimistic: the (α, Δ, β) linearisation never
+// admits a set the exact curve rejects.
+func TestLinearBoundMorePessimistic(t *testing.T) {
+	f := func(c1, p1, c2, p2, q, p uint16) bool {
+		srv := platform.PeriodicServer{
+			Q: 0.5 + float64(q%40)/10,
+			P: 0,
+		}
+		srv.P = srv.Q + 0.5 + float64(p%40)/10
+		t1 := 5 + float64(p1%40)
+		t2 := 5 + float64(p2%40)
+		tasks := []edf.Task{
+			{WCET: 0.1 + float64(c1%30)/10, Period: t1},
+			{WCET: 0.1 + float64(c2%30)/10, Period: t2},
+		}
+		if edf.Utilization(tasks) > srv.Rate() {
+			return true
+		}
+		exact, err := edf.Schedulable(tasks, srv)
+		if err != nil {
+			return false
+		}
+		linear, err := edf.Schedulable(tasks, srv.Params())
+		if err != nil {
+			return false
+		}
+		// linear admits ⇒ exact admits.
+		return !linear.Schedulable || exact.Schedulable
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMinimalRate: the searched bandwidth is feasible, near-minimal,
+// and at least the utilisation.
+func TestMinimalRate(t *testing.T) {
+	tasks := []edf.Task{{WCET: 1, Period: 10}, {WCET: 2, Period: 14}}
+	family := func(a float64) platform.Supplier {
+		if a >= 1 {
+			return platform.Dedicated()
+		}
+		return platform.PeriodicServer{Q: a * 2, P: 2}
+	}
+	alpha, err := edf.MinimalRate(tasks, family, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alpha < edf.Utilization(tasks) {
+		t.Errorf("rate %v below utilisation %v", alpha, edf.Utilization(tasks))
+	}
+	ok, err := edf.Schedulable(tasks, family(alpha))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok.Schedulable {
+		t.Errorf("returned rate %v not schedulable", alpha)
+	}
+	below, err := edf.Schedulable(tasks, family(alpha-0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if below.Schedulable {
+		t.Errorf("rate %v − 0.01 still schedulable: search not minimal", alpha)
+	}
+}
+
+// TestEDFSimulationMeetsDeadlines: a task set admitted by the dbf test
+// on a concrete server meets every deadline in simulation under the
+// EDF policy — and this particular set overloads fixed priorities with
+// RM ordering inverted, demonstrating the policy switch matters.
+func TestEDFSimulationMeetsDeadlines(t *testing.T) {
+	srv := platform.PeriodicServer{Q: 1, P: 1.25} // α = 0.8, Δ = 0.5
+	tasks := []edf.Task{
+		{WCET: 2, Period: 10},
+		{WCET: 4.5, Period: 14},
+	}
+	adm, err := edf.Schedulable(tasks, srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !adm.Schedulable {
+		t.Fatalf("dbf test rejected the set (t=%v)", adm.CriticalTime)
+	}
+
+	sys := &model.System{Platforms: []platform.Params{srv.Params()}}
+	for i, task := range tasks {
+		sys.Transactions = append(sys.Transactions, model.Transaction{
+			Period: task.Period, Deadline: task.Period,
+			Tasks: []model.Task{{WCET: task.WCET, BCET: task.WCET, Priority: len(tasks) - i}},
+		})
+	}
+	res, err := sim.Run(sys, []server.Server{server.Polling{Q: srv.Q, P: srv.P, Phase: 0.6}}, sim.Config{
+		Horizon: 700, Step: 0.005, Policies: []sim.Policy{sim.EDF},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sys.Transactions {
+		if res.Misses[i] != 0 {
+			t.Errorf("EDF simulation missed %d deadlines of Γ%d", res.Misses[i], i+1)
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := edf.Schedulable([]edf.Task{{WCET: -1, Period: 5}}, platform.Dedicated()); err == nil {
+		t.Errorf("negative WCET accepted")
+	}
+	if _, err := edf.Schedulable([]edf.Task{{WCET: 1, Period: 0}}, platform.Dedicated()); err == nil {
+		t.Errorf("zero period accepted")
+	}
+	res, err := edf.Schedulable(nil, platform.Dedicated())
+	if err != nil || !res.Schedulable {
+		t.Errorf("empty set should be trivially schedulable")
+	}
+	if _, err := edf.MinimalRate([]edf.Task{{WCET: 5, Period: 4}}, func(a float64) platform.Supplier {
+		return platform.Dedicated()
+	}, 1e-3); err == nil {
+		t.Errorf("overutilised set accepted by MinimalRate")
+	}
+}

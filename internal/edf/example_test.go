@@ -1,0 +1,45 @@
+package edf_test
+
+import (
+	"fmt"
+
+	"hsched/internal/edf"
+	"hsched/internal/platform"
+)
+
+// ExampleSchedulable admits a sporadic workload onto a concrete budget
+// server with the demand-bound/supply-bound test of the periodic
+// resource model.
+func ExampleSchedulable() {
+	workload := []edf.Task{
+		{Name: "control", WCET: 2, Period: 10},
+		{Name: "logging", WCET: 4.5, Period: 14},
+	}
+	srv := platform.PeriodicServer{Q: 1, P: 1.25} // 80% bandwidth
+	res, err := edf.Schedulable(workload, srv)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("schedulable=%v (utilisation %.3f)\n", res.Schedulable, edf.Utilization(workload))
+	// Output:
+	// schedulable=true (utilisation 0.521)
+}
+
+// ExampleMinimalRate searches the smallest server bandwidth keeping a
+// workload EDF-schedulable.
+func ExampleMinimalRate() {
+	workload := []edf.Task{{Name: "a", WCET: 1, Period: 10}, {Name: "b", WCET: 2, Period: 14}}
+	family := func(alpha float64) platform.Supplier {
+		if alpha >= 1 {
+			return platform.Dedicated()
+		}
+		return platform.PeriodicServer{Q: alpha * 2, P: 2}
+	}
+	alpha, err := edf.MinimalRate(workload, family, 1e-3)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("minimal bandwidth ≈ %.2f (utilisation %.2f)\n", alpha, edf.Utilization(workload))
+	// Output:
+	// minimal bandwidth ≈ 0.25 (utilisation 0.24)
+}

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hsched/internal/analysis"
+	"hsched/internal/batch"
+	"hsched/internal/gen"
+)
+
+// AcceptancePoint is one utilisation point of the acceptance-ratio
+// sweep.
+type AcceptancePoint struct {
+	// Utilization is the per-platform demand target of the generated
+	// systems.
+	Utilization float64
+	// Systems is the number of random systems drawn.
+	Systems int
+	// Approx, Exact and Tight are the fractions of systems deemed
+	// schedulable by the approximate analysis, the exact analysis, and
+	// the approximate analysis with the per-run best-case refinement.
+	Approx, Exact, Tight float64
+}
+
+// AcceptanceRatio (ablation A8) draws random multi-platform systems at
+// increasing utilisation and reports the fraction each analysis
+// variant admits — the classic schedulability curve. The exact
+// analysis never admits fewer systems than the approximate one (and
+// the sweep enforces that as an invariant); the tight best-case
+// refinement sits between them.
+func AcceptanceRatio(utils []float64, perPoint int, seed int64) ([]AcceptancePoint, error) {
+	type verdicts struct{ approx, exact, tight bool }
+	var out []AcceptancePoint
+	for _, u := range utils {
+		u := u
+		// The per-system evaluations are independent; run them on the
+		// parallel batch runner. Seeds are fixed per (u, k), so the
+		// sweep is deterministic regardless of worker scheduling.
+		vs, err := batch.Map(perPoint, batch.Options{}, func(k int) (verdicts, error) {
+			sys, err := gen.System(gen.Config{
+				Seed:      seed + int64(k) + int64(u*1e6),
+				Platforms: 2, Transactions: 3, ChainLen: 3,
+				PeriodMin: 20, PeriodMax: 400,
+				Utilization: u,
+				AlphaMin:    0.4, AlphaMax: 0.9,
+			})
+			if err != nil {
+				return verdicts{}, err
+			}
+			ap, err := analysis.Analyze(sys, analysis.Options{StopAtDeadlineMiss: true})
+			if err != nil {
+				return verdicts{}, err
+			}
+			ex, err := analysis.Analyze(sys, analysis.Options{Exact: true, StopAtDeadlineMiss: true})
+			if err != nil {
+				return verdicts{}, err
+			}
+			ti, err := analysis.Analyze(sys, analysis.Options{TightBestCase: true, StopAtDeadlineMiss: true})
+			if err != nil {
+				return verdicts{}, err
+			}
+			if ap.Schedulable && !ex.Schedulable {
+				return verdicts{}, fmt.Errorf("seed %d at U=%v: approximate admitted a system the exact analysis rejects", seed+int64(k), u)
+			}
+			return verdicts{approx: ap.Schedulable, exact: ex.Schedulable, tight: ti.Schedulable}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		pt := AcceptancePoint{Utilization: u, Systems: perPoint}
+		for _, v := range vs {
+			if v.approx {
+				pt.Approx++
+			}
+			if v.exact {
+				pt.Exact++
+			}
+			if v.tight {
+				pt.Tight++
+			}
+		}
+		pt.Approx /= float64(perPoint)
+		pt.Exact /= float64(perPoint)
+		pt.Tight /= float64(perPoint)
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// RenderAcceptanceRatio formats ablation A8.
+func RenderAcceptanceRatio(pts []AcceptancePoint) string {
+	header := []string{"utilisation", "systems", "approx", "exact", "tight best-case"}
+	var rows [][]string
+	for _, p := range pts {
+		rows = append(rows, []string{
+			fmt.Sprintf("%.2f", p.Utilization),
+			fmt.Sprintf("%d", p.Systems),
+			fmt.Sprintf("%.2f", p.Approx),
+			fmt.Sprintf("%.2f", p.Exact),
+			fmt.Sprintf("%.2f", p.Tight),
+		})
+	}
+	return renderTable("Ablation A8: acceptance ratio vs per-platform utilisation (random systems)", header, rows)
+}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAcceptanceRatioInvariants: the admitted fractions are monotone
+// across analysis strength (exact ≥ tight ≥ approx is not guaranteed
+// pointwise between tight and exact, but exact ≥ approx and
+// tight ≥ approx are), and all fractions decrease-ish with load (the
+// sweep asserts the approximate-implies-exact invariant internally).
+func TestAcceptanceRatioInvariants(t *testing.T) {
+	pts, err := AcceptanceRatio([]float64{0.3, 0.8}, 8, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	for _, p := range pts {
+		if p.Exact < p.Approx-1e-9 {
+			t.Errorf("U=%v: exact ratio %v below approximate %v", p.Utilization, p.Exact, p.Approx)
+		}
+		if p.Tight < p.Approx-1e-9 {
+			t.Errorf("U=%v: tight ratio %v below approximate %v", p.Utilization, p.Tight, p.Approx)
+		}
+		if p.Approx < 0 || p.Approx > 1 {
+			t.Errorf("U=%v: ratio %v outside [0, 1]", p.Utilization, p.Approx)
+		}
+	}
+	if pts[1].Approx > pts[0].Approx {
+		t.Errorf("acceptance grew with load: %v -> %v", pts[0].Approx, pts[1].Approx)
+	}
+	out := RenderAcceptanceRatio(pts)
+	if !strings.Contains(out, "Ablation A8") {
+		t.Errorf("render missing title")
+	}
+}
+
+// TestEDFvsFPNeverWorse: EDF, optimal on a sequential resource, never
+// needs more bandwidth than fixed priorities for the same workload.
+func TestEDFvsFPNeverWorse(t *testing.T) {
+	rows, err := EDFvsFP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no workloads")
+	}
+	for _, r := range rows {
+		if r.AlphaEDF > r.AlphaFP+5e-3 {
+			t.Errorf("%s: EDF bandwidth %v above FP %v", r.Name, r.AlphaEDF, r.AlphaFP)
+		}
+		if r.AlphaEDF < r.Utilization-1e-9 {
+			t.Errorf("%s: EDF bandwidth %v below utilisation %v", r.Name, r.AlphaEDF, r.Utilization)
+		}
+	}
+	if out := RenderEDFvsFP(rows); !strings.Contains(out, "Ablation A7") {
+		t.Errorf("render missing title")
+	}
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV renders a header and numeric rows as CSV, the plot-ready
+// counterpart of the text tables (gnuplot/matplotlib consume it
+// directly).
+func WriteCSV(w io.Writer, header []string, rows [][]float64) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("experiments: csv: %w", err)
+	}
+	for _, r := range rows {
+		rec := make([]string, len(r))
+		for i, v := range r {
+			rec[i] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("experiments: csv: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Figure3CSV writes the Figure 3 supply curves as CSV
+// (t, zmin, zmax, lower, upper).
+func Figure3CSV(w io.Writer, q, p, horizon float64, samples int) error {
+	pts, err := Figure3Compute(q, p, horizon, samples)
+	if err != nil {
+		return err
+	}
+	rows := make([][]float64, len(pts))
+	for i, pt := range pts {
+		rows[i] = []float64{pt.T, pt.Zmin, pt.Zmax, pt.Lower, pt.Upper}
+	}
+	return WriteCSV(w, []string{"t", "zmin", "zmax", "lower", "upper"}, rows)
+}
+
+// AcceptanceCSV writes the A8 acceptance curve as CSV
+// (utilization, approx, exact, tight).
+func AcceptanceCSV(w io.Writer, pts []AcceptancePoint) error {
+	rows := make([][]float64, len(pts))
+	for i, p := range pts {
+		rows[i] = []float64{p.Utilization, p.Approx, p.Exact, p.Tight}
+	}
+	return WriteCSV(w, []string{"utilization", "approx", "exact", "tight"}, rows)
+}
+
+// PessimismCSV writes the A2 pessimism sweep as CSV
+// (alpha, analyzed, simulated, ratio).
+func PessimismCSV(w io.Writer, rows []PessimismRow) error {
+	data := make([][]float64, len(rows))
+	for i, r := range rows {
+		data[i] = []float64{r.Alpha, r.Analyzed, r.Simulated, r.Ratio}
+	}
+	return WriteCSV(w, []string{"alpha", "analyzed", "simulated", "ratio"}, data)
+}
+
+// Table3CSV writes the holistic iteration trace as CSV
+// (iteration, task, jitter, response).
+func Table3CSV(w io.Writer) error {
+	data, err := Table3Compute()
+	if err != nil {
+		return err
+	}
+	var rows [][]float64
+	for k, row := range data.Iterations {
+		for j, cell := range row {
+			rows = append(rows, []float64{float64(k), float64(j + 1), cell[0], cell[1]})
+		}
+	}
+	return WriteCSV(w, []string{"iteration", "task", "jitter", "response"}, rows)
+}

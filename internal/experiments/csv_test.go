@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteCSV(t *testing.T) {
+	var b bytes.Buffer
+	err := WriteCSV(&b, []string{"x", "y"}, [][]float64{{1, 2.5}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "x,y\n1,2.5\n3,4\n"
+	if b.String() != want {
+		t.Errorf("csv = %q, want %q", b.String(), want)
+	}
+}
+
+func TestFigure3CSV(t *testing.T) {
+	var b bytes.Buffer
+	if err := Figure3CSV(&b, 1, 4, 16, 32); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 34 { // header + 33 samples
+		t.Errorf("%d lines, want 34", len(lines))
+	}
+	if lines[0] != "t,zmin,zmax,lower,upper" {
+		t.Errorf("header %q", lines[0])
+	}
+	if err := Figure3CSV(&b, 5, 4, 16, 8); err == nil {
+		t.Errorf("invalid server accepted")
+	}
+}
+
+func TestTable3CSV(t *testing.T) {
+	var b bytes.Buffer
+	if err := Table3CSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	// header + 5 iterations × 4 tasks.
+	if len(lines) != 21 {
+		t.Errorf("%d lines, want 21", len(lines))
+	}
+	if !strings.Contains(b.String(), "4,19,31") { // iteration 3+, τ1,4: J=19, R=31
+		t.Errorf("final τ1,4 row missing:\n%s", b.String())
+	}
+}
+
+func TestAcceptanceAndPessimismCSV(t *testing.T) {
+	var b bytes.Buffer
+	pts := []AcceptancePoint{{Utilization: 0.5, Systems: 10, Approx: 0.6, Exact: 0.6, Tight: 0.6}}
+	if err := AcceptanceCSV(&b, pts); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "0.5,0.6,0.6,0.6") {
+		t.Errorf("acceptance csv:\n%s", b.String())
+	}
+	b.Reset()
+	rows := []PessimismRow{{Alpha: 0.4, Analyzed: 7.4, Simulated: 5.6, Ratio: 1.32}}
+	if err := PessimismCSV(&b, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "0.4,7.4,5.6,1.32") {
+		t.Errorf("pessimism csv:\n%s", b.String())
+	}
+}

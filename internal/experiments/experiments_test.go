@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTable1Rendering(t *testing.T) {
+	out := Table1()
+	for _, want := range []string{"tau1,4", "Pi3", "phi_min", "0.25"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable2Rendering(t *testing.T) {
+	out := Table2()
+	for _, want := range []string{"Pi3 (Integrator)", "0.2", "alpha"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table2 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable3ComputeMatchesPaperJitters(t *testing.T) {
+	data, err := Table3Compute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	paper := Table3PaperValues()
+	if len(data.Iterations) != len(paper) {
+		t.Fatalf("%d iterations, want %d", len(data.Iterations), len(paper))
+	}
+	for k := range paper {
+		for j := range paper[k] {
+			if got, want := data.Iterations[k][j][0], paper[k][j][0]; math.Abs(got-want) > 1e-9 {
+				t.Errorf("iteration %d: J1,%d = %v, paper %v", k, j+1, got, want)
+			}
+		}
+	}
+	// Response times match the paper except the documented τ1,4 final
+	// cells (31 vs 39).
+	for k := range paper {
+		for j := 0; j < 3; j++ {
+			if got, want := data.Iterations[k][j][1], paper[k][j][1]; math.Abs(got-want) > 1e-9 {
+				t.Errorf("iteration %d: R1,%d = %v, paper %v", k, j+1, got, want)
+			}
+		}
+	}
+	if data.Final != 31 {
+		t.Errorf("final R(Γ1) = %v, want 31", data.Final)
+	}
+	if !data.Schedulable {
+		t.Errorf("paper example must be schedulable")
+	}
+}
+
+func TestFigure3Properties(t *testing.T) {
+	pts, err := Figure3Compute(1, 4, 24, 480)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if p.Lower > p.Zmin+1e-9 || p.Zmin > p.Zmax+1e-9 || p.Zmax > p.Upper+1e-9 {
+			t.Fatalf("t=%v: ordering violated: %v ≤ %v ≤ %v ≤ %v", p.T, p.Lower, p.Zmin, p.Zmax, p.Upper)
+		}
+	}
+	if _, err := Figure3Compute(5, 4, 24, 10); err == nil {
+		t.Errorf("Q > P accepted")
+	}
+}
+
+func TestFigure5Rendering(t *testing.T) {
+	out, err := Figure5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"tau1,1@Pi3 -> tau1,2@Pi1 -> tau1,3@Pi2 -> tau1,4@Pi3",
+		"Pi3 = (α=0.2, Δ=2, β=1) contains {tau1,1, tau1,4, tau4,1}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure5 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExactVsApproxInvariants(t *testing.T) {
+	rows, err := ExactVsApprox([]int64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.MaxRatio < 1-1e-9 {
+			t.Errorf("seed %d: approximation below exact (ratio %v)", r.Seed, r.MaxRatio)
+		}
+		if r.ExactScenarios < r.ApproxScenarios {
+			t.Errorf("seed %d: exact scenario count %d below approximate %d", r.Seed, r.ExactScenarios, r.ApproxScenarios)
+		}
+		if !r.BothSchedulableAgree {
+			t.Errorf("seed %d: verdicts disagree", r.Seed)
+		}
+	}
+	if out := RenderExactVsApprox(rows); !strings.Contains(out, "Ablation A1") {
+		t.Errorf("render missing title")
+	}
+}
+
+func TestPessimismBoundsDominate(t *testing.T) {
+	rows, err := Pessimism([]float64{0.3, 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Analyzed < r.Simulated-0.05 {
+			t.Errorf("alpha %v: analysed bound %v below simulated worst %v", r.Alpha, r.Analyzed, r.Simulated)
+		}
+		if r.Ratio < 1-0.01 {
+			t.Errorf("alpha %v: ratio %v below 1", r.Alpha, r.Ratio)
+		}
+	}
+	if out := RenderPessimism(rows); !strings.Contains(out, "Ablation A2") {
+		t.Errorf("render missing title")
+	}
+}
+
+func TestSimVsAnalysisNoViolations(t *testing.T) {
+	rows, err := SimVsAnalysis([]int64{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Violations != 0 {
+			t.Errorf("seed %d: %d soundness violations", r.Seed, r.Violations)
+		}
+		if r.Schedulable && r.MaxRatio > 1.001 {
+			t.Errorf("seed %d: simulated exceeded analysed by ratio %v", r.Seed, r.MaxRatio)
+		}
+	}
+	if out := RenderSimVsAnalysis(rows); !strings.Contains(out, "Ablation A3") {
+		t.Errorf("render missing title")
+	}
+}
+
+func TestDesignSearchBeatsPaperProvisioning(t *testing.T) {
+	out, res, err := DesignSearch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalBandwidth >= 1.0 {
+		t.Errorf("optimised total bandwidth %v should beat the paper's 1.0", res.TotalBandwidth)
+	}
+	if !res.Analysis.Schedulable {
+		t.Errorf("optimum unschedulable")
+	}
+	if !strings.Contains(out, "total bandwidth") {
+		t.Errorf("render missing summary")
+	}
+}
+
+func TestNetworkExperimentInflatesGamma1(t *testing.T) {
+	out, err := NetworkExperiment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Ablation A6", "schedulable with messages: true"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

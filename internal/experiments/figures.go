@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"hsched/internal/analysis"
+	"hsched/internal/platform"
+)
+
+// Figure3Point is one sample of the supply curves of Figure 3.
+type Figure3Point struct {
+	T          float64
+	Zmin, Zmax float64
+	// Lower and Upper are the linear bounds α(t−Δ) and αt+β.
+	Lower, Upper float64
+}
+
+// Figure3Compute samples the exact supply functions of a periodic
+// server together with their linear bounds, reproducing the geometry
+// of Figure 3: the supply of any concrete interval lies between Zmin
+// and Zmax, which in turn lie between the two linear bounds.
+func Figure3Compute(q, p, horizon float64, samples int) ([]Figure3Point, error) {
+	srv := platform.PeriodicServer{Q: q, P: p}
+	if err := srv.Validate(); err != nil {
+		return nil, err
+	}
+	lin := srv.Params()
+	out := make([]Figure3Point, 0, samples+1)
+	for i := 0; i <= samples; i++ {
+		t := horizon * float64(i) / float64(samples)
+		out = append(out, Figure3Point{
+			T:    t,
+			Zmin: srv.MinSupply(t), Zmax: srv.MaxSupply(t),
+			Lower: lin.MinSupply(t), Upper: lin.Alpha*t + lin.Beta,
+		})
+	}
+	return out, nil
+}
+
+// Figure3 renders the sampled curves as a data table (one row per
+// sample), with the derived (α, Δ, β) in the title.
+func Figure3(q, p float64) (string, error) {
+	pts, err := Figure3Compute(q, p, 4*p, 32)
+	if err != nil {
+		return "", err
+	}
+	lin := platform.PeriodicServer{Q: q, P: p}.Params()
+	header := []string{"t", "Zmin", "Zmax", "alpha(t-Delta)", "alpha*t+beta"}
+	var rows [][]string
+	for _, pt := range pts {
+		rows = append(rows, []string{
+			fmt.Sprintf("%.3f", pt.T),
+			fmt.Sprintf("%.3f", pt.Zmin), fmt.Sprintf("%.3f", pt.Zmax),
+			fmt.Sprintf("%.3f", pt.Lower), fmt.Sprintf("%.3f", pt.Upper),
+		})
+	}
+	title := fmt.Sprintf("Figure 3: supply functions of a periodic server Q=%g, P=%g -> %v", q, p, lin)
+	return renderTable(title, header, rows), nil
+}
+
+// Figure5 renders the example application of Figure 5: the transaction
+// set derived from the component assembly of Section 2.2, with the
+// platform containment the figure draws.
+func Figure5() (string, error) {
+	sys, err := PaperAssembly().Transactions()
+	if err != nil {
+		return "", err
+	}
+	res, err := analysis.Analyze(sys, analysis.Options{})
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("Figure 5: example application (derived from the component assembly)\n")
+	for i, tr := range sys.Transactions {
+		var chain []string
+		for j, t := range tr.Tasks {
+			chain = append(chain, fmt.Sprintf("tau%d,%d@Pi%d", i+1, j+1, t.Platform+1))
+		}
+		fmt.Fprintf(&b, "  %-22s T=%-3g D=%-3g  %s  R=%g\n",
+			tr.Name, tr.Period, tr.Deadline, strings.Join(chain, " -> "), res.TransactionResponse(i))
+	}
+	for m, p := range sys.Platforms {
+		var members []string
+		for i, tr := range sys.Transactions {
+			for j, t := range tr.Tasks {
+				if t.Platform == m {
+					members = append(members, fmt.Sprintf("tau%d,%d", i+1, j+1))
+				}
+			}
+		}
+		fmt.Fprintf(&b, "  Pi%d = %v contains {%s}\n", m+1, p, strings.Join(members, ", "))
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,76 @@
+// Package experiments reproduces every table and figure of the paper
+// and the ablation studies listed in DESIGN.md. Each experiment has a
+// generator returning printable rows, used by cmd/hsexper, by the test
+// suite (which locks the values) and by the root benchmark harness.
+package experiments
+
+import (
+	"hsched/internal/model"
+	"hsched/internal/platform"
+)
+
+// PaperPlatforms returns the three abstract platforms of Table 2:
+// Π1 = (0.4, 1, 1) and Π2 = (0.4, 1, 1) for the two sensor nodes and
+// Π3 = (0.2, 2, 1) for the integrator node.
+func PaperPlatforms() []platform.Params {
+	return []platform.Params{
+		{Alpha: 0.4, Delta: 1, Beta: 1}, // Π1 (Sensor 1)
+		{Alpha: 0.4, Delta: 1, Beta: 1}, // Π2 (Sensor 2)
+		{Alpha: 0.2, Delta: 2, Beta: 1}, // Π3 (Integrator)
+	}
+}
+
+// Platform indices of the paper example.
+const (
+	Pi1 = 0
+	Pi2 = 1
+	Pi3 = 2
+)
+
+// PaperSystem returns the transaction set of Table 1 / Figure 5: the
+// sensor-fusion example of Section 2.2 already transformed into
+// transactions per Section 2.4 (messages between nodes are not
+// modelled, exactly as in the paper's example).
+//
+//	Γ1 (T=D=50): τ1,1 init on Π3 → τ1,2 read sensor 1 on Π1 →
+//	             τ1,3 read sensor 2 on Π2 → τ1,4 compute on Π3
+//	Γ2 (T=D=15): τ2,1 sensor-1 acquisition on Π1
+//	Γ3 (T=D=15): τ3,1 sensor-2 acquisition on Π2
+//	Γ4 (T=D=70): τ4,1 background load on Π3
+//
+// Offsets and jitters are left zero: the holistic analysis derives
+// them (Table 1's φmin column is exactly the derived best-case start).
+func PaperSystem() *model.System {
+	return &model.System{
+		Platforms: PaperPlatforms(),
+		Transactions: []model.Transaction{
+			{
+				Name: "Gamma1", Period: 50, Deadline: 50,
+				Tasks: []model.Task{
+					{Name: "tau1,1", WCET: 1, BCET: 0.8, Priority: 2, Platform: Pi3},
+					{Name: "tau1,2", WCET: 1, BCET: 0.8, Priority: 1, Platform: Pi1},
+					{Name: "tau1,3", WCET: 1, BCET: 0.8, Priority: 1, Platform: Pi2},
+					{Name: "tau1,4", WCET: 1, BCET: 0.8, Priority: 3, Platform: Pi3},
+				},
+			},
+			{
+				Name: "Gamma2", Period: 15, Deadline: 15,
+				Tasks: []model.Task{
+					{Name: "tau2,1", WCET: 1, BCET: 0.25, Priority: 3, Platform: Pi1},
+				},
+			},
+			{
+				Name: "Gamma3", Period: 15, Deadline: 15,
+				Tasks: []model.Task{
+					{Name: "tau3,1", WCET: 1, BCET: 0.25, Priority: 3, Platform: Pi2},
+				},
+			},
+			{
+				Name: "Gamma4", Period: 70, Deadline: 70,
+				Tasks: []model.Task{
+					{Name: "tau4,1", WCET: 7, BCET: 5, Priority: 1, Platform: Pi3},
+				},
+			},
+		},
+	}
+}

@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"hsched/internal/analysis"
+)
+
+// renderTable formats a header row plus data rows as an aligned text
+// table.
+func renderTable(title string, header []string, rows [][]string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, strings.Join(header, "\t"))
+	for _, r := range rows {
+		fmt.Fprintln(w, strings.Join(r, "\t"))
+	}
+	w.Flush()
+	return b.String()
+}
+
+func f(v float64) string { return fmt.Sprintf("%g", v) }
+
+// Table1 reproduces Table 1 of the paper: the task parameters of the
+// example, with the φmin column derived by the best-case bound of
+// Section 3.2 (not hand-entered).
+func Table1() string {
+	sys := PaperSystem()
+	starts, _ := analysis.BestBounds(sys, false)
+	header := []string{"Task", "Platform", "Cbest", "C", "T", "D", "p", "phi_min"}
+	var rows [][]string
+	for i, tr := range sys.Transactions {
+		for j, t := range tr.Tasks {
+			rows = append(rows, []string{
+				fmt.Sprintf("tau%d,%d", i+1, j+1),
+				fmt.Sprintf("Pi%d", t.Platform+1),
+				f(t.BCET), f(t.WCET), f(tr.Period), f(tr.Deadline),
+				fmt.Sprintf("%d", t.Priority), f(starts[i][j]),
+			})
+		}
+	}
+	return renderTable("Table 1: parameters of the example", header, rows)
+}
+
+// Table2 reproduces Table 2: the platform parameters of the example.
+func Table2() string {
+	names := []string{"Pi1 (Sensor 1)", "Pi2 (Sensor 2)", "Pi3 (Integrator)"}
+	header := []string{"Platform", "alpha", "delta", "beta"}
+	var rows [][]string
+	for m, p := range PaperPlatforms() {
+		rows = append(rows, []string{names[m], f(p.Alpha), f(p.Delta), f(p.Beta)})
+	}
+	return renderTable("Table 2: parameters of the platforms", header, rows)
+}
+
+// Table3Data is the holistic iteration trace of transaction Γ1.
+type Table3Data struct {
+	// Iterations[k][j] is the (J, R) pair of τ1,(j+1) at round k.
+	Iterations [][][2]float64
+	// Final is the converged end-to-end response of Γ1.
+	Final float64
+	// Schedulable is the verdict.
+	Schedulable bool
+}
+
+// Table3Compute runs the holistic analysis on the paper system and
+// records the per-iteration jitters and response times of Γ1.
+func Table3Compute() (*Table3Data, error) {
+	sys := PaperSystem()
+	data := &Table3Data{}
+	opt := analysis.Options{
+		Recorder: func(_ int, snap *analysis.Result) {
+			row := make([][2]float64, len(snap.Tasks[0]))
+			for j, tr := range snap.Tasks[0] {
+				row[j] = [2]float64{tr.Jitter, tr.Worst}
+			}
+			data.Iterations = append(data.Iterations, row)
+		},
+	}
+	res, err := analysis.Analyze(sys, opt)
+	if err != nil {
+		return nil, err
+	}
+	data.Final = res.TransactionResponse(0)
+	data.Schedulable = res.Schedulable
+	return data, nil
+}
+
+// Table3PaperValues returns the cells printed in the paper, for
+// side-by-side comparison: paper[k][j] = (J, R) of τ1,(j+1) at round
+// k. Cells the paper leaves blank (already converged) repeat the last
+// printed value.
+func Table3PaperValues() [][][2]float64 {
+	return [][][2]float64{
+		{{0, 12}, {0, 9}, {0, 10}, {0, 12}},
+		{{0, 12}, {9, 18}, {5, 15}, {5, 17}},
+		{{0, 12}, {9, 18}, {14, 24}, {10, 22}},
+		{{0, 12}, {9, 18}, {14, 24}, {19, 39}},
+		{{0, 12}, {9, 18}, {14, 24}, {19, 39}},
+	}
+}
+
+// Table3 renders the reproduced iteration trace next to the paper's
+// printed values, including the documented divergence on the final
+// R1,4 cells (the paper prints 39 where its own equations give 31; see
+// EXPERIMENTS.md).
+func Table3() (string, error) {
+	data, err := Table3Compute()
+	if err != nil {
+		return "", err
+	}
+	paper := Table3PaperValues()
+	header := []string{"Task"}
+	for k := range data.Iterations {
+		header = append(header, fmt.Sprintf("J(%d)", k), fmt.Sprintf("R(%d)", k), "paper")
+	}
+	var rows [][]string
+	for j := 0; j < 4; j++ {
+		row := []string{fmt.Sprintf("tau1,%d", j+1)}
+		for k := range data.Iterations {
+			cell := data.Iterations[k][j]
+			ref := "-"
+			if k < len(paper) {
+				ref = fmt.Sprintf("(%g, %g)", paper[k][j][0], paper[k][j][1])
+			}
+			row = append(row, f(cell[0]), f(cell[1]), ref)
+		}
+		rows = append(rows, row)
+	}
+	s := renderTable("Table 3: holistic iterations of Gamma1 (computed vs paper)", header, rows)
+	s += fmt.Sprintf("Converged end-to-end R(Gamma1) = %g (paper prints 39; its own equations give 31 — see EXPERIMENTS.md). Schedulable: %v.\n",
+		data.Final, data.Schedulable)
+	return s, nil
+}

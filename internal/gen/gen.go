@@ -1,0 +1,200 @@
+// Package gen synthesises random hierarchical-scheduling systems for
+// the sweep experiments: platform sets realisable by periodic servers,
+// and transaction sets with log-uniform periods and UUniFast-distributed
+// utilisations, in the style customary in real-time systems evaluations.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"hsched/internal/model"
+	"hsched/internal/platform"
+)
+
+// UUniFast draws n task utilisations summing exactly to u, uniformly
+// over the simplex (Bini & Buttazzo's UUniFast algorithm).
+func UUniFast(rng *rand.Rand, n int, u float64) []float64 {
+	out := make([]float64, n)
+	sum := u
+	for i := 0; i < n-1; i++ {
+		next := sum * math.Pow(rng.Float64(), 1/float64(n-1-i))
+		out[i] = sum - next
+		sum = next
+	}
+	out[n-1] = sum
+	return out
+}
+
+// LogUniform draws from [lo, hi] with log-uniform density.
+func LogUniform(rng *rand.Rand, lo, hi float64) float64 {
+	return lo * math.Exp(rng.Float64()*math.Log(hi/lo))
+}
+
+// Config tunes System.
+type Config struct {
+	// Seed seeds the generator; equal seeds reproduce equal systems.
+	Seed int64
+	// Platforms is the number of abstract platforms M ≥ 1.
+	Platforms int
+	// Transactions is the number of transactions n ≥ 1.
+	Transactions int
+	// ChainLen bounds the tasks per transaction: each length is drawn
+	// uniformly from [1, ChainLen]. Tasks are placed on platforms
+	// round-robin from a random start, so consecutive tasks migrate.
+	ChainLen int
+	// PeriodMin and PeriodMax bound the log-uniform period draw.
+	PeriodMin, PeriodMax float64
+	// Utilization is the per-platform demand Σ C/(T·α) target in
+	// (0, 1); the generator distributes it with UUniFast over the
+	// tasks of each platform.
+	Utilization float64
+	// AlphaMin and AlphaMax bound the per-platform rate draw; the
+	// delay and burstiness follow from a periodic server of period
+	// ServerPeriod realising that rate.
+	AlphaMin, AlphaMax float64
+	// ServerPeriod is the period of the implied periodic servers;
+	// 0 selects PeriodMin/4.
+	ServerPeriod float64
+	// BCETFraction sets BCET = fraction·WCET; 0 selects 0.5.
+	BCETFraction float64
+	// DeadlineFactor sets Deadline = factor·Period; 0 selects 1.
+	DeadlineFactor float64
+	// RandomPriorities assigns random priorities instead of
+	// rate-monotonic ones.
+	RandomPriorities bool
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.Platforms < 1:
+		return fmt.Errorf("gen: need at least one platform")
+	case c.Transactions < 1:
+		return fmt.Errorf("gen: need at least one transaction")
+	case c.ChainLen < 1:
+		return fmt.Errorf("gen: need ChainLen ≥ 1")
+	case !(c.PeriodMin > 0) || c.PeriodMax < c.PeriodMin:
+		return fmt.Errorf("gen: bad period range [%v, %v]", c.PeriodMin, c.PeriodMax)
+	case !(c.Utilization > 0) || c.Utilization >= 1:
+		return fmt.Errorf("gen: utilization %v outside (0, 1)", c.Utilization)
+	case !(c.AlphaMin > 0) || c.AlphaMax < c.AlphaMin || c.AlphaMax > 1:
+		return fmt.Errorf("gen: bad alpha range [%v, %v]", c.AlphaMin, c.AlphaMax)
+	}
+	return nil
+}
+
+// System draws a random system per the configuration. The result
+// always validates and has per-platform utilisation equal to the
+// configured target (up to floating-point rounding), hence is never
+// trivially overloaded.
+func System(cfg Config) (*model.System, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	bcetFrac := cfg.BCETFraction
+	if bcetFrac <= 0 || bcetFrac > 1 {
+		bcetFrac = 0.5
+	}
+	dlFactor := cfg.DeadlineFactor
+	if dlFactor <= 0 {
+		dlFactor = 1
+	}
+	serverP := cfg.ServerPeriod
+	if serverP <= 0 {
+		serverP = cfg.PeriodMin / 4
+	}
+
+	sys := &model.System{}
+	for m := 0; m < cfg.Platforms; m++ {
+		alpha := cfg.AlphaMin + rng.Float64()*(cfg.AlphaMax-cfg.AlphaMin)
+		if alpha >= 1 {
+			sys.Platforms = append(sys.Platforms, platform.Dedicated())
+			continue
+		}
+		sys.Platforms = append(sys.Platforms, platform.PeriodicServer{Q: alpha * serverP, P: serverP}.Params())
+	}
+
+	// Skeleton: transactions with platform-mapped tasks, no WCETs yet.
+	type slot struct{ tr, task int }
+	perPlatform := make([][]slot, cfg.Platforms)
+	for i := 0; i < cfg.Transactions; i++ {
+		period := LogUniform(rng, cfg.PeriodMin, cfg.PeriodMax)
+		n := 1 + rng.Intn(cfg.ChainLen)
+		tr := model.Transaction{
+			Name:     fmt.Sprintf("Gamma%d", i+1),
+			Period:   period,
+			Deadline: dlFactor * period,
+		}
+		start := rng.Intn(cfg.Platforms)
+		for j := 0; j < n; j++ {
+			m := (start + j) % cfg.Platforms
+			tr.Tasks = append(tr.Tasks, model.Task{
+				Name:     fmt.Sprintf("tau%d,%d", i+1, j+1),
+				Platform: m,
+			})
+			perPlatform[m] = append(perPlatform[m], slot{tr: i, task: j})
+		}
+		sys.Transactions = append(sys.Transactions, tr)
+	}
+
+	// Distribute per-platform utilisation with UUniFast and convert to
+	// WCETs: u = C/(T·α) → C = u·T·α.
+	for m, slots := range perPlatform {
+		if len(slots) == 0 {
+			continue
+		}
+		alpha := sys.Platforms[m].Alpha
+		for k, u := range UUniFast(rng, len(slots), cfg.Utilization) {
+			s := slots[k]
+			period := sys.Transactions[s.tr].Period
+			w := u * period * alpha
+			if w < 1e-6 {
+				w = 1e-6
+			}
+			sys.Transactions[s.tr].Tasks[s.task].WCET = w
+			sys.Transactions[s.tr].Tasks[s.task].BCET = bcetFrac * w
+		}
+	}
+
+	assignPriorities(sys, rng, cfg.RandomPriorities)
+	if err := sys.Validate(); err != nil {
+		return nil, fmt.Errorf("gen: generated system invalid: %w", err)
+	}
+	return sys, nil
+}
+
+// assignPriorities gives every task a priority: rate-monotonic on the
+// transaction period (shorter period → higher priority, ties broken
+// arbitrarily but deterministically), or uniform random levels.
+func assignPriorities(sys *model.System, rng *rand.Rand, random bool) {
+	if random {
+		for i := range sys.Transactions {
+			for j := range sys.Transactions[i].Tasks {
+				sys.Transactions[i].Tasks[j].Priority = 1 + rng.Intn(2*len(sys.Transactions))
+			}
+		}
+		return
+	}
+	// Rank transactions by period: highest rank (priority) for the
+	// shortest period.
+	n := len(sys.Transactions)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			if sys.Transactions[order[b]].Period < sys.Transactions[order[a]].Period {
+				order[a], order[b] = order[b], order[a]
+			}
+		}
+	}
+	for rank, i := range order {
+		prio := n - rank
+		for j := range sys.Transactions[i].Tasks {
+			sys.Transactions[i].Tasks[j].Priority = prio
+		}
+	}
+}

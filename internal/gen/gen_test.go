@@ -1,0 +1,144 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestUUniFastSumsAndBounds(t *testing.T) {
+	f := func(seed int64, nRaw uint8, uRaw uint16) bool {
+		n := 1 + int(nRaw%16)
+		u := 0.05 + float64(uRaw%900)/1000
+		rng := rand.New(rand.NewSource(seed))
+		us := UUniFast(rng, n, u)
+		if len(us) != n {
+			return false
+		}
+		sum := 0.0
+		for _, x := range us {
+			if x < -1e-12 || x > u+1e-12 {
+				return false
+			}
+			sum += x
+		}
+		return math.Abs(sum-u) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLogUniformRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		x := LogUniform(rng, 10, 1000)
+		if x < 10 || x > 1000 {
+			t.Fatalf("LogUniform out of range: %v", x)
+		}
+	}
+}
+
+func baseConfig(seed int64) Config {
+	return Config{
+		Seed: seed, Platforms: 3, Transactions: 5, ChainLen: 4,
+		PeriodMin: 10, PeriodMax: 1000, Utilization: 0.6,
+		AlphaMin: 0.3, AlphaMax: 0.9,
+	}
+}
+
+func TestSystemDeterministic(t *testing.T) {
+	a, err := System(baseConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := System(baseConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same seed produced different systems")
+	}
+	c, err := System(baseConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Errorf("different seeds produced identical systems")
+	}
+}
+
+func TestSystemMeetsUtilizationTarget(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		sys, err := System(baseConfig(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.Validate(); err != nil {
+			t.Fatalf("seed %d: invalid system: %v", seed, err)
+		}
+		for m, u := range sys.Utilization() {
+			// Platforms with no tasks have zero demand; others hit the
+			// target exactly (UUniFast sums exactly, modulo the 1e-6
+			// WCET floor).
+			if u > 0.6+1e-3 {
+				t.Errorf("seed %d: U(Π%d) = %v exceeds target", seed, m+1, u)
+			}
+		}
+	}
+}
+
+func TestSystemPeriodsInRange(t *testing.T) {
+	sys, err := System(baseConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range sys.Transactions {
+		if tr.Period < 10 || tr.Period > 1000 {
+			t.Errorf("period %v outside [10, 1000]", tr.Period)
+		}
+		if tr.Deadline != tr.Period {
+			t.Errorf("default deadline %v != period %v", tr.Deadline, tr.Period)
+		}
+		if len(tr.Tasks) < 1 || len(tr.Tasks) > 4 {
+			t.Errorf("chain length %d outside [1, 4]", len(tr.Tasks))
+		}
+	}
+}
+
+func TestRateMonotonicPriorities(t *testing.T) {
+	sys, err := System(baseConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sys.Transactions {
+		for k := range sys.Transactions {
+			if sys.Transactions[i].Period < sys.Transactions[k].Period {
+				pi := sys.Transactions[i].Tasks[0].Priority
+				pk := sys.Transactions[k].Tasks[0].Priority
+				if pi <= pk {
+					t.Fatalf("shorter period %v got priority %d ≤ %d of period %v",
+						sys.Transactions[i].Period, pi, pk, sys.Transactions[k].Period)
+				}
+			}
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{},
+		{Platforms: 1, Transactions: 1, ChainLen: 1, PeriodMin: 0, PeriodMax: 10, Utilization: 0.5, AlphaMin: 0.5, AlphaMax: 0.9},
+		{Platforms: 1, Transactions: 1, ChainLen: 1, PeriodMin: 10, PeriodMax: 5, Utilization: 0.5, AlphaMin: 0.5, AlphaMax: 0.9},
+		{Platforms: 1, Transactions: 1, ChainLen: 1, PeriodMin: 10, PeriodMax: 20, Utilization: 1.5, AlphaMin: 0.5, AlphaMax: 0.9},
+		{Platforms: 1, Transactions: 1, ChainLen: 1, PeriodMin: 10, PeriodMax: 20, Utilization: 0.5, AlphaMin: 0, AlphaMax: 0.9},
+		{Platforms: 1, Transactions: 1, ChainLen: 1, PeriodMin: 10, PeriodMax: 20, Utilization: 0.5, AlphaMin: 0.5, AlphaMax: 1.5},
+	}
+	for i, cfg := range bad {
+		if _, err := System(cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,218 @@
+// Package model defines the real-time transaction model of Section 2.4
+// of Lorente, Lipari & Bini (IPDPS 2006): transactions Γi — chains of
+// tasks τi,j with precedence constraints — released periodically, each
+// task mapped onto an abstract computing platform and scheduled there
+// by a local fixed-priority scheduler. This is the common input format
+// of the schedulability analysis (package analysis), the simulator
+// (package sim) and the component transformation (package component).
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"hsched/internal/platform"
+)
+
+// Task is one step τi,j of a transaction: a piece of code executed on
+// one abstract platform. Offset and Jitter bound its activation
+// relative to the transaction release (Figure 4 of the paper); for
+// tasks after the first they are usually derived from the predecessor's
+// best/worst response times by the holistic iteration (Eq. 18) rather
+// than set by hand.
+type Task struct {
+	// Name identifies the task in reports (e.g. "tau1,2").
+	Name string
+	// WCET is the worst-case execution time Ci,j in cycles (time on a
+	// dedicated unit-speed processor).
+	WCET float64
+	// BCET is the best-case execution time Cbest_i,j. 0 ≤ BCET ≤ WCET.
+	BCET float64
+	// Offset is the static activation offset φi,j from the transaction
+	// release. It may exceed the period (the analysis reduces it).
+	Offset float64
+	// Jitter is the maximum activation delay Ji,j past the offset.
+	Jitter float64
+	// Priority is the local fixed priority pi,j; greater is higher.
+	Priority int
+	// Platform is the index si,j into System.Platforms of the abstract
+	// computing platform the task executes on.
+	Platform int
+	// Blocking is the blocking term Ba,b (e.g. from non-preemptable
+	// sections of lower-priority tasks), already in time units.
+	Blocking float64
+}
+
+// Transaction is a chain Γi = (τi,1 … τi,ni): task j+1 cannot start
+// before task j completes. The transaction is released every Period
+// and its last task must finish within Deadline of the release.
+type Transaction struct {
+	// Name identifies the transaction in reports (e.g. "Gamma1").
+	Name string
+	// Period is Ti > 0.
+	Period float64
+	// Deadline is the end-to-end relative deadline Di > 0. It may
+	// exceed the period.
+	Deadline float64
+	// Tasks is the precedence-ordered chain; it must not be empty.
+	Tasks []Task
+}
+
+// System is a complete analysable system: a set of transactions over a
+// set of abstract computing platforms.
+type System struct {
+	// Transactions are the transactions Γ1 … Γn.
+	Transactions []Transaction
+	// Platforms are the abstract platforms Π1 … ΠM, indexed by
+	// Task.Platform.
+	Platforms []platform.Params
+}
+
+// Validate checks structural well-formedness: non-empty transactions,
+// positive periods and deadlines, finite non-negative task parameters,
+// BCET ≤ WCET, and platform indices in range. It does not decide
+// schedulability.
+func (s *System) Validate() error {
+	if len(s.Platforms) == 0 {
+		return fmt.Errorf("model: system has no platforms")
+	}
+	for m, p := range s.Platforms {
+		if err := p.Validate(); err != nil {
+			return fmt.Errorf("model: platform %d: %w", m+1, err)
+		}
+	}
+	if len(s.Transactions) == 0 {
+		return fmt.Errorf("model: system has no transactions")
+	}
+	for i := range s.Transactions {
+		if err := s.validateTransaction(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *System) validateTransaction(i int) error {
+	tr := &s.Transactions[i]
+	name := tr.Name
+	if name == "" {
+		name = fmt.Sprintf("Γ%d", i+1)
+	}
+	if !(tr.Period > 0) || math.IsInf(tr.Period, 0) || math.IsNaN(tr.Period) {
+		return fmt.Errorf("model: %s: period %v must be positive and finite", name, tr.Period)
+	}
+	if !(tr.Deadline > 0) || math.IsInf(tr.Deadline, 0) || math.IsNaN(tr.Deadline) {
+		return fmt.Errorf("model: %s: deadline %v must be positive and finite", name, tr.Deadline)
+	}
+	if len(tr.Tasks) == 0 {
+		return fmt.Errorf("model: %s: transaction has no tasks", name)
+	}
+	for j := range tr.Tasks {
+		t := &tr.Tasks[j]
+		tn := t.Name
+		if tn == "" {
+			tn = fmt.Sprintf("τ%d,%d", i+1, j+1)
+		}
+		for what, v := range map[string]float64{
+			"WCET": t.WCET, "BCET": t.BCET, "offset": t.Offset,
+			"jitter": t.Jitter, "blocking": t.Blocking,
+		} {
+			if v < 0 || math.IsInf(v, 0) || math.IsNaN(v) {
+				return fmt.Errorf("model: %s/%s: %s %v must be non-negative and finite", name, tn, what, v)
+			}
+		}
+		if t.WCET == 0 {
+			return fmt.Errorf("model: %s/%s: WCET must be positive", name, tn)
+		}
+		if t.BCET > t.WCET {
+			return fmt.Errorf("model: %s/%s: BCET %v exceeds WCET %v", name, tn, t.BCET, t.WCET)
+		}
+		if t.Platform < 0 || t.Platform >= len(s.Platforms) {
+			return fmt.Errorf("model: %s/%s: platform index %d outside [0, %d)", name, tn, t.Platform, len(s.Platforms))
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the system; the analysis mutates
+// offsets and jitters during the holistic iteration and works on a
+// clone so the caller's system is never modified.
+func (s *System) Clone() *System {
+	c := &System{
+		Transactions: make([]Transaction, len(s.Transactions)),
+		Platforms:    append([]platform.Params(nil), s.Platforms...),
+	}
+	for i, tr := range s.Transactions {
+		c.Transactions[i] = tr
+		c.Transactions[i].Tasks = append([]Task(nil), tr.Tasks...)
+	}
+	return c
+}
+
+// TaskName returns a printable identifier for task (i, j) (0-based),
+// using the declared name or the paper's τi,j notation.
+func (s *System) TaskName(i, j int) string {
+	t := s.Transactions[i].Tasks[j]
+	if t.Name != "" {
+		return t.Name
+	}
+	return fmt.Sprintf("τ%d,%d", i+1, j+1)
+}
+
+// Utilization returns, per platform, the total bandwidth demand
+// Σ C/(T·α): the fraction of the platform's supplied cycles consumed
+// in the long run. A value above 1 for any platform implies the system
+// is unschedulable.
+func (s *System) Utilization() []float64 {
+	u := make([]float64, len(s.Platforms))
+	for _, tr := range s.Transactions {
+		for _, t := range tr.Tasks {
+			u[t.Platform] += t.WCET / (tr.Period * s.Platforms[t.Platform].Alpha)
+		}
+	}
+	return u
+}
+
+// Hyperperiod returns the least common multiple of the transaction
+// periods if all periods are (close to) integers, and otherwise the
+// largest period times the number of transactions as a pragmatic
+// simulation horizon hint.
+func (s *System) Hyperperiod() float64 {
+	lcm := 1.0
+	maxP := 0.0
+	for _, tr := range s.Transactions {
+		if tr.Period > maxP {
+			maxP = tr.Period
+		}
+		r := math.Round(tr.Period)
+		if math.Abs(tr.Period-r) > 1e-9 || r <= 0 {
+			return maxP * float64(len(s.Transactions))
+		}
+		lcm = lcmFloat(lcm, r)
+		if lcm > 1e12 { // avoid absurd horizons
+			return maxP * float64(len(s.Transactions))
+		}
+	}
+	return lcm
+}
+
+func lcmFloat(a, b float64) float64 {
+	x, y := int64(a), int64(b)
+	return float64(x / gcd(x, y) * y)
+}
+
+func gcd(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// TaskCount returns the total number of tasks in the system.
+func (s *System) TaskCount() int {
+	n := 0
+	for _, tr := range s.Transactions {
+		n += len(tr.Tasks)
+	}
+	return n
+}

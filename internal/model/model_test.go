@@ -1,0 +1,119 @@
+package model
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"hsched/internal/platform"
+)
+
+func valid() *System {
+	return &System{
+		Platforms: []platform.Params{
+			{Alpha: 0.4, Delta: 1, Beta: 1},
+			{Alpha: 0.2, Delta: 2, Beta: 1},
+		},
+		Transactions: []Transaction{
+			{Name: "G1", Period: 50, Deadline: 50, Tasks: []Task{
+				{Name: "a", WCET: 1, BCET: 0.8, Priority: 2, Platform: 0},
+				{Name: "b", WCET: 2, BCET: 1, Priority: 1, Platform: 1},
+			}},
+			{Name: "G2", Period: 15, Deadline: 15, Tasks: []Task{
+				{Name: "c", WCET: 1, BCET: 0.25, Priority: 3, Platform: 0},
+			}},
+		},
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := valid().Validate(); err != nil {
+		t.Fatalf("valid system rejected: %v", err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*System)
+		want   string
+	}{
+		{"no platforms", func(s *System) { s.Platforms = nil }, "no platforms"},
+		{"bad platform", func(s *System) { s.Platforms[0].Alpha = 0 }, "rate"},
+		{"no transactions", func(s *System) { s.Transactions = nil }, "no transactions"},
+		{"zero period", func(s *System) { s.Transactions[0].Period = 0 }, "period"},
+		{"negative deadline", func(s *System) { s.Transactions[0].Deadline = -1 }, "deadline"},
+		{"nan period", func(s *System) { s.Transactions[0].Period = math.NaN() }, "period"},
+		{"empty chain", func(s *System) { s.Transactions[1].Tasks = nil }, "no tasks"},
+		{"zero wcet", func(s *System) { s.Transactions[0].Tasks[0].WCET = 0 }, "WCET"},
+		{"bcet above wcet", func(s *System) { s.Transactions[0].Tasks[0].BCET = 5 }, "BCET"},
+		{"negative offset", func(s *System) { s.Transactions[0].Tasks[1].Offset = -1 }, "offset"},
+		{"negative jitter", func(s *System) { s.Transactions[0].Tasks[1].Jitter = -1 }, "jitter"},
+		{"negative blocking", func(s *System) { s.Transactions[0].Tasks[1].Blocking = -1 }, "blocking"},
+		{"platform out of range", func(s *System) { s.Transactions[0].Tasks[0].Platform = 7 }, "platform index"},
+		{"negative platform", func(s *System) { s.Transactions[0].Tasks[0].Platform = -1 }, "platform index"},
+		{"inf wcet", func(s *System) { s.Transactions[0].Tasks[0].WCET = math.Inf(1) }, "WCET"},
+	}
+	for _, c := range cases {
+		s := valid()
+		c.mutate(s)
+		err := s.Validate()
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	s := valid()
+	c := s.Clone()
+	c.Transactions[0].Tasks[0].WCET = 99
+	c.Platforms[0].Alpha = 0.9
+	c.Transactions[0].Period = 1
+	if s.Transactions[0].Tasks[0].WCET == 99 || s.Platforms[0].Alpha == 0.9 || s.Transactions[0].Period == 1 {
+		t.Errorf("Clone shares state with the original")
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	s := valid()
+	u := s.Utilization()
+	// Platform 0: a: 1/(50·0.4) + c: 1/(15·0.4) = 0.05 + 0.1667 = 0.2167
+	if math.Abs(u[0]-(1/(50*0.4)+1/(15*0.4))) > 1e-12 {
+		t.Errorf("U(Π1) = %v", u[0])
+	}
+	// Platform 1: b: 2/(50·0.2) = 0.2
+	if math.Abs(u[1]-0.2) > 1e-12 {
+		t.Errorf("U(Π2) = %v", u[1])
+	}
+}
+
+func TestHyperperiod(t *testing.T) {
+	s := valid()
+	if got := s.Hyperperiod(); got != 150 {
+		t.Errorf("Hyperperiod = %v, want lcm(50, 15) = 150", got)
+	}
+	// Non-integer periods fall back to a pragmatic horizon.
+	s.Transactions[0].Period = 49.5
+	if got := s.Hyperperiod(); got != 49.5*2 {
+		t.Errorf("fallback Hyperperiod = %v, want 99", got)
+	}
+}
+
+func TestTaskNameAndCount(t *testing.T) {
+	s := valid()
+	if got := s.TaskName(0, 1); got != "b" {
+		t.Errorf("TaskName = %q", got)
+	}
+	s.Transactions[0].Tasks[1].Name = ""
+	if got := s.TaskName(0, 1); got != "τ1,2" {
+		t.Errorf("fallback TaskName = %q", got)
+	}
+	if got := s.TaskCount(); got != 3 {
+		t.Errorf("TaskCount = %d, want 3", got)
+	}
+}

@@ -1,0 +1,45 @@
+package netcalc_test
+
+import (
+	"fmt"
+
+	"hsched/internal/netcalc"
+	"hsched/internal/platform"
+)
+
+// Example bounds the delay of a sporadic message flow on an abstract
+// platform using the paper's network-calculus analogy: the platform's
+// minimum supply is the rate-latency server β_{α,Δ}.
+func Example() {
+	flow := netcalc.Sporadic(1, 10) // 1 cycle every ≥10 time units
+	server := netcalc.FromPlatform(platform.Params{Alpha: 0.2, Delta: 2, Beta: 1})
+	d, err := netcalc.DelayBound(flow, server)
+	if err != nil {
+		panic(err)
+	}
+	b, err := netcalc.BacklogBound(flow, server)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("delay ≤ %g, backlog ≤ %g\n", d, b)
+	// Output:
+	// delay ≤ 7, backlog ≤ 1.2
+}
+
+// ExampleLeftoverService bounds a low-priority flow under a
+// high-priority aggregate via the blind-multiplexing residual server.
+func ExampleLeftoverService() {
+	s := netcalc.FromPlatform(platform.Params{Alpha: 0.5, Delta: 1})
+	hp := netcalc.Sporadic(1, 10)
+	left, err := netcalc.LeftoverService(s, hp)
+	if err != nil {
+		panic(err)
+	}
+	d, err := netcalc.DelayBound(netcalc.Sporadic(2, 20), left)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("rate %.1f, latency %.2f, delay ≤ %.2f\n", left.Rate, left.Latency, d)
+	// Output:
+	// rate 0.4, latency 3.75, delay ≤ 8.75
+}

@@ -1,0 +1,164 @@
+// Package netcalc implements the fragment of network calculus the
+// paper leans on (Le Boudec & Thiran, cited as [6]): token-bucket
+// arrival curves, rate-latency service curves, and the classic delay,
+// backlog and output-burstiness bounds. Section 2.3 of the paper names
+// Δ and β "delay" and "burstiness" precisely "for their analogy with
+// the network calculus"; this package makes the analogy executable —
+// an abstract platform (α, Δ, β) is the rate-latency server β_{α,Δ}
+// for its lower bound — and provides an independent cross-check of the
+// response-time analysis in the single-flow case.
+package netcalc
+
+import (
+	"fmt"
+	"math"
+
+	"hsched/internal/platform"
+)
+
+// Arrival is the token-bucket (leaky-bucket) arrival curve
+// α(t) = σ + ρ·t: at most σ + ρ·t cycles of work arrive in any window
+// of length t.
+type Arrival struct {
+	// Sigma is the burst σ ≥ 0.
+	Sigma float64
+	// Rho is the sustained rate ρ ≥ 0.
+	Rho float64
+}
+
+// Validate reports whether the curve is well-formed.
+func (a Arrival) Validate() error {
+	if a.Sigma < 0 || math.IsNaN(a.Sigma) || math.IsInf(a.Sigma, 0) {
+		return fmt.Errorf("netcalc: burst σ = %v must be finite and non-negative", a.Sigma)
+	}
+	if a.Rho < 0 || math.IsNaN(a.Rho) || math.IsInf(a.Rho, 0) {
+		return fmt.Errorf("netcalc: rate ρ = %v must be finite and non-negative", a.Rho)
+	}
+	return nil
+}
+
+// At evaluates the curve: σ + ρ·t for t > 0, 0 at t ≤ 0.
+func (a Arrival) At(t float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	return a.Sigma + a.Rho*t
+}
+
+// Add aggregates two flows: bursts and rates add.
+func (a Arrival) Add(b Arrival) Arrival {
+	return Arrival{Sigma: a.Sigma + b.Sigma, Rho: a.Rho + b.Rho}
+}
+
+// Sporadic returns the arrival curve of a sporadic task with WCET c
+// and minimum inter-arrival time p: σ = c, ρ = c/p (the tightest
+// token bucket dominating the staircase c·⌈t/p⌉).
+func Sporadic(c, p float64) Arrival {
+	return Arrival{Sigma: c, Rho: c / p}
+}
+
+// Service is the rate-latency service curve β(t) = R·max(0, t−T): the
+// server guarantees at least R·(t−T) cycles in any backlogged window
+// of length t.
+type Service struct {
+	// Rate is the guaranteed rate R > 0.
+	Rate float64
+	// Latency is the worst-case initial latency T ≥ 0.
+	Latency float64
+}
+
+// Validate reports whether the curve is well-formed.
+func (s Service) Validate() error {
+	if !(s.Rate > 0) || math.IsInf(s.Rate, 0) {
+		return fmt.Errorf("netcalc: service rate %v must be positive and finite", s.Rate)
+	}
+	if s.Latency < 0 || math.IsNaN(s.Latency) || math.IsInf(s.Latency, 0) {
+		return fmt.Errorf("netcalc: latency %v must be finite and non-negative", s.Latency)
+	}
+	return nil
+}
+
+// At evaluates the curve: R·max(0, t−T).
+func (s Service) At(t float64) float64 {
+	if t <= s.Latency {
+		return 0
+	}
+	return s.Rate * (t - s.Latency)
+}
+
+// FromPlatform converts an abstract computing platform to the
+// rate-latency server of its minimum supply bound: β_{α,Δ}. (The
+// platform's β plays no role in worst-case service — it bounds the
+// best case.)
+func FromPlatform(p platform.Params) Service {
+	return Service{Rate: p.Alpha, Latency: p.Delta}
+}
+
+// Convolve concatenates two servers traversed in sequence (min-plus
+// convolution of rate-latency curves): the rate is the bottleneck,
+// the latencies add.
+func Convolve(a, b Service) Service {
+	return Service{Rate: math.Min(a.Rate, b.Rate), Latency: a.Latency + b.Latency}
+}
+
+// DelayBound returns the classic tight delay bound of a token-bucket
+// flow on a rate-latency server — the horizontal deviation
+// h(α, β) = T + σ/R — or an error when the server cannot sustain the
+// flow (ρ > R).
+func DelayBound(a Arrival, s Service) (float64, error) {
+	if err := a.Validate(); err != nil {
+		return 0, err
+	}
+	if err := s.Validate(); err != nil {
+		return 0, err
+	}
+	if a.Rho > s.Rate {
+		return 0, fmt.Errorf("netcalc: flow rate ρ = %v exceeds service rate R = %v", a.Rho, s.Rate)
+	}
+	return s.Latency + a.Sigma/s.Rate, nil
+}
+
+// BacklogBound returns the vertical deviation v(α, β) = σ + ρ·T: the
+// largest backlog of the flow in the server.
+func BacklogBound(a Arrival, s Service) (float64, error) {
+	if err := a.Validate(); err != nil {
+		return 0, err
+	}
+	if err := s.Validate(); err != nil {
+		return 0, err
+	}
+	if a.Rho > s.Rate {
+		return 0, fmt.Errorf("netcalc: flow rate ρ = %v exceeds service rate R = %v", a.Rho, s.Rate)
+	}
+	return a.Sigma + a.Rho*s.Latency, nil
+}
+
+// Output returns the arrival curve of the flow after traversing the
+// server: the rate is preserved and the burst grows by ρ·T.
+func Output(a Arrival, s Service) (Arrival, error) {
+	if _, err := BacklogBound(a, s); err != nil {
+		return Arrival{}, err
+	}
+	return Arrival{Sigma: a.Sigma + a.Rho*s.Latency, Rho: a.Rho}, nil
+}
+
+// LeftoverService returns the service left for a lower-priority flow
+// after a higher-priority aggregate has been served (the blind
+// multiplexing / strict-priority residual): rate R−ρ, latency
+// (R·T + σ)/(R − ρ). Errors when the aggregate saturates the server.
+func LeftoverService(s Service, hp Arrival) (Service, error) {
+	if err := s.Validate(); err != nil {
+		return Service{}, err
+	}
+	if err := hp.Validate(); err != nil {
+		return Service{}, err
+	}
+	if hp.Rho >= s.Rate {
+		return Service{}, fmt.Errorf("netcalc: higher-priority rate %v saturates service rate %v", hp.Rho, s.Rate)
+	}
+	rate := s.Rate - hp.Rho
+	return Service{
+		Rate:    rate,
+		Latency: (s.Rate*s.Latency + hp.Sigma) / rate,
+	}, nil
+}

@@ -1,0 +1,89 @@
+// Package network models communication networks as abstract computing
+// platforms, following Section 2.2.1 of the paper: "the network is
+// similar to a computational node and messages are scheduled according
+// to the network scheduling policy". Messages become tasks executed on
+// a network platform; this package converts message sizes to
+// transmission times, accounts for non-preemptive frame blocking, and
+// builds network platforms from bus shares (FTT-CAN-style time
+// partitions, after Almeida et al., cited as [2]).
+package network
+
+import (
+	"fmt"
+
+	"hsched/internal/model"
+	"hsched/internal/platform"
+)
+
+// Bus describes a shared communication link.
+type Bus struct {
+	// Name identifies the bus in reports.
+	Name string
+	// BitsPerUnit is the raw bandwidth in bits per model time unit
+	// (e.g. bits per millisecond).
+	BitsPerUnit float64
+	// MaxFrameBits is the largest frame the protocol transmits
+	// non-preemptively; it bounds the priority-inversion blocking a
+	// message can suffer.
+	MaxFrameBits float64
+}
+
+// Validate reports whether the bus parameters are well-formed.
+func (b Bus) Validate() error {
+	if !(b.BitsPerUnit > 0) {
+		return fmt.Errorf("network: %s: bandwidth %v must be positive", b.Name, b.BitsPerUnit)
+	}
+	if b.MaxFrameBits < 0 {
+		return fmt.Errorf("network: %s: max frame %v must be non-negative", b.Name, b.MaxFrameBits)
+	}
+	return nil
+}
+
+// TransmissionTime converts a message size to its transmission time
+// ("execution time" of the message task) on an unloaded bus.
+func (b Bus) TransmissionTime(bits float64) float64 {
+	return bits / b.BitsPerUnit
+}
+
+// Blocking returns the worst-case non-preemptive blocking: one maximal
+// frame already in transmission when a higher-priority message queues.
+func (b Bus) Blocking() float64 {
+	return b.MaxFrameBits / b.BitsPerUnit
+}
+
+// Dedicated returns the platform of a bus entirely reserved for the
+// analysed traffic: (α, Δ, β) = (1, 0, 0).
+func (b Bus) Dedicated() platform.Params { return platform.Dedicated() }
+
+// Shared returns the platform of a bus of which the analysed traffic
+// owns a synchronous window of the given share per elementary cycle
+// (the FTT-CAN pattern): a TDMA partition with slot share·cycle.
+func (b Bus) Shared(share, cycle float64) (platform.Params, error) {
+	t := platform.TDMA{Slot: share * cycle, Frame: cycle}
+	if err := t.Validate(); err != nil {
+		return platform.Params{}, fmt.Errorf("network: %s: %w", b.Name, err)
+	}
+	return t.Params(), nil
+}
+
+// ApplyBlocking adds the bus's non-preemptive blocking term to every
+// task of the system mapped onto the given network platform index,
+// mutating the system in place. Calling it twice adds the term twice;
+// apply once after the transaction set is final.
+func ApplyBlocking(sys *model.System, networkPlatform int, b Bus) error {
+	if err := b.Validate(); err != nil {
+		return err
+	}
+	if networkPlatform < 0 || networkPlatform >= len(sys.Platforms) {
+		return fmt.Errorf("network: platform index %d outside [0, %d)", networkPlatform, len(sys.Platforms))
+	}
+	blocking := b.Blocking()
+	for i := range sys.Transactions {
+		for j := range sys.Transactions[i].Tasks {
+			if sys.Transactions[i].Tasks[j].Platform == networkPlatform {
+				sys.Transactions[i].Tasks[j].Blocking += blocking
+			}
+		}
+	}
+	return nil
+}

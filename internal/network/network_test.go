@@ -1,0 +1,100 @@
+package network_test
+
+import (
+	"math"
+	"testing"
+
+	"hsched/internal/experiments"
+	"hsched/internal/model"
+	"hsched/internal/network"
+	"hsched/internal/platform"
+)
+
+func TestBusTiming(t *testing.T) {
+	bus := network.Bus{Name: "can0", BitsPerUnit: 1000, MaxFrameBits: 135}
+	if err := bus.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if got := bus.TransmissionTime(135); math.Abs(got-0.135) > 1e-12 {
+		t.Errorf("TransmissionTime(135) = %v, want 0.135", got)
+	}
+	if got := bus.Blocking(); math.Abs(got-0.135) > 1e-12 {
+		t.Errorf("Blocking() = %v, want 0.135", got)
+	}
+	if bus.Dedicated() != platform.Dedicated() {
+		t.Errorf("Dedicated() = %v", bus.Dedicated())
+	}
+}
+
+func TestBusValidateErrors(t *testing.T) {
+	if err := (network.Bus{BitsPerUnit: 0}).Validate(); err == nil {
+		t.Errorf("zero bandwidth accepted")
+	}
+	if err := (network.Bus{BitsPerUnit: 1000, MaxFrameBits: -1}).Validate(); err == nil {
+		t.Errorf("negative frame accepted")
+	}
+}
+
+func TestShared(t *testing.T) {
+	bus := network.Bus{Name: "ftt", BitsPerUnit: 1000, MaxFrameBits: 135}
+	p, err := bus.Shared(0.5, 2)
+	if err != nil {
+		t.Fatalf("Shared: %v", err)
+	}
+	// TDMA slot 1 of frame 2: (0.5, 1, 0.5).
+	if p.Alpha != 0.5 || p.Delta != 1 || p.Beta != 0.5 {
+		t.Errorf("Shared(0.5, 2) = %v, want (0.5, 1, 0.5)", p)
+	}
+	if _, err := bus.Shared(0, 2); err == nil {
+		t.Errorf("zero share accepted")
+	}
+	if _, err := bus.Shared(1.5, 2); err == nil {
+		t.Errorf("share above 1 accepted")
+	}
+}
+
+func TestApplyBlocking(t *testing.T) {
+	bus := network.Bus{Name: "can0", BitsPerUnit: 1000, MaxFrameBits: 135}
+	asm, _ := experiments.NetworkedAssembly()
+	sys, err := asm.Transactions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := asm.Messages.Network
+	if err := network.ApplyBlocking(sys, net, bus); err != nil {
+		t.Fatalf("ApplyBlocking: %v", err)
+	}
+	count := 0
+	for i := range sys.Transactions {
+		for j := range sys.Transactions[i].Tasks {
+			task := sys.Transactions[i].Tasks[j]
+			if task.Platform == net {
+				count++
+				if math.Abs(task.Blocking-0.135) > 1e-12 {
+					t.Errorf("message %s blocking = %v, want 0.135", task.Name, task.Blocking)
+				}
+			} else if task.Blocking != 0 {
+				t.Errorf("non-message task %s got blocking %v", task.Name, task.Blocking)
+			}
+		}
+	}
+	if count != 4 {
+		t.Errorf("found %d message tasks, want 4 (two RPCs × req+rep)", count)
+	}
+}
+
+func TestApplyBlockingErrors(t *testing.T) {
+	bus := network.Bus{BitsPerUnit: 1000, MaxFrameBits: 135}
+	sys := &model.System{
+		Platforms: []platform.Params{platform.Dedicated()},
+		Transactions: []model.Transaction{
+			{Period: 10, Deadline: 10, Tasks: []model.Task{{WCET: 1, BCET: 1, Priority: 1}}},
+		},
+	}
+	if err := network.ApplyBlocking(sys, 5, bus); err == nil {
+		t.Errorf("out-of-range platform accepted")
+	}
+	if err := network.ApplyBlocking(sys, 0, network.Bus{}); err == nil {
+		t.Errorf("invalid bus accepted")
+	}
+}

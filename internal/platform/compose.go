@@ -1,0 +1,24 @@
+package platform
+
+// Compose returns the linear platform model of a reservation stacked
+// on another reservation: inner runs on the cycles supplied by outer
+// (e.g. a component's server scheduled inside a partition that is
+// itself a server on the physical processor). This extends the
+// paper's two-level hierarchy to arbitrary depth.
+//
+// If the outer platform guarantees Zout(t) ≥ αo·(t−Δo) cycles in any
+// window t, and the inner mechanism turns any v supplied cycles into
+// Zin(v) ≥ αi·(v−Δi) cycles for its client, the composite guarantees
+//
+//	Zin(Zout(t)) ≥ αi·(αo·(t−Δo) − Δi) = αoαi·(t − Δo − Δi/αo),
+//
+// i.e. rates multiply and the inner delay dilates by the outer rate.
+// Dually for the upper bound: Zin(Zout(t)) ≤ αi(αo·t + βo) + βi.
+// Composition is associative and Dedicated() is its identity.
+func Compose(outer, inner Params) Params {
+	return Params{
+		Alpha: outer.Alpha * inner.Alpha,
+		Delta: outer.Delta + inner.Delta/outer.Alpha,
+		Beta:  inner.Alpha*outer.Beta + inner.Beta,
+	}
+}

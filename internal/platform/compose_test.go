@@ -1,0 +1,87 @@
+package platform
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func paramsClose(a, b Params, tol float64) bool {
+	return math.Abs(a.Alpha-b.Alpha) <= tol &&
+		math.Abs(a.Delta-b.Delta) <= tol &&
+		math.Abs(a.Beta-b.Beta) <= tol
+}
+
+func TestComposeIdentity(t *testing.T) {
+	p := Params{Alpha: 0.4, Delta: 1, Beta: 1}
+	if got := Compose(Dedicated(), p); !paramsClose(got, p, 1e-12) {
+		t.Errorf("Compose(1, p) = %v, want %v", got, p)
+	}
+	if got := Compose(p, Dedicated()); !paramsClose(got, p, 1e-12) {
+		t.Errorf("Compose(p, 1) = %v, want %v", got, p)
+	}
+}
+
+func TestComposeAssociative(t *testing.T) {
+	a := Params{Alpha: 0.8, Delta: 0.5, Beta: 0.25}
+	b := Params{Alpha: 0.5, Delta: 2, Beta: 1}
+	c := Params{Alpha: 0.4, Delta: 1, Beta: 0.5}
+	left := Compose(Compose(a, b), c)
+	right := Compose(a, Compose(b, c))
+	if !paramsClose(left, right, 1e-12) {
+		t.Errorf("associativity: %v vs %v", left, right)
+	}
+}
+
+func TestComposeHandExample(t *testing.T) {
+	outer := Params{Alpha: 0.5, Delta: 2, Beta: 1}
+	inner := Params{Alpha: 0.4, Delta: 1, Beta: 0.5}
+	got := Compose(outer, inner)
+	want := Params{Alpha: 0.2, Delta: 4, Beta: 0.9} // 0.5·0.4; 2+1/0.5; 0.4·1+0.5
+	if !paramsClose(got, want, 1e-12) {
+		t.Errorf("Compose = %v, want %v", got, want)
+	}
+	if err := got.Validate(); err != nil {
+		t.Errorf("composite invalid: %v", err)
+	}
+}
+
+// TestComposeLowerBoundsTrueNesting: the linear composite lower-bounds
+// the true nested supply Zin(Zout(t)) of two concrete periodic
+// servers, and its upper bound dominates it — for randomised server
+// pairs and window lengths.
+func TestComposeLowerBoundsTrueNesting(t *testing.T) {
+	f := func(q1, p1, q2, p2, tr uint16) bool {
+		outer := PeriodicServer{P: 1 + float64(p1%800)/100}
+		outer.Q = outer.P * (0.1 + 0.9*float64(q1%997)/997)
+		// The inner server's budget/period are expressed in supplied
+		// cycles of the outer platform.
+		inner := PeriodicServer{P: 1 + float64(p2%800)/100}
+		inner.Q = inner.P * (0.1 + 0.9*float64(q2%997)/997)
+
+		comp := Compose(outer.Params(), inner.Params())
+		x := float64(tr) / 50 * outer.P
+		trueNest := inner.MinSupply(outer.MinSupply(x))
+		if comp.MinSupply(x) > trueNest+1e-9 {
+			return false
+		}
+		trueNestMax := inner.MaxSupply(outer.MaxSupply(x))
+		return trueNestMax <= comp.Alpha*x+comp.Beta+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestComposeAnalysisConsistency: analysing a task on the composite
+// platform is more pessimistic than (or equal to) analysing it on the
+// inner platform scaled by hand — sanity: the composite rate is the
+// product and the service time of C cycles is Δ + C/(αoαi).
+func TestComposeAnalysisConsistency(t *testing.T) {
+	outer := Params{Alpha: 0.5, Delta: 1, Beta: 0}
+	inner := Params{Alpha: 0.5, Delta: 1, Beta: 0}
+	comp := Compose(outer, inner)
+	if got := comp.ServiceTime(1); math.Abs(got-(3+4)) > 1e-12 {
+		t.Errorf("composite service time = %v, want Δ=3 plus 1/0.25", got)
+	}
+}

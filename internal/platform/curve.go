@@ -1,0 +1,109 @@
+package platform
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Point is a breakpoint of a piecewise-linear supply curve.
+type Point struct {
+	// T is the window length.
+	T float64
+	// Z is the supply bound at T.
+	Z float64
+}
+
+// Curve is an arbitrary supply specification given as piecewise-linear
+// lower and upper curves. Beyond the last breakpoint each curve is
+// extended at slope Tail (the long-run rate α). Curve supports
+// platforms whose mechanism has no closed form — measured supplies,
+// compositions, or hand-authored bounds.
+type Curve struct {
+	// Min are the breakpoints of Zmin, sorted by T, starting at (0, 0).
+	Min []Point
+	// Max are the breakpoints of Zmax, sorted by T, starting at (0, 0).
+	Max []Point
+	// Tail is the long-run rate α used beyond the last breakpoint of
+	// each curve.
+	Tail float64
+}
+
+// Validate checks that both curves are well-formed: sorted,
+// non-decreasing, starting at the origin, with Zmin ≤ Zmax pointwise
+// at shared breakpoints, slopes within [0, 1], and a Tail in (0, 1].
+func (c Curve) Validate() error {
+	if !(c.Tail > 0) || c.Tail > 1 {
+		return fmt.Errorf("platform: curve tail rate = %v outside (0, 1]", c.Tail)
+	}
+	for name, pts := range map[string][]Point{"min": c.Min, "max": c.Max} {
+		if len(pts) == 0 {
+			return fmt.Errorf("platform: curve %s has no breakpoints", name)
+		}
+		if pts[0].T != 0 || pts[0].Z != 0 {
+			return fmt.Errorf("platform: curve %s must start at the origin, got (%v, %v)", name, pts[0].T, pts[0].Z)
+		}
+		for i := 1; i < len(pts); i++ {
+			dt, dz := pts[i].T-pts[i-1].T, pts[i].Z-pts[i-1].Z
+			if dt <= 0 {
+				return fmt.Errorf("platform: curve %s breakpoints not strictly increasing in T at index %d", name, i)
+			}
+			if dz < 0 {
+				return fmt.Errorf("platform: curve %s decreasing at index %d", name, i)
+			}
+			if dz > dt*(1+1e-9) {
+				return fmt.Errorf("platform: curve %s slope %v exceeds 1 at index %d", name, dz/dt, i)
+			}
+		}
+	}
+	for _, p := range c.Min {
+		if c.evalMax(p.T) < p.Z-1e-9 {
+			return fmt.Errorf("platform: curve has Zmin(%v)=%v above Zmax(%v)=%v", p.T, p.Z, p.T, c.evalMax(p.T))
+		}
+	}
+	return nil
+}
+
+func eval(pts []Point, tail, t float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	n := len(pts)
+	if t >= pts[n-1].T {
+		return pts[n-1].Z + tail*(t-pts[n-1].T)
+	}
+	i := sort.Search(n, func(k int) bool { return pts[k].T > t })
+	// pts[i-1].T ≤ t < pts[i].T with i ≥ 1 because pts[0].T == 0.
+	a, b := pts[i-1], pts[i]
+	return a.Z + (b.Z-a.Z)*(t-a.T)/(b.T-a.T)
+}
+
+func (c Curve) evalMax(t float64) float64 { return eval(c.Max, c.Tail, t) }
+
+// MinSupply linearly interpolates the lower curve.
+func (c Curve) MinSupply(t float64) float64 { return eval(c.Min, c.Tail, t) }
+
+// MaxSupply linearly interpolates the upper curve, clamped to the
+// physical limit t.
+func (c Curve) MaxSupply(t float64) float64 {
+	return math.Min(math.Max(t, 0), c.evalMax(t))
+}
+
+// Rate returns the tail rate α.
+func (c Curve) Rate() float64 { return c.Tail }
+
+// Sample tabulates a Supplier's curves on [0, horizon] with n+1 evenly
+// spaced points (useful to plot Figure 3 or to freeze a mechanism into
+// a Curve).
+func Sample(s Supplier, horizon float64, n int) Curve {
+	if n < 1 {
+		n = 1
+	}
+	c := Curve{Tail: s.Rate()}
+	for i := 0; i <= n; i++ {
+		t := horizon * float64(i) / float64(n)
+		c.Min = append(c.Min, Point{T: t, Z: s.MinSupply(t)})
+		c.Max = append(c.Max, Point{T: t, Z: s.MaxSupply(t)})
+	}
+	return c
+}

@@ -1,0 +1,93 @@
+package platform
+
+import (
+	"math"
+	"testing"
+)
+
+func validCurve() Curve {
+	return Curve{
+		Min:  []Point{{0, 0}, {6, 0}, {7, 1}, {10, 1}},
+		Max:  []Point{{0, 0}, {2, 2}, {5, 2}, {6, 3}},
+		Tail: 0.25,
+	}
+}
+
+func TestCurveValidate(t *testing.T) {
+	if err := validCurve().Validate(); err != nil {
+		t.Fatalf("valid curve rejected: %v", err)
+	}
+	bad := []Curve{
+		{Min: nil, Max: []Point{{0, 0}}, Tail: 0.5},
+		{Min: []Point{{1, 0}}, Max: []Point{{0, 0}}, Tail: 0.5},                   // origin missing
+		{Min: []Point{{0, 0}, {1, 2}}, Max: []Point{{0, 0}}, Tail: 0.5},           // slope > 1
+		{Min: []Point{{0, 0}, {2, 1}, {2, 1.5}}, Max: []Point{{0, 0}}, Tail: 0.5}, // duplicate T
+		{Min: []Point{{0, 0}, {2, 1}, {3, 0.5}}, Max: []Point{{0, 0}}, Tail: 0.5}, // decreasing
+		{Min: []Point{{0, 0}}, Max: []Point{{0, 0}}, Tail: 0},                     // bad tail
+		{Min: []Point{{0, 0}, {2, 2}}, Max: []Point{{0, 0}, {2, 1}}, Tail: 0.5},   // min above max
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad curve %d accepted", i)
+		}
+	}
+}
+
+func TestCurveInterpolation(t *testing.T) {
+	c := validCurve()
+	cases := []struct{ x, min, max float64 }{
+		{0, 0, 0},
+		{3, 0, 2},
+		{6.5, 0.5, 3}, // Max: 3 + 0.25·0.5 = 3.125 but capped... not capped: t=6.5 ≥ 3.125
+		{8, 1, 3.5},   // beyond last Max breakpoint: 3 + 0.25·2
+		{20, 3.5, 6.5},
+	}
+	for _, k := range cases {
+		if got := c.MinSupply(k.x); math.Abs(got-k.min) > 1e-12 {
+			t.Errorf("MinSupply(%v) = %v, want %v", k.x, got, k.min)
+		}
+	}
+	if got := c.MaxSupply(6.5); math.Abs(got-3.125) > 1e-12 {
+		t.Errorf("MaxSupply(6.5) = %v, want 3.125", got)
+	}
+	if got := c.MaxSupply(1); math.Abs(got-1) > 1e-12 {
+		t.Errorf("MaxSupply(1) = %v, want 1 (physical cap)", got)
+	}
+}
+
+// TestSampleRoundTrip: freezing a periodic server into a sampled curve
+// preserves its supply values at the sample points.
+func TestSampleRoundTrip(t *testing.T) {
+	s := PeriodicServer{Q: 1, P: 4}
+	c := Sample(s, 20, 200)
+	if err := c.Validate(); err != nil {
+		t.Fatalf("sampled curve invalid: %v", err)
+	}
+	for i := 0; i <= 200; i++ {
+		x := 20 * float64(i) / 200
+		if got, want := c.MinSupply(x), s.MinSupply(x); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("MinSupply(%v) = %v, want %v", x, got, want)
+		}
+		if got, want := c.MaxSupply(x), s.MaxSupply(x); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("MaxSupply(%v) = %v, want %v", x, got, want)
+		}
+	}
+	if c.Rate() != s.Rate() {
+		t.Errorf("Rate() = %v, want %v", c.Rate(), s.Rate())
+	}
+}
+
+// TestLinearizeCurve: a frozen curve linearises to (nearly) the same
+// triple as the closed form of the mechanism it sampled.
+func TestLinearizeCurve(t *testing.T) {
+	s := PeriodicServer{Q: 2, P: 5}
+	c := Sample(s, 50, 2000)
+	got, err := Linearize(c, 50, 1<<13)
+	if err != nil {
+		t.Fatalf("Linearize: %v", err)
+	}
+	want := s.Params()
+	if math.Abs(got.Delta-want.Delta) > 0.05 || math.Abs(got.Beta-want.Beta) > 0.05 {
+		t.Errorf("linearised %v, want ≈ %v", got, want)
+	}
+}

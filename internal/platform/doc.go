@@ -1,0 +1,30 @@
+// Package platform models the abstract computing platforms of
+// Lorente, Lipari and Bini, "A Hierarchical Scheduling Model for
+// Component-Based Real-Time Systems" (IPDPS 2006), Section 2.3.
+//
+// An abstract computing platform Π is characterised by its minimum and
+// maximum supply functions Zmin(t) and Zmax(t): the least and greatest
+// number of processor cycles the platform can provide in any window of
+// length t (Definitions 1 and 2 of the paper). From these curves three
+// scalar parameters are derived (Definitions 3-5):
+//
+//   - the rate α     — the long-run slope of the supply,
+//   - the delay Δ    — the largest horizontal offset of the linear
+//     lower bound α·(t−Δ) ≤ Zmin(t),
+//   - the burstiness β — the largest vertical offset of the linear
+//     upper bound Zmax(t) ≤ α·t+β.
+//
+// The triple (α, Δ, β) is everything the schedulability analysis in
+// package analysis needs: worst-case execution times scale by 1/α,
+// each busy period pays the delay Δ once, and best-case completion
+// benefits from the burstiness β. Setting (α, Δ, β) = (1, 0, 0)
+// degenerates to a dedicated processor and recovers the classical
+// holistic analysis.
+//
+// The package provides the linear model itself (Params), concrete
+// supply-curve realisations — the periodic server of Figure 3
+// (PeriodicServer), static TDMA partitions (TDMA), quantum-based
+// proportional-share servers (Pfair), the dedicated processor
+// (Dedicated) and arbitrary piecewise-linear curves (Curve) — and
+// numeric linearisation of any Supplier into Params.
+package platform

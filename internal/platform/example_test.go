@@ -1,0 +1,50 @@
+package platform_test
+
+import (
+	"fmt"
+
+	"hsched/internal/platform"
+)
+
+// ExamplePeriodicServer derives the linear platform model of a budget
+// server, the direction used throughout the paper's Section 2.3.
+func ExamplePeriodicServer() {
+	srv := platform.PeriodicServer{Q: 1, P: 4}
+	fmt.Println(srv.Params())
+	fmt.Println(srv.MinSupply(7), srv.MaxSupply(7))
+	// Output:
+	// (α=0.25, Δ=6, β=1.5)
+	// 1 3
+}
+
+// ExampleLinearize recovers (α, Δ, β) numerically from supply curves,
+// for mechanisms without a closed form.
+func ExampleLinearize() {
+	p, err := platform.Linearize(platform.TDMA{Slot: 1, Frame: 4}, 80, 1<<13)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("α=%.2f Δ=%.2f β=%.2f\n", p.Alpha, p.Delta, p.Beta)
+	// Output:
+	// α=0.25 Δ=3.00 β=0.75
+}
+
+// ExampleCompose stacks a component server inside a partition: rates
+// multiply and the inner delay dilates by the outer rate.
+func ExampleCompose() {
+	partition := platform.TDMA{Slot: 12, Frame: 20}.Params()
+	server := platform.PeriodicServer{Q: 2, P: 3}.Params()
+	c := platform.Compose(partition, server)
+	fmt.Printf("α=%.2f Δ=%.2f β=%.2f\n", c.Alpha, c.Delta, c.Beta)
+	// Output:
+	// α=0.40 Δ=11.33 β=4.53
+}
+
+// ExampleParams_ServiceTime shows the quantity the response-time
+// analysis charges for C cycles of work: Δ + C/α.
+func ExampleParams_ServiceTime() {
+	p := platform.Params{Alpha: 0.2, Delta: 2, Beta: 1}
+	fmt.Println(p.ServiceTime(1))
+	// Output:
+	// 7
+}

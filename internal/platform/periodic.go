@@ -1,0 +1,111 @@
+package platform
+
+import (
+	"fmt"
+	"math"
+)
+
+// staircase evaluates the canonical supply staircase: zero until d0,
+// then alternating rate-1 segments of length rise and flat segments,
+// repeating every period. It is the shape of both Zmin curves in
+// Figure 3 of the paper (with d0 the initial service delay).
+func staircase(t, d0, rise, period float64) float64 {
+	u := t - d0
+	if u <= 0 {
+		return 0
+	}
+	k := math.Floor(u / period)
+	frac := u - k*period
+	if frac > rise {
+		frac = rise
+	}
+	return k*rise + frac
+}
+
+// PeriodicServer is a budget server that provides Q cycles every
+// period P, with the quantum free to float anywhere inside the period
+// (the scenario of Figure 3 of the paper: a Polling Server, CBS or
+// similar reservation mechanism). Its exact worst- and best-case
+// supply curves are:
+//
+//	Zmin: an initial gap of 2(P−Q) followed by Q cycles per period,
+//	Zmax: an immediate burst of 2Q followed by Q cycles per period.
+//
+// The derived linear parameters are α = Q/P, Δ = 2(P−Q) and
+// β = 2Q(P−Q)/P.
+type PeriodicServer struct {
+	// Q is the budget: cycles supplied per period. 0 < Q ≤ P.
+	Q float64
+	// P is the replenishment period. P > 0.
+	P float64
+}
+
+// Validate reports whether the server parameters are well-formed.
+func (s PeriodicServer) Validate() error {
+	if !(s.P > 0) || math.IsInf(s.P, 0) {
+		return fmt.Errorf("platform: periodic server period P = %v must be positive and finite", s.P)
+	}
+	if !(s.Q > 0) || s.Q > s.P {
+		return fmt.Errorf("platform: periodic server budget Q = %v outside (0, P=%v]", s.Q, s.P)
+	}
+	return nil
+}
+
+// MinSupply returns the exact Zmin of Figure 3: the worst case starts
+// right after a quantum served as early as possible in its period,
+// with the next quantum delayed as much as possible, so no cycles
+// arrive for 2(P−Q) and then Q cycles arrive per period, each period's
+// quantum served back-to-back with the next period boundary.
+func (s PeriodicServer) MinSupply(t float64) float64 {
+	return staircase(t, 2*(s.P-s.Q), s.Q, s.P)
+}
+
+// MaxSupply returns the exact Zmax of Figure 3: the best case obtains
+// the quantum immediately on request at the end of one period with the
+// next period's quantum immediately after it (a 2Q burst), and every
+// later quantum at the start of its period.
+func (s PeriodicServer) MaxSupply(t float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	if t <= 2*s.Q {
+		return t
+	}
+	// Past the initial burst: flat at (j+1)Q on [2Q+(j−1)P, Q+jP],
+	// rising again on [Q+jP, 2Q+jP).
+	j := math.Floor((t-2*s.Q)/s.P) + 1
+	z := (j+1)*s.Q + math.Max(0, t-(s.Q+j*s.P))
+	return math.Min(z, t)
+}
+
+// Rate returns α = Q/P.
+func (s PeriodicServer) Rate() float64 { return s.Q / s.P }
+
+// Params returns the closed-form linear model of the server:
+// (Q/P, 2(P−Q), 2Q(P−Q)/P).
+func (s PeriodicServer) Params() Params {
+	return Params{
+		Alpha: s.Q / s.P,
+		Delta: 2 * (s.P - s.Q),
+		Beta:  2 * s.Q * (s.P - s.Q) / s.P,
+	}
+}
+
+// ServerFor returns the periodic server with period P that realises at
+// least the platform p, i.e. whose linear parameters dominate p's:
+// rate ≥ α and delay ≤ Δ. It solves Q from the tighter of the two
+// constraints Q/P ≥ α and 2(P−Q) ≤ Δ; if the two are incompatible for
+// the given period (P > Δ/(2(1−α))), an error is returned.
+func ServerFor(p Params, period float64) (PeriodicServer, error) {
+	if err := p.Validate(); err != nil {
+		return PeriodicServer{}, err
+	}
+	if !(period > 0) {
+		return PeriodicServer{}, fmt.Errorf("platform: server period %v must be positive", period)
+	}
+	q := math.Max(p.Alpha*period, period-p.Delta/2)
+	if q > period {
+		return PeriodicServer{}, fmt.Errorf("platform: no periodic server with period %v realises %v (need Q=%v > P)", period, p, q)
+	}
+	return PeriodicServer{Q: q, P: period}, nil
+}

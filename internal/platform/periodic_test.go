@@ -1,0 +1,156 @@
+package platform
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPeriodicServerValidate(t *testing.T) {
+	cases := []struct {
+		s  PeriodicServer
+		ok bool
+	}{
+		{PeriodicServer{Q: 1, P: 4}, true},
+		{PeriodicServer{Q: 4, P: 4}, true},
+		{PeriodicServer{Q: 0, P: 4}, false},
+		{PeriodicServer{Q: 5, P: 4}, false},
+		{PeriodicServer{Q: 1, P: 0}, false},
+		{PeriodicServer{Q: 1, P: -2}, false},
+	}
+	for _, c := range cases {
+		if err := c.s.Validate(); (err == nil) != c.ok {
+			t.Errorf("%+v: Validate() = %v, want ok=%v", c.s, err, c.ok)
+		}
+	}
+}
+
+// TestPeriodicServerFigure3Geometry hand-checks the exact curves of
+// Figure 3 for Q=1, P=4: Δ = 2(P−Q) = 6, burst 2Q = 2, β = 1.5.
+func TestPeriodicServerFigure3Geometry(t *testing.T) {
+	s := PeriodicServer{Q: 1, P: 4}
+	minCases := []struct{ t, z float64 }{
+		{0, 0}, {3, 0}, {6, 0}, // initial gap 2(P−Q) = 6
+		{6.5, 0.5}, {7, 1}, // first quantum
+		{10, 1},              // flat until the next period's quantum
+		{10.5, 1.5}, {11, 2}, // second quantum
+		{14, 2}, {15, 3}, // and so on
+	}
+	for _, c := range minCases {
+		if got := s.MinSupply(c.t); math.Abs(got-c.z) > 1e-12 {
+			t.Errorf("Zmin(%v) = %v, want %v", c.t, got, c.z)
+		}
+	}
+	maxCases := []struct{ t, z float64 }{
+		{0, 0}, {1, 1}, {2, 2}, // immediate 2Q burst
+		{3, 2}, {5, 2}, // flat until Q+P = 5
+		{5.5, 2.5}, {6, 3}, // next quantum
+		{9, 3}, {10, 4}, // and so on
+	}
+	for _, c := range maxCases {
+		if got := s.MaxSupply(c.t); math.Abs(got-c.z) > 1e-12 {
+			t.Errorf("Zmax(%v) = %v, want %v", c.t, got, c.z)
+		}
+	}
+	p := s.Params()
+	if p.Alpha != 0.25 || p.Delta != 6 || math.Abs(p.Beta-1.5) > 1e-12 {
+		t.Errorf("Params() = %v, want (0.25, 6, 1.5)", p)
+	}
+}
+
+// TestPeriodicServerBoundsProperty: for randomised (Q, P) and t, the
+// exact curves respect 0 ≤ α(t−Δ) ≤ Zmin ≤ Zmax ≤ αt+β and Zmax ≤ t,
+// and both curves are non-decreasing.
+func TestPeriodicServerBoundsProperty(t *testing.T) {
+	f := func(qRaw, pRaw, tRaw uint16) bool {
+		p := 0.5 + float64(pRaw%1000)/100
+		q := p * (0.05 + 0.95*float64(qRaw%997)/997)
+		s := PeriodicServer{Q: q, P: p}
+		lin := s.Params()
+		x := float64(tRaw) / 100 * p
+		zmin, zmax := s.MinSupply(x), s.MaxSupply(x)
+		if zmin < -1e-9 || zmin > zmax+1e-9 || zmax > x+1e-9 {
+			return false
+		}
+		if lin.MinSupply(x) > zmin+1e-9 {
+			return false
+		}
+		if zmax > lin.Alpha*x+lin.Beta+1e-9 {
+			return false
+		}
+		// Monotonicity on a small forward step.
+		return s.MinSupply(x+0.01) >= zmin-1e-9 && s.MaxSupply(x+0.01) >= zmax-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPeriodicServerLowerBoundTight: the linear lower bound α(t−Δ)
+// touches Zmin exactly at the starts of the rising segments,
+// t = 2(P−Q) + kP, and is strictly below it elsewhere on the rise.
+func TestPeriodicServerLowerBoundTight(t *testing.T) {
+	s := PeriodicServer{Q: 1, P: 4}
+	lin := s.Params()
+	for k := 0; k < 5; k++ {
+		x := 2*(s.P-s.Q) + float64(k)*s.P
+		if d := s.MinSupply(x) - lin.MinSupply(x); math.Abs(d) > 1e-9 {
+			t.Errorf("corner t=%v: Zmin−bound = %v, want 0", x, d)
+		}
+		// Mid-rise the staircase is strictly above the line.
+		if d := s.MinSupply(x+s.Q/2) - lin.MinSupply(x+s.Q/2); d <= 0 {
+			t.Errorf("mid-rise t=%v: Zmin−bound = %v, want > 0", x+s.Q/2, d)
+		}
+	}
+}
+
+// TestPeriodicServerFullBudget: Q = P behaves as a dedicated CPU.
+func TestPeriodicServerFullBudget(t *testing.T) {
+	s := PeriodicServer{Q: 3, P: 3}
+	for _, x := range []float64{0, 0.5, 3, 7, 100} {
+		if got := s.MinSupply(x); math.Abs(got-x) > 1e-9 {
+			t.Errorf("Zmin(%v) = %v, want %v", x, got, x)
+		}
+		if got := s.MaxSupply(x); math.Abs(got-x) > 1e-9 {
+			t.Errorf("Zmax(%v) = %v, want %v", x, got, x)
+		}
+	}
+	p := s.Params()
+	if p.Alpha != 1 || p.Delta != 0 || p.Beta != 0 {
+		t.Errorf("full-budget Params() = %v, want (1, 0, 0)", p)
+	}
+}
+
+func TestServerFor(t *testing.T) {
+	p := Params{Alpha: 0.4, Delta: 1, Beta: 1}
+	s, err := ServerFor(p, 1/(2*(1-0.4)))
+	if err != nil {
+		t.Fatalf("ServerFor: %v", err)
+	}
+	got := s.Params()
+	if got.Alpha < p.Alpha-1e-9 {
+		t.Errorf("realised rate %v below requested %v", got.Alpha, p.Alpha)
+	}
+	if got.Delta > p.Delta+1e-9 {
+		t.Errorf("realised delay %v above requested %v", got.Delta, p.Delta)
+	}
+
+	// Longer periods can only realise the delay by over-provisioning
+	// budget: P = 10 with Δ = 1 needs Q = P − Δ/2 = 9.5.
+	over, err := ServerFor(p, 10)
+	if err != nil {
+		t.Fatalf("ServerFor(period 10): %v", err)
+	}
+	if math.Abs(over.Q-9.5) > 1e-12 {
+		t.Errorf("over-provisioned budget Q = %v, want 9.5", over.Q)
+	}
+	if got := over.Params(); got.Delta > p.Delta+1e-9 || got.Alpha < p.Alpha {
+		t.Errorf("over-provisioned server %v does not dominate %v", got, p)
+	}
+	if _, err := ServerFor(Params{Alpha: 2}, 1); err == nil {
+		t.Errorf("ServerFor with invalid params should fail")
+	}
+	if _, err := ServerFor(p, 0); err == nil {
+		t.Errorf("ServerFor with zero period should fail")
+	}
+}

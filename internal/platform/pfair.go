@@ -1,0 +1,54 @@
+package platform
+
+import (
+	"fmt"
+	"math"
+)
+
+// Pfair is a quantum-based proportional-share server of weight Weight
+// scheduled by a P-fair scheduler with quantum size Quantum (the
+// "p-fair scheduler" global scheduling strategy cited in Section 2.3
+// of the paper, after Srinivasan & Anderson). P-fairness bounds the
+// allocation lag by one quantum: |Z(t) − Weight·t| ≤ Quantum, which
+// yields much smoother supply curves than a periodic server of equal
+// bandwidth — the paper notes the min/max supply functions of a pfair
+// task are "quite different" from Figure 3, and this type captures
+// that difference.
+type Pfair struct {
+	// Weight is the share w ∈ (0, 1] of the processor.
+	Weight float64
+	// Quantum is the scheduling quantum size (same unit as time).
+	Quantum float64
+}
+
+// Validate reports whether the server parameters are well-formed.
+func (s Pfair) Validate() error {
+	if !(s.Weight > 0) || s.Weight > 1 {
+		return fmt.Errorf("platform: pfair weight = %v outside (0, 1]", s.Weight)
+	}
+	if !(s.Quantum > 0) || math.IsInf(s.Quantum, 0) {
+		return fmt.Errorf("platform: pfair quantum = %v must be positive and finite", s.Quantum)
+	}
+	return nil
+}
+
+// MinSupply returns the lag lower bound max(0, w·t − q).
+func (s Pfair) MinSupply(t float64) float64 {
+	return math.Max(0, s.Weight*t-s.Quantum)
+}
+
+// MaxSupply returns the lag upper bound min(t, w·t + q).
+func (s Pfair) MaxSupply(t float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	return math.Min(t, s.Weight*t+s.Quantum)
+}
+
+// Rate returns the weight w.
+func (s Pfair) Rate() float64 { return s.Weight }
+
+// Params returns the closed-form linear model (w, q/w, q).
+func (s Pfair) Params() Params {
+	return Params{Alpha: s.Weight, Delta: s.Quantum / s.Weight, Beta: s.Quantum}
+}

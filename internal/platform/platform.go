@@ -1,0 +1,155 @@
+package platform
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Supplier is any mechanism that can bound the cycles it provides in
+// an arbitrary time window. MinSupply and MaxSupply correspond to the
+// paper's Zmin and Zmax (Definitions 1 and 2); both must be
+// non-decreasing, satisfy Z(0) = 0 and MinSupply(t) ≤ MaxSupply(t) ≤ t
+// for all t ≥ 0. Rate returns the common long-run slope α
+// (Definition 3; every state-of-the-art mechanism has equal minimum
+// and maximum rates, an assumption the paper also makes).
+type Supplier interface {
+	// MinSupply returns a lower bound on the cycles provided in any
+	// interval of length t.
+	MinSupply(t float64) float64
+	// MaxSupply returns an upper bound on the cycles provided in any
+	// interval of length t.
+	MaxSupply(t float64) float64
+	// Rate returns the long-run supply rate α ∈ (0, 1].
+	Rate() float64
+}
+
+// Params is the linear abstract-platform model (α, Δ, β): rate, delay
+// and burstiness. It is itself a Supplier whose curves are exactly the
+// linear bounds max(0, α·(t−Δ)) and α·t+β, so it can stand in for any
+// concrete mechanism it was derived from (at the price of the
+// pessimism the paper notes at the end of Section 2.3).
+type Params struct {
+	// Alpha is the rate α ∈ (0, 1]: the fraction of a physical
+	// processor the platform provides in the long run.
+	Alpha float64
+	// Delta is the delay Δ ≥ 0: the worst-case initial service delay
+	// of the linear lower supply bound α·(t−Δ).
+	Delta float64
+	// Beta is the burstiness β ≥ 0: the vertical offset of the linear
+	// upper supply bound α·t+β.
+	Beta float64
+}
+
+// Dedicated returns the parameters of a dedicated physical processor:
+// (α, Δ, β) = (1, 0, 0). With these parameters the analysis of package
+// analysis reduces to the classical holistic analysis.
+func Dedicated() Params { return Params{Alpha: 1, Delta: 0, Beta: 0} }
+
+// Validate reports whether the parameters describe a well-formed
+// platform: 0 < α ≤ 1, Δ ≥ 0, β ≥ 0 and all finite.
+func (p Params) Validate() error {
+	switch {
+	case math.IsNaN(p.Alpha) || math.IsInf(p.Alpha, 0):
+		return fmt.Errorf("platform: rate α = %v is not finite", p.Alpha)
+	case p.Alpha <= 0 || p.Alpha > 1:
+		return fmt.Errorf("platform: rate α = %v outside (0, 1]", p.Alpha)
+	case math.IsNaN(p.Delta) || math.IsInf(p.Delta, 0) || p.Delta < 0:
+		return fmt.Errorf("platform: delay Δ = %v is not a finite non-negative value", p.Delta)
+	case math.IsNaN(p.Beta) || math.IsInf(p.Beta, 0) || p.Beta < 0:
+		return fmt.Errorf("platform: burstiness β = %v is not a finite non-negative value", p.Beta)
+	}
+	return nil
+}
+
+// MinSupply returns the linear lower supply bound max(0, α·(t−Δ)).
+func (p Params) MinSupply(t float64) float64 {
+	if t <= p.Delta {
+		return 0
+	}
+	return p.Alpha * (t - p.Delta)
+}
+
+// MaxSupply returns the linear upper supply bound α·t+β, clamped to
+// the physical limit t (a platform cannot supply more cycles than the
+// elapsed time) and to 0 at t ≤ 0.
+func (p Params) MaxSupply(t float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	return math.Min(t, p.Alpha*t+p.Beta)
+}
+
+// Rate returns α.
+func (p Params) Rate() float64 { return p.Alpha }
+
+// String renders the platform as the paper's triple notation.
+func (p Params) String() string {
+	return fmt.Sprintf("(α=%g, Δ=%g, β=%g)", p.Alpha, p.Delta, p.Beta)
+}
+
+// ServiceTime returns the smallest window length t that guarantees the
+// platform supplies at least c cycles in any interval, according to
+// the linear lower bound: t = Δ + c/α. It is the pseudo-inverse of
+// MinSupply and the quantity the response-time analysis charges for
+// executing c cycles of work.
+func (p Params) ServiceTime(c float64) float64 {
+	if c <= 0 {
+		return 0
+	}
+	return p.Delta + c/p.Alpha
+}
+
+// BestServiceTime returns the smallest window in which the platform
+// could possibly supply c cycles, according to the upper bound:
+// max(0, (c−β)/α), additionally bounded below by c (rate-1 physical
+// limit). It is used for best-case response times.
+func (p Params) BestServiceTime(c float64) float64 {
+	if c <= 0 {
+		return 0
+	}
+	t := (c - p.Beta) / p.Alpha
+	if t < 0 {
+		t = 0
+	}
+	return t
+}
+
+// ErrHorizon is returned by Linearize when the observation horizon is
+// not positive.
+var ErrHorizon = errors.New("platform: linearization horizon must be positive")
+
+// Linearize numerically extracts the (α, Δ, β) triple of an arbitrary
+// Supplier by evaluating its curves on [0, horizon] with the given
+// resolution (number of sample points; 0 selects a default of 4096).
+// Delta is the largest d with Zmin(t) ≤ α(t−d) somewhere (Definition
+// 4): sup_t (t − Zmin(t)/α); Beta is sup_t (Zmax(t) − αt)
+// (Definition 5). The horizon should cover at least a few periods of
+// the underlying mechanism for the estimate to be tight.
+func Linearize(s Supplier, horizon float64, resolution int) (Params, error) {
+	if horizon <= 0 || math.IsNaN(horizon) || math.IsInf(horizon, 0) {
+		return Params{}, ErrHorizon
+	}
+	if resolution <= 0 {
+		resolution = 4096
+	}
+	alpha := s.Rate()
+	if alpha <= 0 || alpha > 1 || math.IsNaN(alpha) {
+		return Params{}, fmt.Errorf("platform: supplier rate %v outside (0, 1]", alpha)
+	}
+	var delta, beta float64
+	for i := 0; i <= resolution; i++ {
+		t := horizon * float64(i) / float64(resolution)
+		if d := t - s.MinSupply(t)/alpha; d > delta {
+			delta = d
+		}
+		if b := s.MaxSupply(t) - alpha*t; b > beta {
+			beta = b
+		}
+	}
+	p := Params{Alpha: alpha, Delta: delta, Beta: beta}
+	if err := p.Validate(); err != nil {
+		return Params{}, err
+	}
+	return p, nil
+}

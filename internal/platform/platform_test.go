@@ -1,0 +1,134 @@
+package platform
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestParamsValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Params
+		ok   bool
+	}{
+		{"dedicated", Dedicated(), true},
+		{"paper pi1", Params{Alpha: 0.4, Delta: 1, Beta: 1}, true},
+		{"zero rate", Params{Alpha: 0, Delta: 1, Beta: 1}, false},
+		{"negative rate", Params{Alpha: -0.5, Delta: 1, Beta: 1}, false},
+		{"rate above one", Params{Alpha: 1.5, Delta: 0, Beta: 0}, false},
+		{"negative delay", Params{Alpha: 0.5, Delta: -1, Beta: 0}, false},
+		{"negative burst", Params{Alpha: 0.5, Delta: 1, Beta: -2}, false},
+		{"nan rate", Params{Alpha: math.NaN(), Delta: 0, Beta: 0}, false},
+		{"inf delay", Params{Alpha: 0.5, Delta: math.Inf(1), Beta: 0}, false},
+	}
+	for _, c := range cases {
+		if err := c.p.Validate(); (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestParamsLinearBounds(t *testing.T) {
+	p := Params{Alpha: 0.4, Delta: 1, Beta: 1}
+	cases := []struct{ t, min, max float64 }{
+		{0, 0, 0},
+		{0.5, 0, 0.5},   // max capped by physical limit t
+		{1, 0, 1},       // at the delay boundary
+		{2, 0.4, 1.8},   // 0.4·(2−1); 0.4·2+1
+		{11, 4, 5.4},    // 0.4·10; 0.4·11+1
+		{101, 40, 41.4}, // long run
+	}
+	for _, c := range cases {
+		if got := p.MinSupply(c.t); math.Abs(got-c.min) > 1e-12 {
+			t.Errorf("MinSupply(%v) = %v, want %v", c.t, got, c.min)
+		}
+		if got := p.MaxSupply(c.t); math.Abs(got-c.max) > 1e-12 {
+			t.Errorf("MaxSupply(%v) = %v, want %v", c.t, got, c.max)
+		}
+	}
+}
+
+func TestServiceTimes(t *testing.T) {
+	p := Params{Alpha: 0.2, Delta: 2, Beta: 1}
+	if got := p.ServiceTime(1); math.Abs(got-7) > 1e-12 {
+		t.Errorf("ServiceTime(1) = %v, want 7 (Δ + C/α)", got)
+	}
+	if got := p.ServiceTime(0); got != 0 {
+		t.Errorf("ServiceTime(0) = %v, want 0", got)
+	}
+	// Best case: (c−β)/α clamped at 0.
+	if got := p.BestServiceTime(0.5); got != 0 {
+		t.Errorf("BestServiceTime(0.5) = %v, want 0 (burst covers it)", got)
+	}
+	if got := p.BestServiceTime(2); math.Abs(got-5) > 1e-12 {
+		t.Errorf("BestServiceTime(2) = %v, want 5", got)
+	}
+}
+
+func TestDedicatedIsIdentity(t *testing.T) {
+	p := Dedicated()
+	for _, x := range []float64{0, 0.1, 1, 7.5, 1000} {
+		if got := p.MinSupply(x); got != x {
+			t.Errorf("dedicated MinSupply(%v) = %v", x, got)
+		}
+		if got := p.MaxSupply(x); got != x {
+			t.Errorf("dedicated MaxSupply(%v) = %v", x, got)
+		}
+	}
+}
+
+// TestParamsSupplierProperty: for any valid Params and any t ≥ 0,
+// 0 ≤ MinSupply ≤ MaxSupply ≤ t and both are non-decreasing.
+func TestParamsSupplierProperty(t *testing.T) {
+	f := func(a, d, bt, t1, t2 uint16) bool {
+		p := Params{
+			Alpha: 0.05 + float64(a%900)/1000.0,
+			Delta: float64(d%1000) / 100,
+			Beta:  float64(bt%1000) / 100,
+		}
+		x1, x2 := float64(t1)/100, float64(t2)/100
+		if x1 > x2 {
+			x1, x2 = x2, x1
+		}
+		lo1, hi1 := p.MinSupply(x1), p.MaxSupply(x1)
+		lo2, hi2 := p.MinSupply(x2), p.MaxSupply(x2)
+		return lo1 >= 0 && lo1 <= hi1+1e-12 && hi1 <= x1+1e-12 &&
+			lo1 <= lo2+1e-12 && hi1 <= hi2+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLinearizeErrors(t *testing.T) {
+	if _, err := Linearize(Dedicated(), 0, 16); err == nil {
+		t.Errorf("Linearize with zero horizon should fail")
+	}
+	if _, err := Linearize(Dedicated(), math.Inf(1), 16); err == nil {
+		t.Errorf("Linearize with infinite horizon should fail")
+	}
+}
+
+// TestLinearizeRecoversClosedForm: numeric extraction of (α, Δ, β)
+// from the exact periodic-server curves matches the closed form.
+func TestLinearizeRecoversClosedForm(t *testing.T) {
+	for _, s := range []PeriodicServer{
+		{Q: 1, P: 4}, {Q: 1. / 3, P: 5. / 6}, {Q: 3, P: 5}, {Q: 2, P: 2},
+	} {
+		want := s.Params()
+		got, err := Linearize(s, 40*s.P, 1<<14)
+		if err != nil {
+			t.Fatalf("Linearize(%+v): %v", s, err)
+		}
+		if math.Abs(got.Alpha-want.Alpha) > 1e-9 {
+			t.Errorf("server %+v: α = %v, want %v", s, got.Alpha, want.Alpha)
+		}
+		if math.Abs(got.Delta-want.Delta) > s.P/1000 {
+			t.Errorf("server %+v: Δ = %v, want %v", s, got.Delta, want.Delta)
+		}
+		if math.Abs(got.Beta-want.Beta) > s.Q/100 {
+			t.Errorf("server %+v: β = %v, want %v", s, got.Beta, want.Beta)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package platform
+
+import (
+	"fmt"
+	"math"
+)
+
+// TDMA is a static time partition: a slot of Slot cycles at a fixed
+// position inside every frame of length Frame (the "static
+// partitioning of the resource" global scheduling strategy cited in
+// Section 2.3 of the paper). Because the slot position is fixed, the
+// worst-case initial gap is only Frame−Slot (versus 2(P−Q) for a
+// floating periodic server with the same bandwidth).
+type TDMA struct {
+	// Slot is the number of cycles supplied per frame. 0 < Slot ≤ Frame.
+	Slot float64
+	// Frame is the frame (cycle) length. Frame > 0.
+	Frame float64
+}
+
+// Validate reports whether the partition parameters are well-formed.
+func (s TDMA) Validate() error {
+	if !(s.Frame > 0) || math.IsInf(s.Frame, 0) {
+		return fmt.Errorf("platform: TDMA frame = %v must be positive and finite", s.Frame)
+	}
+	if !(s.Slot > 0) || s.Slot > s.Frame {
+		return fmt.Errorf("platform: TDMA slot = %v outside (0, frame=%v]", s.Slot, s.Frame)
+	}
+	return nil
+}
+
+// MinSupply returns the exact worst-case supply: a window starting
+// right at the end of a slot waits Frame−Slot, then receives Slot
+// cycles per frame.
+func (s TDMA) MinSupply(t float64) float64 {
+	return staircase(t, s.Frame-s.Slot, s.Slot, s.Frame)
+}
+
+// MaxSupply returns the exact best-case supply: a window starting at a
+// slot boundary receives Slot cycles immediately and every frame after.
+func (s TDMA) MaxSupply(t float64) float64 {
+	return staircase(t, 0, s.Slot, s.Frame)
+}
+
+// Rate returns α = Slot/Frame.
+func (s TDMA) Rate() float64 { return s.Slot / s.Frame }
+
+// Params returns the closed-form linear model of the partition:
+// (Slot/Frame, Frame−Slot, Slot·(Frame−Slot)/Frame).
+func (s TDMA) Params() Params {
+	return Params{
+		Alpha: s.Slot / s.Frame,
+		Delta: s.Frame - s.Slot,
+		Beta:  s.Slot * (s.Frame - s.Slot) / s.Frame,
+	}
+}

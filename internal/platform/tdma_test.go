@@ -1,0 +1,121 @@
+package platform
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTDMAValidate(t *testing.T) {
+	cases := []struct {
+		s  TDMA
+		ok bool
+	}{
+		{TDMA{Slot: 1, Frame: 4}, true},
+		{TDMA{Slot: 4, Frame: 4}, true},
+		{TDMA{Slot: 0, Frame: 4}, false},
+		{TDMA{Slot: 5, Frame: 4}, false},
+		{TDMA{Slot: 1, Frame: 0}, false},
+	}
+	for _, c := range cases {
+		if err := c.s.Validate(); (err == nil) != c.ok {
+			t.Errorf("%+v: Validate() = %v, want ok=%v", c.s, err, c.ok)
+		}
+	}
+}
+
+// TestTDMACurves hand-checks the fixed-slot geometry: the worst-case
+// gap is only Frame−Slot (half the floating periodic server's).
+func TestTDMACurves(t *testing.T) {
+	s := TDMA{Slot: 1, Frame: 4}
+	minCases := []struct{ t, z float64 }{
+		{0, 0}, {3, 0}, {3.5, 0.5}, {4, 1}, {7, 1}, {8, 2},
+	}
+	for _, c := range minCases {
+		if got := s.MinSupply(c.t); math.Abs(got-c.z) > 1e-12 {
+			t.Errorf("Zmin(%v) = %v, want %v", c.t, got, c.z)
+		}
+	}
+	maxCases := []struct{ t, z float64 }{
+		{0, 0}, {0.5, 0.5}, {1, 1}, {4, 1}, {5, 2}, {9, 3},
+	}
+	for _, c := range maxCases {
+		if got := s.MaxSupply(c.t); math.Abs(got-c.z) > 1e-12 {
+			t.Errorf("Zmax(%v) = %v, want %v", c.t, got, c.z)
+		}
+	}
+	p := s.Params()
+	if p.Alpha != 0.25 || p.Delta != 3 || math.Abs(p.Beta-0.75) > 1e-12 {
+		t.Errorf("Params() = %v, want (0.25, 3, 0.75)", p)
+	}
+}
+
+// TestTDMATighterThanPeriodicServer: at equal bandwidth, the fixed
+// slot has half the delay of the floating periodic server, so its
+// minimum supply dominates everywhere.
+func TestTDMATighterThanPeriodicServer(t *testing.T) {
+	tdma := TDMA{Slot: 1, Frame: 4}
+	ps := PeriodicServer{Q: 1, P: 4}
+	for x := 0.0; x <= 40; x += 0.1 {
+		if tdma.MinSupply(x) < ps.MinSupply(x)-1e-9 {
+			t.Fatalf("t=%v: TDMA Zmin %v below periodic server %v", x, tdma.MinSupply(x), ps.MinSupply(x))
+		}
+	}
+	if tdma.Params().Delta*2 != ps.Params().Delta {
+		t.Errorf("TDMA delay %v should be half the periodic server's %v", tdma.Params().Delta, ps.Params().Delta)
+	}
+}
+
+// TestTDMABoundsProperty mirrors the periodic-server property test.
+func TestTDMABoundsProperty(t *testing.T) {
+	f := func(sRaw, fRaw, tRaw uint16) bool {
+		frame := 0.5 + float64(fRaw%1000)/100
+		slot := frame * (0.05 + 0.95*float64(sRaw%997)/997)
+		s := TDMA{Slot: slot, Frame: frame}
+		lin := s.Params()
+		x := float64(tRaw) / 100 * frame
+		zmin, zmax := s.MinSupply(x), s.MaxSupply(x)
+		return zmin >= -1e-9 && zmin <= zmax+1e-9 && zmax <= x+1e-9 &&
+			lin.MinSupply(x) <= zmin+1e-9 &&
+			zmax <= lin.Alpha*x+lin.Beta+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPfair(t *testing.T) {
+	s := Pfair{Weight: 0.4, Quantum: 0.5}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if err := (Pfair{Weight: 0, Quantum: 1}).Validate(); err == nil {
+		t.Errorf("zero weight should fail")
+	}
+	if err := (Pfair{Weight: 0.5, Quantum: 0}).Validate(); err == nil {
+		t.Errorf("zero quantum should fail")
+	}
+	if got := s.MinSupply(1); math.Abs(got-0) > 1e-12 { // 0.4−0.5 < 0
+		t.Errorf("Zmin(1) = %v, want 0", got)
+	}
+	if got := s.MinSupply(10); math.Abs(got-3.5) > 1e-12 {
+		t.Errorf("Zmin(10) = %v, want 3.5", got)
+	}
+	if got := s.MaxSupply(0.2); math.Abs(got-0.2) > 1e-12 { // capped by t
+		t.Errorf("Zmax(0.2) = %v, want 0.2", got)
+	}
+	if got := s.MaxSupply(10); math.Abs(got-4.5) > 1e-12 {
+		t.Errorf("Zmax(10) = %v, want 4.5", got)
+	}
+	p := s.Params()
+	if p.Alpha != 0.4 || math.Abs(p.Delta-1.25) > 1e-12 || p.Beta != 0.5 {
+		t.Errorf("Params() = %v, want (0.4, 1.25, 0.5)", p)
+	}
+	// The p-fair platform has far smaller delay than a periodic server
+	// of equal bandwidth, matching the paper's remark that its supply
+	// functions are "quite different".
+	ps := PeriodicServer{Q: 2, P: 5}
+	if p.Delta >= ps.Params().Delta {
+		t.Errorf("pfair delay %v should beat periodic server delay %v", p.Delta, ps.Params().Delta)
+	}
+}

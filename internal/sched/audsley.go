@@ -1,0 +1,116 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"hsched/internal/analysis"
+	"hsched/internal/model"
+)
+
+// audsleyUnassigned is the temporary priority of not-yet-assigned
+// tasks during the bottom-up search: above every real level, so the
+// candidate under test sees the maximal interference from its own
+// platform.
+const audsleyUnassigned = 1 << 20
+
+// Audsley performs Audsley-style optimal priority assignment per
+// platform, bottom-up, using the holistic analysis as the
+// schedulability oracle: for each priority level from the lowest, it
+// looks for a task that still meets its transaction deadline when
+// assigned that level while every unassigned task of the same platform
+// interferes from above.
+//
+// For systems of independent single-task transactions the procedure is
+// the classical optimal priority assignment (response times at the
+// lowest level are independent of the relative order of the tasks
+// above). For multi-platform transaction chains the per-candidate
+// check is heuristic — a transaction's end-to-end response also
+// depends on platforms not yet assigned, whose tasks interfere from a
+// shared provisional top level — so the order in which platforms are
+// processed matters. The search therefore tries every rotation of the
+// platform order (at most M attempts) and keeps the first complete
+// assignment the full analysis accepts.
+//
+// The system's priorities are overwritten with the found assignment
+// (or the last attempted one when the search fails). It returns the
+// final analysis result and whether a full schedulable assignment was
+// found.
+func Audsley(sys *model.System, opt analysis.Options) (*analysis.Result, bool, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, false, err
+	}
+	type ref struct{ i, j int }
+	perPlatform := make(map[int][]ref)
+	for i := range sys.Transactions {
+		for j := range sys.Transactions[i].Tasks {
+			t := &sys.Transactions[i].Tasks[j]
+			perPlatform[t.Platform] = append(perPlatform[t.Platform], ref{i, j})
+		}
+	}
+	platforms := make([]int, 0, len(perPlatform))
+	for m := range perPlatform {
+		platforms = append(platforms, m)
+	}
+	sort.Ints(platforms)
+
+	task := func(r ref) *model.Task { return &sys.Transactions[r.i].Tasks[r.j] }
+
+	attempt := func(order []int) (*analysis.Result, bool, error) {
+		for i := range sys.Transactions {
+			for j := range sys.Transactions[i].Tasks {
+				sys.Transactions[i].Tasks[j].Priority = audsleyUnassigned
+			}
+		}
+		for _, m := range order {
+			refs := perPlatform[m]
+			assigned := make([]bool, len(refs))
+			for level := 1; level <= len(refs); level++ {
+				found := false
+				for c := range refs {
+					if assigned[c] {
+						continue
+					}
+					task(refs[c]).Priority = level
+					res, err := analysis.Analyze(sys, opt)
+					if err != nil {
+						return nil, false, fmt.Errorf("sched: audsley oracle: %w", err)
+					}
+					tr := &sys.Transactions[refs[c].i]
+					if res.TransactionResponse(refs[c].i) <= tr.Deadline+1e-9 {
+						assigned[c] = true
+						found = true
+						break
+					}
+					task(refs[c]).Priority = audsleyUnassigned
+				}
+				if !found {
+					res, err := analysis.Analyze(sys, opt)
+					if err != nil {
+						return nil, false, err
+					}
+					return res, false, nil
+				}
+			}
+		}
+		res, err := analysis.Analyze(sys, opt)
+		if err != nil {
+			return nil, false, err
+		}
+		return res, res.Schedulable, nil
+	}
+
+	var last *analysis.Result
+	for rot := 0; rot < len(platforms); rot++ {
+		order := append(append([]int(nil), platforms[rot:]...), platforms[:rot]...)
+		res, ok, err := attempt(order)
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			return res, true, nil
+		}
+		last = res
+	}
+	return last, false, nil
+}

@@ -1,0 +1,139 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"hsched/internal/analysis"
+	"hsched/internal/model"
+	"hsched/internal/platform"
+)
+
+// TestAudsleyBeatsRateMonotonic: the classic RM failure — a
+// long-period task with a tight deadline. RM puts the short-period
+// task on top and misses; Audsley finds the deadline-respecting order.
+func TestAudsleyBeatsRateMonotonic(t *testing.T) {
+	build := func() *model.System {
+		return &model.System{
+			Platforms: []platform.Params{platform.Dedicated()},
+			Transactions: []model.Transaction{
+				{Name: "urgent", Period: 100, Deadline: 5, Tasks: []model.Task{
+					{Name: "u", WCET: 1, BCET: 1},
+				}},
+				{Name: "frequent", Period: 10, Deadline: 10, Tasks: []model.Task{
+					{Name: "f", WCET: 5, BCET: 5},
+				}},
+			},
+		}
+	}
+
+	rm := build()
+	RateMonotonic(rm)
+	rmRes, err := analysis.Analyze(rm, analysis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rmRes.Schedulable {
+		t.Fatalf("RM should fail on this set (R(urgent) = %v)", rmRes.TransactionResponse(0))
+	}
+
+	opa := build()
+	res, ok, err := Audsley(opa, analysis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || !res.Schedulable {
+		t.Fatalf("Audsley failed to find the schedulable assignment")
+	}
+	if opa.Transactions[0].Tasks[0].Priority <= opa.Transactions[1].Tasks[0].Priority {
+		t.Errorf("urgent task not above frequent task")
+	}
+}
+
+// TestAudsleyDominatesFixedPolicies: on random independent task sets,
+// whenever RM or DM finds a schedulable assignment, Audsley must too.
+func TestAudsleyDominatesFixedPolicies(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 40; trial++ {
+		sys := &model.System{Platforms: []platform.Params{{Alpha: 0.6, Delta: 1, Beta: 0.5}}}
+		n := 2 + rng.Intn(3)
+		for i := 0; i < n; i++ {
+			period := 20 + rng.Float64()*180
+			wcet := (0.05 + rng.Float64()*0.2) * period * 0.6 / float64(n)
+			deadline := period * (0.5 + rng.Float64()*0.5)
+			sys.Transactions = append(sys.Transactions, model.Transaction{
+				Period: period, Deadline: deadline,
+				Tasks: []model.Task{{WCET: wcet, BCET: wcet / 2}},
+			})
+		}
+
+		anySched := false
+		for _, policy := range []func(*model.System){RateMonotonic, DeadlineMonotonic} {
+			c := sys.Clone()
+			policy(c)
+			res, err := analysis.Analyze(c, analysis.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Schedulable {
+				anySched = true
+			}
+		}
+		c := sys.Clone()
+		_, ok, err := Audsley(c, analysis.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if anySched && !ok {
+			t.Fatalf("trial %d: RM/DM schedulable but Audsley failed", trial)
+		}
+	}
+}
+
+// TestAudsleyReportsFailure: an overloaded set fails cleanly.
+func TestAudsleyReportsFailure(t *testing.T) {
+	sys := &model.System{
+		Platforms: []platform.Params{{Alpha: 0.3, Delta: 1, Beta: 0}},
+		Transactions: []model.Transaction{
+			{Period: 10, Deadline: 10, Tasks: []model.Task{{WCET: 2, BCET: 2}}},
+			{Period: 10, Deadline: 10, Tasks: []model.Task{{WCET: 2, BCET: 2}}},
+		},
+	}
+	res, ok, err := Audsley(sys, analysis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok || res.Schedulable {
+		t.Errorf("overloaded set reported schedulable")
+	}
+}
+
+// TestAudsleyOnChains: the heuristic extension to multi-platform
+// chains keeps the paper example schedulable.
+func TestAudsleyOnChains(t *testing.T) {
+	sys := &model.System{
+		Platforms: []platform.Params{
+			{Alpha: 0.4, Delta: 1, Beta: 1},
+			{Alpha: 0.4, Delta: 1, Beta: 1},
+			{Alpha: 0.2, Delta: 2, Beta: 1},
+		},
+		Transactions: []model.Transaction{
+			{Name: "fusion", Period: 50, Deadline: 50, Tasks: []model.Task{
+				{WCET: 1, BCET: 0.8, Platform: 2},
+				{WCET: 1, BCET: 0.8, Platform: 0},
+				{WCET: 1, BCET: 0.8, Platform: 1},
+				{WCET: 1, BCET: 0.8, Platform: 2},
+			}},
+			{Name: "s1", Period: 15, Deadline: 15, Tasks: []model.Task{{WCET: 1, BCET: 0.25, Platform: 0}}},
+			{Name: "s2", Period: 15, Deadline: 15, Tasks: []model.Task{{WCET: 1, BCET: 0.25, Platform: 1}}},
+			{Name: "bg", Period: 70, Deadline: 70, Tasks: []model.Task{{WCET: 7, BCET: 5, Platform: 2}}},
+		},
+	}
+	res, ok, err := Audsley(sys, analysis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || !res.Schedulable {
+		t.Errorf("Audsley lost schedulability on the (priority-free) paper example")
+	}
+}

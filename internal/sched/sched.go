@@ -1,0 +1,206 @@
+// Package sched assigns local fixed priorities to the tasks of a
+// system: the classical rate- and deadline-monotonic policies, plus a
+// HOPA-style heuristic (after Gutiérrez García & González Harbour)
+// that distributes end-to-end deadlines over the tasks of each chain
+// and iterates against the holistic analysis — useful because the
+// paper's model leaves priority assignment to the component designer.
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"hsched/internal/analysis"
+	"hsched/internal/model"
+)
+
+// RateMonotonic assigns every task the priority rank of its
+// transaction's period (shortest period → highest priority). Ties
+// share a priority level. The system is mutated in place.
+func RateMonotonic(sys *model.System) {
+	byKey(sys, func(tr *model.Transaction, _ *model.Task) float64 { return tr.Period })
+}
+
+// DeadlineMonotonic assigns every task the priority rank of its
+// transaction's end-to-end deadline (shortest deadline → highest
+// priority). The system is mutated in place.
+func DeadlineMonotonic(sys *model.System) {
+	byKey(sys, func(tr *model.Transaction, _ *model.Task) float64 { return tr.Deadline })
+}
+
+// byKey ranks all tasks globally by a key: smaller key → higher
+// priority; equal keys share a level.
+func byKey(sys *model.System, key func(*model.Transaction, *model.Task) float64) {
+	var keys []float64
+	for i := range sys.Transactions {
+		tr := &sys.Transactions[i]
+		for j := range tr.Tasks {
+			keys = append(keys, key(tr, &tr.Tasks[j]))
+		}
+	}
+	sort.Float64s(keys)
+	keys = dedup(keys)
+	rank := func(k float64) int {
+		// Highest priority (len) for the smallest key.
+		i := sort.SearchFloat64s(keys, k)
+		return len(keys) - i
+	}
+	for i := range sys.Transactions {
+		tr := &sys.Transactions[i]
+		for j := range tr.Tasks {
+			tr.Tasks[j].Priority = rank(key(tr, &tr.Tasks[j]))
+		}
+	}
+}
+
+func dedup(xs []float64) []float64 {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// HOPAOptions tunes HOPA.
+type HOPAOptions struct {
+	// Iterations bounds the deadline-redistribution rounds; 0 selects
+	// 10.
+	Iterations int
+	// Analysis configures the holistic oracle.
+	Analysis analysis.Options
+}
+
+func (o HOPAOptions) iterations() int {
+	if o.Iterations <= 0 {
+		return 10
+	}
+	return o.Iterations
+}
+
+// HOPA searches a priority assignment for a system of multi-platform
+// transactions: end-to-end deadlines are split into per-task local
+// deadlines proportional to the tasks' scaled demand, priorities
+// follow deadline-monotonically from the local deadlines, the system
+// is analysed, and local deadlines are redistributed proportionally to
+// each task's share of the chain's response time. The best assignment
+// seen (schedulable with the largest minimum slack, or failing that
+// the smallest worst normalised response) is installed in the system,
+// and the corresponding analysis result returned.
+func HOPA(sys *model.System, opt HOPAOptions) (*analysis.Result, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	locals := make([][]float64, len(sys.Transactions))
+	for i := range sys.Transactions {
+		tr := &sys.Transactions[i]
+		locals[i] = make([]float64, len(tr.Tasks))
+		total := 0.0
+		for j := range tr.Tasks {
+			total += tr.Tasks[j].WCET / sys.Platforms[tr.Tasks[j].Platform].Alpha
+		}
+		for j := range tr.Tasks {
+			locals[i][j] = tr.Deadline * (tr.Tasks[j].WCET / sys.Platforms[tr.Tasks[j].Platform].Alpha) / total
+		}
+	}
+
+	type candidate struct {
+		prios [][]int
+		res   *analysis.Result
+		score float64 // larger is better
+	}
+	var best *candidate
+
+	for round := 0; round < opt.iterations(); round++ {
+		assignByLocalDeadlines(sys, locals)
+		res, err := analysis.Analyze(sys, opt.Analysis)
+		if err != nil {
+			return nil, err
+		}
+		score := scoreOf(res)
+		if best == nil || score > best.score {
+			best = &candidate{prios: snapshotPriorities(sys), res: res, score: score}
+		}
+		// Redistribute: local deadline share follows the observed
+		// response share of each task within its chain.
+		for i := range sys.Transactions {
+			tr := &sys.Transactions[i]
+			end := res.Tasks[i][len(tr.Tasks)-1].Worst
+			if math.IsInf(end, 1) || end <= 0 {
+				continue
+			}
+			prev := 0.0
+			for j := range tr.Tasks {
+				r := res.Tasks[i][j].Worst
+				share := (r - prev) / end
+				if share < 1e-3 {
+					share = 1e-3
+				}
+				// Damped move toward the response-proportional split.
+				locals[i][j] = 0.5*locals[i][j] + 0.5*tr.Deadline*share
+				prev = r
+			}
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("sched: HOPA produced no assignment")
+	}
+	restorePriorities(sys, best.prios)
+	return best.res, nil
+}
+
+// scoreOf prefers schedulable results with large minimum slack and
+// penalises unschedulable ones by their worst normalised overshoot.
+func scoreOf(res *analysis.Result) float64 {
+	minSlack := math.Inf(1)
+	for i := range res.Tasks {
+		tr := res.System.Transactions[i]
+		r := res.TransactionResponse(i)
+		if math.IsInf(r, 1) {
+			return math.Inf(-1)
+		}
+		slack := (tr.Deadline - r) / tr.Deadline
+		if slack < minSlack {
+			minSlack = slack
+		}
+	}
+	return minSlack
+}
+
+func assignByLocalDeadlines(sys *model.System, locals [][]float64) {
+	type entry struct {
+		i, j int
+		d    float64
+	}
+	var all []entry
+	for i := range sys.Transactions {
+		for j := range sys.Transactions[i].Tasks {
+			all = append(all, entry{i, j, locals[i][j]})
+		}
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].d > all[b].d })
+	for rank, e := range all {
+		sys.Transactions[e.i].Tasks[e.j].Priority = rank + 1
+	}
+}
+
+func snapshotPriorities(sys *model.System) [][]int {
+	out := make([][]int, len(sys.Transactions))
+	for i := range sys.Transactions {
+		out[i] = make([]int, len(sys.Transactions[i].Tasks))
+		for j := range sys.Transactions[i].Tasks {
+			out[i][j] = sys.Transactions[i].Tasks[j].Priority
+		}
+	}
+	return out
+}
+
+func restorePriorities(sys *model.System, prios [][]int) {
+	for i := range prios {
+		for j := range prios[i] {
+			sys.Transactions[i].Tasks[j].Priority = prios[i][j]
+		}
+	}
+}

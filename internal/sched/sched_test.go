@@ -1,0 +1,116 @@
+package sched
+
+import (
+	"testing"
+
+	"hsched/internal/analysis"
+	"hsched/internal/experiments"
+	"hsched/internal/model"
+	"hsched/internal/platform"
+)
+
+func chainSystem() *model.System {
+	return &model.System{
+		Platforms: []platform.Params{
+			{Alpha: 0.5, Delta: 1, Beta: 0.5},
+			{Alpha: 0.5, Delta: 1, Beta: 0.5},
+		},
+		Transactions: []model.Transaction{
+			{Name: "fast", Period: 20, Deadline: 10, Tasks: []model.Task{
+				{Name: "f1", WCET: 1, BCET: 0.5, Platform: 0},
+				{Name: "f2", WCET: 1, BCET: 0.5, Platform: 1},
+			}},
+			{Name: "slow", Period: 100, Deadline: 100, Tasks: []model.Task{
+				{Name: "s1", WCET: 5, BCET: 2, Platform: 0},
+				{Name: "s2", WCET: 5, BCET: 2, Platform: 1},
+			}},
+		},
+	}
+}
+
+func TestRateMonotonic(t *testing.T) {
+	sys := chainSystem()
+	RateMonotonic(sys)
+	if sys.Transactions[0].Tasks[0].Priority <= sys.Transactions[1].Tasks[0].Priority {
+		t.Errorf("shorter period did not get higher priority")
+	}
+	// Equal periods share a level.
+	if sys.Transactions[0].Tasks[0].Priority != sys.Transactions[0].Tasks[1].Priority {
+		t.Errorf("same-transaction tasks got different RM priorities")
+	}
+}
+
+func TestDeadlineMonotonic(t *testing.T) {
+	sys := chainSystem()
+	sys.Transactions[1].Deadline = 5 // now the "slow" one is urgent
+	DeadlineMonotonic(sys)
+	if sys.Transactions[1].Tasks[0].Priority <= sys.Transactions[0].Tasks[0].Priority {
+		t.Errorf("shorter deadline did not get higher priority")
+	}
+}
+
+// TestHOPAFindsSchedulableAssignment: on a system where the naive
+// rate-monotonic choice misses deadlines, HOPA must find a schedulable
+// assignment if one exists within its search.
+func TestHOPAFindsSchedulableAssignment(t *testing.T) {
+	sys := chainSystem()
+	sys.Transactions[0].Deadline = 14
+
+	res, err := HOPA(sys, HOPAOptions{})
+	if err != nil {
+		t.Fatalf("HOPA: %v", err)
+	}
+	if !res.Schedulable {
+		t.Fatalf("HOPA did not find a schedulable assignment; R(fast) = %v, R(slow) = %v",
+			res.TransactionResponse(0), res.TransactionResponse(1))
+	}
+	// The installed priorities must reproduce the returned result.
+	verify, err := analysis.Analyze(sys, analysis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if verify.Schedulable != res.Schedulable {
+		t.Errorf("installed priorities verdict %v != returned %v", verify.Schedulable, res.Schedulable)
+	}
+}
+
+// TestHOPAOnPaperExample: HOPA must keep the paper example schedulable
+// (it may find a different but valid assignment).
+func TestHOPAOnPaperExample(t *testing.T) {
+	sys := experiments.PaperSystem()
+	res, err := HOPA(sys, HOPAOptions{})
+	if err != nil {
+		t.Fatalf("HOPA: %v", err)
+	}
+	if !res.Schedulable {
+		t.Errorf("HOPA lost schedulability on the paper example")
+	}
+}
+
+func TestHOPARejectsInvalid(t *testing.T) {
+	sys := chainSystem()
+	sys.Transactions[0].Tasks[0].WCET = -1
+	if _, err := HOPA(sys, HOPAOptions{}); err == nil {
+		t.Errorf("invalid system accepted")
+	}
+}
+
+// TestByKeyDistinctLevels: all distinct keys map to distinct priority
+// levels, ordered inversely.
+func TestByKeyDistinctLevels(t *testing.T) {
+	sys := &model.System{
+		Platforms: []platform.Params{platform.Dedicated()},
+		Transactions: []model.Transaction{
+			{Period: 5, Deadline: 5, Tasks: []model.Task{{WCET: 0.1, BCET: 0.1}}},
+			{Period: 17, Deadline: 17, Tasks: []model.Task{{WCET: 0.1, BCET: 0.1}}},
+			{Period: 11, Deadline: 11, Tasks: []model.Task{{WCET: 0.1, BCET: 0.1}}},
+		},
+	}
+	RateMonotonic(sys)
+	p5 := sys.Transactions[0].Tasks[0].Priority
+	p17 := sys.Transactions[1].Tasks[0].Priority
+	p11 := sys.Transactions[2].Tasks[0].Priority
+	if !(p5 > p11 && p11 > p17) {
+		t.Errorf("priorities (5, 11, 17) = (%d, %d, %d), want strictly decreasing in period", p5, p11, p17)
+	}
+}

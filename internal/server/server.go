@@ -1,0 +1,170 @@
+// Package server provides runtime realisations of abstract computing
+// platforms: the global-scheduler mechanisms of Section 2.3 of the
+// paper (budget servers, static time partitions, proportional-share
+// servers) as supply state machines consumable by the simulator
+// (package sim). Every server also reports the linear platform model
+// (α, Δ, β) it realises, which is what the analysis consumes.
+package server
+
+import (
+	"fmt"
+	"math"
+
+	"hsched/internal/platform"
+)
+
+// Server decides, during a simulation, whether its platform receives
+// the physical processor in a given time slice. Implementations are
+// demand-independent (they model the cycles offered by the global
+// scheduler, not the cycles consumed), matching the supply-function
+// semantics of the analysis.
+type Server interface {
+	// Supplies reports whether the platform is served during
+	// [t, t+dt). Implementations may keep internal state and are
+	// called with strictly non-decreasing t.
+	Supplies(t, dt float64) bool
+	// Params returns the linear platform model the server realises;
+	// the analysis of a system simulated against this server must use
+	// these parameters (or more pessimistic ones) to stay sound.
+	Params() platform.Params
+	// Name identifies the mechanism in reports.
+	Name() string
+}
+
+// Dedicated is a dedicated physical processor: always supplies.
+type Dedicated struct{}
+
+// Supplies always reports true.
+func (Dedicated) Supplies(t, dt float64) bool { return true }
+
+// Params returns (1, 0, 0).
+func (Dedicated) Params() platform.Params { return platform.Dedicated() }
+
+// Name returns "dedicated".
+func (Dedicated) Name() string { return "dedicated" }
+
+// Polling is a polling server: a budget of Q units at the start of
+// every period P, shifted by Phase. Its supply is a (Q, P) periodic
+// pattern, so the platform it realises is the periodic server of
+// Figure 3 with parameters (Q/P, 2(P−Q), 2Q(P−Q)/P); the Phase only
+// selects which alignment the simulation exercises (the analysis
+// covers all of them).
+type Polling struct {
+	// Q is the budget per period.
+	Q float64
+	// P is the replenishment period.
+	P float64
+	// Phase shifts the supply pattern: budget is served during
+	// [Phase+kP, Phase+kP+Q).
+	Phase float64
+}
+
+// Supplies reports whether [t, t+dt) begins inside the budget window.
+func (s Polling) Supplies(t, dt float64) bool {
+	u := math.Mod(t-s.Phase, s.P)
+	if u < 0 {
+		u += s.P
+	}
+	return u < s.Q-1e-12
+}
+
+// Params returns the periodic-server platform model.
+func (s Polling) Params() platform.Params {
+	return platform.PeriodicServer{Q: s.Q, P: s.P}.Params()
+}
+
+// Name returns a description like "polling(Q=1, P=4)".
+func (s Polling) Name() string { return fmt.Sprintf("polling(Q=%g, P=%g)", s.Q, s.P) }
+
+// TDMA is a static slot: the platform owns [Offset+kF, Offset+kF+Slot)
+// of every frame of length Frame.
+type TDMA struct {
+	// Slot is the slot length.
+	Slot float64
+	// Frame is the frame length.
+	Frame float64
+	// Offset positions the slot inside the frame.
+	Offset float64
+}
+
+// Supplies reports whether [t, t+dt) begins inside the slot.
+func (s TDMA) Supplies(t, dt float64) bool {
+	u := math.Mod(t-s.Offset, s.Frame)
+	if u < 0 {
+		u += s.Frame
+	}
+	return u < s.Slot-1e-12
+}
+
+// Params returns the TDMA platform model.
+func (s TDMA) Params() platform.Params {
+	return platform.TDMA{Slot: s.Slot, Frame: s.Frame}.Params()
+}
+
+// Name returns a description like "tdma(S=1, F=4)".
+func (s TDMA) Name() string { return fmt.Sprintf("tdma(S=%g, F=%g)", s.Slot, s.Frame) }
+
+// Proportional is a credit-based proportional-share server of weight
+// Weight: every slice accrues Weight·dt credit and the processor is
+// granted whenever a full slice of credit is available, keeping the
+// allocation lag within one slice. It approximates the p-fair
+// scheduler cited in Section 2.3 with quantum equal to the simulation
+// step.
+type Proportional struct {
+	// Weight is the share w ∈ (0, 1].
+	Weight float64
+	// Quantum is the lag bound reported to the analysis; it should be
+	// at least the simulation step. Defaults to 1e-3 when zero.
+	Quantum float64
+
+	credit float64
+}
+
+// Supplies accrues credit and grants the slice when at least one full
+// slice of credit is available.
+func (s *Proportional) Supplies(t, dt float64) bool {
+	s.credit += s.Weight * dt
+	if s.credit >= dt-1e-12 {
+		s.credit -= dt
+		return true
+	}
+	return false
+}
+
+// Params returns the p-fair lag model (w, q/w, q).
+func (s *Proportional) Params() platform.Params {
+	q := s.Quantum
+	if q == 0 {
+		q = 1e-3
+	}
+	return platform.Pfair{Weight: s.Weight, Quantum: q}.Params()
+}
+
+// Name returns a description like "proportional(w=0.4)".
+func (s *Proportional) Name() string { return fmt.Sprintf("proportional(w=%g)", s.Weight) }
+
+// ForPlatform builds a polling server realising the given platform
+// parameters with the tightest period compatible with its delay:
+// P = Δ/(2(1−α)), Q = αP (the equality case of platform.ServerFor).
+// For a dedicated platform (α=1, Δ=0) it returns Dedicated.
+func ForPlatform(p platform.Params, phase float64) (Server, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if p.Alpha == 1 {
+		return Dedicated{}, nil
+	}
+	if p.Delta == 0 {
+		// Every discrete mechanism has a positive worst-case service
+		// delay; a fractional zero-delay platform would require a
+		// fluid processor. Refuse rather than hand back a server the
+		// analysed model does not dominate.
+		return nil, fmt.Errorf("server: no discrete server realises a zero-delay platform with rate %v < 1", p.Alpha)
+	}
+	period := p.Delta / (2 * (1 - p.Alpha))
+	srv, err := platform.ServerFor(p, period)
+	if err != nil {
+		return nil, err
+	}
+	return Polling{Q: srv.Q, P: srv.P, Phase: phase}, nil
+}

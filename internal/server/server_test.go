@@ -1,0 +1,126 @@
+package server
+
+import (
+	"math"
+	"testing"
+
+	"hsched/internal/platform"
+)
+
+// integrate accumulates the supply a server grants over [t0, t0+len)
+// with the given step.
+func integrate(s Server, t0, length, dt float64) float64 {
+	sum := 0.0
+	for t := t0; t < t0+length-1e-12; t += dt {
+		if s.Supplies(t, dt) {
+			sum += dt
+		}
+	}
+	return sum
+}
+
+// TestPollingSupplyWithinBounds: over every window of a long run, the
+// supply granted by a polling server lies between its platform's
+// MinSupply and MaxSupply (up to step quantisation).
+func TestPollingSupplyWithinBounds(t *testing.T) {
+	const dt = 0.01
+	srv := Polling{Q: 1, P: 4, Phase: 0.7}
+	exact := platform.PeriodicServer{Q: 1, P: 4}
+	for _, window := range []float64{1, 3, 5.5, 8, 12, 20} {
+		for t0 := 0.0; t0 < 8; t0 += 0.37 {
+			got := integrate(srv, t0, window, dt)
+			lo, hi := exact.MinSupply(window), exact.MaxSupply(window)
+			if got < lo-3*dt || got > hi+3*dt {
+				t.Fatalf("window [%v, %v): supply %v outside [%v, %v]", t0, t0+window, got, lo, hi)
+			}
+		}
+	}
+}
+
+// TestPollingLongRunRate: the long-run granted rate equals Q/P.
+func TestPollingLongRunRate(t *testing.T) {
+	srv := Polling{Q: 1.5, P: 5, Phase: 2.1}
+	got := integrate(srv, 0, 500, 0.005) / 500
+	if math.Abs(got-0.3) > 0.01 {
+		t.Errorf("long-run rate %v, want 0.3", got)
+	}
+}
+
+// TestTDMASupplyWithinBounds mirrors the polling test for the fixed
+// slot.
+func TestTDMASupplyWithinBounds(t *testing.T) {
+	const dt = 0.01
+	srv := TDMA{Slot: 1, Frame: 4, Offset: 1.3}
+	exact := platform.TDMA{Slot: 1, Frame: 4}
+	for _, window := range []float64{1, 3.5, 7, 13} {
+		for t0 := 0.0; t0 < 8; t0 += 0.53 {
+			got := integrate(srv, t0, window, dt)
+			lo, hi := exact.MinSupply(window), exact.MaxSupply(window)
+			if got < lo-4*dt-1e-9 || got > hi+4*dt+1e-9 {
+				t.Fatalf("window [%v, %v): supply %v outside [%v, %v]", t0, t0+window, got, lo, hi)
+			}
+		}
+	}
+}
+
+// TestProportionalLag: the credit-based server keeps the allocation
+// within one quantum of the fluid share.
+func TestProportionalLag(t *testing.T) {
+	const dt = 0.01
+	srv := &Proportional{Weight: 0.37, Quantum: dt}
+	acc := 0.0
+	for x := 0.0; x < 100; x += dt {
+		if srv.Supplies(x, dt) {
+			acc += dt
+		}
+		if math.Abs(acc-0.37*(x+dt)) > 2*dt+1e-9 {
+			t.Fatalf("t=%v: allocation %v drifted from fluid %v", x, acc, 0.37*(x+dt))
+		}
+	}
+}
+
+func TestDedicatedAlwaysSupplies(t *testing.T) {
+	d := Dedicated{}
+	for x := 0.0; x < 10; x += 0.3 {
+		if !d.Supplies(x, 0.01) {
+			t.Fatalf("dedicated denied supply at %v", x)
+		}
+	}
+	if d.Params() != platform.Dedicated() {
+		t.Errorf("Params() = %v", d.Params())
+	}
+}
+
+// TestForPlatform: the factory returns a server whose stated Params
+// dominate the requested triple (rate ≥ α, delay ≤ Δ).
+func TestForPlatform(t *testing.T) {
+	for _, p := range []platform.Params{
+		{Alpha: 0.4, Delta: 1, Beta: 1},
+		{Alpha: 0.2, Delta: 2, Beta: 1},
+		{Alpha: 0.75, Delta: 0.3, Beta: 0.1},
+		platform.Dedicated(),
+	} {
+		srv, err := ForPlatform(p, 0.1)
+		if err != nil {
+			t.Fatalf("ForPlatform(%v): %v", p, err)
+		}
+		got := srv.Params()
+		if got.Alpha < p.Alpha-1e-9 {
+			t.Errorf("%v realised with rate %v < %v", p, got.Alpha, p.Alpha)
+		}
+		if got.Delta > p.Delta+1e-9 {
+			t.Errorf("%v realised with delay %v > %v", p, got.Delta, p.Delta)
+		}
+		if srv.Name() == "" {
+			t.Errorf("server for %v has empty name", p)
+		}
+	}
+	if _, err := ForPlatform(platform.Params{Alpha: -1}, 0); err == nil {
+		t.Errorf("invalid platform accepted")
+	}
+	// A fractional zero-delay platform cannot be realised by any
+	// discrete server; the factory must refuse.
+	if _, err := ForPlatform(platform.Params{Alpha: 0.5, Delta: 0, Beta: 0.2}, 0); err == nil {
+		t.Errorf("zero-delay fractional platform accepted")
+	}
+}

@@ -1,0 +1,220 @@
+package sim_test
+
+import (
+	"testing"
+
+	"hsched/internal/experiments"
+	"hsched/internal/model"
+	"hsched/internal/platform"
+	"hsched/internal/server"
+	"hsched/internal/sim"
+)
+
+func dedicated() []server.Server { return []server.Server{server.Dedicated{}} }
+
+func onePlatformChain() *model.System {
+	return &model.System{
+		Platforms: []platform.Params{platform.Dedicated()},
+		Transactions: []model.Transaction{
+			{Name: "G", Period: 10, Deadline: 10, Tasks: []model.Task{
+				{Name: "a", WCET: 2, BCET: 1, Priority: 1},
+			}},
+		},
+	}
+}
+
+// TestBestCaseMode: with BCET execution the observed responses sit at
+// the best case, strictly below the worst case.
+func TestBestCaseMode(t *testing.T) {
+	sys := onePlatformChain()
+	best, err := sim.Run(sys, dedicated(), sim.Config{Horizon: 100, Step: 0.01, Mode: sim.BestCase})
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst, err := sim.Run(sys, dedicated(), sim.Config{Horizon: 100, Step: 0.01, Mode: sim.WorstCase})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b, w := best.MaxEndToEnd(0), worst.MaxEndToEnd(0); !(b < w) {
+		t.Errorf("best-case max %v not below worst-case max %v", b, w)
+	}
+	if b := best.MaxEndToEnd(0); b < 1-0.02 || b > 1+0.02 {
+		t.Errorf("best-case response %v, want ≈ BCET = 1", b)
+	}
+}
+
+// TestRandomCaseBounded: random execution times stay within
+// [BCET, WCET]-induced response bounds on an idle platform.
+func TestRandomCaseBounded(t *testing.T) {
+	sys := onePlatformChain()
+	res, err := sim.Run(sys, dedicated(), sim.Config{Horizon: 500, Step: 0.01, Mode: sim.RandomCase, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Tasks[0][0]
+	if st.MaxResponse > 2+0.02 || st.Mean() < 1-0.02 {
+		t.Errorf("random-case responses out of [1, 2]: max %v mean %v", st.MaxResponse, st.Mean())
+	}
+}
+
+// TestSampleJitterShiftsActivations: with release jitter sampling on,
+// observed responses (measured from the nominal release) grow by up to
+// the jitter.
+func TestSampleJitterShiftsActivations(t *testing.T) {
+	sys := onePlatformChain()
+	sys.Transactions[0].Tasks[0].Jitter = 5
+	withJ, err := sim.Run(sys, dedicated(), sim.Config{Horizon: 2000, Step: 0.01, SampleJitter: true, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := withJ.MaxEndToEnd(0)
+	if got <= 2 || got > 7+0.02 {
+		t.Errorf("jittered max response %v, want in (2, 7]", got)
+	}
+	noJ, err := sim.Run(sys, dedicated(), sim.Config{Horizon: 2000, Step: 0.01, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noJ.MaxEndToEnd(0) > 2+0.02 {
+		t.Errorf("punctual releases should respond within WCET, got %v", noJ.MaxEndToEnd(0))
+	}
+}
+
+// TestPhasesShiftReleases: phase offsets delay first releases and
+// reduce the job count within the horizon.
+func TestPhasesShiftReleases(t *testing.T) {
+	sys := onePlatformChain()
+	res, err := sim.Run(sys, dedicated(), sim.Config{Horizon: 100, Step: 0.01, Phases: []float64{55}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Tasks[0][0].Activations; got != 5 {
+		t.Errorf("activations = %d, want 5 (releases at 55..95)", got)
+	}
+}
+
+// TestConfigErrors: malformed configurations are rejected.
+func TestConfigErrors(t *testing.T) {
+	sys := onePlatformChain()
+	if _, err := sim.Run(sys, nil, sim.Config{}); err == nil {
+		t.Errorf("missing servers accepted")
+	}
+	if _, err := sim.Run(sys, dedicated(), sim.Config{Phases: []float64{1, 2}}); err == nil {
+		t.Errorf("phase count mismatch accepted")
+	}
+	if _, err := sim.Run(sys, dedicated(), sim.Config{Policies: []sim.Policy{sim.EDF, sim.EDF}}); err == nil {
+		t.Errorf("policy count mismatch accepted")
+	}
+	sys.Transactions[0].Tasks[0].WCET = -1
+	if _, err := sim.Run(sys, dedicated(), sim.Config{}); err == nil {
+		t.Errorf("invalid system accepted")
+	}
+}
+
+// TestEDFPolicyPrefersEarlierDeadline: two simultaneous jobs, the one
+// with the earlier absolute deadline runs first under EDF even with a
+// lower fixed priority.
+func TestEDFPolicyPrefersEarlierDeadline(t *testing.T) {
+	sys := &model.System{
+		Platforms: []platform.Params{platform.Dedicated()},
+		Transactions: []model.Transaction{
+			{Name: "late", Period: 100, Deadline: 50, Tasks: []model.Task{
+				{Name: "late", WCET: 2, BCET: 2, Priority: 9},
+			}},
+			{Name: "soon", Period: 100, Deadline: 5, Tasks: []model.Task{
+				{Name: "soon", WCET: 2, BCET: 2, Priority: 1},
+			}},
+		},
+	}
+	res, err := sim.Run(sys, dedicated(), sim.Config{
+		Horizon: 100, Step: 0.01, Policies: []sim.Policy{sim.EDF}, TraceLimit: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.MaxEndToEnd(1); got > 2.02 {
+		t.Errorf("EDF: soon-deadline job responded in %v, want ≈ 2", got)
+	}
+	if got := res.MaxEndToEnd(0); got < 3.9 {
+		t.Errorf("EDF: late-deadline job responded in %v, want ≈ 4", got)
+	}
+
+	// Under fixed priority the order inverts.
+	fp, err := sim.Run(sys, dedicated(), sim.Config{Horizon: 100, Step: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fp.MaxEndToEnd(0); got > 2.02 {
+		t.Errorf("FP: high-priority job responded in %v, want ≈ 2", got)
+	}
+}
+
+// TestHyperperiodDefaultHorizon: Horizon 0 selects twice the
+// hyperperiod.
+func TestHyperperiodDefaultHorizon(t *testing.T) {
+	sys := experiments.PaperSystem()
+	res, err := sim.Run(sys, paperServers(t, [3]float64{0, 0, 0}), sim.Config{Step: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Horizon != 2*sys.Hyperperiod() {
+		t.Errorf("default horizon %v, want %v", res.Horizon, 2*sys.Hyperperiod())
+	}
+}
+
+// TestPercentiles: with KeepResponses on, percentiles are ordered and
+// bracketed by the extreme observations.
+func TestPercentiles(t *testing.T) {
+	sys := onePlatformChain()
+	res, err := sim.Run(sys, dedicated(), sim.Config{
+		Horizon: 1000, Step: 0.01, Mode: sim.RandomCase, Seed: 9, KeepResponses: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Tasks[0][0]
+	if len(st.Responses) != st.Completions {
+		t.Fatalf("kept %d responses for %d completions", len(st.Responses), st.Completions)
+	}
+	p0, p50, p95, p100 := st.Percentile(0), st.Percentile(50), st.Percentile(95), st.Percentile(100)
+	if !(p0 <= p50 && p50 <= p95 && p95 <= p100) {
+		t.Errorf("percentiles not ordered: %v %v %v %v", p0, p50, p95, p100)
+	}
+	if p100 != st.MaxResponse {
+		t.Errorf("p100 = %v, max = %v", p100, st.MaxResponse)
+	}
+	// Without KeepResponses the percentile is 0 by contract.
+	res2, err := sim.Run(sys, dedicated(), sim.Config{Horizon: 100, Step: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res2.Tasks[0][0].Percentile(50); got != 0 {
+		t.Errorf("percentile without KeepResponses = %v", got)
+	}
+}
+
+// TestPlatformStats: the fraction of the horizon a polling server
+// supplies matches its rate, and busy time never exceeds supplied
+// time.
+func TestPlatformStats(t *testing.T) {
+	sys := experiments.PaperSystem()
+	res, err := sim.Run(sys, paperServers(t, [3]float64{0, 0, 0}), sim.Config{
+		Horizon: 2100, Step: 0.005,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRates := []float64{0.4, 0.4, 0.2}
+	for m, ps := range res.Platforms {
+		got := ps.Supplied / res.Horizon
+		if got < wantRates[m]-0.02 || got > wantRates[m]+0.02 {
+			t.Errorf("Π%d supplied fraction %v, want ≈ %v", m+1, got, wantRates[m])
+		}
+		if ps.Busy > ps.Supplied+1e-9 {
+			t.Errorf("Π%d busy %v exceeds supplied %v", m+1, ps.Busy, ps.Supplied)
+		}
+		if ps.Busy <= 0 {
+			t.Errorf("Π%d never busy", m+1)
+		}
+	}
+}

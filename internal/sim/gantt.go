@@ -1,0 +1,79 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"hsched/internal/model"
+)
+
+// Span is a maximal contiguous execution interval of one task instance
+// on its platform, recorded when Config.RecordRuns is set.
+type Span struct {
+	// Start and End delimit the interval.
+	Start, End float64
+	// Transaction and Task locate the task (0-based).
+	Transaction, Task int
+}
+
+// Gantt renders recorded execution runs as an ASCII chart: one row per
+// platform, one column per time cell of width (to−from)/cols. Each
+// task is assigned a letter (a, b, c, … in declaration order); '.'
+// marks cells where the platform ran nothing. A legend follows the
+// chart.
+func Gantt(sys *model.System, runs [][]Span, from, to float64, cols int) string {
+	if cols < 1 {
+		cols = 60
+	}
+	if to <= from {
+		return ""
+	}
+	letters := map[[2]int]byte{}
+	next := byte('a')
+	var legend []string
+	for i := range sys.Transactions {
+		for j := range sys.Transactions[i].Tasks {
+			letters[[2]int{i, j}] = next
+			legend = append(legend, fmt.Sprintf("%c=%s", next, sys.TaskName(i, j)))
+			if next == 'z' {
+				next = 'A'
+			} else {
+				next++
+			}
+		}
+	}
+
+	cell := (to - from) / float64(cols)
+	var b strings.Builder
+	fmt.Fprintf(&b, "time %g..%g, cell %.3g\n", from, to, cell)
+	for m, platformRuns := range runs {
+		row := make([]byte, cols)
+		for k := range row {
+			row[k] = '.'
+		}
+		for _, r := range platformRuns {
+			if r.End <= from || r.Start >= to {
+				continue
+			}
+			// Half-open interval [Start, End) with an ε guard: runs are
+			// accumulated from simulation steps, so boundaries sit a few
+			// ulps off the exact cell edges.
+			eps := cell * 1e-6
+			lo := int(math.Floor((r.Start - from + eps) / cell))
+			hi := int(math.Ceil((r.End-from-eps)/cell)) - 1
+			if hi >= cols {
+				hi = cols - 1
+			}
+			if lo < 0 {
+				lo = 0
+			}
+			for k := lo; k <= hi; k++ {
+				row[k] = letters[[2]int{r.Transaction, r.Task}]
+			}
+		}
+		fmt.Fprintf(&b, "Π%d |%s|\n", m+1, row)
+	}
+	fmt.Fprintf(&b, "legend: %s\n", strings.Join(legend, " "))
+	return b.String()
+}

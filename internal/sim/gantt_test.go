@@ -1,0 +1,93 @@
+package sim_test
+
+import (
+	"strings"
+	"testing"
+
+	"hsched/internal/model"
+	"hsched/internal/platform"
+	"hsched/internal/server"
+	"hsched/internal/sim"
+)
+
+// TestGanttPreemption renders a classic preemption pattern: hi (C=1,
+// T=4) preempts lo (C=3, T=12) on a dedicated CPU. Over [0, 12) with
+// 12 one-unit cells the schedule is a b b a b . a . . . . . with job
+// boundaries at multiples of 4.
+func TestGanttPreemption(t *testing.T) {
+	sys := &model.System{
+		Platforms: []platform.Params{platform.Dedicated()},
+		Transactions: []model.Transaction{
+			{Name: "hi", Period: 4, Deadline: 4, Tasks: []model.Task{
+				{Name: "hi", WCET: 1, BCET: 1, Priority: 2},
+			}},
+			{Name: "lo", Period: 12, Deadline: 12, Tasks: []model.Task{
+				{Name: "lo", WCET: 3, BCET: 3, Priority: 1},
+			}},
+		},
+	}
+	res, err := sim.Run(sys, []server.Server{server.Dedicated{}}, sim.Config{
+		Horizon: 12, Step: 0.01, RecordRuns: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Runs) != 1 {
+		t.Fatalf("runs for %d platforms, want 1", len(res.Runs))
+	}
+	// Runs: hi [0,1), lo [1,4), hi [4,5), hi [8,9).
+	out := sim.Gantt(sys, res.Runs, 0, 12, 12)
+	lines := strings.Split(out, "\n")
+	if len(lines) < 3 {
+		t.Fatalf("short output:\n%s", out)
+	}
+	row := lines[1]
+	want := "Π1 |abbba...a...|"
+	if row != want {
+		t.Errorf("gantt row %q, want %q", row, want)
+	}
+	if !strings.Contains(out, "a=hi") || !strings.Contains(out, "b=lo") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+}
+
+// TestGanttEmptyWindow: a degenerate window renders nothing.
+func TestGanttEmptyWindow(t *testing.T) {
+	sys := &model.System{
+		Platforms: []platform.Params{platform.Dedicated()},
+		Transactions: []model.Transaction{
+			{Name: "G", Period: 10, Deadline: 10, Tasks: []model.Task{
+				{Name: "x", WCET: 1, BCET: 1, Priority: 1},
+			}},
+		},
+	}
+	if out := sim.Gantt(sys, [][]sim.Span{nil}, 5, 5, 10); out != "" {
+		t.Errorf("empty window rendered %q", out)
+	}
+}
+
+// TestRunsCoalesced: contiguous slices of one job collapse into a
+// single run.
+func TestRunsCoalesced(t *testing.T) {
+	sys := &model.System{
+		Platforms: []platform.Params{platform.Dedicated()},
+		Transactions: []model.Transaction{
+			{Name: "G", Period: 100, Deadline: 100, Tasks: []model.Task{
+				{Name: "x", WCET: 5, BCET: 5, Priority: 1},
+			}},
+		},
+	}
+	res, err := sim.Run(sys, []server.Server{server.Dedicated{}}, sim.Config{
+		Horizon: 100, Step: 0.01, RecordRuns: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(res.Runs[0]); n != 1 {
+		t.Fatalf("%d runs, want 1 coalesced run; runs: %v", n, res.Runs[0])
+	}
+	r := res.Runs[0][0]
+	if r.Start > 0.011 || r.End < 4.99 || r.End > 5.02 {
+		t.Errorf("run [%v, %v], want ≈ [0, 5]", r.Start, r.End)
+	}
+}

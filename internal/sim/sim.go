@@ -1,0 +1,394 @@
+// Package sim is a fixed-step simulator of hierarchical scheduling
+// systems: transactions releasing periodically, task chains migrating
+// across abstract computing platforms, each platform backed by a
+// global-scheduler server (package server) and scheduling its ready
+// tasks by local fixed priority.
+//
+// The simulator is the experimental substrate of the reproduction: the
+// paper's analysis produces upper bounds, and the simulator produces
+// achievable response times. Soundness experiments check that no
+// simulated response ever exceeds the analysed bound when the servers
+// realise the analysed platform parameters.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"hsched/internal/model"
+	"hsched/internal/server"
+)
+
+// ExecMode selects how task execution times are drawn.
+type ExecMode int
+
+const (
+	// WorstCase runs every task for its WCET.
+	WorstCase ExecMode = iota
+	// BestCase runs every task for its BCET.
+	BestCase
+	// RandomCase draws uniformly from [BCET, WCET].
+	RandomCase
+)
+
+// Policy selects the local scheduling policy of a platform.
+type Policy int
+
+const (
+	// FixedPriority schedules by task priority (greater wins), the
+	// paper's baseline local scheduler.
+	FixedPriority Policy = iota
+	// EDF schedules by earliest absolute deadline (transaction release
+	// plus transaction deadline), the extension the paper sketches in
+	// Section 2.1.
+	EDF
+)
+
+// Config tunes a simulation run.
+type Config struct {
+	// Horizon is the simulated time; 0 selects twice the system
+	// hyperperiod.
+	Horizon float64
+	// Step is the simulation step; 0 selects 0.01.
+	Step float64
+	// Mode selects the execution-time draw.
+	Mode ExecMode
+	// Seed seeds the random generator (release jitter and RandomCase).
+	Seed int64
+	// SampleJitter, when true, draws the release jitter of every
+	// transaction's first task uniformly from [0, J]; otherwise
+	// releases are punctual at the offset.
+	SampleJitter bool
+	// Phases optionally delays the first release of each transaction
+	// (one entry per transaction), exercising different alignments.
+	Phases []float64
+	// Policies optionally selects a local policy per platform (one
+	// entry per platform); nil selects fixed priority everywhere.
+	Policies []Policy
+	// TraceLimit, when positive, records up to that many timeline
+	// events (releases, starts, completions) in Result.Trace.
+	TraceLimit int
+	// RecordRuns, when true, records per-platform execution intervals
+	// in Result.Runs (consumable by Gantt). Memory grows with the
+	// number of preemptions over the horizon.
+	RecordRuns bool
+	// KeepResponses, when true, retains every observed response per
+	// task (enabling TaskStats.Percentile). Memory grows with the job
+	// count over the horizon.
+	KeepResponses bool
+}
+
+// TaskStats accumulates per-task observations.
+type TaskStats struct {
+	// Activations and Completions count job instances.
+	Activations, Completions int
+	// MaxResponse is the largest observed completion − transaction
+	// release.
+	MaxResponse float64
+	// SumResponse supports mean computation.
+	SumResponse float64
+	// Responses holds every observed response when
+	// Config.KeepResponses is set, enabling Percentile.
+	Responses []float64
+}
+
+// Mean returns the average observed response, or 0 with no completions.
+func (s TaskStats) Mean() float64 {
+	if s.Completions == 0 {
+		return 0
+	}
+	return s.SumResponse / float64(s.Completions)
+}
+
+// Percentile returns the q-th percentile (q in [0, 100]) of the
+// observed responses, or 0 when Config.KeepResponses was off or no
+// job completed. The nearest-rank definition is used.
+func (s TaskStats) Percentile(q float64) float64 {
+	if len(s.Responses) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), s.Responses...)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(q / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+// PlatformStats accumulates per-platform supply accounting.
+type PlatformStats struct {
+	// Supplied is the total time the global scheduler granted the
+	// platform the processor.
+	Supplied float64
+	// Busy is the portion of Supplied during which a ready task
+	// actually executed; Supplied − Busy is budget wasted on an idle
+	// platform (a polling server supplies regardless of demand).
+	Busy float64
+}
+
+// Result is the outcome of a simulation run.
+type Result struct {
+	// Tasks mirrors the system's transactions.
+	Tasks [][]TaskStats
+	// Misses counts end-to-end deadline misses per transaction.
+	Misses []int
+	// Platforms mirrors the system's platforms with supply accounting.
+	Platforms []PlatformStats
+	// Horizon is the simulated time.
+	Horizon float64
+	// Unfinished counts task instances still pending at the horizon.
+	Unfinished int
+	// Trace holds up to Config.TraceLimit timeline events when tracing
+	// was enabled.
+	Trace []Event
+	// Runs holds per-platform execution intervals when
+	// Config.RecordRuns was set.
+	Runs [][]Span
+}
+
+// MaxEndToEnd returns the largest observed end-to-end response of
+// transaction i.
+func (r *Result) MaxEndToEnd(i int) float64 {
+	row := r.Tasks[i]
+	return row[len(row)-1].MaxResponse
+}
+
+type event struct {
+	time float64
+	seq  int64
+	job  *job
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+type job struct {
+	tr, idx   int     // transaction and task index
+	release   float64 // transaction release time
+	remaining float64
+	seq       int64 // creation order (event-queue tie-break)
+	arrival   int64 // ready-queue arrival order (FIFO tie-break)
+	started   bool
+}
+
+// Run simulates the system against one server per platform. The
+// servers must correspond index-wise to sys.Platforms; their stated
+// Params need not match the system's (soundness experiments exploit
+// exactly that freedom), but the analysed bounds are only guaranteed
+// to dominate when each server's supply satisfies the analysed
+// platform model.
+func Run(sys *model.System, servers []server.Server, cfg Config) (*Result, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	if len(servers) != len(sys.Platforms) {
+		return nil, fmt.Errorf("sim: %d servers for %d platforms", len(servers), len(sys.Platforms))
+	}
+	if cfg.Phases != nil && len(cfg.Phases) != len(sys.Transactions) {
+		return nil, fmt.Errorf("sim: %d phases for %d transactions", len(cfg.Phases), len(sys.Transactions))
+	}
+	if cfg.Policies != nil && len(cfg.Policies) != len(sys.Platforms) {
+		return nil, fmt.Errorf("sim: %d policies for %d platforms", len(cfg.Policies), len(sys.Platforms))
+	}
+	dt := cfg.Step
+	if dt <= 0 {
+		dt = 0.01
+	}
+	horizon := cfg.Horizon
+	if horizon <= 0 {
+		horizon = 2 * sys.Hyperperiod()
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	res := &Result{
+		Tasks:     make([][]TaskStats, len(sys.Transactions)),
+		Misses:    make([]int, len(sys.Transactions)),
+		Platforms: make([]PlatformStats, len(sys.Platforms)),
+		Horizon:   horizon,
+	}
+	if cfg.RecordRuns {
+		res.Runs = make([][]Span, len(sys.Platforms))
+	}
+	for i := range sys.Transactions {
+		res.Tasks[i] = make([]TaskStats, len(sys.Transactions[i].Tasks))
+	}
+
+	var seq int64
+	nextSeq := func() int64 { seq++; return seq }
+
+	trace := func(t float64, kind EventKind, j *job) {
+		if cfg.TraceLimit <= 0 || len(res.Trace) >= cfg.TraceLimit {
+			return
+		}
+		res.Trace = append(res.Trace, Event{
+			Time: t, Kind: kind,
+			Transaction: j.tr, Task: j.idx,
+			Platform: sys.Transactions[j.tr].Tasks[j.idx].Platform,
+			Release:  j.release,
+		})
+	}
+
+	// Activation events feed the per-platform ready queues.
+	events := &eventQueue{}
+	ready := make([][]*job, len(sys.Platforms))
+	pending := 0
+
+	activate := func(t float64, j *job) {
+		heap.Push(events, &event{time: t, seq: nextSeq(), job: j})
+	}
+
+	exec := func(task *model.Task) float64 {
+		switch cfg.Mode {
+		case BestCase:
+			return task.BCET
+		case RandomCase:
+			return task.BCET + rng.Float64()*(task.WCET-task.BCET)
+		default:
+			return task.WCET
+		}
+	}
+
+	// Schedule every transaction release within the horizon up front.
+	for i := range sys.Transactions {
+		tr := &sys.Transactions[i]
+		first := tr.Tasks[0]
+		phase := 0.0
+		if cfg.Phases != nil {
+			phase = cfg.Phases[i]
+		}
+		for rel := phase; rel < horizon; rel += tr.Period {
+			act := rel + first.Offset
+			if cfg.SampleJitter && first.Jitter > 0 {
+				act += rng.Float64() * first.Jitter
+			}
+			j := &job{tr: i, idx: 0, release: rel, remaining: exec(&tr.Tasks[0]), seq: nextSeq()}
+			activate(act, j)
+			res.Tasks[i][0].Activations++
+			pending++
+		}
+	}
+
+	complete := func(j *job, now float64) {
+		trace(now, EventComplete, j)
+		st := &res.Tasks[j.tr][j.idx]
+		st.Completions++
+		resp := now - j.release
+		st.SumResponse += resp
+		if cfg.KeepResponses {
+			st.Responses = append(st.Responses, resp)
+		}
+		if resp > st.MaxResponse {
+			st.MaxResponse = resp
+		}
+		tr := &sys.Transactions[j.tr]
+		pending--
+		if j.idx+1 < len(tr.Tasks) {
+			nt := &tr.Tasks[j.idx+1]
+			nj := &job{tr: j.tr, idx: j.idx + 1, release: j.release, remaining: exec(nt), seq: nextSeq()}
+			activate(now, nj)
+			res.Tasks[j.tr][j.idx+1].Activations++
+			pending++
+		} else if resp > tr.Deadline+1e-9 {
+			res.Misses[j.tr]++
+		}
+	}
+
+	const tiny = 1e-9
+	for t := 0.0; t < horizon && (events.Len() > 0 || pending > 0); t += dt {
+		for events.Len() > 0 && (*events)[0].time <= t+tiny {
+			e := heap.Pop(events).(*event)
+			m := sys.Transactions[e.job.tr].Tasks[e.job.idx].Platform
+			e.job.arrival = nextSeq()
+			ready[m] = append(ready[m], e.job)
+			trace(e.time, EventRelease, e.job)
+		}
+		for m := range servers {
+			if !servers[m].Supplies(t, dt) {
+				continue
+			}
+			res.Platforms[m].Supplied += dt
+			if len(ready[m]) == 0 {
+				continue
+			}
+			res.Platforms[m].Busy += dt
+			policy := FixedPriority
+			if cfg.Policies != nil {
+				policy = cfg.Policies[m]
+			}
+			best := 0
+			for k := 1; k < len(ready[m]); k++ {
+				if beats(sys, policy, ready[m][k], ready[m][best]) {
+					best = k
+				}
+			}
+			j := ready[m][best]
+			if !j.started {
+				j.started = true
+				trace(t, EventStart, j)
+			}
+			if cfg.RecordRuns {
+				rs := res.Runs[m]
+				if n := len(rs); n > 0 && rs[n-1].Transaction == j.tr && rs[n-1].Task == j.idx &&
+					t-rs[n-1].End < dt/2 {
+					rs[n-1].End = t + dt
+				} else {
+					res.Runs[m] = append(rs, Span{Start: t, End: t + dt, Transaction: j.tr, Task: j.idx})
+				}
+			}
+			j.remaining -= dt
+			if j.remaining <= tiny {
+				ready[m] = append(ready[m][:best], ready[m][best+1:]...)
+				complete(j, t+dt)
+			}
+		}
+	}
+	res.Unfinished = pending
+	return res, nil
+}
+
+// beats reports whether job a should be dispatched before job b under
+// the platform's local policy. Ties fall back to FIFO (activation
+// order).
+func beats(sys *model.System, policy Policy, a, b *job) bool {
+	switch policy {
+	case EDF:
+		da := a.release + sys.Transactions[a.tr].Deadline
+		db := b.release + sys.Transactions[b.tr].Deadline
+		if da != db {
+			return da < db
+		}
+	default:
+		pa := sys.Transactions[a.tr].Tasks[a.idx].Priority
+		pb := sys.Transactions[b.tr].Tasks[b.idx].Priority
+		if pa != pb {
+			return pa > pb
+		}
+	}
+	return a.arrival < b.arrival
+}

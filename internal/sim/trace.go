@@ -1,0 +1,59 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"hsched/internal/model"
+)
+
+// EventKind discriminates trace events.
+type EventKind int
+
+const (
+	// EventRelease marks a task instance becoming ready.
+	EventRelease EventKind = iota
+	// EventStart marks the first processor slice of an instance.
+	EventStart
+	// EventComplete marks an instance finishing.
+	EventComplete
+)
+
+// String returns "release", "start" or "complete".
+func (k EventKind) String() string {
+	switch k {
+	case EventRelease:
+		return "release"
+	case EventStart:
+		return "start"
+	case EventComplete:
+		return "complete"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Event is one timeline entry of a traced simulation.
+type Event struct {
+	// Time is the simulation time of the event.
+	Time float64
+	// Kind is the event type.
+	Kind EventKind
+	// Transaction and Task locate the instance (0-based).
+	Transaction, Task int
+	// Platform is the platform of the task.
+	Platform int
+	// Release is the owning transaction's release time.
+	Release float64
+}
+
+// FormatTrace renders a trace as one line per event, for debugging and
+// teaching material.
+func FormatTrace(sys *model.System, events []Event) string {
+	var b strings.Builder
+	for _, e := range events {
+		fmt.Fprintf(&b, "%10.3f  %-8s %-20s Π%d (released %.3f)\n",
+			e.Time, e.Kind, sys.TaskName(e.Transaction, e.Task), e.Platform+1, e.Release)
+	}
+	return b.String()
+}

@@ -1,0 +1,96 @@
+package sim_test
+
+import (
+	"strings"
+	"testing"
+
+	"hsched/internal/model"
+	"hsched/internal/platform"
+	"hsched/internal/server"
+	"hsched/internal/sim"
+)
+
+func traceSystem() *model.System {
+	return &model.System{
+		Platforms: []platform.Params{platform.Dedicated()},
+		Transactions: []model.Transaction{
+			{Name: "G", Period: 10, Deadline: 10, Tasks: []model.Task{
+				{Name: "a", WCET: 1, BCET: 1, Priority: 2},
+				{Name: "b", WCET: 1, BCET: 1, Priority: 1},
+			}},
+		},
+	}
+}
+
+// TestTraceTimeline checks the recorded event sequence of a simple
+// two-task chain: release(a) → start(a) → complete(a) → release(b) →
+// start(b) → complete(b), per period instance.
+func TestTraceTimeline(t *testing.T) {
+	sys := traceSystem()
+	res, err := sim.Run(sys, []server.Server{server.Dedicated{}}, sim.Config{
+		Horizon: 10, Step: 0.1, TraceLimit: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) != 6 {
+		t.Fatalf("recorded %d events, want 6: %v", len(res.Trace), res.Trace)
+	}
+	wantKinds := []sim.EventKind{
+		sim.EventRelease, sim.EventStart, sim.EventComplete,
+		sim.EventRelease, sim.EventStart, sim.EventComplete,
+	}
+	wantTask := []int{0, 0, 0, 1, 1, 1}
+	for i, e := range res.Trace {
+		if e.Kind != wantKinds[i] || e.Task != wantTask[i] {
+			t.Errorf("event %d = %+v, want kind %v task %d", i, e, wantKinds[i], wantTask[i])
+		}
+		if i > 0 && e.Time < res.Trace[i-1].Time-1e-9 {
+			t.Errorf("event %d out of order: %v after %v", i, e.Time, res.Trace[i-1].Time)
+		}
+	}
+
+	out := sim.FormatTrace(sys, res.Trace)
+	for _, want := range []string{"release", "start", "complete", " a ", " b ", "Π1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted trace missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestTraceLimitRespected: the recorder stops at the cap.
+func TestTraceLimitRespected(t *testing.T) {
+	res, err := sim.Run(traceSystem(), []server.Server{server.Dedicated{}}, sim.Config{
+		Horizon: 100, Step: 0.1, TraceLimit: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) != 7 {
+		t.Errorf("recorded %d events, want exactly the cap 7", len(res.Trace))
+	}
+}
+
+// TestTraceDisabledByDefault: no TraceLimit, no allocation.
+func TestTraceDisabledByDefault(t *testing.T) {
+	res, err := sim.Run(traceSystem(), []server.Server{server.Dedicated{}}, sim.Config{
+		Horizon: 50, Step: 0.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace != nil {
+		t.Errorf("trace recorded without TraceLimit")
+	}
+}
+
+// TestEventKindString covers the String method.
+func TestEventKindString(t *testing.T) {
+	if sim.EventRelease.String() != "release" || sim.EventStart.String() != "start" ||
+		sim.EventComplete.String() != "complete" {
+		t.Errorf("unexpected kind strings")
+	}
+	if s := sim.EventKind(99).String(); !strings.Contains(s, "99") {
+		t.Errorf("unknown kind rendered as %q", s)
+	}
+}

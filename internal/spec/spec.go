@@ -1,0 +1,145 @@
+// Package spec serialises systems to and from a JSON format consumed
+// by the command-line tools (cmd/hsched, cmd/hsim). The format mirrors
+// the model: platforms as (alpha, delta, beta) triples and
+// transactions as task chains; platform references are 1-based in the
+// file (matching the paper's Π1 … ΠM notation) and converted to the
+// model's 0-based indices on load.
+package spec
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"hsched/internal/model"
+	"hsched/internal/platform"
+)
+
+// PlatformSpec is the JSON form of an abstract platform.
+type PlatformSpec struct {
+	Name  string  `json:"name,omitempty"`
+	Alpha float64 `json:"alpha"`
+	Delta float64 `json:"delta"`
+	Beta  float64 `json:"beta"`
+}
+
+// TaskSpec is the JSON form of a task. Platform is 1-based.
+type TaskSpec struct {
+	Name     string  `json:"name,omitempty"`
+	WCET     float64 `json:"wcet"`
+	BCET     float64 `json:"bcet,omitempty"`
+	Offset   float64 `json:"offset,omitempty"`
+	Jitter   float64 `json:"jitter,omitempty"`
+	Priority int     `json:"priority"`
+	Platform int     `json:"platform"`
+	Blocking float64 `json:"blocking,omitempty"`
+}
+
+// TransactionSpec is the JSON form of a transaction.
+type TransactionSpec struct {
+	Name     string     `json:"name,omitempty"`
+	Period   float64    `json:"period"`
+	Deadline float64    `json:"deadline,omitempty"`
+	Tasks    []TaskSpec `json:"tasks"`
+}
+
+// File is the top-level JSON document.
+type File struct {
+	Platforms    []PlatformSpec    `json:"platforms"`
+	Transactions []TransactionSpec `json:"transactions"`
+}
+
+// ToSystem converts the document to a validated model system. A
+// missing deadline defaults to the period.
+func (f *File) ToSystem() (*model.System, error) {
+	sys := &model.System{}
+	for _, p := range f.Platforms {
+		sys.Platforms = append(sys.Platforms, platform.Params{Alpha: p.Alpha, Delta: p.Delta, Beta: p.Beta})
+	}
+	for ti, t := range f.Transactions {
+		tr := model.Transaction{Name: t.Name, Period: t.Period, Deadline: t.Deadline}
+		if tr.Deadline == 0 {
+			tr.Deadline = tr.Period
+		}
+		for _, k := range t.Tasks {
+			if k.Platform < 1 || k.Platform > len(sys.Platforms) {
+				return nil, fmt.Errorf("spec: transaction %d: platform %d outside [1, %d]", ti+1, k.Platform, len(sys.Platforms))
+			}
+			tr.Tasks = append(tr.Tasks, model.Task{
+				Name:     k.Name,
+				WCET:     k.WCET,
+				BCET:     k.BCET,
+				Offset:   k.Offset,
+				Jitter:   k.Jitter,
+				Priority: k.Priority,
+				Platform: k.Platform - 1,
+				Blocking: k.Blocking,
+			})
+		}
+		sys.Transactions = append(sys.Transactions, tr)
+	}
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	return sys, nil
+}
+
+// FromSystem converts a model system to its JSON document form.
+func FromSystem(sys *model.System) *File {
+	f := &File{}
+	for m, p := range sys.Platforms {
+		f.Platforms = append(f.Platforms, PlatformSpec{
+			Name:  fmt.Sprintf("Pi%d", m+1),
+			Alpha: p.Alpha, Delta: p.Delta, Beta: p.Beta,
+		})
+	}
+	for _, tr := range sys.Transactions {
+		ts := TransactionSpec{Name: tr.Name, Period: tr.Period, Deadline: tr.Deadline}
+		for _, k := range tr.Tasks {
+			ts.Tasks = append(ts.Tasks, TaskSpec{
+				Name: k.Name, WCET: k.WCET, BCET: k.BCET,
+				Offset: k.Offset, Jitter: k.Jitter,
+				Priority: k.Priority, Platform: k.Platform + 1,
+				Blocking: k.Blocking,
+			})
+		}
+		f.Transactions = append(f.Transactions, ts)
+	}
+	return f
+}
+
+// Parse decodes a JSON document into a validated system.
+func Parse(data []byte) (*model.System, error) {
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("spec: %w", err)
+	}
+	return f.ToSystem()
+}
+
+// Load reads and parses a JSON system file.
+func Load(path string) (*model.System, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("spec: %w", err)
+	}
+	return Parse(data)
+}
+
+// Marshal renders a system as indented JSON.
+func Marshal(sys *model.System) ([]byte, error) {
+	data, err := json.MarshalIndent(FromSystem(sys), "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("spec: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// Save writes a system as JSON to path.
+func Save(sys *model.System, path string) error {
+	data, err := Marshal(sys)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}

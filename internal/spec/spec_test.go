@@ -1,0 +1,133 @@
+package spec
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"hsched/internal/experiments"
+	"hsched/internal/gen"
+)
+
+func TestRoundTrip(t *testing.T) {
+	sys := experiments.PaperSystem()
+	data, err := Marshal(sys)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	back, err := Parse(data)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if !reflect.DeepEqual(sys.Platforms, back.Platforms) {
+		t.Errorf("platforms differ after round trip")
+	}
+	if len(back.Transactions) != len(sys.Transactions) {
+		t.Fatalf("transaction count differs")
+	}
+	for i := range sys.Transactions {
+		a, b := sys.Transactions[i], back.Transactions[i]
+		if a.Period != b.Period || a.Deadline != b.Deadline || a.Name != b.Name {
+			t.Errorf("Γ%d header differs: %+v vs %+v", i+1, a, b)
+		}
+		if !reflect.DeepEqual(a.Tasks, b.Tasks) {
+			t.Errorf("Γ%d tasks differ:\n%+v\n%+v", i+1, a.Tasks, b.Tasks)
+		}
+	}
+}
+
+func TestLoadSave(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sys.json")
+	sys := experiments.PaperSystem()
+	if err := Save(sys, path); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if back.TaskCount() != sys.TaskCount() {
+		t.Errorf("TaskCount %d != %d", back.TaskCount(), sys.TaskCount())
+	}
+	if _, err := Load(filepath.Join(dir, "missing.json")); err == nil {
+		t.Errorf("missing file accepted")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse([]byte("{not json")); err == nil {
+		t.Errorf("malformed JSON accepted")
+	}
+	// Platform index out of range (1-based in files).
+	bad := `{"platforms":[{"alpha":0.5,"delta":1,"beta":1}],
+	         "transactions":[{"period":10,"tasks":[{"wcet":1,"priority":1,"platform":2}]}]}`
+	if _, err := Parse([]byte(bad)); err == nil {
+		t.Errorf("out-of-range platform accepted")
+	}
+	// Platform 0 (would be -1 after conversion).
+	bad0 := `{"platforms":[{"alpha":0.5,"delta":1,"beta":1}],
+	          "transactions":[{"period":10,"tasks":[{"wcet":1,"priority":1,"platform":0}]}]}`
+	if _, err := Parse([]byte(bad0)); err == nil {
+		t.Errorf("platform index 0 accepted")
+	}
+	// Structurally valid JSON, semantically invalid system.
+	neg := `{"platforms":[{"alpha":0.5,"delta":1,"beta":1}],
+	         "transactions":[{"period":-10,"tasks":[{"wcet":1,"priority":1,"platform":1}]}]}`
+	if _, err := Parse([]byte(neg)); err == nil {
+		t.Errorf("negative period accepted")
+	}
+}
+
+func TestDefaultDeadline(t *testing.T) {
+	doc := `{"platforms":[{"alpha":1,"delta":0,"beta":0}],
+	         "transactions":[{"period":10,"tasks":[{"wcet":1,"priority":1,"platform":1}]}]}`
+	sys, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if sys.Transactions[0].Deadline != 10 {
+		t.Errorf("default deadline %v, want the period", sys.Transactions[0].Deadline)
+	}
+}
+
+// TestRoundTripRandomSystems: generated systems of varied shapes
+// survive the JSON round trip bit-exactly (up to float formatting,
+// which strconv 'g' with -1 precision makes lossless).
+func TestRoundTripRandomSystems(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		sys, err := gen.System(gen.Config{
+			Seed: seed, Platforms: 1 + int(seed%4), Transactions: 1 + int(seed%5),
+			ChainLen: 1 + int(seed%3), PeriodMin: 5, PeriodMax: 5000,
+			Utilization: 0.1 + 0.08*float64(seed%9),
+			AlphaMin:    0.2, AlphaMax: 1.0,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := Marshal(sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := Parse(data)
+		if err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, data)
+		}
+		if !reflect.DeepEqual(sys.Platforms, back.Platforms) {
+			t.Fatalf("seed %d: platforms differ", seed)
+		}
+		for i := range sys.Transactions {
+			if !reflect.DeepEqual(sys.Transactions[i].Tasks, back.Transactions[i].Tasks) {
+				t.Fatalf("seed %d: Γ%d tasks differ", seed, i+1)
+			}
+		}
+	}
+}
+
+func TestSaveRejectsUnwritablePath(t *testing.T) {
+	sys := experiments.PaperSystem()
+	if err := Save(sys, filepath.Join(string(os.PathSeparator), "nonexistent-dir-xyz", "sys.json")); err == nil {
+		t.Errorf("unwritable path accepted")
+	}
+}
