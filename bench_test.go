@@ -83,6 +83,67 @@ func BenchmarkFigure5Transformation(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineColdStart measures the one-shot analysis path on the
+// paper example: a fresh engine (working copy, interference cache,
+// scratch buffers) is built for every call, as the package-level
+// Analyze does. Compare allocs/op against BenchmarkEngineReuse.
+func BenchmarkEngineColdStart(b *testing.B) {
+	sys := experiments.PaperSystem()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := analysis.NewEngine(analysis.Options{Workers: 1}).Analyze(sys)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Schedulable {
+			b.Fatal("unschedulable")
+		}
+	}
+}
+
+// BenchmarkEngineReuse measures the amortised path: one engine reused
+// across all iterations, so the interference cache, working system and
+// every scratch buffer are built once. This is the per-call cost the
+// acceptance sweeps and MinimizeBandwidth pay.
+func BenchmarkEngineReuse(b *testing.B) {
+	sys := experiments.PaperSystem()
+	eng := analysis.NewEngine(analysis.Options{Workers: 1})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := eng.Analyze(sys)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Schedulable {
+			b.Fatal("unschedulable")
+		}
+	}
+}
+
+// BenchmarkEngineReuseParallel is BenchmarkEngineReuse on a larger
+// random system with the per-round response stage fanned out across
+// all CPUs (Workers: 0), the configuration the CLI uses by default.
+func BenchmarkEngineReuseParallel(b *testing.B) {
+	sys, err := gen.System(gen.Config{
+		Seed: 11, Platforms: 3, Transactions: 12, ChainLen: 4,
+		PeriodMin: 10, PeriodMax: 1000, Utilization: 0.4,
+		AlphaMin: 0.4, AlphaMax: 0.9,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := analysis.NewEngine(analysis.Options{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Analyze(sys); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkA1ExactAnalysis measures the exact scenario-enumeration
 // analysis (ablation A1) on a random system.
 func BenchmarkA1ExactAnalysis(b *testing.B) {

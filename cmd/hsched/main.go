@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	hsched [-spec system.json] [-exact] [-static] [-tight] [-dump] [-sensitivity]
+//	hsched [-spec system.json] [-exact] [-static] [-tight] [-dump] [-sensitivity] [-workers n]
 //
 // Exit status is 0 when the system is schedulable, 2 when it is not,
 // and 1 on errors.

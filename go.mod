@@ -1,0 +1,3 @@
+module hsched
+
+go 1.24

@@ -15,7 +15,13 @@
 //     supply model of Section 2.3: the (α, Δ, β) linearisation of the
 //     minimum/maximum supply functions.
 //   - Analyze / AnalyzeStatic run the schedulability analysis of
-//     Section 3 (holistic dynamic-offset, approximate or exact).
+//     Section 3 (holistic dynamic-offset, approximate or exact). Both
+//     are one-shot wrappers around Analyzer, the reusable analysis
+//     engine: NewAnalyzer builds one that amortises its interference
+//     caches and scratch buffers across many analyses and computes the
+//     per-task response times of every fixed-point round in parallel.
+//     Evaluation sweeps and design searches should construct one
+//     Analyzer (per goroutine) and reuse it.
 //   - Simulate executes the system on concrete budget servers and
 //     reports observed response times, for validation and exploration.
 //   - MinimizeBandwidth searches minimal platform parameters keeping
@@ -94,6 +100,14 @@ type (
 	AnalysisResult = analysis.Result
 	// TaskBounds are the per-task analysis outcome.
 	TaskBounds = analysis.TaskResult
+	// Analyzer is the reusable analysis engine: it owns all
+	// per-analysis scratch state (interference caches, scenario and
+	// result buffers) and amortises it across calls, running each
+	// fixed-point round as a staged pipeline (interference
+	// construction → scenario enumeration → parallel per-task
+	// responses → jitter propagation). One Analyzer serves one
+	// goroutine; results are identical for every worker count.
+	Analyzer = analysis.Engine
 )
 
 // Simulation types.
@@ -194,15 +208,28 @@ var (
 	ApplyBusBlocking = network.ApplyBlocking
 )
 
+// NewAnalyzer returns a reusable analysis engine with the given
+// options. Construct one per goroutine and call its Analyze /
+// AnalyzeStatic methods across many systems: consecutive analyses of
+// same-shaped systems reuse every cache and buffer, which is what the
+// batch sweeps and MinimizeBandwidth rely on for throughput.
+func NewAnalyzer(opt AnalysisOptions) *Analyzer {
+	return analysis.NewEngine(opt)
+}
+
 // Analyze runs the holistic dynamic-offset schedulability analysis of
 // Section 3.2: offsets and jitters of non-initial tasks are derived
-// from predecessor response times and iterated to a fixed point.
+// from predecessor response times and iterated to a fixed point. It is
+// a one-shot convenience wrapper over NewAnalyzer; reuse an Analyzer
+// when analysing many systems.
 func Analyze(sys *System, opt AnalysisOptions) (*AnalysisResult, error) {
 	return analysis.Analyze(sys, opt)
 }
 
 // AnalyzeStatic runs one pass of the static-offset analysis of
-// Section 3.1 with the offsets and jitters stored in the system.
+// Section 3.1 with the offsets and jitters stored in the system. It is
+// a one-shot convenience wrapper over NewAnalyzer; reuse an Analyzer
+// when analysing many systems.
 func AnalyzeStatic(sys *System, opt AnalysisOptions) (*AnalysisResult, error) {
 	return analysis.AnalyzeStatic(sys, opt)
 }

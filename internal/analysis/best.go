@@ -25,12 +25,20 @@ import (
 // cycles takes at least max(0, c/α − β). The refined bound is never
 // below the simple one and remains a valid lower bound.
 func bestBounds(sys *model.System, tight bool) (starts, completions [][]float64) {
-	starts = make([][]float64, len(sys.Transactions))
-	completions = make([][]float64, len(sys.Transactions))
+	return bestBoundsInto(sys, tight, nil, nil)
+}
+
+// bestBoundsInto is bestBounds with caller-provided buffers: starts and
+// completions are reshaped (reusing their backing arrays when large
+// enough) and returned. The engine calls it once per analysis — the
+// bounds depend only on the first task's offset, BCETs and platform
+// parameters, none of which the fixed-point iteration rewrites — with
+// its own scratch, eliminating per-call allocations.
+func bestBoundsInto(sys *model.System, tight bool, starts, completions [][]float64) ([][]float64, [][]float64) {
+	starts = reuseMatrix(starts, sys)
+	completions = reuseMatrix(completions, sys)
 	for i := range sys.Transactions {
 		tasks := sys.Transactions[i].Tasks
-		starts[i] = make([]float64, len(tasks))
-		completions[i] = make([]float64, len(tasks))
 		// The external release offset of the first task shifts the
 		// whole chain; all bounds are measured from the transaction
 		// activation.

@@ -10,20 +10,61 @@
 // analysis, every busy period additionally pays the platform delay Δ
 // once, and only tasks mapped to the same platform interfere (Eq. 17).
 //
-// Three entry points are provided:
+// # The Engine
 //
-//   - AnalyzeStatic — the static-offset analysis of Section 3.1: one
-//     pass with the offsets φ and jitters J given in the system.
-//     Options.Exact selects the exact analysis (all scenario vectors
-//     ν, Eq. 12-14); the default is the approximate analysis of
-//     Section 3.1.2 (W* upper bound, Eq. 15-16) whose scenario count
-//     is only Na+1.
-//   - Analyze — the dynamic-offset holistic iteration of Section 3.2:
-//     offsets and jitters of every non-initial task are derived from
-//     the predecessor's best/worst response times (Eq. 18) and the
-//     static analysis is iterated to a fixed point.
-//   - BestStarts/BestResponses — the best-case bounds used by Eq. 18,
-//     including the burstiness credit max(0, Cbest/α − β).
+// All entry points are built on Engine, a reusable analysis engine
+// constructed with NewEngine. The engine owns every piece of
+// per-analysis scratch state — the working copy of the system, the
+// higher-priority interference cache of Eq. (17), reduced-offset and
+// best-bound buffers, the per-round result matrices, and a pool of
+// per-task scenario buffers — and amortises all of it across calls.
+// Consecutive analyses of systems with the same shape (task counts,
+// platform mapping, priorities) reuse every cache, which makes the
+// hot callers (acceptance-ratio sweeps, the MinimizeBandwidth design
+// search, sensitivity probes) allocation-free on the analysis path.
+//
+// Each round of the holistic fixed point runs as an explicit pipeline:
+//
+//  1. interference construction — bind the working system, rebuild
+//     the hp cache only when the shape changed, refresh the reduced
+//     offsets of Eq. (10);
+//  2. scenario enumeration — per task, materialise the approximate
+//     (Sec. 3.1.2) or exact (Sec. 3.1.1) scenario set into pooled
+//     buffers;
+//  3. per-task response — the tasks of a round are independent, so
+//     their response times (Eq. 13-16) are computed on
+//     Options.Workers goroutines via the batch runner and collected
+//     in task index order, making the result bit-identical for every
+//     worker count;
+//  4. jitter propagation — Eq. (18) rewrites every non-initial task's
+//     jitter from its predecessor's previous-round response and the
+//     loop repeats until the responses reach a fixed point.
+//
+// One Engine serves one goroutine at a time; callers that are
+// themselves parallel run one engine per worker (batch.MapWorkers is
+// the ready-made hook) with Options.Workers = 1.
+//
+// # Entry points
+//
+//   - Engine.AnalyzeStatic / AnalyzeStatic — the static-offset
+//     analysis of Section 3.1: one pass with the offsets φ and
+//     jitters J given in the system. Options.Exact selects the exact
+//     analysis (all scenario vectors ν, Eq. 12-14); the default is
+//     the approximate analysis of Section 3.1.2 (W* upper bound,
+//     Eq. 15-16) whose scenario count is only Na+1.
+//   - Engine.Analyze / Analyze — the dynamic-offset holistic
+//     iteration of Section 3.2: offsets and jitters of every
+//     non-initial task are derived from the predecessor's best/worst
+//     response times (Eq. 18) and the static analysis is iterated to
+//     a fixed point.
+//   - BestBounds — the best-case bounds used by Eq. 18, including the
+//     burstiness credit max(0, Cbest/α − β).
+//   - CriticalScaling — the sensitivity metric: the largest uniform
+//     execution-time scaling keeping the system schedulable.
+//
+// The package-level Analyze/AnalyzeStatic are one-shot wrappers that
+// construct a throwaway engine; anything analysing more than one
+// system should hold an Engine.
 //
 // All response times are measured from the activation of the
 // transaction (not of the task), so the response time of the last task

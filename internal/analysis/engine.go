@@ -1,0 +1,403 @@
+package analysis
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"hsched/internal/batch"
+	"hsched/internal/model"
+)
+
+// Engine is a reusable analysis engine: it owns every piece of scratch
+// state an analysis needs (the working copy of the system, the
+// higher-priority interference cache, reduced-offset and best-bound
+// buffers, per-round result matrices, pooled per-task scenario
+// buffers) and amortises them across calls. Construct one with
+// NewEngine and call Analyze / AnalyzeStatic any number of times; on
+// systems of the same shape (task counts, platform mapping,
+// priorities) consecutive calls reuse all caches and run with near
+// zero allocations, which is what makes the evaluation sweeps
+// (acceptance campaigns, MinimizeBandwidth design searches) run at
+// memory-bandwidth speed instead of allocator speed.
+//
+// Each fixed-point round is executed as an explicit pipeline:
+//
+//  1. interference construction — the analyzer rebinds the working
+//     system, rebuilding the hp cache only on shape changes and
+//     refreshing the reduced offsets of Eq. (10);
+//  2. scenario enumeration — per task, the approximate (Sec. 3.1.2)
+//     or exact (Sec. 3.1.1) scenario set is materialised into pooled
+//     buffers;
+//  3. per-task response — the response times of all tasks in the
+//     round are independent and are computed on Options.Workers
+//     goroutines via batch.Map, with results collected in task index
+//     order so the outcome is bit-identical for every worker count;
+//  4. jitter propagation — Eq. (18) rewrites the jitters from the
+//     previous round's responses and the loop repeats to the fixed
+//     point.
+//
+// An Engine is internally concurrent but not safe for concurrent use:
+// run one Engine per goroutine (batch.MapWorkers hands one to each
+// worker). Returned Results are fully detached from the engine's
+// scratch and stay valid across subsequent calls.
+type Engine struct {
+	opt Options
+	an  analyzer
+
+	// work is the engine-owned working copy of the system under
+	// analysis; bind copies the caller's system into it value by value
+	// so the caller's system is never mutated and no per-call clone is
+	// allocated once the shapes match.
+	work *model.System
+
+	// flat enumerates the task coordinates (i, j) in deterministic
+	// index order; it is the work list of the parallel response stage.
+	flat [][2]int
+
+	// round holds the TaskResults of the current fixed-point round.
+	round [][]TaskResult
+
+	// prev holds the previous round's worst-case responses for the
+	// convergence test; havePrev guards the first round.
+	prev     [][]float64
+	havePrev bool
+
+	// initStarts / initCompl are the best-case bounds of Eq. (18),
+	// computed once per call (they depend only on BCETs, platforms and
+	// the external release offset, none of which the iteration
+	// rewrites).
+	initStarts [][]float64
+	initCompl  [][]float64
+
+	// errs collects per-task errors of a parallel round; the first in
+	// task index order is reported, keeping errors deterministic too.
+	errs []error
+
+	// seq is the scratch of the sequential path; pool feeds the
+	// parallel workers.
+	seq  taskScratch
+	pool sync.Pool
+}
+
+// NewEngine returns an Engine with the given options. The zero-value
+// Options select the approximate analysis with GOMAXPROCS response
+// workers; set Options.Workers = 1 for a strictly sequential engine
+// (e.g. one engine per batch worker).
+func NewEngine(opt Options) *Engine {
+	e := &Engine{opt: opt}
+	e.pool.New = func() any { return new(taskScratch) }
+	return e
+}
+
+// Options returns the options the engine was constructed with.
+func (e *Engine) Options() Options { return e.opt }
+
+// Analyze runs the dynamic-offset holistic analysis of Section 3.2 on
+// sys, exactly as the package-level Analyze, but reusing the engine's
+// caches and buffers. sys is not mutated.
+func (e *Engine) Analyze(sys *model.System) (*Result, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	e.bind(sys)
+	e.initStarts, e.initCompl = bestBoundsInto(e.work, e.opt.TightBestCase, e.initStarts, e.initCompl)
+
+	// Initial conditions of Section 3.2: J = 0, φ = Rbest (Eq. 18). The
+	// best starts already include the first task's external release
+	// offset; the offsets and jitters of the first task of each
+	// transaction are external inputs and are preserved.
+	for i := range e.work.Transactions {
+		tasks := e.work.Transactions[i].Tasks
+		for j := 1; j < len(tasks); j++ {
+			tasks[j].Offset = e.initStarts[i][j]
+			tasks[j].Jitter = 0
+		}
+	}
+
+	converged := false
+	iters := 0
+	for iter := 0; iter < e.opt.maxIter(); iter++ {
+		// Stage 1: interference construction (reduced offsets; the hp
+		// cache is already bound).
+		e.an.refreshOffsets()
+
+		// Stages 2+3: scenario enumeration and per-task responses.
+		if err := e.runRound(); err != nil {
+			return nil, err
+		}
+		iters = iter + 1
+		if e.opt.Recorder != nil {
+			// Snapshots must be detached from engine scratch: callers
+			// retain them past the call (Table 3 reproduction), and the
+			// working system is rewritten by the engine's next analysis.
+			e.opt.Recorder(iter, e.detach(iters))
+		}
+
+		if e.havePrev && unchanged(e.prev, e.round, e.opt.eps()) {
+			converged = true
+			break
+		}
+		copyWorst(e.prev, e.round)
+		e.havePrev = true
+
+		// Any unbounded response time is final: larger jitters can only
+		// increase response times and +Inf is already absorbing.
+		if hasInf(e.round) {
+			converged = true
+			break
+		}
+
+		// An intermediate deadline miss is equally final when the
+		// caller only needs the verdict: responses are monotone
+		// non-decreasing across rounds.
+		if e.opt.StopAtDeadlineMiss {
+			missed := false
+			for i := range e.round {
+				row := e.round[i]
+				if row[len(row)-1].Worst > e.work.Transactions[i].Deadline+1e-9 {
+					missed = true
+					break
+				}
+			}
+			if missed {
+				converged = true
+				break
+			}
+		}
+
+		// Stage 4: jitter propagation, Eq. 18:
+		// J(i,j) = R(i,j−1) − Rbest(i,j−1). The worst-case response
+		// already includes the effect of the release jitter of the
+		// first task, so nothing is added on top.
+		for i := range e.work.Transactions {
+			tasks := e.work.Transactions[i].Tasks
+			for j := 1; j < len(tasks); j++ {
+				jit := e.round[i][j-1].Worst - e.initStarts[i][j]
+				if jit < 0 {
+					jit = 0
+				}
+				tasks[j].Jitter = jit
+			}
+		}
+	}
+	if iters == 0 {
+		return nil, fmt.Errorf("analysis: no iterations executed")
+	}
+	res := e.finalize(iters, converged)
+	if !converged {
+		// The iteration was cut off by MaxIterations: the reported
+		// response times are lower bounds of the (larger) fixed point,
+		// so a positive verdict would be unsound.
+		res.Schedulable = false
+	}
+	return res, nil
+}
+
+// AnalyzeStatic runs one pass of the static-offset analysis of Section
+// 3.1 on sys, exactly as the package-level AnalyzeStatic, but reusing
+// the engine's caches and buffers. sys is not mutated.
+func (e *Engine) AnalyzeStatic(sys *model.System) (*Result, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	e.bind(sys)
+	e.initStarts, e.initCompl = bestBoundsInto(e.work, e.opt.TightBestCase, e.initStarts, e.initCompl)
+	// Stage 1 runs once: static analysis keeps the input offsets.
+	e.an.refreshOffsets()
+	if err := e.runRound(); err != nil {
+		return nil, err
+	}
+	return e.finalize(1, true), nil
+}
+
+// bind copies sys into the engine's working system and rebinds the
+// analyzer. The round buffers are resized only when the task-count
+// dimensions changed — deliberately decoupled from the analyzer's
+// hp-cache key (which also covers priorities and platform mappings),
+// so priority-search callers that reassign priorities on every probe
+// still keep their buffers.
+func (e *Engine) bind(sys *model.System) {
+	e.copySystem(sys)
+	e.an.bind(e.work, e.opt)
+	if !e.dimsMatch() {
+		e.flat = e.flat[:0]
+		for i := range e.work.Transactions {
+			for j := range e.work.Transactions[i].Tasks {
+				e.flat = append(e.flat, [2]int{i, j})
+			}
+		}
+		e.round = reuseMatrix(e.round, e.work)
+		e.prev = reuseMatrix(e.prev, e.work)
+		if cap(e.errs) < len(e.flat) {
+			e.errs = make([]error, len(e.flat))
+		}
+	}
+	e.havePrev = false
+}
+
+// dimsMatch reports whether the round buffers already have one cell
+// per task of the working system.
+func (e *Engine) dimsMatch() bool {
+	if len(e.round) != len(e.work.Transactions) {
+		return false
+	}
+	for i := range e.round {
+		if len(e.round[i]) != len(e.work.Transactions[i].Tasks) {
+			return false
+		}
+	}
+	return true
+}
+
+// copySystem copies src value by value into the engine-owned working
+// system, reusing every slice whose capacity suffices.
+func (e *Engine) copySystem(src *model.System) {
+	if e.work == nil {
+		e.work = src.Clone()
+		return
+	}
+	w := e.work
+	w.Platforms = append(w.Platforms[:0], src.Platforms...)
+	if cap(w.Transactions) < len(src.Transactions) {
+		w.Transactions = make([]model.Transaction, len(src.Transactions))
+	} else {
+		w.Transactions = w.Transactions[:len(src.Transactions)]
+	}
+	for i := range src.Transactions {
+		st := &src.Transactions[i]
+		wt := &w.Transactions[i]
+		tasks := wt.Tasks
+		*wt = *st
+		wt.Tasks = append(tasks[:0], st.Tasks...)
+	}
+}
+
+// minParallelTasks is the round size below which fanning out is a
+// loss: one task's response computation is microseconds of work, so
+// spawning a worker set per round only pays off once a round carries
+// enough tasks to amortise it. Small systems — the paper example, the
+// tight search loops of priority assignment and design search — run
+// sequentially whatever Options.Workers says; results are identical
+// either way.
+const minParallelTasks = 16
+
+// runRound executes stages 2 and 3 of the pipeline: for every task, in
+// parallel across Options.Workers goroutines, enumerate its scenarios
+// and compute its worst-case response with the offsets and jitters
+// currently stored in the working system, writing the TaskResults into
+// the round matrix in task index order.
+func (e *Engine) runRound() error {
+	n := len(e.flat)
+	workers := e.opt.workers()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < minParallelTasks {
+		for k := 0; k < n; k++ {
+			if err := e.analyzeTask(k, &e.seq); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	errs := e.errs[:n]
+	for k := range errs {
+		errs[k] = nil
+	}
+	// The per-task computations only read the analyzer's state and
+	// write disjoint cells of the round matrix, so a successful round
+	// is deterministic regardless of scheduling. Errors are staged per
+	// task and the first in index order among those staged wins; the
+	// sentinel returned to batch.Map cancels the remaining tasks, so
+	// a failing round (only the exact analysis can fail, on scenario
+	// overflow) does not burn CPU finishing work it will discard. The
+	// cancellation means which failing task the error names can vary
+	// with scheduling when several would fail — the error identity
+	// (ErrTooManyScenarios) is stable, the task name is not.
+	_, _ = batch.Map(n, batch.Options{Workers: workers}, func(k int) (struct{}, error) {
+		// The nil-tolerant assertion keeps a zero-value Engine working
+		// (its pool has no New hook).
+		ts, _ := e.pool.Get().(*taskScratch)
+		if ts == nil {
+			ts = new(taskScratch)
+		}
+		err := e.analyzeTask(k, ts)
+		e.pool.Put(ts)
+		if err != nil {
+			errs[k] = err
+			return struct{}{}, errRoundFailed
+		}
+		return struct{}{}, nil
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// errRoundFailed is the sentinel a parallel round hands batch.Map to
+// cancel outstanding tasks; the caller reports the staged per-task
+// error instead.
+var errRoundFailed = errors.New("analysis: round failed")
+
+// analyzeTask computes the response of the k-th task of the flattened
+// work list and stores its TaskResult.
+func (e *Engine) analyzeTask(k int, ts *taskScratch) error {
+	i, j := e.flat[k][0], e.flat[k][1]
+	r, crit, err := e.an.responseTime(i, j, ts)
+	if err != nil {
+		return fmt.Errorf("analysis: %s: %w", e.work.TaskName(i, j), err)
+	}
+	t := &e.work.Transactions[i].Tasks[j]
+	e.round[i][j] = TaskResult{
+		Offset:            t.Offset,
+		Jitter:            t.Jitter,
+		Best:              e.initCompl[i][j],
+		Worst:             r,
+		CriticalInitiator: crit.initiator,
+		CriticalJob:       crit.job,
+	}
+	return nil
+}
+
+// detach copies the current round state into a self-contained Result:
+// the returned System and TaskResults are deep copies, valid after the
+// engine moves on to its next analysis. Convergence and verdict are
+// left at their zero values (a mid-iteration snapshot has neither).
+func (e *Engine) detach(iterations int) *Result {
+	res := &Result{
+		System:     e.work.Clone(),
+		Tasks:      make([][]TaskResult, len(e.round)),
+		Iterations: iterations,
+	}
+	for i, row := range e.round {
+		res.Tasks[i] = append([]TaskResult(nil), row...)
+	}
+	return res
+}
+
+// finalize builds the analysis outcome from the last round. Oversized
+// sequential scratch is released here so one outlier exact analysis
+// does not pin its peak memory across the engine's lifetime (the
+// pooled parallel scratch is already reclaimed by the GC).
+func (e *Engine) finalize(iterations int, converged bool) *Result {
+	e.seq.shrink()
+	res := e.detach(iterations)
+	res.Converged = converged
+	res.computeVerdict()
+	return res
+}
+
+// copyWorst stores the round's worst-case responses into the
+// convergence buffer.
+func copyWorst(dst [][]float64, tasks [][]TaskResult) {
+	for i, row := range tasks {
+		for j := range row {
+			dst[i][j] = row[j].Worst
+		}
+	}
+}

@@ -1,0 +1,242 @@
+package analysis_test
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"hsched/internal/analysis"
+	"hsched/internal/experiments"
+	"hsched/internal/gen"
+	"hsched/internal/model"
+)
+
+// resultsIdentical reports whether two analysis results are
+// bit-identical in every caller-visible field (exact float equality,
+// not approximate: the parallel engine must not perturb a single ulp).
+func resultsIdentical(a, b *analysis.Result) bool {
+	if a.Iterations != b.Iterations || a.Converged != b.Converged || a.Schedulable != b.Schedulable {
+		return false
+	}
+	if len(a.Tasks) != len(b.Tasks) {
+		return false
+	}
+	for i := range a.Tasks {
+		if len(a.Tasks[i]) != len(b.Tasks[i]) {
+			return false
+		}
+		for j := range a.Tasks[i] {
+			x, y := a.Tasks[i][j], b.Tasks[i][j]
+			// NaN-safe and +Inf-safe: compare bit patterns.
+			same := func(p, q float64) bool {
+				return math.Float64bits(p) == math.Float64bits(q)
+			}
+			if !same(x.Offset, y.Offset) || !same(x.Jitter, y.Jitter) ||
+				!same(x.Best, y.Best) || !same(x.Worst, y.Worst) ||
+				x.CriticalInitiator != y.CriticalInitiator || x.CriticalJob != y.CriticalJob {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// largeRandomSystem draws a system big enough that the parallel
+// response stage actually fans out.
+func largeRandomSystem(t testing.TB, seed int64) *model.System {
+	t.Helper()
+	sys, err := gen.System(gen.Config{
+		Seed: seed, Platforms: 3, Transactions: 10, ChainLen: 4,
+		PeriodMin: 10, PeriodMax: 1000, Utilization: 0.45,
+		AlphaMin: 0.4, AlphaMax: 0.9,
+	})
+	if err != nil {
+		t.Fatalf("gen.System: %v", err)
+	}
+	return sys
+}
+
+// TestEngineParallelDeterminism runs the engine on the paper's
+// sensor-fusion example and on a larger random system with 1, 2, 3 and
+// 8 response workers (under -race in CI) and asserts the results are
+// identical in every field regardless of the worker count.
+func TestEngineParallelDeterminism(t *testing.T) {
+	systems := map[string]*model.System{
+		"paper":  experiments.PaperSystem(),
+		"random": largeRandomSystem(t, 42),
+	}
+	for name, sys := range systems {
+		for _, exact := range []bool{false, true} {
+			base, err := analysis.NewEngine(analysis.Options{Workers: 1, Exact: exact}).Analyze(sys)
+			if err != nil {
+				t.Fatalf("%s exact=%v workers=1: %v", name, exact, err)
+			}
+			for _, workers := range []int{2, 3, 8} {
+				eng := analysis.NewEngine(analysis.Options{Workers: workers, Exact: exact})
+				got, err := eng.Analyze(sys)
+				if err != nil {
+					t.Fatalf("%s exact=%v workers=%d: %v", name, exact, workers, err)
+				}
+				if !resultsIdentical(base, got) {
+					t.Errorf("%s exact=%v: %d-worker result differs from sequential result", name, exact, workers)
+				}
+			}
+		}
+	}
+}
+
+// TestEngineParallelErrorPropagation asserts the exact analysis's
+// scenario-overflow error survives the parallel round (which cancels
+// outstanding tasks on failure) for any worker count, and that a
+// failed call leaves the engine usable.
+func TestEngineParallelErrorPropagation(t *testing.T) {
+	sys := largeRandomSystem(t, 1)
+	for _, workers := range []int{1, 8} {
+		eng := analysis.NewEngine(analysis.Options{Exact: true, MaxScenarios: 1, Workers: workers})
+		if _, err := eng.Analyze(sys); !errors.Is(err, analysis.ErrTooManyScenarios) {
+			t.Fatalf("workers=%d: err = %v, want ErrTooManyScenarios", workers, err)
+		}
+		// The engine must recover: a feasible analysis after the failure.
+		if _, err := analysis.NewEngine(analysis.Options{Workers: workers}).Analyze(sys); err != nil {
+			t.Fatalf("workers=%d: approximate analysis after failure: %v", workers, err)
+		}
+	}
+}
+
+// TestEngineReuse runs one engine across systems of different shapes
+// and parameters and asserts every result equals the one a fresh
+// engine produces — i.e. no scratch state leaks between calls.
+func TestEngineReuse(t *testing.T) {
+	paper := experiments.PaperSystem()
+	// Same shape as paper but different execution times: exercises the
+	// cache-retained rebind path.
+	scaled := paper.Clone()
+	for i := range scaled.Transactions {
+		for j := range scaled.Transactions[i].Tasks {
+			scaled.Transactions[i].Tasks[j].WCET *= 1.5
+			scaled.Transactions[i].Tasks[j].BCET *= 1.5
+		}
+	}
+	// Different shape entirely: exercises the reshape path.
+	random := largeRandomSystem(t, 7)
+
+	sequence := []*model.System{paper, scaled, random, paper}
+	eng := analysis.NewEngine(analysis.Options{})
+	for k, sys := range sequence {
+		reused, err := eng.Analyze(sys)
+		if err != nil {
+			t.Fatalf("reused engine, system %d: %v", k, err)
+		}
+		fresh, err := analysis.NewEngine(analysis.Options{}).Analyze(sys)
+		if err != nil {
+			t.Fatalf("fresh engine, system %d: %v", k, err)
+		}
+		if !resultsIdentical(reused, fresh) {
+			t.Errorf("system %d: reused-engine result differs from fresh-engine result", k)
+		}
+	}
+}
+
+// TestEngineResultsDetached asserts a returned Result is not aliased
+// to engine scratch: analysing a second system must not mutate the
+// first result.
+func TestEngineResultsDetached(t *testing.T) {
+	eng := analysis.NewEngine(analysis.Options{})
+	paper := experiments.PaperSystem()
+	first, err := eng.Analyze(paper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshot := &analysis.Result{
+		System:      first.System.Clone(),
+		Tasks:       make([][]analysis.TaskResult, len(first.Tasks)),
+		Iterations:  first.Iterations,
+		Converged:   first.Converged,
+		Schedulable: first.Schedulable,
+	}
+	for i, row := range first.Tasks {
+		snapshot.Tasks[i] = append([]analysis.TaskResult(nil), row...)
+	}
+	if _, err := eng.Analyze(largeRandomSystem(t, 99)); err != nil {
+		t.Fatal(err)
+	}
+	if !resultsIdentical(first, snapshot) {
+		t.Error("first result mutated by the engine's second analysis")
+	}
+	if !reflect.DeepEqual(first.System, snapshot.System) {
+		t.Error("first result's System mutated by the engine's second analysis")
+	}
+}
+
+// TestEngineRecorderSnapshotsDetached asserts Recorder snapshots
+// (including their System) survive the engine moving on to another
+// analysis — the Table 3 reproduction retains them.
+func TestEngineRecorderSnapshotsDetached(t *testing.T) {
+	var snaps []*analysis.Result
+	eng := analysis.NewEngine(analysis.Options{
+		Recorder: func(_ int, snap *analysis.Result) { snaps = append(snaps, snap) },
+	})
+	if _, err := eng.Analyze(experiments.PaperSystem()); err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) == 0 {
+		t.Fatal("recorder never invoked")
+	}
+	last := snaps[len(snaps)-1]
+	wantSystem := last.System.Clone()
+	wantJitter := last.Tasks[0][3].Jitter
+
+	if _, err := eng.Analyze(largeRandomSystem(t, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(last.System, wantSystem) {
+		t.Error("snapshot System mutated by the engine's next analysis")
+	}
+	if got := last.Tasks[0][3].Jitter; got != wantJitter {
+		t.Errorf("snapshot task data mutated: J1,4 = %v, want %v", got, wantJitter)
+	}
+}
+
+// TestEngineDoesNotMutateInput asserts Analyze leaves the caller's
+// system untouched (the engine works on its own copy).
+func TestEngineDoesNotMutateInput(t *testing.T) {
+	sys := experiments.PaperSystem()
+	want := sys.Clone()
+	if _, err := analysis.NewEngine(analysis.Options{}).Analyze(sys); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sys, want) {
+		t.Error("Analyze mutated the input system")
+	}
+}
+
+// TestEngineMatchesFreeFunctions locks the wrapper equivalence: the
+// package-level Analyze/AnalyzeStatic and the engine methods agree.
+func TestEngineMatchesFreeFunctions(t *testing.T) {
+	sys := experiments.PaperSystem()
+	opt := analysis.Options{}
+	free, err := analysis.Analyze(sys, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := analysis.NewEngine(opt).Analyze(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resultsIdentical(free, eng) {
+		t.Error("engine Analyze differs from package-level Analyze")
+	}
+
+	freeS, err := analysis.AnalyzeStatic(sys, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engS, err := analysis.NewEngine(opt).AnalyzeStatic(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resultsIdentical(freeS, engS) {
+		t.Error("engine AnalyzeStatic differs from package-level AnalyzeStatic")
+	}
+}

@@ -1,7 +1,6 @@
 package analysis
 
 import (
-	"fmt"
 	"math"
 
 	"hsched/internal/model"
@@ -12,20 +11,12 @@ import (
 // system, and its worst-case response time is computed under them. Use
 // it when offsets and jitters are externally known; for chains whose
 // offsets derive from predecessor completions, use Analyze.
+//
+// It is a convenience wrapper constructing a one-shot Engine; callers
+// analysing many systems should construct one Engine with NewEngine
+// and reuse it.
 func AnalyzeStatic(sys *model.System, opt Options) (*Result, error) {
-	if err := sys.Validate(); err != nil {
-		return nil, err
-	}
-	work := sys.Clone()
-	an := newAnalyzer(work, opt)
-	res, err := an.round()
-	if err != nil {
-		return nil, err
-	}
-	res.Iterations = 1
-	res.Converged = true
-	res.computeVerdict()
-	return res, nil
+	return NewEngine(opt).AnalyzeStatic(sys)
 }
 
 // Analyze runs the dynamic-offset holistic analysis of Section 3.2:
@@ -40,135 +31,17 @@ func AnalyzeStatic(sys *model.System, opt Options) (*Result, error) {
 // The offsets and jitters of the first task of each transaction are
 // external inputs (release offset/jitter) and are preserved from the
 // input system; offsets of later tasks are overwritten by Eq. 18.
+//
+// It is a convenience wrapper constructing a one-shot Engine; callers
+// analysing many systems should construct one Engine with NewEngine
+// and reuse it.
 func Analyze(sys *model.System, opt Options) (*Result, error) {
-	if err := sys.Validate(); err != nil {
-		return nil, err
-	}
-	work := sys.Clone()
-	starts, _ := bestBounds(work, opt.TightBestCase)
-
-	// Initial conditions of Section 3.2: J = 0, φ = Rbest. The best
-	// starts already include the first task's external release offset.
-	for i := range work.Transactions {
-		for j := 1; j < len(work.Transactions[i].Tasks); j++ {
-			work.Transactions[i].Tasks[j].Offset = starts[i][j]
-			work.Transactions[i].Tasks[j].Jitter = 0
-		}
-	}
-
-	an := newAnalyzer(work, opt)
-	var res *Result
-	var prev [][]float64
-	converged := false
-	iter := 0
-	for ; iter < opt.maxIter(); iter++ {
-		an.refreshOffsets()
-		var err error
-		res, err = an.round()
-		if err != nil {
-			return nil, err
-		}
-		res.Iterations = iter + 1
-		if opt.Recorder != nil {
-			opt.Recorder(iter, res.clone())
-		}
-
-		if prev != nil && unchanged(prev, res.Tasks, opt.eps()) {
-			converged = true
-			break
-		}
-		prev = worstMatrix(res.Tasks)
-
-		// Any unbounded response time is final: larger jitters can only
-		// increase response times and +Inf is already absorbing.
-		if hasInf(res.Tasks) {
-			converged = true
-			break
-		}
-
-		// An intermediate deadline miss is equally final when the
-		// caller only needs the verdict: responses are monotone
-		// non-decreasing across rounds.
-		if opt.StopAtDeadlineMiss {
-			missed := false
-			for i := range res.Tasks {
-				if res.TransactionResponse(i) > sys.Transactions[i].Deadline+1e-9 {
-					missed = true
-					break
-				}
-			}
-			if missed {
-				converged = true
-				break
-			}
-		}
-
-		// Eq. 18: J(i,j) = R(i,j−1) − Rbest(i,j−1). The worst-case
-		// response already includes the effect of the release jitter
-		// of the first task, so nothing is added on top.
-		for i := range work.Transactions {
-			tasks := work.Transactions[i].Tasks
-			for j := 1; j < len(tasks); j++ {
-				jit := res.Tasks[i][j-1].Worst - starts[i][j]
-				if jit < 0 {
-					jit = 0
-				}
-				tasks[j].Jitter = jit
-			}
-		}
-	}
-	if res == nil {
-		return nil, fmt.Errorf("analysis: no iterations executed")
-	}
-	res.Converged = converged
-	res.computeVerdict()
-	if !converged {
-		// The iteration was cut off by MaxIterations: the reported
-		// response times are lower bounds of the (larger) fixed point,
-		// so a positive verdict would be unsound.
-		res.Schedulable = false
-	}
-	return res, nil
+	return NewEngine(opt).Analyze(sys)
 }
 
-// round runs the static analysis once over every task with the
-// system's current offsets and jitters.
-func (an *analyzer) round() (*Result, error) {
-	sys := an.sys
-	res := &Result{System: sys, Tasks: make([][]TaskResult, len(sys.Transactions))}
-	_, completions := bestBounds(sys, an.opt.TightBestCase)
-	for i := range sys.Transactions {
-		tasks := sys.Transactions[i].Tasks
-		res.Tasks[i] = make([]TaskResult, len(tasks))
-		for j := range tasks {
-			r, crit, err := an.responseTime(i, j)
-			if err != nil {
-				return nil, fmt.Errorf("analysis: %s: %w", sys.TaskName(i, j), err)
-			}
-			res.Tasks[i][j] = TaskResult{
-				Offset:            tasks[j].Offset,
-				Jitter:            tasks[j].Jitter,
-				Best:              completions[i][j],
-				Worst:             r,
-				CriticalInitiator: crit.initiator,
-				CriticalJob:       crit.job,
-			}
-		}
-	}
-	return res, nil
-}
-
-func worstMatrix(tasks [][]TaskResult) [][]float64 {
-	m := make([][]float64, len(tasks))
-	for i, row := range tasks {
-		m[i] = make([]float64, len(row))
-		for j, t := range row {
-			m[i][j] = t.Worst
-		}
-	}
-	return m
-}
-
+// unchanged reports whether the current round's worst-case responses
+// match the previous round's within eps — the fixed-point test of the
+// holistic iteration.
 func unchanged(prev [][]float64, cur [][]TaskResult, eps float64) bool {
 	for i, row := range cur {
 		for j, t := range row {

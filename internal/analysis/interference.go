@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"fmt"
+	"slices"
 
 	"hsched/internal/model"
 )
@@ -13,7 +14,10 @@ var ErrTooManyScenarios = fmt.Errorf("analysis: exact scenario count exceeds lim
 // analyzer carries the per-run state of the static-offset analysis:
 // the system under analysis (whose offsets/jitters the holistic loop
 // rewrites between rounds) and caches that depend only on priorities
-// and platform mappings.
+// and platform mappings. It is the interference-construction stage of
+// the engine pipeline: bind attaches a system (rebuilding the
+// higher-priority cache only when the system shape changed) and
+// refreshOffsets derives the reduced offsets feeding Eq. (10)/(11).
 type analyzer struct {
 	sys *model.System
 	opt Options
@@ -27,13 +31,51 @@ type analyzer struct {
 	// reduced[i][j] is the offset φi,j reduced modulo Ti, recomputed
 	// at the start of every analysis round.
 	reduced [][]float64
+
+	// shape is the structural signature (per-task platform and
+	// priority) under which hpCache was built; bind skips the rebuild
+	// when it is unchanged.
+	shape []int
+
+	// sigBuf is the scratch the next signature is computed into.
+	sigBuf []int
 }
 
 func newAnalyzer(sys *model.System, opt Options) *analyzer {
-	an := &analyzer{sys: sys, opt: opt}
-	an.buildHP()
+	an := &analyzer{}
+	an.bind(sys, opt)
 	an.refreshOffsets()
 	return an
+}
+
+// shapeSignature appends the structural signature of sys to dst: the
+// transaction/task counts plus every task's platform index and
+// priority — exactly the inputs hpCache depends on (Eq. 17).
+func shapeSignature(dst []int, sys *model.System) []int {
+	dst = append(dst, len(sys.Platforms), len(sys.Transactions))
+	for i := range sys.Transactions {
+		tasks := sys.Transactions[i].Tasks
+		dst = append(dst, len(tasks))
+		for j := range tasks {
+			dst = append(dst, tasks[j].Platform, tasks[j].Priority)
+		}
+	}
+	return dst
+}
+
+// bind attaches a system to the analyzer, rebuilding the interference
+// cache only when the structural shape changed. It does not refresh
+// the reduced offsets — each entry point runs that stage itself (the
+// holistic loop refreshes at the top of every iteration, so a refresh
+// here would be computed from offsets the initial conditions are
+// about to overwrite).
+func (an *analyzer) bind(sys *model.System, opt Options) {
+	an.sys, an.opt = sys, opt
+	an.sigBuf = shapeSignature(an.sigBuf[:0], sys)
+	if !slices.Equal(an.shape, an.sigBuf) {
+		an.shape = append(an.shape[:0], an.sigBuf...)
+		an.buildHP()
+	}
 }
 
 func (an *analyzer) buildHP() {
@@ -61,17 +103,37 @@ func (an *analyzer) buildHP() {
 	}
 }
 
-// refreshOffsets recomputes the reduced offsets; the holistic loop
-// calls it after rewriting φ and J.
+// refreshOffsets recomputes the reduced offsets into the reusable
+// buffer; the holistic loop calls it after rewriting φ and J.
 func (an *analyzer) refreshOffsets() {
-	an.reduced = make([][]float64, len(an.sys.Transactions))
+	an.reduced = reuseMatrix(an.reduced, an.sys)
 	for i := range an.sys.Transactions {
 		tr := &an.sys.Transactions[i]
-		an.reduced[i] = make([]float64, len(tr.Tasks))
 		for j := range tr.Tasks {
 			an.reduced[i][j] = modPos(tr.Tasks[j].Offset, tr.Period)
 		}
 	}
+}
+
+// reuseMatrix shapes buf to one row per transaction and one column per
+// task, reusing the existing backing arrays whenever they are large
+// enough. Contents are unspecified after the call.
+func reuseMatrix[T any](buf [][]T, sys *model.System) [][]T {
+	n := len(sys.Transactions)
+	if cap(buf) < n {
+		buf = make([][]T, n)
+	} else {
+		buf = buf[:n]
+	}
+	for i := range buf {
+		m := len(sys.Transactions[i].Tasks)
+		if cap(buf[i]) < m {
+			buf[i] = make([]T, m)
+		} else {
+			buf[i] = buf[i][:m]
+		}
+	}
+	return buf
 }
 
 // phaseK returns ϕ^k_{i,j} (Eq. 10) with reduced offsets.

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"math"
+	"runtime"
 
 	"hsched/internal/model"
 )
@@ -54,8 +55,29 @@ type Options struct {
 	// Recorder, when non-nil, is invoked after every holistic
 	// iteration with the iteration index (0-based) and a snapshot of
 	// the per-task jitters and response times. It powers the
-	// reproduction of Table 3.
+	// reproduction of Table 3. Snapshots are fully detached from the
+	// engine and stay valid after the analysis returns.
 	Recorder func(iteration int, snapshot *Result)
+
+	// Workers bounds the goroutines computing per-task response times
+	// within one fixed-point round. 0 selects runtime.GOMAXPROCS(0);
+	// 1 runs strictly sequentially, and rounds with only a handful of
+	// tasks run sequentially regardless (the fan-out would cost more
+	// than the work). Successful results are identical for every
+	// worker count: tasks are independent within a round and the
+	// engine collects them in index order. (A failing exact analysis
+	// reports the same wrapped error, but the task it names may vary
+	// with scheduling.) Callers that already run many analyses in
+	// parallel (batch sweeps, design searches inside batch.MapWorkers)
+	// should set 1 to avoid oversubscription.
+	Workers int
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 func (o Options) maxScenarios() int {
@@ -136,22 +158,6 @@ type Result struct {
 func (r *Result) TransactionResponse(i int) float64 {
 	row := r.Tasks[i]
 	return row[len(row)-1].Worst
-}
-
-// clone returns a deep copy of the per-task results (the system
-// pointer is shared; it is only read by consumers).
-func (r *Result) clone() *Result {
-	c := &Result{
-		System:      r.System,
-		Tasks:       make([][]TaskResult, len(r.Tasks)),
-		Iterations:  r.Iterations,
-		Converged:   r.Converged,
-		Schedulable: r.Schedulable,
-	}
-	for i, row := range r.Tasks {
-		c.Tasks[i] = append([]TaskResult(nil), row...)
-	}
-	return c
 }
 
 func (r *Result) computeVerdict() {

@@ -7,18 +7,60 @@ import (
 	"hsched/internal/model"
 )
 
-// interference maps a busy-period length t to the total higher-priority
-// demand charged to it (already scaled by 1/α), excluding the jobs of
-// the task under analysis itself.
-type interference func(t float64) float64
+// initiator is one coordinate of a scenario vector ν: the task τ_{tr,k}
+// whose maximally-jittered release starts the busy period within its
+// transaction.
+type initiator struct{ tr, k int }
 
-// scenario is one candidate worst-case configuration for τa,b: the
-// task of Γa whose maximally-jittered release starts the busy period,
-// together with the combined interference of all transactions under
-// that configuration.
+// scenario is one candidate worst-case configuration for τa,b. Two
+// encodings share the struct:
+//
+//   - nu == nil: an approximate scenario of Section 3.1.2 — Γa is
+//     initiated by τa,c (exact contribution W^c_a, Eq. 16) and every
+//     other transaction is charged its upper bound W* (Eq. 15);
+//   - nu != nil: an exact scenario vector of Section 3.1.1 — one
+//     initiator per transaction with interfering tasks (Eq. 12).
+//
+// Scenarios are plain data (no captured closures): the interference
+// they induce is evaluated by analyzer.interference, which keeps the
+// per-scenario footprint to a couple of words and lets the engine pool
+// the backing slices across calls.
 type scenario struct {
-	c      int
-	interf interference
+	c  int
+	nu []initiator
+}
+
+// taskScratch holds the per-task-analysis buffers (scenario sets,
+// candidate lists, mixed-radix counters). The engine keeps a pool of
+// them so that concurrent per-task response computations reuse
+// allocations instead of growing fresh slices on every call.
+type taskScratch struct {
+	scenarios []scenario
+	cands     []int
+	axes      []axis
+	pick      []int
+	nu        []initiator
+}
+
+// shrink drops scratch buffers that grew past a high-water cap, so a
+// single huge exact analysis does not pin its peak memory for the
+// lifetime of a reused engine. Called between analyses, never inside
+// one.
+func (ts *taskScratch) shrink() {
+	const maxRetain = 1 << 16
+	if cap(ts.nu) > maxRetain {
+		ts.nu = nil
+	}
+	if cap(ts.scenarios) > maxRetain {
+		ts.scenarios = nil
+	}
+}
+
+// axis is one dimension of the exact scenario product: the candidate
+// critical-instant tasks of one transaction.
+type axis struct {
+	tr    int
+	cands []int
 }
 
 // critical identifies the configuration attaining a worst-case
@@ -35,8 +77,9 @@ var unboundedCritical = critical{initiator: -1}
 // (0-based indices), measured from the activation of Γa, with the
 // offsets and jitters currently stored in the system, together with
 // the scenario attaining it. It returns +Inf when the busy period does
-// not converge (platform overload).
-func (an *analyzer) responseTime(a, b int) (float64, critical, error) {
+// not converge (platform overload). ts provides reusable buffers; it
+// must not be shared between concurrent calls.
+func (an *analyzer) responseTime(a, b int, ts *taskScratch) (float64, critical, error) {
 	ta := &an.sys.Transactions[a].Tasks[b]
 	alpha := an.sys.Platforms[ta.Platform].Alpha
 	hp := an.hpCache[a][b]
@@ -48,18 +91,18 @@ func (an *analyzer) responseTime(a, b int) (float64, critical, error) {
 	var scenarios []scenario
 	var err error
 	if an.opt.Exact {
-		scenarios, err = an.exactScenarios(a, b, hp, alpha)
+		scenarios, err = an.exactScenarios(a, b, hp, ts)
 		if err != nil {
 			return 0, unboundedCritical, err
 		}
 	} else {
-		scenarios = an.approxScenarios(a, b, hp, alpha)
+		scenarios = an.approxScenarios(a, b, hp, ts)
 	}
 
 	best := 0.0
 	crit := critical{initiator: b}
 	for _, sc := range scenarios {
-		r, p, ok := an.scenarioResponse(a, b, sc, alpha)
+		r, p, ok := an.scenarioResponse(a, b, sc, hp, alpha)
 		if !ok {
 			return math.Inf(1), unboundedCritical, nil
 		}
@@ -86,31 +129,46 @@ func (an *analyzer) overloaded(a, b int, alpha float64) bool {
 	return u >= 1-1e-12
 }
 
+// interference returns the total higher-priority demand the scenario sc
+// charges to a busy period of length t of τa,b (already scaled by 1/α),
+// excluding the jobs of τa,b itself: Eq. 13 for exact scenario vectors,
+// Eq. 15/16 for the approximate reduction.
+func (an *analyzer) interference(a int, sc scenario, hp [][]int, alpha, t float64) float64 {
+	sum := 0.0
+	if sc.nu == nil {
+		for i, hpI := range hp {
+			if len(hpI) == 0 {
+				continue
+			}
+			if i == a {
+				sum += an.wk(a, sc.c, hpI, alpha, t)
+			} else {
+				sum += an.wstar(i, hpI, alpha, t)
+			}
+		}
+		return sum
+	}
+	for _, ch := range sc.nu {
+		if len(hp[ch.tr]) == 0 {
+			continue
+		}
+		sum += an.wk(ch.tr, ch.k, hp[ch.tr], alpha, t)
+	}
+	return sum
+}
+
 // approxScenarios builds the reduced scenario set of Section 3.1.2:
 // one scenario per c ∈ hp_a(τa,b) ∪ {τa,b}, charging every other
 // transaction its upper bound W* (Eq. 15) and Γa its exact
 // contribution W^c_a (Eq. 16).
-func (an *analyzer) approxScenarios(a, b int, hp [][]int, alpha float64) []scenario {
-	cands := append(append([]int(nil), hp[a]...), b)
-	scenarios := make([]scenario, 0, len(cands))
+func (an *analyzer) approxScenarios(a, b int, hp [][]int, ts *taskScratch) []scenario {
+	cands := append(append(ts.cands[:0], hp[a]...), b)
+	ts.cands = cands
+	scenarios := ts.scenarios[:0]
 	for _, c := range cands {
-		c := c
-		interf := func(t float64) float64 {
-			sum := 0.0
-			for i, hpI := range hp {
-				if len(hpI) == 0 {
-					continue
-				}
-				if i == a {
-					sum += an.wk(a, c, hpI, alpha, t)
-				} else {
-					sum += an.wstar(i, hpI, alpha, t)
-				}
-			}
-			return sum
-		}
-		scenarios = append(scenarios, scenario{c: c, interf: interf})
+		scenarios = append(scenarios, scenario{c: c})
 	}
+	ts.scenarios = scenarios
 	return scenarios
 }
 
@@ -118,17 +176,16 @@ func (an *analyzer) approxScenarios(a, b int, hp [][]int, alpha float64) []scena
 // cartesian product of the candidate critical-instant tasks of every
 // transaction with interfering tasks (Eq. 12), with the task under
 // analysis added to its own transaction's candidates.
-func (an *analyzer) exactScenarios(a, b int, hp [][]int, alpha float64) ([]scenario, error) {
-	type axis struct {
-		tr    int
-		cands []int
-	}
-	var axes []axis
+func (an *analyzer) exactScenarios(a, b int, hp [][]int, ts *taskScratch) ([]scenario, error) {
+	axes := ts.axes[:0]
 	count := 1
 	for i, hpI := range hp {
 		var cands []int
 		if i == a {
-			cands = append(append([]int(nil), hpI...), b)
+			// The only axis whose candidate list differs from hp itself;
+			// it borrows the scratch candidate buffer.
+			ts.cands = append(append(ts.cands[:0], hpI...), b)
+			cands = ts.cands
 		} else if len(hpI) > 0 {
 			cands = hpI
 		} else {
@@ -137,36 +194,43 @@ func (an *analyzer) exactScenarios(a, b int, hp [][]int, alpha float64) ([]scena
 		axes = append(axes, axis{tr: i, cands: cands})
 		count *= len(cands)
 		if count > an.opt.maxScenarios() {
+			ts.axes = axes
 			return nil, fmt.Errorf("%w: task τ%d,%d needs more than %d scenarios",
 				ErrTooManyScenarios, a+1, b+1, an.opt.maxScenarios())
 		}
 	}
+	ts.axes = axes
 
-	scenarios := make([]scenario, 0, count)
-	pick := make([]int, len(axes))
+	if cap(ts.pick) < len(axes) {
+		ts.pick = make([]int, len(axes))
+	}
+	pick := ts.pick[:len(axes)]
+	for i := range pick {
+		pick[i] = 0
+	}
+
+	// Pre-size the shared ν backing so the subslices handed to the
+	// scenarios below never relocate.
+	need := count * len(axes)
+	if cap(ts.nu) < need {
+		ts.nu = make([]initiator, 0, need)
+	}
+	nuBuf := ts.nu[:0]
+
+	scenarios := ts.scenarios[:0]
 	for {
 		// One (transaction, initiator) pair per axis, in axis order, so
 		// the interference sum is evaluated deterministically.
-		type choice struct{ tr, k int }
-		nu := make([]choice, len(axes))
+		start := len(nuBuf)
 		cA := b // default: Γa has no interfering tasks, τa,b starts its own busy period
 		for ai, ax := range axes {
-			nu[ai] = choice{tr: ax.tr, k: ax.cands[pick[ai]]}
+			k := ax.cands[pick[ai]]
+			nuBuf = append(nuBuf, initiator{tr: ax.tr, k: k})
 			if ax.tr == a {
-				cA = nu[ai].k
+				cA = k
 			}
 		}
-		interf := func(t float64) float64 {
-			sum := 0.0
-			for _, ch := range nu {
-				if len(hp[ch.tr]) == 0 {
-					continue
-				}
-				sum += an.wk(ch.tr, ch.k, hp[ch.tr], alpha, t)
-			}
-			return sum
-		}
-		scenarios = append(scenarios, scenario{c: cA, interf: interf})
+		scenarios = append(scenarios, scenario{c: cA, nu: nuBuf[start:len(nuBuf):len(nuBuf)]})
 
 		// Advance the mixed-radix counter.
 		ai := 0
@@ -181,6 +245,8 @@ func (an *analyzer) exactScenarios(a, b int, hp [][]int, alpha float64) ([]scena
 			break
 		}
 	}
+	ts.nu = nuBuf
+	ts.scenarios = scenarios
 	return scenarios, nil
 }
 
@@ -190,7 +256,7 @@ func (an *analyzer) exactScenarios(a, b int, hp [][]int, alpha float64) ([]scena
 // returning the largest response time and the job index attaining it.
 // ok is false when a fixed point was not reached within
 // Options.MaxInner steps.
-func (an *analyzer) scenarioResponse(a, b int, sc scenario, alpha float64) (float64, int, bool) {
+func (an *analyzer) scenarioResponse(a, b int, sc scenario, hp [][]int, alpha float64) (float64, int, bool) {
 	tr := &an.sys.Transactions[a]
 	ta := &tr.Tasks[b]
 	eps := an.opt.eps()
@@ -209,7 +275,7 @@ func (an *analyzer) scenarioResponse(a, b int, sc scenario, alpha float64) (floa
 		if jobs < 0 {
 			jobs = 0
 		}
-		next := base + jobs*cOverAlpha + sc.interf(L)
+		next := base + jobs*cOverAlpha + an.interference(a, sc, hp, alpha, L)
 		if next <= L+eps {
 			converged = true
 			break
@@ -231,7 +297,7 @@ func (an *analyzer) scenarioResponse(a, b int, sc scenario, alpha float64) (floa
 		}
 		converged = false
 		for it := 0; it < an.opt.maxInner(); it++ {
-			next := base + (p-p0+1)*cOverAlpha + sc.interf(w)
+			next := base + (p-p0+1)*cOverAlpha + an.interference(a, sc, hp, alpha, w)
 			if next <= w+eps {
 				converged = true
 				break

@@ -25,18 +25,24 @@ func CriticalScaling(sys *model.System, opt Options, tol, maxFactor float64) (fl
 		maxFactor = 16
 	}
 
+	// The probes differ only in execution times, so one engine and one
+	// scaled working copy serve the whole search: the engine keeps its
+	// interference cache (the shape never changes) and the copy is
+	// rescaled in place from the pristine input.
+	fastOpt := opt
+	fastOpt.StopAtDeadlineMiss = true
+	eng := NewEngine(fastOpt)
+	scaled := sys.Clone()
 	feasible := func(k float64) (bool, error) {
-		scaled := sys.Clone()
 		for i := range scaled.Transactions {
 			for j := range scaled.Transactions[i].Tasks {
 				t := &scaled.Transactions[i].Tasks[j]
-				t.WCET *= k
-				t.BCET *= k
+				orig := &sys.Transactions[i].Tasks[j]
+				t.WCET = orig.WCET * k
+				t.BCET = orig.BCET * k
 			}
 		}
-		fastOpt := opt
-		fastOpt.StopAtDeadlineMiss = true
-		res, err := Analyze(scaled, fastOpt)
+		res, err := eng.Analyze(scaled)
 		if err != nil {
 			return false, err
 		}

@@ -3,7 +3,9 @@
 // (acceptance ratios, soundness campaigns, design-space exploration)
 // are embarrassingly parallel: every system is independent, so the
 // package provides a deterministic parallel map with bounded workers,
-// first-error propagation and optional progress reporting.
+// first-error propagation, optional progress reporting and per-worker
+// state (MapWorkers) for reusing expensive resources such as
+// analysis engines across items.
 package batch
 
 import (
@@ -36,6 +38,19 @@ func (o Options) workers() int {
 // regardless of scheduling. The first error cancels the remaining
 // work (already-started evaluations finish) and is returned.
 func Map[T any](n int, opt Options, fn func(i int) (T, error)) ([]T, error) {
+	return MapWorkers(n, opt,
+		func() struct{} { return struct{}{} },
+		func(_ struct{}, i int) (T, error) { return fn(i) })
+}
+
+// MapWorkers is Map with per-worker state: newState runs once in each
+// worker goroutine and the returned state is handed to every fn call
+// that worker executes. It is the hook for reusing an expensive,
+// non-shareable resource — typically an analysis.Engine — across the
+// items of a sweep without locking and without one instance per item.
+// State is never shared between goroutines, so fn may mutate it
+// freely; results are still collected in index order.
+func MapWorkers[S, T any](n int, opt Options, newState func() S, fn func(s S, i int) (T, error)) ([]T, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("batch: negative item count %d", n)
 	}
@@ -62,12 +77,13 @@ func Map[T any](n int, opt Options, fn func(i int) (T, error)) ([]T, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			state := newState()
 			for {
 				i := int(next.Add(1) - 1)
 				if i >= n || failed.Load() {
 					return
 				}
-				v, err := fn(i)
+				v, err := fn(state, i)
 				if err != nil {
 					errOnce.Do(func() {
 						firstErr = fmt.Errorf("batch: item %d: %w", i, err)

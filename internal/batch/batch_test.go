@@ -93,6 +93,45 @@ func TestProgressMonotone(t *testing.T) {
 	}
 }
 
+func TestMapWorkersStatePerWorker(t *testing.T) {
+	// Every worker gets exactly one state; the state is visible to all
+	// of that worker's calls and is never shared between goroutines.
+	var states atomic.Int64
+	type counter struct{ calls int }
+	out, err := MapWorkers(200, Options{Workers: 4},
+		func() *counter { states.Add(1); return &counter{} },
+		func(s *counter, i int) (int, error) {
+			s.calls++
+			return i + s.calls*0, nil // result depends only on i
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := states.Load(); got < 1 || got > 4 {
+		t.Errorf("%d states created, want 1..4", got)
+	}
+	for i, v := range out {
+		if v != i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestMapWorkersErrorPropagation(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := MapWorkers(100, Options{Workers: 3},
+		func() int { return 0 },
+		func(_ int, i int) (int, error) {
+			if i == 5 {
+				return 0, boom
+			}
+			return i, nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+}
+
 func TestCount(t *testing.T) {
 	c, err := Count(100, Options{Workers: 5}, func(i int) (bool, error) {
 		return i%3 == 0, nil

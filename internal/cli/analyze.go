@@ -40,6 +40,7 @@ func Analyze(args []string, stdout, stderr io.Writer) int {
 		tight       = fs.Bool("tight", false, "use the per-run burstiness refinement of the best-case bounds")
 		dump        = fs.Bool("dump", false, "dump the system back as JSON and exit")
 		sensitivity = fs.Bool("sensitivity", false, "also report the critical WCET scaling factor")
+		workers     = fs.Int("workers", 0, "per-round response-time workers (0 = all CPUs, 1 = sequential; results are identical)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 1
@@ -60,12 +61,13 @@ func Analyze(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
-	opt := analysis.Options{Exact: *exact, TightBestCase: *tight}
+	opt := analysis.Options{Exact: *exact, TightBestCase: *tight, Workers: *workers}
+	eng := analysis.NewEngine(opt)
 	var res *analysis.Result
 	if *static {
-		res, err = analysis.AnalyzeStatic(sys, opt)
+		res, err = eng.AnalyzeStatic(sys)
 	} else {
-		res, err = analysis.Analyze(sys, opt)
+		res, err = eng.Analyze(sys)
 	}
 	if err != nil {
 		fmt.Fprintln(stderr, "hsched:", err)

@@ -18,6 +18,7 @@ func Exper(args []string, stdout, stderr io.Writer) int {
 		figure   = fs.Int("figure", 0, "reproduce one figure (3 or 5)")
 		ablation = fs.String("ablation", "", "run one ablation: exact, pessimism, soundness, design, network, edf or acceptance")
 		asCSV    = fs.Bool("csv", false, "emit plot-ready CSV instead of text (table 3, figure 3, pessimism, acceptance)")
+		workers  = fs.Int("workers", 0, "parallel workers of the acceptance sweep (0 = all CPUs)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 1
@@ -38,7 +39,7 @@ func Exper(args []string, stdout, stderr io.Writer) int {
 				err = rerr
 			}
 		case *ablation == "acceptance":
-			pts, rerr := experiments.AcceptanceRatio([]float64{0.2, 0.35, 0.5, 0.65, 0.8, 0.9}, 25, 1000)
+			pts, rerr := experiments.AcceptanceRatioWorkers([]float64{0.2, 0.35, 0.5, 0.65, 0.8, 0.9}, 25, 1000, *workers)
 			if rerr == nil {
 				err = experiments.AcceptanceCSV(stdout, pts)
 			} else {
@@ -128,7 +129,7 @@ func Exper(args []string, stdout, stderr io.Writer) int {
 	}
 	if all || *ablation == "acceptance" {
 		run("ablation A8", func() (string, error) {
-			pts, err := experiments.AcceptanceRatio([]float64{0.2, 0.35, 0.5, 0.65, 0.8, 0.9}, 25, 1000)
+			pts, err := experiments.AcceptanceRatioWorkers([]float64{0.2, 0.35, 0.5, 0.65, 0.8, 0.9}, 25, 1000, *workers)
 			if err != nil {
 				return "", err
 			}

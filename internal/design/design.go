@@ -125,10 +125,15 @@ func Minimize(sys *model.System, families []Family, opt Options) (*Result, error
 		}
 	}
 
+	// The feasibility oracle is evaluated hundreds of times on the
+	// same system shape (only platform parameters move), so one
+	// reusable engine serves the whole search: every call after the
+	// first reuses its interference cache and buffers.
 	oracleOpt := opt.Analysis
 	oracleOpt.StopAtDeadlineMiss = true
+	oracle := analysis.NewEngine(oracleOpt)
 	feasible := func() bool {
-		r, err := analysis.Analyze(work, oracleOpt)
+		r, err := oracle.Analyze(work)
 		if err != nil {
 			return false
 		}

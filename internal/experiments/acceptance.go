@@ -29,14 +29,33 @@ type AcceptancePoint struct {
 // the sweep enforces that as an invariant); the tight best-case
 // refinement sits between them.
 func AcceptanceRatio(utils []float64, perPoint int, seed int64) ([]AcceptancePoint, error) {
+	return AcceptanceRatioWorkers(utils, perPoint, seed, 0)
+}
+
+// AcceptanceRatioWorkers is AcceptanceRatio with an explicit bound on
+// the batch workers (0 selects GOMAXPROCS), for callers that share the
+// machine with other sweeps.
+func AcceptanceRatioWorkers(utils []float64, perPoint int, seed int64, workers int) ([]AcceptancePoint, error) {
 	type verdicts struct{ approx, exact, tight bool }
+	// Every worker reuses one engine per analysis variant across all
+	// its systems: the sweep is parallel across systems, so the
+	// engines themselves run sequentially (Workers: 1) to avoid
+	// oversubscribing the pool.
+	type engines struct{ approx, exact, tight *analysis.Engine }
+	newEngines := func() engines {
+		return engines{
+			approx: analysis.NewEngine(analysis.Options{StopAtDeadlineMiss: true, Workers: 1}),
+			exact:  analysis.NewEngine(analysis.Options{Exact: true, StopAtDeadlineMiss: true, Workers: 1}),
+			tight:  analysis.NewEngine(analysis.Options{TightBestCase: true, StopAtDeadlineMiss: true, Workers: 1}),
+		}
+	}
 	var out []AcceptancePoint
 	for _, u := range utils {
 		u := u
 		// The per-system evaluations are independent; run them on the
 		// parallel batch runner. Seeds are fixed per (u, k), so the
 		// sweep is deterministic regardless of worker scheduling.
-		vs, err := batch.Map(perPoint, batch.Options{}, func(k int) (verdicts, error) {
+		vs, err := batch.MapWorkers(perPoint, batch.Options{Workers: workers}, newEngines, func(e engines, k int) (verdicts, error) {
 			sys, err := gen.System(gen.Config{
 				Seed:      seed + int64(k) + int64(u*1e6),
 				Platforms: 2, Transactions: 3, ChainLen: 3,
@@ -47,15 +66,15 @@ func AcceptanceRatio(utils []float64, perPoint int, seed int64) ([]AcceptancePoi
 			if err != nil {
 				return verdicts{}, err
 			}
-			ap, err := analysis.Analyze(sys, analysis.Options{StopAtDeadlineMiss: true})
+			ap, err := e.approx.Analyze(sys)
 			if err != nil {
 				return verdicts{}, err
 			}
-			ex, err := analysis.Analyze(sys, analysis.Options{Exact: true, StopAtDeadlineMiss: true})
+			ex, err := e.exact.Analyze(sys)
 			if err != nil {
 				return verdicts{}, err
 			}
-			ti, err := analysis.Analyze(sys, analysis.Options{TightBestCase: true, StopAtDeadlineMiss: true})
+			ti, err := e.tight.Analyze(sys)
 			if err != nil {
 				return verdicts{}, err
 			}

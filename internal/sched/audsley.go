@@ -56,6 +56,12 @@ func Audsley(sys *model.System, opt analysis.Options) (*analysis.Result, bool, e
 
 	task := func(r ref) *model.Task { return &sys.Transactions[r.i].Tasks[r.j] }
 
+	// One engine serves every oracle probe of the search: only
+	// priorities change between probes (the hp cache rebuilds, but the
+	// working system and all round buffers amortise across the
+	// hundreds of calls).
+	eng := analysis.NewEngine(opt)
+
 	attempt := func(order []int) (*analysis.Result, bool, error) {
 		for i := range sys.Transactions {
 			for j := range sys.Transactions[i].Tasks {
@@ -72,7 +78,7 @@ func Audsley(sys *model.System, opt analysis.Options) (*analysis.Result, bool, e
 						continue
 					}
 					task(refs[c]).Priority = level
-					res, err := analysis.Analyze(sys, opt)
+					res, err := eng.Analyze(sys)
 					if err != nil {
 						return nil, false, fmt.Errorf("sched: audsley oracle: %w", err)
 					}
@@ -85,7 +91,7 @@ func Audsley(sys *model.System, opt analysis.Options) (*analysis.Result, bool, e
 					task(refs[c]).Priority = audsleyUnassigned
 				}
 				if !found {
-					res, err := analysis.Analyze(sys, opt)
+					res, err := eng.Analyze(sys)
 					if err != nil {
 						return nil, false, err
 					}
@@ -93,7 +99,7 @@ func Audsley(sys *model.System, opt analysis.Options) (*analysis.Result, bool, e
 				}
 			}
 		}
-		res, err := analysis.Analyze(sys, opt)
+		res, err := eng.Analyze(sys)
 		if err != nil {
 			return nil, false, err
 		}

@@ -113,9 +113,12 @@ func HOPA(sys *model.System, opt HOPAOptions) (*analysis.Result, error) {
 	}
 	var best *candidate
 
+	// Only priorities change between rounds, so one engine amortises
+	// its working copy and buffers across the whole iteration.
+	eng := analysis.NewEngine(opt.Analysis)
 	for round := 0; round < opt.iterations(); round++ {
 		assignByLocalDeadlines(sys, locals)
-		res, err := analysis.Analyze(sys, opt.Analysis)
+		res, err := eng.Analyze(sys)
 		if err != nil {
 			return nil, err
 		}
