@@ -6,10 +6,15 @@
 //
 // Usage:
 //
-//	hsched [-spec system.json] [-exact] [-static] [-tight] [-dump] [-sensitivity] [-workers n]
+//	hsched [-spec system.json] [-exact] [-static] [-tight] [-dump] [-sensitivity] [-workers n] [-cache]
+//	hsched bench [-systems n] [-queries n] [-goroutines n] [-shards n] [-capacity n] [-exact] [-seed n] [-util u]
 //
-// Exit status is 0 when the system is schedulable, 2 when it is not,
-// and 1 on errors.
+// The bench subcommand measures the memoised analysis service on a
+// generated admission-control workload: throughput, cache hit rate and
+// p50/p99 query latency.
+//
+// Exit status is 0 when the system is schedulable (or the benchmark
+// succeeded), 2 when the system is not schedulable, and 1 on errors.
 package main
 
 import (
@@ -19,5 +24,9 @@ import (
 )
 
 func main() {
-	os.Exit(cli.Analyze(os.Args[1:], os.Stdout, os.Stderr))
+	args := os.Args[1:]
+	if len(args) > 0 && args[0] == "bench" {
+		os.Exit(cli.Bench(args[1:], os.Stdout, os.Stderr))
+	}
+	os.Exit(cli.Analyze(args, os.Stdout, os.Stderr))
 }

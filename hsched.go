@@ -15,23 +15,52 @@
 //     supply model of Section 2.3: the (α, Δ, β) linearisation of the
 //     minimum/maximum supply functions.
 //   - Analyze / AnalyzeStatic run the schedulability analysis of
-//     Section 3 (holistic dynamic-offset, approximate or exact). Both
-//     are one-shot wrappers around Analyzer, the reusable analysis
-//     engine: NewAnalyzer builds one that amortises its interference
-//     caches and scratch buffers across many analyses and computes the
-//     per-task response times of every fixed-point round in parallel.
-//     Evaluation sweeps and design searches should construct one
-//     Analyzer (per goroutine) and reuse it.
+//     Section 3 (holistic dynamic-offset, approximate or exact). They
+//     are thin wrappers over a package-default Service (see below), so
+//     repeated identical queries are memoised.
 //   - Simulate executes the system on concrete budget servers and
 //     reports observed response times, for validation and exploration.
 //   - MinimizeBandwidth searches minimal platform parameters keeping
-//     the system schedulable (the paper's Section 5 future work).
+//     the system schedulable (the paper's Section 5 future work); its
+//     feasibility oracle runs through an analysis service, so the
+//     search's revisited parameter points are answered from the memo.
+//
+// # Architecture
+//
+// The analysis stack is layered; each layer is usable on its own:
+//
+//	façade (Analyze, AnalyzeContext, MinimizeBandwidth, …)
+//	  └─ Service — concurrency-safe front-end: engine pool sharded by
+//	     System.Fingerprint, LRU verdict memo keyed by (fingerprint,
+//	     normalised options), singleflight dedup of concurrent
+//	     identical queries, context-aware cancellation
+//	       └─ Analyzer (analysis.Engine) — one goroutine's reusable
+//	          engine: amortised interference caches and scratch,
+//	          per-round parallel response computation
+//	            └─ batch — deterministic parallel map primitives
+//
+// Which entry point do I use?
+//
+//	one-shot query, don't care        Analyze / AnalyzeStatic
+//	cancellable one-shot query        AnalyzeContext / AnalyzeStaticContext
+//	serving many queries (traffic)    NewService + Service.Analyze
+//	tight loop, single goroutine,     NewAnalyzer + Analyzer.Analyze
+//	  private mutable results
+//	sweeping huge populations         NewAnalyzer inside batch.MapWorkers
+//
+// Results returned by the service-backed entry points (Analyze,
+// AnalyzeContext, Service.Analyze) may be shared with other callers —
+// treat them as read-only. NewAnalyzer returns results that are
+// exclusively the caller's.
 //
 // The quickstart example in examples/quickstart builds the paper's
 // running sensor-fusion example end to end.
 package hsched
 
 import (
+	"context"
+	"sync"
+
 	"hsched/internal/analysis"
 	"hsched/internal/component"
 	"hsched/internal/design"
@@ -40,6 +69,7 @@ import (
 	"hsched/internal/network"
 	"hsched/internal/platform"
 	"hsched/internal/server"
+	"hsched/internal/service"
 	"hsched/internal/sim"
 	"hsched/internal/spec"
 )
@@ -108,6 +138,25 @@ type (
 	// responses → jitter propagation). One Analyzer serves one
 	// goroutine; results are identical for every worker count.
 	Analyzer = analysis.Engine
+)
+
+// Service types: the long-running, concurrency-safe analysis
+// front-end (engine pool + verdict memo + in-flight dedup).
+type (
+	// Service is a sharded, memoising, concurrency-safe analysis
+	// service; construct with NewService. See package
+	// internal/service for the full semantics.
+	Service = service.Service
+	// ServiceOptions configures NewService: shard count, verdict-memo
+	// capacity, default analysis options.
+	ServiceOptions = service.Options
+	// ServiceStats is a snapshot of a service's counters (queries,
+	// hits, misses, evictions, in-flight dedups).
+	ServiceStats = service.Stats
+	// SystemFingerprint is the canonical content hash of a System —
+	// the service's cache and shard key, stable across JSON round
+	// trips.
+	SystemFingerprint = model.Fingerprint
 )
 
 // Simulation types.
@@ -212,26 +261,72 @@ var (
 // options. Construct one per goroutine and call its Analyze /
 // AnalyzeStatic methods across many systems: consecutive analyses of
 // same-shaped systems reuse every cache and buffer, which is what the
-// batch sweeps and MinimizeBandwidth rely on for throughput.
+// batch sweeps rely on for throughput. Unlike the service-backed
+// entry points, every result is a private copy the caller may mutate.
 func NewAnalyzer(opt AnalysisOptions) *Analyzer {
 	return analysis.NewEngine(opt)
+}
+
+// NewService returns a concurrency-safe analysis service: a pool of
+// resident engines sharded by system fingerprint, an LRU memo of
+// verdicts keyed by (fingerprint, normalised options), and
+// singleflight deduplication of concurrent identical queries. Hold
+// one Service for the lifetime of a serving process and query it from
+// any number of goroutines.
+func NewService(opt ServiceOptions) *Service {
+	return service.New(opt)
+}
+
+// defaultService backs the package-level Analyze / AnalyzeStatic free
+// functions: a lazily-constructed process-wide service with default
+// options, so existing one-shot callers transparently gain engine
+// reuse and verdict memoisation.
+var (
+	defaultServiceOnce sync.Once
+	defaultService     *Service
+)
+
+// DefaultService returns the process-wide analysis service the
+// package-level Analyze and AnalyzeStatic use. Use it to read cache
+// statistics for the free-function traffic, to share the same memo
+// with explicit Service-style calls, or to release the memory its
+// memo and resident engines pin (Service.Reset) in long-lived
+// processes that analyse large disjoint system populations.
+func DefaultService() *Service {
+	defaultServiceOnce.Do(func() { defaultService = service.New(service.Options{}) })
+	return defaultService
 }
 
 // Analyze runs the holistic dynamic-offset schedulability analysis of
 // Section 3.2: offsets and jitters of non-initial tasks are derived
 // from predecessor response times and iterated to a fixed point. It is
-// a one-shot convenience wrapper over NewAnalyzer; reuse an Analyzer
-// when analysing many systems.
+// a thin wrapper over DefaultService, so repeated identical queries
+// are answered from the verdict memo; treat the returned result as
+// read-only (it may be shared), and use NewAnalyzer for a private
+// mutable copy.
 func Analyze(sys *System, opt AnalysisOptions) (*AnalysisResult, error) {
-	return analysis.Analyze(sys, opt)
+	return DefaultService().AnalyzeOptions(context.Background(), sys, opt)
+}
+
+// AnalyzeContext is Analyze with cancellation: the analysis polls ctx
+// between holistic rounds, between per-task response computations and
+// inside large exact scenario sweeps, and returns an error wrapping
+// ctx.Err() on abort.
+func AnalyzeContext(ctx context.Context, sys *System, opt AnalysisOptions) (*AnalysisResult, error) {
+	return DefaultService().AnalyzeOptions(ctx, sys, opt)
 }
 
 // AnalyzeStatic runs one pass of the static-offset analysis of
-// Section 3.1 with the offsets and jitters stored in the system. It is
-// a one-shot convenience wrapper over NewAnalyzer; reuse an Analyzer
-// when analysing many systems.
+// Section 3.1 with the offsets and jitters stored in the system. Like
+// Analyze it is served by DefaultService; treat the result as
+// read-only.
 func AnalyzeStatic(sys *System, opt AnalysisOptions) (*AnalysisResult, error) {
-	return analysis.AnalyzeStatic(sys, opt)
+	return DefaultService().AnalyzeStaticOptions(context.Background(), sys, opt)
+}
+
+// AnalyzeStaticContext is AnalyzeStatic with cancellation.
+func AnalyzeStaticContext(ctx context.Context, sys *System, opt AnalysisOptions) (*AnalysisResult, error) {
+	return DefaultService().AnalyzeStaticOptions(ctx, sys, opt)
 }
 
 // Simulate executes the system on one concrete server per platform.
@@ -249,7 +344,14 @@ func ServerFor(p Platform, phase float64) (Server, error) {
 // MinimizeBandwidth searches per-platform bandwidths minimising total
 // bandwidth subject to schedulability, within one server family per
 // platform (the paper's Section 5 future work). See package design for
-// the families.
+// the families. The feasibility oracle runs through an analysis
+// service (DesignOptions.Service, or a private one), whose verdict
+// memo answers the search's revisited parameter points.
 func MinimizeBandwidth(sys *System, families []ServerFamily, opt DesignOptions) (*DesignResult, error) {
 	return design.Minimize(sys, families, opt)
+}
+
+// MinimizeBandwidthContext is MinimizeBandwidth with cancellation.
+func MinimizeBandwidthContext(ctx context.Context, sys *System, families []ServerFamily, opt DesignOptions) (*DesignResult, error) {
+	return design.MinimizeContext(ctx, sys, families, opt)
 }

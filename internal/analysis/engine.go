@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -78,6 +79,13 @@ type Engine struct {
 	// parallel workers.
 	seq  taskScratch
 	pool sync.Pool
+
+	// ctx is the context of the in-flight call, set by the Context
+	// entry points before any round runs and read (never written) by
+	// the per-task response computations, which poll it between tasks
+	// and every few hundred scenarios. The goroutine fan-out of
+	// batch.Map establishes the happens-before edge the workers need.
+	ctx context.Context
 }
 
 // NewEngine returns an Engine with the given options. The zero-value
@@ -97,9 +105,22 @@ func (e *Engine) Options() Options { return e.opt }
 // sys, exactly as the package-level Analyze, but reusing the engine's
 // caches and buffers. sys is not mutated.
 func (e *Engine) Analyze(sys *model.System) (*Result, error) {
+	return e.AnalyzeContext(context.Background(), sys)
+}
+
+// AnalyzeContext is Analyze with cancellation: the engine polls ctx
+// between holistic rounds, between the per-task response computations
+// of a round (the parallel stage's error plumbing cancels the
+// remaining tasks of the round), and periodically inside large exact
+// scenario sweeps, so even a long exact analysis aborts promptly. On
+// cancellation it returns an error wrapping ctx.Err(); the engine
+// stays valid for further calls.
+func (e *Engine) AnalyzeContext(ctx context.Context, sys *model.System) (*Result, error) {
 	if err := sys.Validate(); err != nil {
 		return nil, err
 	}
+	e.ctx = ctx
+	defer func() { e.ctx = nil }()
 	e.bind(sys)
 	e.initStarts, e.initCompl = bestBoundsInto(e.work, e.opt.TightBestCase, e.initStarts, e.initCompl)
 
@@ -118,6 +139,11 @@ func (e *Engine) Analyze(sys *model.System) (*Result, error) {
 	converged := false
 	iters := 0
 	for iter := 0; iter < e.opt.maxIter(); iter++ {
+		// Cancellation point between holistic rounds.
+		if err := ctx.Err(); err != nil {
+			return nil, wrapCancelled(err)
+		}
+
 		// Stage 1: interference construction (reduced offsets; the hp
 		// cache is already bound).
 		e.an.refreshOffsets()
@@ -155,7 +181,7 @@ func (e *Engine) Analyze(sys *model.System) (*Result, error) {
 			missed := false
 			for i := range e.round {
 				row := e.round[i]
-				if row[len(row)-1].Worst > e.work.Transactions[i].Deadline+1e-9 {
+				if row[len(row)-1].Worst > e.work.Transactions[i].Deadline+e.opt.eps() {
 					missed = true
 					break
 				}
@@ -198,9 +224,17 @@ func (e *Engine) Analyze(sys *model.System) (*Result, error) {
 // 3.1 on sys, exactly as the package-level AnalyzeStatic, but reusing
 // the engine's caches and buffers. sys is not mutated.
 func (e *Engine) AnalyzeStatic(sys *model.System) (*Result, error) {
+	return e.AnalyzeStaticContext(context.Background(), sys)
+}
+
+// AnalyzeStaticContext is AnalyzeStatic with cancellation, with the
+// same polling points as AnalyzeContext (a static pass is one round).
+func (e *Engine) AnalyzeStaticContext(ctx context.Context, sys *model.System) (*Result, error) {
 	if err := sys.Validate(); err != nil {
 		return nil, err
 	}
+	e.ctx = ctx
+	defer func() { e.ctx = nil }()
 	e.bind(sys)
 	e.initStarts, e.initCompl = bestBoundsInto(e.work, e.opt.TightBestCase, e.initStarts, e.initCompl)
 	// Stage 1 runs once: static analysis keeps the input offsets.
@@ -295,6 +329,9 @@ func (e *Engine) runRound() error {
 	}
 	if workers <= 1 || n < minParallelTasks {
 		for k := 0; k < n; k++ {
+			if err := e.ctx.Err(); err != nil {
+				return wrapCancelled(err)
+			}
 			if err := e.analyzeTask(k, &e.seq); err != nil {
 				return err
 			}
@@ -317,6 +354,13 @@ func (e *Engine) runRound() error {
 	// with scheduling when several would fail — the error identity
 	// (ErrTooManyScenarios) is stable, the task name is not.
 	_, _ = batch.Map(n, batch.Options{Workers: workers}, func(k int) (struct{}, error) {
+		// Cancellation point between parallel per-task responses: the
+		// sentinel makes batch.Map stop handing out the round's
+		// remaining tasks.
+		if err := e.ctx.Err(); err != nil {
+			errs[k] = wrapCancelled(err)
+			return struct{}{}, errRoundFailed
+		}
 		// The nil-tolerant assertion keeps a zero-value Engine working
 		// (its pool has no New hook).
 		ts, _ := e.pool.Get().(*taskScratch)
@@ -344,12 +388,25 @@ func (e *Engine) runRound() error {
 // error instead.
 var errRoundFailed = errors.New("analysis: round failed")
 
+// wrapCancelled wraps a context error so errors.Is(err,
+// context.Canceled / DeadlineExceeded) keeps working while the message
+// names the analysis as the aborted operation.
+func wrapCancelled(err error) error {
+	return fmt.Errorf("analysis: cancelled: %w", err)
+}
+
 // analyzeTask computes the response of the k-th task of the flattened
 // work list and stores its TaskResult.
 func (e *Engine) analyzeTask(k int, ts *taskScratch) error {
 	i, j := e.flat[k][0], e.flat[k][1]
-	r, crit, err := e.an.responseTime(i, j, ts)
+	r, crit, err := e.an.responseTime(e.ctx, i, j, ts)
 	if err != nil {
+		// Cancellation is not a property of the task being analysed:
+		// pass it through unwrapped so the message carries a single
+		// "analysis: cancelled" prefix, like the other polling points.
+		if ctxErr := e.ctx.Err(); ctxErr != nil && errors.Is(err, ctxErr) {
+			return err
+		}
 		return fmt.Errorf("analysis: %s: %w", e.work.TaskName(i, j), err)
 	}
 	t := &e.work.Transactions[i].Tasks[j]
@@ -388,7 +445,7 @@ func (e *Engine) finalize(iterations int, converged bool) *Result {
 	e.seq.shrink()
 	res := e.detach(iterations)
 	res.Converged = converged
-	res.computeVerdict()
+	res.computeVerdict(e.opt.eps())
 	return res
 }
 

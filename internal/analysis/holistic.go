@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"context"
 	"math"
 
 	"hsched/internal/model"
@@ -37,6 +38,20 @@ func AnalyzeStatic(sys *model.System, opt Options) (*Result, error) {
 // and reuse it.
 func Analyze(sys *model.System, opt Options) (*Result, error) {
 	return NewEngine(opt).Analyze(sys)
+}
+
+// AnalyzeContext is Analyze with cancellation: see
+// Engine.AnalyzeContext for the polling points. Long-running callers
+// (services, admission controllers) should prefer it — or better, hold
+// a Service from package service, which adds engine pooling and
+// verdict memoisation on top.
+func AnalyzeContext(ctx context.Context, sys *model.System, opt Options) (*Result, error) {
+	return NewEngine(opt).AnalyzeContext(ctx, sys)
+}
+
+// AnalyzeStaticContext is AnalyzeStatic with cancellation.
+func AnalyzeStaticContext(ctx context.Context, sys *model.System, opt Options) (*Result, error) {
+	return NewEngine(opt).AnalyzeStaticContext(ctx, sys)
 }
 
 // unchanged reports whether the current round's worst-case responses

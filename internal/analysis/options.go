@@ -57,6 +57,12 @@ type Options struct {
 	// the per-task jitters and response times. It powers the
 	// reproduction of Table 3. Snapshots are fully detached from the
 	// engine and stay valid after the analysis returns.
+	//
+	// Recorder is a side-effect hook, not an analysis parameter: it
+	// never changes the computed bounds, so it is excluded from
+	// Options equality and from cache keys (Normalised drops it).
+	// Queries carrying a Recorder bypass the service's verdict memo
+	// entirely — a cache hit would silence the callbacks.
 	Recorder func(iteration int, snapshot *Result)
 
 	// Workers bounds the goroutines computing per-task response times
@@ -71,6 +77,25 @@ type Options struct {
 	// parallel (batch sweeps, design searches inside batch.MapWorkers)
 	// should set 1 to avoid oversubscription.
 	Workers int
+}
+
+// Normalised returns the options with every defaulted numeric field
+// materialised to its effective value (MaxScenarios, Epsilon,
+// MaxIterations, MaxInner) and the Recorder hook dropped, so that a
+// zero-value Options and an explicitly-spelled-default Options compare
+// equal. It is the canonical form the analysis service keys its
+// verdict memo with. Workers is preserved verbatim: it only changes
+// how a round is scheduled, never its results, and the service
+// excludes it from cache keys for that reason (its GOMAXPROCS default
+// is also host-dependent, so materialising it would break key
+// portability).
+func (o Options) Normalised() Options {
+	o.MaxScenarios = o.maxScenarios()
+	o.Epsilon = o.eps()
+	o.MaxIterations = o.maxIter()
+	o.MaxInner = o.maxInner()
+	o.Recorder = nil
+	return o
 }
 
 func (o Options) workers() int {
@@ -160,11 +185,15 @@ func (r *Result) TransactionResponse(i int) float64 {
 	return row[len(row)-1].Worst
 }
 
-func (r *Result) computeVerdict() {
+// computeVerdict decides Schedulable from the final round: every
+// transaction's end-to-end response must be finite and within its
+// deadline, compared with the configured convergence tolerance as the
+// guard band (the same ε the fixed points were computed under).
+func (r *Result) computeVerdict(eps float64) {
 	r.Schedulable = true
 	for i := range r.Tasks {
 		rt := r.TransactionResponse(i)
-		if math.IsInf(rt, 1) || rt > r.System.Transactions[i].Deadline+1e-9 {
+		if math.IsInf(rt, 1) || rt > r.System.Transactions[i].Deadline+eps {
 			r.Schedulable = false
 			return
 		}

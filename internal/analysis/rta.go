@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -73,13 +74,21 @@ type critical struct {
 // unboundedCritical marks an unbounded response.
 var unboundedCritical = critical{initiator: -1}
 
+// cancelCheckInterval is how many scenarios a response-time sweep
+// evaluates between context polls: an exact analysis can face millions
+// of scenarios per task, each a few fixed-point iterations, so polling
+// every few hundred keeps cancellation latency in the microsecond
+// range while the poll itself stays invisible in profiles.
+const cancelCheckInterval = 256
+
 // responseTime computes the worst-case response time R of τa,b
 // (0-based indices), measured from the activation of Γa, with the
 // offsets and jitters currently stored in the system, together with
 // the scenario attaining it. It returns +Inf when the busy period does
 // not converge (platform overload). ts provides reusable buffers; it
-// must not be shared between concurrent calls.
-func (an *analyzer) responseTime(a, b int, ts *taskScratch) (float64, critical, error) {
+// must not be shared between concurrent calls. ctx is polled every
+// cancelCheckInterval scenarios so huge exact sweeps abort promptly.
+func (an *analyzer) responseTime(ctx context.Context, a, b int, ts *taskScratch) (float64, critical, error) {
 	ta := &an.sys.Transactions[a].Tasks[b]
 	alpha := an.sys.Platforms[ta.Platform].Alpha
 	hp := an.hpCache[a][b]
@@ -101,7 +110,12 @@ func (an *analyzer) responseTime(a, b int, ts *taskScratch) (float64, critical, 
 
 	best := 0.0
 	crit := critical{initiator: b}
-	for _, sc := range scenarios {
+	for si, sc := range scenarios {
+		if si%cancelCheckInterval == 0 && ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return 0, unboundedCritical, wrapCancelled(err)
+			}
+		}
 		r, p, ok := an.scenarioResponse(a, b, sc, hp, alpha)
 		if !ok {
 			return math.Inf(1), unboundedCritical, nil

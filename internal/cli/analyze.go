@@ -5,6 +5,7 @@
 package cli
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -14,6 +15,7 @@ import (
 	"hsched/internal/analysis"
 	"hsched/internal/experiments"
 	"hsched/internal/model"
+	"hsched/internal/service"
 	"hsched/internal/spec"
 )
 
@@ -41,6 +43,7 @@ func Analyze(args []string, stdout, stderr io.Writer) int {
 		dump        = fs.Bool("dump", false, "dump the system back as JSON and exit")
 		sensitivity = fs.Bool("sensitivity", false, "also report the critical WCET scaling factor")
 		workers     = fs.Int("workers", 0, "per-round response-time workers (0 = all CPUs, 1 = sequential; results are identical)")
+		cache       = fs.Bool("cache", false, "route the analysis through a memoised analysis service and print cache statistics")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 1
@@ -62,12 +65,25 @@ func Analyze(args []string, stdout, stderr io.Writer) int {
 	}
 
 	opt := analysis.Options{Exact: *exact, TightBestCase: *tight, Workers: *workers}
-	eng := analysis.NewEngine(opt)
 	var res *analysis.Result
-	if *static {
-		res, err = eng.AnalyzeStatic(sys)
+	var svc *service.Service
+	if *cache {
+		// The service front-end: one-shot here, but the same path an
+		// embedding admission controller uses. (-sensitivity's probes
+		// run their own engine and are not counted in the stats line.)
+		svc = service.New(service.Options{Analysis: opt})
+		if *static {
+			res, err = svc.AnalyzeStatic(context.Background(), sys)
+		} else {
+			res, err = svc.Analyze(context.Background(), sys)
+		}
 	} else {
-		res, err = eng.Analyze(sys)
+		eng := analysis.NewEngine(opt)
+		if *static {
+			res, err = eng.AnalyzeStatic(sys)
+		} else {
+			res, err = eng.Analyze(sys)
+		}
 	}
 	if err != nil {
 		fmt.Fprintln(stderr, "hsched:", err)
@@ -104,8 +120,18 @@ func Analyze(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintf(stdout, "critical WCET scaling factor: %.3f\n", k)
 	}
+	if svc != nil {
+		printCacheStats(stdout, svc.Stats())
+	}
 	if !res.Schedulable {
 		return 2
 	}
 	return 0
+}
+
+// printCacheStats renders one service-stats line, shared by the
+// analyze, exper and bench commands.
+func printCacheStats(out io.Writer, st service.Stats) {
+	fmt.Fprintf(out, "cache: queries=%d hits=%d misses=%d evictions=%d inflight-dedups=%d hit-rate=%.1f%%\n",
+		st.Queries, st.Hits, st.Misses, st.Evictions, st.InflightDedups, 100*st.HitRate())
 }

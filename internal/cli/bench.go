@@ -1,0 +1,120 @@
+package cli
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hsched/internal/analysis"
+	"hsched/internal/gen"
+	"hsched/internal/model"
+	"hsched/internal/service"
+)
+
+// Bench implements `hsched bench`: a service-throughput benchmark over
+// a generated workload. It draws a population of random systems, fires
+// a stream of admission-control-style queries at one shared analysis
+// service from many goroutines (queries round-robin over the
+// population, so the steady-state hit rate is high), and reports
+// throughput, cache hit rate and p50/p99 latency. Exit codes: 0
+// success, 1 error.
+func Bench(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("hsched bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		systems    = fs.Int("systems", 64, "distinct random systems in the workload population")
+		queries    = fs.Int("queries", 4096, "total queries to issue")
+		goroutines = fs.Int("goroutines", 0, "concurrent client goroutines (0 = all CPUs)")
+		shards     = fs.Int("shards", 0, "engine shards of the service (0 = all CPUs)")
+		capacity   = fs.Int("capacity", 0, "verdict-memo capacity in entries (0 = default, negative = memo off)")
+		seed       = fs.Int64("seed", 1, "workload generator seed")
+		exact      = fs.Bool("exact", false, "use the exact analysis for the workload")
+		util       = fs.Float64("util", 0.45, "per-platform utilisation of the generated systems")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	if *systems <= 0 || *queries <= 0 {
+		fmt.Fprintln(stderr, "hsched bench: -systems and -queries must be positive")
+		return 1
+	}
+
+	pop := make([]*model.System, *systems)
+	for k := range pop {
+		sys, err := gen.System(gen.Config{
+			Seed: *seed + int64(k), Platforms: 2, Transactions: 3, ChainLen: 3,
+			PeriodMin: 20, PeriodMax: 400, Utilization: *util,
+			AlphaMin: 0.4, AlphaMax: 0.9,
+		})
+		if err != nil {
+			fmt.Fprintln(stderr, "hsched bench:", err)
+			return 1
+		}
+		pop[k] = sys
+	}
+
+	svc := service.New(service.Options{
+		Shards:   *shards,
+		Capacity: *capacity,
+		Analysis: analysis.Options{Exact: *exact, StopAtDeadlineMiss: true, Workers: 1},
+	})
+
+	clients := *goroutines
+	if clients <= 0 {
+		clients = runtime.GOMAXPROCS(0)
+	}
+	ctx := context.Background()
+	latencies := make([]time.Duration, *queries)
+	var (
+		next     atomic.Int64
+		firstErr atomic.Value
+		wg       sync.WaitGroup
+	)
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				k := int(next.Add(1) - 1)
+				if k >= *queries || firstErr.Load() != nil {
+					return
+				}
+				t0 := time.Now()
+				_, err := svc.Analyze(ctx, pop[k%len(pop)])
+				latencies[k] = time.Since(t0)
+				if err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err := firstErr.Load(); err != nil {
+		fmt.Fprintln(stderr, "hsched bench:", err)
+		return 1
+	}
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	quantile := func(q float64) time.Duration {
+		idx := int(q * float64(len(latencies)-1))
+		return latencies[idx]
+	}
+	st := svc.Stats()
+	fmt.Fprintf(stdout, "workload: %d systems, %d queries, %d goroutines, exact=%v\n",
+		*systems, *queries, clients, *exact)
+	fmt.Fprintf(stdout, "elapsed: %v  throughput: %.0f queries/s\n",
+		elapsed.Round(time.Millisecond), float64(*queries)/elapsed.Seconds())
+	fmt.Fprintf(stdout, "latency: p50=%v p90=%v p99=%v max=%v\n",
+		quantile(0.50), quantile(0.90), quantile(0.99), latencies[len(latencies)-1])
+	printCacheStats(stdout, st)
+	return 0
+}

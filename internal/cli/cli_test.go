@@ -199,3 +199,63 @@ func TestExperSingleArtefacts(t *testing.T) {
 		}
 	}
 }
+
+func TestAnalyzeCacheFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := Analyze([]string{"-cache"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "cache: queries=1") {
+		t.Errorf("cache stats line missing:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "schedulable: true") {
+		t.Errorf("verdict missing with -cache:\n%s", out.String())
+	}
+}
+
+func TestExperCacheFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := Exper([]string{"-ablation", "acceptance", "-cache", "-workers", "2"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "Ablation A8") {
+		t.Errorf("acceptance table missing:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "cache: queries=") {
+		t.Errorf("cache stats line missing:\n%s", out.String())
+	}
+	// CSV mode keeps stdout machine-readable: stats go to stderr.
+	out.Reset()
+	errb.Reset()
+	if code := Exper([]string{"-ablation", "acceptance", "-cache", "-csv", "-workers", "2"}, &out, &errb); code != 0 {
+		t.Fatalf("csv exit %d, stderr: %s", code, errb.String())
+	}
+	if strings.Contains(out.String(), "cache: queries=") {
+		t.Errorf("stats leaked into CSV stdout:\n%s", out.String())
+	}
+	if !strings.Contains(errb.String(), "cache: queries=") {
+		t.Errorf("stats missing from stderr in csv mode:\n%s", errb.String())
+	}
+}
+
+func TestBench(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := Bench([]string{"-systems", "4", "-queries", "64", "-goroutines", "2"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	for _, want := range []string{"throughput:", "p50=", "p99=", "cache: queries=64"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("bench output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestBenchBadFlags(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := Bench([]string{"-queries", "0"}, &out, &errb); code != 1 {
+		t.Errorf("zero queries: exit %d, want 1", code)
+	}
+	if code := Bench([]string{"-nope"}, &out, &errb); code != 1 {
+		t.Errorf("unknown flag: exit %d, want 1", code)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"hsched/internal/experiments"
+	"hsched/internal/service"
 )
 
 // Exper implements cmd/hsexper: regenerate paper tables/figures and
@@ -19,9 +20,37 @@ func Exper(args []string, stdout, stderr io.Writer) int {
 		ablation = fs.String("ablation", "", "run one ablation: exact, pessimism, soundness, design, network, edf or acceptance")
 		asCSV    = fs.Bool("csv", false, "emit plot-ready CSV instead of text (table 3, figure 3, pessimism, acceptance)")
 		workers  = fs.Int("workers", 0, "parallel workers of the acceptance sweep (0 = all CPUs)")
+		cache    = fs.Bool("cache", false, "share one memoised analysis service across the acceptance sweep and print its cache statistics")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 1
+	}
+
+	// With -cache the acceptance sweep runs through one explicit
+	// service so its statistics can be reported afterwards; without it
+	// the sweep still uses a service internally (engine pooling and
+	// in-flight dedup), just an anonymous one.
+	var svc *service.Service
+	if *cache {
+		svc = service.New(service.Options{Shards: experiments.SweepShards(*workers)})
+		// Only the acceptance sweep is service-instrumented; say so
+		// instead of silently ignoring the flag elsewhere.
+		if !(*table == 0 && *figure == 0 && *ablation == "") && *ablation != "acceptance" {
+			fmt.Fprintln(stderr, "hsexper: -cache only instruments the acceptance sweep; other artefacts run uncached")
+		}
+	}
+	acceptance := func(utils []float64, perPoint int, seed int64) ([]experiments.AcceptancePoint, error) {
+		pts, err := experiments.AcceptanceRatioService(utils, perPoint, seed, *workers, svc)
+		if err == nil && svc != nil {
+			// Stats go to stderr in CSV mode so the data stream stays
+			// machine-readable.
+			dst := stdout
+			if *asCSV {
+				dst = stderr
+			}
+			printCacheStats(dst, svc.Stats())
+		}
+		return pts, err
 	}
 
 	if *asCSV {
@@ -39,7 +68,7 @@ func Exper(args []string, stdout, stderr io.Writer) int {
 				err = rerr
 			}
 		case *ablation == "acceptance":
-			pts, rerr := experiments.AcceptanceRatioWorkers([]float64{0.2, 0.35, 0.5, 0.65, 0.8, 0.9}, 25, 1000, *workers)
+			pts, rerr := acceptance([]float64{0.2, 0.35, 0.5, 0.65, 0.8, 0.9}, 25, 1000)
 			if rerr == nil {
 				err = experiments.AcceptanceCSV(stdout, pts)
 			} else {
@@ -129,7 +158,7 @@ func Exper(args []string, stdout, stderr io.Writer) int {
 	}
 	if all || *ablation == "acceptance" {
 		run("ablation A8", func() (string, error) {
-			pts, err := experiments.AcceptanceRatioWorkers([]float64{0.2, 0.35, 0.5, 0.65, 0.8, 0.9}, 25, 1000, *workers)
+			pts, err := acceptance([]float64{0.2, 0.35, 0.5, 0.65, 0.8, 0.9}, 25, 1000)
 			if err != nil {
 				return "", err
 			}

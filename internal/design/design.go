@@ -13,12 +13,14 @@
 package design
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"hsched/internal/analysis"
 	"hsched/internal/model"
 	"hsched/internal/platform"
+	"hsched/internal/service"
 )
 
 // Family maps a bandwidth α ∈ (0, 1] to full platform parameters.
@@ -66,6 +68,14 @@ type Options struct {
 	Passes int
 	// Analysis configures the schedulability oracle.
 	Analysis analysis.Options
+	// Service, when non-nil, is the analysis service the feasibility
+	// oracle queries — sharing it across searches shares its engine
+	// pool and verdict memo. When nil, Minimize runs a private
+	// single-shard service for the duration of the search: the binary
+	// searches and coordinate-descent passes re-probe identical
+	// (system, platform-parameters) points, and the memo answers the
+	// repeats without re-running the analysis.
+	Service *service.Service
 }
 
 func (o Options) tolerance() float64 {
@@ -90,7 +100,9 @@ type Result struct {
 	Platforms []platform.Params
 	// TotalBandwidth is Σ Alphas, the minimised objective.
 	TotalBandwidth float64
-	// Analysis is the verdict at the final parameters.
+	// Analysis is the verdict at the final parameters. It may be
+	// shared with the feasibility service's verdict memo (and thus
+	// with other callers): treat it as read-only.
 	Analysis *analysis.Result
 }
 
@@ -100,16 +112,30 @@ type Result struct {
 // family values); the system must be schedulable at full bandwidth
 // (α = 1 everywhere), otherwise an error is returned.
 func Minimize(sys *model.System, families []Family, opt Options) (*Result, error) {
+	return MinimizeContext(context.Background(), sys, families, opt)
+}
+
+// MinimizeContext is Minimize with cancellation: a cancelled context
+// aborts the search between (and inside) oracle queries and returns an
+// error wrapping ctx.Err().
+func MinimizeContext(ctx context.Context, sys *model.System, families []Family, opt Options) (*Result, error) {
 	if len(families) != len(sys.Platforms) {
 		return nil, fmt.Errorf("design: %d families for %d platforms", len(families), len(sys.Platforms))
 	}
+	svc := opt.Service
+	if svc == nil {
+		// A private single-shard service: the search is sequential, so
+		// one resident engine suffices; the memo is what matters here.
+		svc = service.New(service.Options{Shards: 1})
+	}
+
 	work := sys.Clone()
 	alphas := make([]float64, len(families))
 	for m := range alphas {
 		alphas[m] = 1
 		work.Platforms[m] = families[m](1)
 	}
-	res, err := analysis.Analyze(work, opt.Analysis)
+	res, err := svc.AnalyzeOptions(ctx, work, opt.Analysis)
 	if err != nil {
 		return nil, err
 	}
@@ -126,19 +152,32 @@ func Minimize(sys *model.System, families []Family, opt Options) (*Result, error
 	}
 
 	// The feasibility oracle is evaluated hundreds of times on the
-	// same system shape (only platform parameters move), so one
-	// reusable engine serves the whole search: every call after the
-	// first reuses its interference cache and buffers.
+	// same system shape (only platform parameters move) and the
+	// searches below revisit parameter points — the service's resident
+	// engines keep the interference caches warm, and its verdict memo
+	// answers every revisited point without re-running the analysis.
+	// Analysis errors (e.g. scenario overflow of the exact oracle) are
+	// treated as infeasible points, matching the pre-service
+	// behaviour; cancellation aborts the whole search.
 	oracleOpt := opt.Analysis
 	oracleOpt.StopAtDeadlineMiss = true
-	oracle := analysis.NewEngine(oracleOpt)
-	feasible := func() bool {
-		r, err := oracle.Analyze(work)
+	feasible := func() (bool, error) {
+		// Poll ctx here, not just inside the analysis: with a warm
+		// shared service every probe can be a memo hit that never
+		// observes the context, and the search must still honour
+		// cancellation.
+		if err := ctx.Err(); err != nil {
+			return false, fmt.Errorf("design: %w", err)
+		}
+		r, err := svc.AnalyzeOptions(ctx, work, oracleOpt)
 		if err != nil {
-			return false
+			if ctx.Err() != nil {
+				return false, fmt.Errorf("design: %w", err)
+			}
+			return false, nil
 		}
 		res = r
-		return r.Schedulable
+		return r.Schedulable, nil
 	}
 
 	tol := opt.tolerance()
@@ -163,16 +202,24 @@ func Minimize(sys *model.System, families []Family, opt Options) (*Result, error
 	for hi-lo > tol {
 		mid := (lo + hi) / 2
 		apply(mid)
-		if feasible() {
+		ok, err := feasible()
+		if err != nil {
+			return nil, err
+		}
+		if ok {
 			hi = mid
 		} else {
 			lo = mid
 		}
 	}
 	apply(hi)
-	if !feasible() {
+	if ok, err := feasible(); err != nil {
+		return nil, err
+	} else if !ok {
 		apply(1)
-		feasible()
+		if _, err := feasible(); err != nil {
+			return nil, err
+		}
 	}
 
 	// Phase 2: per-platform coordinate descent from the uniform point.
@@ -187,17 +234,27 @@ func Minimize(sys *model.System, families []Family, opt Options) (*Result, error
 			for hi-lo > tol {
 				mid := (lo + hi) / 2
 				work.Platforms[m] = families[m](mid)
-				if feasible() {
+				ok, err := feasible()
+				if err != nil {
+					return nil, err
+				}
+				if ok {
 					hi = mid
 				} else {
 					lo = mid
 				}
 			}
 			work.Platforms[m] = families[m](hi)
-			if !feasible() {
+			ok, err := feasible()
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
 				// Numerical edge: restore the last known-good value.
 				work.Platforms[m] = families[m](alphas[m])
-				feasible()
+				if _, err := feasible(); err != nil {
+					return nil, err
+				}
 				continue
 			}
 			if hi < alphas[m]-tol/2 {

@@ -1,6 +1,8 @@
 package design_test
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 
@@ -9,6 +11,7 @@ import (
 	"hsched/internal/experiments"
 	"hsched/internal/model"
 	"hsched/internal/platform"
+	"hsched/internal/service"
 )
 
 func TestFamilies(t *testing.T) {
@@ -137,5 +140,65 @@ func TestTDMADominatesPollingAtEqualBandwidth(t *testing.T) {
 	}
 	if !verdict.Schedulable {
 		t.Errorf("TDMA platforms at the polling-feasible bandwidths %v are not schedulable", pollRes.Alphas)
+	}
+}
+
+// TestMinimizeCacheReducesAnalyses: routed through a shared analysis
+// service, the search's revisited parameter points are answered by the
+// verdict memo — same optimum, measurably fewer engine analyses than
+// with the memo disabled.
+func TestMinimizeCacheReducesAnalyses(t *testing.T) {
+	sys := experiments.PaperSystem()
+	fams := []design.Family{design.PollingFamily(0.8333), design.PollingFamily(0.8333), design.PollingFamily(1.25)}
+
+	cached := service.New(service.Options{Shards: 1})
+	resOn, err := design.Minimize(sys, fams, design.Options{Service: cached})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uncached := service.New(service.Options{Shards: 1, Capacity: -1})
+	resOff, err := design.Minimize(sys, fams, design.Options{Service: uncached})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for m := range resOn.Alphas {
+		if resOn.Alphas[m] != resOff.Alphas[m] {
+			t.Fatalf("optimum differs with cache on/off: %v vs %v", resOn.Alphas, resOff.Alphas)
+		}
+	}
+	on, off := cached.Stats(), uncached.Stats()
+	if on.Queries != off.Queries {
+		t.Fatalf("query counts differ: %d vs %d (the search should be oblivious to caching)", on.Queries, off.Queries)
+	}
+	if off.Hits != 0 || off.Misses != off.Queries {
+		t.Fatalf("uncached service stats inconsistent: %+v", off)
+	}
+	if on.Hits == 0 || on.Misses >= off.Misses {
+		t.Fatalf("memo ineffective: cached %+v vs uncached %+v", on, off)
+	}
+	t.Logf("design search: %d oracle queries, %d analyses with memo vs %d without (%.0f%% saved)",
+		on.Queries, on.Misses, off.Misses, 100*float64(off.Misses-on.Misses)/float64(off.Misses))
+}
+
+// TestMinimizeContextCancelled: a cancelled context aborts the search
+// — including against a warm shared service, where every oracle probe
+// would otherwise be answered by the memo without ever observing the
+// context.
+func TestMinimizeContextCancelled(t *testing.T) {
+	sys := experiments.PaperSystem()
+	fams := []design.Family{design.PollingFamily(0.8333), design.PollingFamily(0.8333), design.PollingFamily(1.25)}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := design.MinimizeContext(ctx, sys, fams, design.Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+
+	svc := service.New(service.Options{Shards: 1})
+	if _, err := design.MinimizeContext(context.Background(), sys, fams, design.Options{Service: svc}); err != nil {
+		t.Fatalf("warm-up search: %v", err)
+	}
+	if _, err := design.MinimizeContext(ctx, sys, fams, design.Options{Service: svc}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("warm service: err = %v, want context.Canceled", err)
 	}
 }

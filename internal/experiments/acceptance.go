@@ -1,11 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 
 	"hsched/internal/analysis"
 	"hsched/internal/batch"
 	"hsched/internal/gen"
+	"hsched/internal/service"
 )
 
 // AcceptancePoint is one utilisation point of the acceptance-ratio
@@ -36,26 +39,51 @@ func AcceptanceRatio(utils []float64, perPoint int, seed int64) ([]AcceptancePoi
 // the batch workers (0 selects GOMAXPROCS), for callers that share the
 // machine with other sweeps.
 func AcceptanceRatioWorkers(utils []float64, perPoint int, seed int64, workers int) ([]AcceptancePoint, error) {
-	type verdicts struct{ approx, exact, tight bool }
-	// Every worker reuses one engine per analysis variant across all
-	// its systems: the sweep is parallel across systems, so the
-	// engines themselves run sequentially (Workers: 1) to avoid
-	// oversubscribing the pool.
-	type engines struct{ approx, exact, tight *analysis.Engine }
-	newEngines := func() engines {
-		return engines{
-			approx: analysis.NewEngine(analysis.Options{StopAtDeadlineMiss: true, Workers: 1}),
-			exact:  analysis.NewEngine(analysis.Options{Exact: true, StopAtDeadlineMiss: true, Workers: 1}),
-			tight:  analysis.NewEngine(analysis.Options{TightBestCase: true, StopAtDeadlineMiss: true, Workers: 1}),
-		}
+	return AcceptanceRatioService(utils, perPoint, seed, workers, nil)
+}
+
+// acceptanceVariants are the three analysis configurations the sweep
+// compares. The engines run sequentially (Workers: 1): the sweep is
+// already parallel across systems, so per-round fan-out would only
+// oversubscribe the pool.
+var acceptanceVariants = struct{ approx, exact, tight analysis.Options }{
+	approx: analysis.Options{StopAtDeadlineMiss: true, Workers: 1},
+	exact:  analysis.Options{Exact: true, StopAtDeadlineMiss: true, Workers: 1},
+	tight:  analysis.Options{TightBestCase: true, StopAtDeadlineMiss: true, Workers: 1},
+}
+
+// SweepShards oversizes a sweep service's shard count relative to its
+// worker count: every generated system is distinct, so queries land on
+// fingerprint-random shards, and with shards == workers balls-in-bins
+// collisions would leave workers blocked on each other's shard
+// mutexes. 4× keeps the collision probability low at the cost of a
+// few idle resident engines.
+func SweepShards(workers int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
+	return 4 * workers
+}
+
+// AcceptanceRatioService is AcceptanceRatio routed through an analysis
+// service: all workers share svc's resident engine pool, and repeated
+// runs over the same seeds (or concurrent duplicate queries) are
+// answered from its verdict memo. svc == nil constructs a private
+// service sized to the worker count; pass an explicit service to read
+// its Stats afterwards (the CLI's -cache flag does).
+func AcceptanceRatioService(utils []float64, perPoint int, seed int64, workers int, svc *service.Service) ([]AcceptancePoint, error) {
+	type verdicts struct{ approx, exact, tight bool }
+	if svc == nil {
+		svc = service.New(service.Options{Shards: SweepShards(workers)})
+	}
+	ctx := context.Background()
 	var out []AcceptancePoint
 	for _, u := range utils {
 		u := u
 		// The per-system evaluations are independent; run them on the
 		// parallel batch runner. Seeds are fixed per (u, k), so the
 		// sweep is deterministic regardless of worker scheduling.
-		vs, err := batch.MapWorkers(perPoint, batch.Options{Workers: workers}, newEngines, func(e engines, k int) (verdicts, error) {
+		vs, err := batch.Map(perPoint, batch.Options{Workers: workers}, func(k int) (verdicts, error) {
 			sys, err := gen.System(gen.Config{
 				Seed:      seed + int64(k) + int64(u*1e6),
 				Platforms: 2, Transactions: 3, ChainLen: 3,
@@ -66,15 +94,15 @@ func AcceptanceRatioWorkers(utils []float64, perPoint int, seed int64, workers i
 			if err != nil {
 				return verdicts{}, err
 			}
-			ap, err := e.approx.Analyze(sys)
+			ap, err := svc.AnalyzeOptions(ctx, sys, acceptanceVariants.approx)
 			if err != nil {
 				return verdicts{}, err
 			}
-			ex, err := e.exact.Analyze(sys)
+			ex, err := svc.AnalyzeOptions(ctx, sys, acceptanceVariants.exact)
 			if err != nil {
 				return verdicts{}, err
 			}
-			ti, err := e.tight.Analyze(sys)
+			ti, err := svc.AnalyzeOptions(ctx, sys, acceptanceVariants.tight)
 			if err != nil {
 				return verdicts{}, err
 			}

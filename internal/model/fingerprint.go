@@ -1,0 +1,95 @@
+package model
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+)
+
+// Fingerprint is a stable identity of a System: a SHA-256 digest over a
+// canonical byte encoding of every analysis-relevant field — platform
+// parameters, transaction periods and deadlines, and per-task WCET,
+// BCET, offset, jitter, priority, platform mapping and blocking, plus
+// all names. Two systems have equal fingerprints iff they are
+// value-identical, and the encoding uses the exact float64 bit
+// patterns, so a JSON round trip through package spec (which preserves
+// float values exactly) preserves the fingerprint. It is the cache and
+// shard key of the analysis service (package service).
+type Fingerprint [sha256.Size]byte
+
+// String renders the fingerprint as hex (shortened to 16 digits, the
+// form used in logs and cache-stats output).
+func (f Fingerprint) String() string { return hex.EncodeToString(f[:8]) }
+
+// Shard maps the fingerprint onto one of n shards (n ≥ 1). The
+// digest's uniformity makes the assignment balanced for any workload.
+func (f Fingerprint) Shard(n int) int {
+	return int(binary.LittleEndian.Uint64(f[:8]) % uint64(n))
+}
+
+// fingerprintVersion guards the canonical encoding: bump it whenever a
+// field is added to the model so stale persisted keys cannot alias new
+// systems.
+const fingerprintVersion = 1
+
+// Fingerprint computes the system's canonical fingerprint. The cost is
+// one digest pass over a flat encoding of the system's fields —
+// microseconds even for large systems, negligible next to an analysis
+// — so callers may recompute it freely rather than caching it
+// alongside the system. It is on the memoised-query hot path of the
+// analysis service, hence the single-buffer encoding: one Write to the
+// digest instead of one per field.
+func (s *System) Fingerprint() Fingerprint {
+	buf := make([]byte, 0, s.fingerprintSize())
+	u64 := func(v uint64) {
+		buf = binary.LittleEndian.AppendUint64(buf, v)
+	}
+	f64 := func(v float64) { u64(math.Float64bits(v)) }
+	str := func(v string) {
+		u64(uint64(len(v)))
+		buf = append(buf, v...)
+	}
+
+	u64(fingerprintVersion)
+	u64(uint64(len(s.Platforms)))
+	for _, p := range s.Platforms {
+		f64(p.Alpha)
+		f64(p.Delta)
+		f64(p.Beta)
+	}
+	u64(uint64(len(s.Transactions)))
+	for i := range s.Transactions {
+		tr := &s.Transactions[i]
+		str(tr.Name)
+		f64(tr.Period)
+		f64(tr.Deadline)
+		u64(uint64(len(tr.Tasks)))
+		for j := range tr.Tasks {
+			t := &tr.Tasks[j]
+			str(t.Name)
+			f64(t.WCET)
+			f64(t.BCET)
+			f64(t.Offset)
+			f64(t.Jitter)
+			u64(uint64(int64(t.Priority)))
+			u64(uint64(int64(t.Platform)))
+			f64(t.Blocking)
+		}
+	}
+	return sha256.Sum256(buf)
+}
+
+// fingerprintSize returns the exact canonical-encoding length, so
+// Fingerprint allocates its buffer once.
+func (s *System) fingerprintSize() int {
+	n := 8 * (2 + 3*len(s.Platforms) + 1)
+	for i := range s.Transactions {
+		tr := &s.Transactions[i]
+		n += 8*4 + len(tr.Name)
+		for j := range tr.Tasks {
+			n += 8*8 + len(tr.Tasks[j].Name)
+		}
+	}
+	return n
+}

@@ -1,0 +1,117 @@
+package model_test
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"hsched/internal/model"
+	"hsched/internal/platform"
+	"hsched/internal/spec"
+)
+
+// fpSystem builds a system with deliberately awkward float values
+// (non-terminating binary expansions, values produced by arithmetic)
+// so the JSON round-trip test exercises exact float64 preservation.
+func fpSystem() *model.System {
+	return &model.System{
+		Platforms: []platform.Params{
+			{Alpha: 0.4, Delta: 1.0 / 3.0, Beta: 0.32},
+			{Alpha: 2.0 / 7.0, Delta: math.Pi, Beta: 0.5},
+		},
+		Transactions: []model.Transaction{
+			{
+				Name: "G1", Period: 20, Deadline: 19.999999999,
+				Tasks: []model.Task{
+					{Name: "a", WCET: 1.1, BCET: 0.3, Priority: 2, Platform: 0},
+					{Name: "b", WCET: 2.0 / 3.0, BCET: 0.1, Offset: 0.25, Jitter: 0.125, Priority: 1, Platform: 1, Blocking: 0.0625},
+				},
+			},
+			{
+				Name: "G2", Period: 1e3 / 7, Deadline: 100,
+				Tasks: []model.Task{
+					{Name: "c", WCET: 3, BCET: 3, Priority: 3, Platform: 1},
+				},
+			},
+		},
+	}
+}
+
+func TestFingerprintStability(t *testing.T) {
+	sys := fpSystem()
+	fp := sys.Fingerprint()
+	if fp != sys.Fingerprint() {
+		t.Fatalf("fingerprint not deterministic on the same value")
+	}
+	if got := sys.Clone().Fingerprint(); got != fp {
+		t.Fatalf("clone fingerprint %v differs from original %v", got, fp)
+	}
+	other := fpSystem()
+	if got := other.Fingerprint(); got != fp {
+		t.Fatalf("value-identical system fingerprint %v differs from %v", got, fp)
+	}
+}
+
+func TestFingerprintJSONRoundTrip(t *testing.T) {
+	sys := fpSystem()
+	fp := sys.Fingerprint()
+
+	path := filepath.Join(t.TempDir(), "sys.json")
+	if err := spec.Save(sys, path); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	back, err := spec.Load(path)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if got := back.Fingerprint(); got != fp {
+		t.Fatalf("fingerprint changed across spec.Save/spec.Load: %v != %v", got, fp)
+	}
+}
+
+// TestFingerprintSensitivity mutates every analysis-relevant field in
+// turn and checks the fingerprint moves each time.
+func TestFingerprintSensitivity(t *testing.T) {
+	base := fpSystem().Fingerprint()
+	mutations := map[string]func(*model.System){
+		"platform alpha":    func(s *model.System) { s.Platforms[0].Alpha = 0.41 },
+		"platform delta":    func(s *model.System) { s.Platforms[1].Delta += 1e-12 },
+		"platform beta":     func(s *model.System) { s.Platforms[0].Beta = 0 },
+		"platform added":    func(s *model.System) { s.Platforms = append(s.Platforms, platform.Dedicated()) },
+		"transaction name":  func(s *model.System) { s.Transactions[0].Name = "G1'" },
+		"period":            func(s *model.System) { s.Transactions[1].Period = 143 },
+		"deadline":          func(s *model.System) { s.Transactions[0].Deadline = 20 },
+		"task name":         func(s *model.System) { s.Transactions[0].Tasks[0].Name = "a'" },
+		"wcet":              func(s *model.System) { s.Transactions[0].Tasks[0].WCET += 1e-9 },
+		"bcet":              func(s *model.System) { s.Transactions[0].Tasks[1].BCET = 0.2 },
+		"offset":            func(s *model.System) { s.Transactions[0].Tasks[1].Offset = 0.5 },
+		"jitter":            func(s *model.System) { s.Transactions[0].Tasks[1].Jitter = 0 },
+		"priority":          func(s *model.System) { s.Transactions[0].Tasks[0].Priority = 9 },
+		"platform mapping":  func(s *model.System) { s.Transactions[0].Tasks[0].Platform = 1 },
+		"blocking":          func(s *model.System) { s.Transactions[0].Tasks[1].Blocking = 0 },
+		"task appended":     func(s *model.System) { tr := &s.Transactions[1]; tr.Tasks = append(tr.Tasks, tr.Tasks[0]) },
+		"transaction added": func(s *model.System) { s.Transactions = append(s.Transactions, s.Transactions[1]) },
+	}
+	for name, mutate := range mutations {
+		sys := fpSystem()
+		mutate(sys)
+		if sys.Fingerprint() == base {
+			t.Errorf("%s: mutation did not change the fingerprint", name)
+		}
+	}
+}
+
+// TestFingerprintNameBoundaries guards the length-prefixed string
+// encoding: shuffling characters across adjacent name fields must not
+// collide.
+func TestFingerprintNameBoundaries(t *testing.T) {
+	a := fpSystem()
+	a.Transactions[0].Name = "ab"
+	a.Transactions[0].Tasks[0].Name = "c"
+	b := fpSystem()
+	b.Transactions[0].Name = "a"
+	b.Transactions[0].Tasks[0].Name = "bc"
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatalf("name boundary collision")
+	}
+}

@@ -1,0 +1,100 @@
+package service_test
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+
+	"hsched/internal/analysis"
+	"hsched/internal/gen"
+	"hsched/internal/model"
+	"hsched/internal/service"
+)
+
+func benchSystem(b *testing.B) *model.System {
+	b.Helper()
+	sys, err := gen.System(gen.Config{
+		Seed: 11, Platforms: 3, Transactions: 12, ChainLen: 4,
+		PeriodMin: 10, PeriodMax: 1000, Utilization: 0.4,
+		AlphaMin: 0.4, AlphaMax: 0.9,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sys
+}
+
+// BenchmarkServiceHit measures a memoised query: fingerprint + memo
+// lookup, no analysis. Compare against BenchmarkServiceMiss — the
+// acceptance bar for the memo is a ≥10× speedup on repeated queries.
+func BenchmarkServiceHit(b *testing.B) {
+	ctx := context.Background()
+	sys := benchSystem(b)
+	svc := service.New(service.Options{Analysis: analysis.Options{Workers: 1}})
+	if _, err := svc.Analyze(ctx, sys); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := svc.Analyze(ctx, sys); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServiceMiss measures the cold path: memoisation disabled,
+// so every query runs a full analysis on the shard's resident engine
+// (the warm-engine cost, i.e. the cheapest possible non-memoised
+// analysis — the hit/miss ratio is therefore a lower bound on the
+// memo's real-world win).
+func BenchmarkServiceMiss(b *testing.B) {
+	ctx := context.Background()
+	sys := benchSystem(b)
+	svc := service.New(service.Options{Capacity: -1, Analysis: analysis.Options{Workers: 1}})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := svc.Analyze(ctx, sys); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServiceConcurrent measures service throughput under
+// contended parallel load with a high hit rate — the admission-control
+// traffic shape.
+func BenchmarkServiceConcurrent(b *testing.B) {
+	ctx := context.Background()
+	systems := make([]*model.System, 8)
+	for k := range systems {
+		sys, err := gen.System(gen.Config{
+			Seed: int64(20 + k), Platforms: 2, Transactions: 3, ChainLen: 3,
+			PeriodMin: 20, PeriodMax: 300, Utilization: 0.45,
+			AlphaMin: 0.4, AlphaMax: 0.9,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		systems[k] = sys
+	}
+	svc := service.New(service.Options{Analysis: analysis.Options{Workers: 1}})
+	b.ReportAllocs()
+	b.ResetTimer()
+	// b.Fatal must not be called from RunParallel's worker goroutines;
+	// stage the first error and fail after the parallel section.
+	var firstErr atomic.Value
+	b.RunParallel(func(pb *testing.PB) {
+		k := 0
+		for pb.Next() {
+			if _, err := svc.Analyze(ctx, systems[k%len(systems)]); err != nil {
+				firstErr.CompareAndSwap(nil, err)
+				return
+			}
+			k++
+		}
+	})
+	if err := firstErr.Load(); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,44 @@
+// Package service is the long-running, concurrency-safe front-end to
+// the schedulability analysis: the building block for serving
+// admission-control-style queries at traffic scale (the ROADMAP's
+// north star), where many callers keep asking "is this system
+// schedulable?" about overlapping populations of systems.
+//
+// A Service composes three mechanisms the one-shot API lacks:
+//
+//   - a sharded pool of resident analysis.Engines. Engines amortise
+//     their interference caches and scratch buffers across calls but
+//     are single-goroutine; the service keeps one engine set per shard
+//     behind a mutex and routes queries by model.System.Fingerprint,
+//     so same-system traffic reuses a warm engine while distinct
+//     systems analyse concurrently on other shards;
+//
+//   - an LRU verdict memo of detached *analysis.Results keyed by
+//     (fingerprint, normalised options). Options.Normalised
+//     materialises defaulted fields, so a zero-value Options and an
+//     explicitly-spelled-default Options share an entry; Workers is
+//     excluded from keys (results are identical for every worker
+//     count) and Recorder queries bypass the memo (a hit would
+//     silence their callbacks). Memo hits return a shared pointer —
+//     treat cached Results as read-only;
+//
+//   - singleflight-style deduplication: concurrent identical queries
+//     block on the first one's in-flight analysis instead of running
+//     their own, and are counted as hits. If the in-flight leader is
+//     cancelled, a waiting caller whose own context is still live
+//     retries and becomes the new leader.
+//
+// Every entry point takes a context.Context and cancels the underlying
+// analysis promptly (see analysis.Engine.AnalyzeContext for the
+// polling points). Stats exposes queries, hits, misses, evictions and
+// in-flight dedups; Hits + Misses == Queries by construction, and
+// Misses is exactly the number of analyses executed — which is what
+// the design-search and benchmark tests assert on.
+//
+// The heavy consumers are wired through this package: design.Minimize
+// routes its feasibility oracle through a Service (its bisection
+// re-probes identical platform parameters, the biggest memoisation
+// win), the experiments acceptance sweep shares one Service across its
+// workers, and the hsched façade's package-level Analyze/AnalyzeStatic
+// are thin wrappers over a process-wide default Service.
+package service

@@ -1,0 +1,398 @@
+package service
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"hsched/internal/analysis"
+	"hsched/internal/model"
+)
+
+// Options configures a Service.
+type Options struct {
+	// Shards is the number of resident engine shards. Each shard owns
+	// one set of analysis engines behind its own mutex; queries are
+	// routed by system fingerprint, so repeated queries on the same
+	// system land on the same warm engine while distinct systems
+	// spread across shards and run concurrently. 0 selects
+	// runtime.GOMAXPROCS(0).
+	Shards int
+
+	// Capacity bounds the verdict memo in entries (whole detached
+	// Results). 0 selects 4096; a negative value disables memoisation
+	// entirely (every query runs an analysis) while keeping the engine
+	// pool and in-flight deduplication.
+	Capacity int
+
+	// Analysis is the default analysis configuration used by Analyze
+	// and AnalyzeStatic; AnalyzeOptions overrides it per query.
+	Analysis analysis.Options
+}
+
+func (o Options) shards() int {
+	if o.Shards > 0 {
+		return o.Shards
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (o Options) capacity() int {
+	switch {
+	case o.Capacity < 0:
+		return 0
+	case o.Capacity == 0:
+		return 4096
+	default:
+		return o.Capacity
+	}
+}
+
+// Stats is a snapshot of the service's counters. Every query is
+// counted exactly once as either a hit (served from the memo, or from
+// a concurrent duplicate's in-flight analysis) or a miss (it ran an
+// analysis), so Hits + Misses == Queries always holds; Misses is the
+// number of analyses the engines actually executed.
+type Stats struct {
+	// Queries is the total number of Analyze* calls accepted.
+	Queries int64
+	// Hits counts queries answered without running an analysis.
+	Hits int64
+	// Misses counts queries that ran (or errored in) an analysis.
+	Misses int64
+	// Evictions counts memo entries displaced by the LRU policy.
+	Evictions int64
+	// InflightDedups counts the subset of Hits that were answered by
+	// waiting on a concurrent identical query instead of the memo.
+	InflightDedups int64
+}
+
+// HitRate returns Hits/Queries, or 0 before the first query.
+func (st Stats) HitRate() float64 {
+	if st.Queries == 0 {
+		return 0
+	}
+	return float64(st.Hits) / float64(st.Queries)
+}
+
+// optKey is the comparable form of normalised analysis options used in
+// cache keys. Workers is deliberately absent: results are bit-identical
+// for every worker count, so queries differing only in Workers share
+// one memo entry. Recorder is absent because recorder queries bypass
+// the memo. static distinguishes the one-pass static analysis from the
+// holistic iteration — same system, different semantics.
+type optKey struct {
+	exact              bool
+	maxScenarios       int
+	epsilon            float64
+	maxIterations      int
+	maxInner           int
+	tightBestCase      bool
+	stopAtDeadlineMiss bool
+	static             bool
+}
+
+func keyOf(opt analysis.Options, static bool) optKey {
+	n := opt.Normalised()
+	return optKey{
+		exact:              n.Exact,
+		maxScenarios:       n.MaxScenarios,
+		epsilon:            n.Epsilon,
+		maxIterations:      n.MaxIterations,
+		maxInner:           n.MaxInner,
+		tightBestCase:      n.TightBestCase,
+		stopAtDeadlineMiss: n.StopAtDeadlineMiss,
+		static:             static,
+	}
+}
+
+// cacheKey identifies one memoisable verdict: the canonical system
+// fingerprint plus the normalised analysis options.
+type cacheKey struct {
+	fp  model.Fingerprint
+	opt optKey
+}
+
+// engineKey identifies one resident engine within a shard. Unlike the
+// cache key it includes Workers, because an engine is constructed with
+// a fixed worker bound.
+type engineKey struct {
+	opt     optKey
+	workers int
+}
+
+// shard owns the resident engines of one fingerprint slice. Engines
+// are not safe for concurrent use, so the mutex serialises analyses
+// within a shard; distinct shards analyse concurrently.
+type shard struct {
+	mu      sync.Mutex
+	engines map[engineKey]*analysis.Engine
+}
+
+// inflight is one in-progress analysis that concurrent identical
+// queries wait on instead of re-running it. res and err are written
+// before done is closed.
+type inflight struct {
+	done chan struct{}
+	res  *analysis.Result
+	err  error
+}
+
+// Service is a concurrency-safe front-end over a pool of resident
+// analysis engines: the long-running "admission control" shape of the
+// ROADMAP. It routes each query to an engine shard by system
+// fingerprint, memoises detached Results in an LRU keyed by
+// (fingerprint, normalised options), and deduplicates concurrent
+// identical queries singleflight-style so the analysis runs once.
+//
+// Returned *Results are shared: a memo hit hands the same pointer to
+// every caller, so treat them as read-only. Callers that need a
+// private mutable copy should run their own analysis.Engine.
+//
+// The zero value is not usable; construct with New.
+type Service struct {
+	opt Options
+
+	// mu guards the memo, the in-flight table and the counters. It is
+	// held only for map/list operations — never across an analysis —
+	// so it is not a throughput bottleneck even under heavy traffic.
+	mu       sync.Mutex
+	lru      *list.List // of *entry; front = most recently used
+	index    map[cacheKey]*list.Element
+	inflight map[cacheKey]*inflight
+	stats    Stats
+
+	shards []shard
+}
+
+type entry struct {
+	key cacheKey
+	res *analysis.Result
+}
+
+// New constructs a Service with the given options.
+func New(opt Options) *Service {
+	s := &Service{
+		opt:      opt,
+		lru:      list.New(),
+		index:    make(map[cacheKey]*list.Element),
+		inflight: make(map[cacheKey]*inflight),
+		shards:   make([]shard, opt.shards()),
+	}
+	for i := range s.shards {
+		s.shards[i].engines = make(map[engineKey]*analysis.Engine)
+	}
+	return s
+}
+
+// Analyze runs (or recalls) the holistic dynamic-offset analysis of
+// sys under the service's default options. It is safe for concurrent
+// use; ctx cancels the underlying analysis promptly.
+func (s *Service) Analyze(ctx context.Context, sys *model.System) (*analysis.Result, error) {
+	return s.analyze(ctx, sys, s.opt.Analysis, false)
+}
+
+// AnalyzeOptions is Analyze with per-query analysis options.
+func (s *Service) AnalyzeOptions(ctx context.Context, sys *model.System, opt analysis.Options) (*analysis.Result, error) {
+	return s.analyze(ctx, sys, opt, false)
+}
+
+// AnalyzeStatic runs (or recalls) the one-pass static-offset analysis
+// of sys under the service's default options.
+func (s *Service) AnalyzeStatic(ctx context.Context, sys *model.System) (*analysis.Result, error) {
+	return s.analyze(ctx, sys, s.opt.Analysis, true)
+}
+
+// AnalyzeStaticOptions is AnalyzeStatic with per-query options.
+func (s *Service) AnalyzeStaticOptions(ctx context.Context, sys *model.System, opt analysis.Options) (*analysis.Result, error) {
+	return s.analyze(ctx, sys, opt, true)
+}
+
+// Stats returns a snapshot of the service counters.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Reset drops every memo entry and every resident engine, releasing
+// the memory they pin; counters are preserved. In-flight analyses are
+// unaffected (their results simply land in the fresh memo). Long-lived
+// processes that query the service in bursts over disjoint system
+// populations can call it between bursts.
+func (s *Service) Reset() {
+	s.mu.Lock()
+	s.lru.Init()
+	clear(s.index)
+	s.mu.Unlock()
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		clear(sh.engines)
+		sh.mu.Unlock()
+	}
+}
+
+func (s *Service) analyze(ctx context.Context, sys *model.System, opt analysis.Options, static bool) (*analysis.Result, error) {
+	// No up-front Validate: the engine validates on every miss, and an
+	// invalid system can never collide with a valid system's
+	// fingerprint (the fingerprint covers every field validation
+	// reads), so the hit path skips the check — it is the single most
+	// expensive part of a memoised query.
+	fp := sys.Fingerprint()
+
+	if opt.Recorder != nil {
+		// Recorder queries want their per-iteration callbacks fired,
+		// which a memo hit would silence; they bypass both the memo
+		// and the resident engines (an engine is constructed with its
+		// recorder baked in).
+		s.mu.Lock()
+		s.stats.Queries++
+		s.stats.Misses++
+		s.mu.Unlock()
+		return s.runFresh(ctx, sys, opt, static)
+	}
+
+	key := cacheKey{fp: fp, opt: keyOf(opt, static)}
+	counted := false
+	for {
+		s.mu.Lock()
+		// One query is counted exactly once even if a cancelled
+		// singleflight leader forces this caller back around the loop.
+		if !counted {
+			s.stats.Queries++
+			counted = true
+		}
+		if el, ok := s.index[key]; ok {
+			s.lru.MoveToFront(el)
+			s.stats.Hits++
+			res := el.Value.(*entry).res
+			s.mu.Unlock()
+			return res, nil
+		}
+		if fl, ok := s.inflight[key]; ok {
+			// A concurrent identical query is already analysing; wait
+			// for it instead of burning a second engine. Attribution
+			// happens at resolution: a query that ends here — result,
+			// leader error, or its own cancellation — ran no analysis
+			// and counts as a hit; one that loops back to become the
+			// new leader is attributed there instead.
+			s.mu.Unlock()
+			dedupHit := func() {
+				s.mu.Lock()
+				s.stats.Hits++
+				s.stats.InflightDedups++
+				s.mu.Unlock()
+			}
+			select {
+			case <-fl.done:
+			case <-ctx.Done():
+				dedupHit()
+				return nil, fmt.Errorf("service: %w", ctx.Err())
+			}
+			if fl.err != nil {
+				if ctxErr(fl.err) && ctx.Err() == nil {
+					// The leader was cancelled but this caller was
+					// not: its query is still owed an answer, so loop
+					// and take the leader role (or find a newer one).
+					continue
+				}
+				dedupHit()
+				return nil, fl.err
+			}
+			dedupHit()
+			return fl.res, nil
+		}
+		s.stats.Misses++
+		fl := &inflight{done: make(chan struct{})}
+		s.inflight[key] = fl
+		s.mu.Unlock()
+
+		res, err := s.run(ctx, fp, sys, opt, static)
+
+		fl.res, fl.err = res, err
+		s.mu.Lock()
+		delete(s.inflight, key)
+		if err == nil && s.opt.capacity() > 0 {
+			s.insert(key, res)
+		}
+		s.mu.Unlock()
+		close(fl.done)
+		return res, err
+	}
+}
+
+// maxEnginesPerShard bounds the resident engines one shard keeps. A
+// serving process normally sees a handful of option sets, but nothing
+// stops clients from sending per-query options (distinct Epsilon or
+// Workers values), and each engine pins interference caches and
+// scratch buffers for the process lifetime — so past the bound an
+// arbitrary resident engine is dropped and rebuilt on demand, which
+// only costs the warm-up of the next analysis with its options.
+const maxEnginesPerShard = 8
+
+// run executes one analysis on the resident engine of the query's
+// shard, constructing the engine on first use.
+func (s *Service) run(ctx context.Context, fp model.Fingerprint, sys *model.System, opt analysis.Options, static bool) (*analysis.Result, error) {
+	sh := &s.shards[fp.Shard(len(s.shards))]
+	// Workers is resolved to its effective value for the engine key so
+	// Workers:0 and an explicit Workers:GOMAXPROCS share one engine.
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	ek := engineKey{opt: keyOf(opt, false), workers: workers}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	eng, ok := sh.engines[ek]
+	if !ok {
+		for k := range sh.engines {
+			if len(sh.engines) < maxEnginesPerShard {
+				break
+			}
+			delete(sh.engines, k)
+		}
+		eng = analysis.NewEngine(opt.Normalised())
+		sh.engines[ek] = eng
+	}
+	if static {
+		return eng.AnalyzeStaticContext(ctx, sys)
+	}
+	return eng.AnalyzeContext(ctx, sys)
+}
+
+// runFresh executes one analysis on a throwaway engine (recorder
+// queries only — the recorder is baked into the engine's options).
+func (s *Service) runFresh(ctx context.Context, sys *model.System, opt analysis.Options, static bool) (*analysis.Result, error) {
+	eng := analysis.NewEngine(opt)
+	if static {
+		return eng.AnalyzeStaticContext(ctx, sys)
+	}
+	return eng.AnalyzeContext(ctx, sys)
+}
+
+// insert adds (or refreshes) a memo entry and evicts from the LRU tail
+// past capacity. Caller holds s.mu.
+func (s *Service) insert(key cacheKey, res *analysis.Result) {
+	if el, ok := s.index[key]; ok {
+		s.lru.MoveToFront(el)
+		el.Value.(*entry).res = res
+		return
+	}
+	s.index[key] = s.lru.PushFront(&entry{key: key, res: res})
+	for s.lru.Len() > s.opt.capacity() {
+		last := s.lru.Back()
+		s.lru.Remove(last)
+		delete(s.index, last.Value.(*entry).key)
+		s.stats.Evictions++
+	}
+}
+
+// ctxErr reports whether err is (or wraps) a context cancellation or
+// deadline error.
+func ctxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}

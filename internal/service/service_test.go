@@ -1,0 +1,291 @@
+package service_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"hsched/internal/analysis"
+	"hsched/internal/gen"
+	"hsched/internal/model"
+	"hsched/internal/service"
+)
+
+func testSystem(t testing.TB, seed int64) *model.System {
+	t.Helper()
+	sys, err := gen.System(gen.Config{
+		Seed: seed, Platforms: 2, Transactions: 3, ChainLen: 3,
+		PeriodMin: 20, PeriodMax: 300, Utilization: 0.45,
+		AlphaMin: 0.4, AlphaMax: 0.9,
+	})
+	if err != nil {
+		t.Fatalf("gen: %v", err)
+	}
+	return sys
+}
+
+// sameAnalysis asserts two results are bit-identical in every per-task
+// bound and in the verdict fields.
+func sameAnalysis(t *testing.T, got, want *analysis.Result) {
+	t.Helper()
+	if got.Schedulable != want.Schedulable || got.Converged != want.Converged || got.Iterations != want.Iterations {
+		t.Fatalf("verdict mismatch: got {sched %v conv %v iters %d}, want {sched %v conv %v iters %d}",
+			got.Schedulable, got.Converged, got.Iterations, want.Schedulable, want.Converged, want.Iterations)
+	}
+	for i := range want.Tasks {
+		for j := range want.Tasks[i] {
+			if got.Tasks[i][j] != want.Tasks[i][j] {
+				t.Fatalf("task (%d,%d): got %+v, want %+v", i, j, got.Tasks[i][j], want.Tasks[i][j])
+			}
+		}
+	}
+}
+
+func TestServiceHitMatchesFreshEngine(t *testing.T) {
+	ctx := context.Background()
+	sys := testSystem(t, 1)
+	want, err := analysis.NewEngine(analysis.Options{Workers: 1}).Analyze(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	svc := service.New(service.Options{Shards: 2, Analysis: analysis.Options{Workers: 1}})
+	first, err := svc.Analyze(ctx, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := svc.Analyze(ctx, sys.Clone()) // value-identical ⇒ same fingerprint
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameAnalysis(t, first, want)
+	sameAnalysis(t, second, want)
+	if first != second {
+		t.Fatalf("memo hit should return the cached *Result")
+	}
+	st := svc.Stats()
+	if st.Queries != 2 || st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 2 queries / 1 hit / 1 miss", st)
+	}
+}
+
+// TestServiceConcurrencyHammer drives one Service from many goroutines
+// (run under -race in CI) over a small population of systems and
+// option variants, asserting every answer is bit-identical to a fresh
+// single-engine analysis and that the counters balance.
+func TestServiceConcurrencyHammer(t *testing.T) {
+	ctx := context.Background()
+	const nSystems, goroutines, perG = 4, 8, 48
+
+	systems := make([]*model.System, nSystems)
+	for k := range systems {
+		systems[k] = testSystem(t, int64(10+k))
+	}
+	variants := []analysis.Options{
+		{Workers: 1},
+		{Workers: 1, TightBestCase: true},
+	}
+	want := make(map[[2]int]*analysis.Result)
+	for k, sys := range systems {
+		for v, opt := range variants {
+			res, err := analysis.NewEngine(opt).Analyze(sys)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[[2]int{k, v}] = res
+		}
+	}
+
+	svc := service.New(service.Options{Shards: 4})
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for q := 0; q < perG; q++ {
+				k := (g + q) % nSystems
+				v := q % len(variants)
+				res, err := svc.AnalyzeOptions(ctx, systems[k], variants[v])
+				if err != nil {
+					errs <- err
+					return
+				}
+				ref := want[[2]int{k, v}]
+				if res.Schedulable != ref.Schedulable || res.Iterations != ref.Iterations {
+					errs <- fmt.Errorf("goroutine %d query %d: verdict mismatch", g, q)
+					return
+				}
+				for i := range ref.Tasks {
+					for j := range ref.Tasks[i] {
+						if res.Tasks[i][j] != ref.Tasks[i][j] {
+							errs <- fmt.Errorf("goroutine %d query %d task (%d,%d): %+v != %+v",
+								g, q, i, j, res.Tasks[i][j], ref.Tasks[i][j])
+							return
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	st := svc.Stats()
+	total := int64(goroutines * perG)
+	if st.Queries != total {
+		t.Fatalf("queries = %d, want %d", st.Queries, total)
+	}
+	if st.Hits+st.Misses != st.Queries {
+		t.Fatalf("hits (%d) + misses (%d) != queries (%d)", st.Hits, st.Misses, st.Queries)
+	}
+	// Ample capacity and no failures: each distinct (system, options)
+	// key runs its analysis exactly once, leader-deduplicated.
+	if distinct := int64(nSystems * len(variants)); st.Misses != distinct {
+		t.Fatalf("misses = %d, want %d (one analysis per distinct key)", st.Misses, distinct)
+	}
+}
+
+func TestServiceNormalisedOptionsShareEntry(t *testing.T) {
+	ctx := context.Background()
+	sys := testSystem(t, 2)
+	svc := service.New(service.Options{Shards: 1})
+
+	if _, err := svc.AnalyzeOptions(ctx, sys, analysis.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	explicit := analysis.Options{
+		MaxScenarios:  1 << 20,
+		Epsilon:       1e-9,
+		MaxIterations: 1000,
+		MaxInner:      1_000_000,
+	}
+	if _, err := svc.AnalyzeOptions(ctx, sys, explicit); err != nil {
+		t.Fatal(err)
+	}
+	// Workers changes scheduling, never results: excluded from the key.
+	if _, err := svc.AnalyzeOptions(ctx, sys, analysis.Options{Workers: 3}); err != nil {
+		t.Fatal(err)
+	}
+	st := svc.Stats()
+	if st.Misses != 1 || st.Hits != 2 {
+		t.Fatalf("stats = %+v: zero-value, explicit-default and Workers-only-different options should share one memo entry", st)
+	}
+}
+
+func TestServiceStaticAndDynamicAreDistinct(t *testing.T) {
+	ctx := context.Background()
+	sys := testSystem(t, 3)
+	svc := service.New(service.Options{Shards: 1})
+	if _, err := svc.Analyze(ctx, sys); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.AnalyzeStatic(ctx, sys); err != nil {
+		t.Fatal(err)
+	}
+	if st := svc.Stats(); st.Misses != 2 {
+		t.Fatalf("stats = %+v: static and holistic analyses must not share a memo entry", st)
+	}
+}
+
+func TestServiceLRUEviction(t *testing.T) {
+	ctx := context.Background()
+	svc := service.New(service.Options{Shards: 1, Capacity: 2})
+	a, b, c := testSystem(t, 4), testSystem(t, 5), testSystem(t, 6)
+	for _, sys := range []*model.System{a, b, c} { // c evicts a
+		if _, err := svc.Analyze(ctx, sys); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := svc.Analyze(ctx, a); err != nil { // re-miss, evicts b
+		t.Fatal(err)
+	}
+	if _, err := svc.Analyze(ctx, c); err != nil { // still resident
+		t.Fatal(err)
+	}
+	st := svc.Stats()
+	if st.Misses != 4 || st.Hits != 1 || st.Evictions != 2 {
+		t.Fatalf("stats = %+v, want 4 misses / 1 hit / 2 evictions", st)
+	}
+}
+
+func TestServiceCacheDisabled(t *testing.T) {
+	ctx := context.Background()
+	svc := service.New(service.Options{Shards: 1, Capacity: -1})
+	sys := testSystem(t, 7)
+	for i := 0; i < 3; i++ {
+		if _, err := svc.Analyze(ctx, sys); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := svc.Stats()
+	if st.Misses != 3 || st.Hits != 0 {
+		t.Fatalf("stats = %+v: Capacity < 0 must disable memoisation", st)
+	}
+}
+
+func TestServiceContextCancelled(t *testing.T) {
+	sys := testSystem(t, 8)
+	svc := service.New(service.Options{Shards: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := svc.Analyze(ctx, sys); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// A cancelled analysis must not poison the memo: the next live
+	// query runs and succeeds.
+	res, err := svc.Analyze(context.Background(), sys)
+	if err != nil || res == nil {
+		t.Fatalf("query after cancellation: res=%v err=%v", res, err)
+	}
+	st := svc.Stats()
+	if st.Hits != 0 || st.Misses != 2 {
+		t.Fatalf("stats = %+v: errored analyses must not be cached", st)
+	}
+}
+
+func TestServiceRecorderBypassesMemo(t *testing.T) {
+	ctx := context.Background()
+	sys := testSystem(t, 9)
+	svc := service.New(service.Options{Shards: 1})
+	fired := 0
+	opt := analysis.Options{Workers: 1, Recorder: func(int, *analysis.Result) { fired++ }}
+	if _, err := svc.AnalyzeOptions(ctx, sys, opt); err != nil {
+		t.Fatal(err)
+	}
+	first := fired
+	if first == 0 {
+		t.Fatal("recorder never fired")
+	}
+	if _, err := svc.AnalyzeOptions(ctx, sys, opt); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 2*first {
+		t.Fatalf("recorder fired %d times after two queries, want %d: recorder queries must not be served from the memo", fired, 2*first)
+	}
+	if st := svc.Stats(); st.Hits != 0 || st.Misses != 2 {
+		t.Fatalf("stats = %+v, want two misses", st)
+	}
+}
+
+func TestServiceReset(t *testing.T) {
+	ctx := context.Background()
+	svc := service.New(service.Options{Shards: 1})
+	sys := testSystem(t, 12)
+	if _, err := svc.Analyze(ctx, sys); err != nil {
+		t.Fatal(err)
+	}
+	svc.Reset()
+	if _, err := svc.Analyze(ctx, sys); err != nil {
+		t.Fatal(err)
+	}
+	st := svc.Stats()
+	if st.Hits != 0 || st.Misses != 2 {
+		t.Fatalf("stats = %+v: Reset must drop the memo (counters preserved)", st)
+	}
+}

@@ -1,0 +1,65 @@
+package hsched_test
+
+import (
+	"context"
+	"testing"
+
+	"hsched"
+	"hsched/internal/experiments"
+)
+
+// TestFacadeService drives the service surface through the façade:
+// explicit NewService, the package-default service behind Analyze, and
+// context cancellation.
+func TestFacadeService(t *testing.T) {
+	ctx := context.Background()
+	sys := experiments.PaperSystem()
+
+	svc := hsched.NewService(hsched.ServiceOptions{Shards: 2, Capacity: 16})
+	first, err := svc.Analyze(ctx, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !first.Schedulable {
+		t.Fatal("paper system unschedulable")
+	}
+	second, err := svc.Analyze(ctx, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Error("repeated query should be served from the memo")
+	}
+	st := svc.Stats()
+	if st.Queries != 2 || st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats = %+v, want 2/1/1", st)
+	}
+
+	// The free functions ride the package-default service.
+	before := hsched.DefaultService().Stats()
+	if _, err := hsched.Analyze(sys, hsched.AnalysisOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hsched.Analyze(sys, hsched.AnalysisOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	after := hsched.DefaultService().Stats()
+	if after.Queries-before.Queries != 2 {
+		t.Errorf("free functions did not route through DefaultService: %+v -> %+v", before, after)
+	}
+	if after.Hits <= before.Hits {
+		t.Errorf("repeated free-function query missed the memo: %+v -> %+v", before, after)
+	}
+
+	// Fingerprints are exposed and stable through the façade.
+	var fp hsched.SystemFingerprint = sys.Fingerprint()
+	if fp != experiments.PaperSystem().Fingerprint() {
+		t.Error("fingerprint unstable across identical constructions")
+	}
+
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := hsched.AnalyzeContext(cancelled, sys, hsched.AnalysisOptions{TightBestCase: true}); err == nil {
+		t.Error("cancelled context should abort the analysis")
+	}
+}
