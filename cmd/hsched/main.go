@@ -6,12 +6,13 @@
 //
 // Usage:
 //
-//	hsched [-spec system.json] [-exact] [-static] [-tight] [-dump] [-sensitivity] [-workers n] [-cache]
-//	hsched bench [-systems n] [-queries n] [-goroutines n] [-shards n] [-capacity n] [-exact] [-seed n] [-util u]
+//	hsched [-spec system.json] [-exact] [-static] [-tight] [-dump] [-sensitivity] [-workers n] [-cache] [-delta]
+//	hsched bench [-systems n] [-mutations n] [-queries n] [-goroutines n] [-shards n] [-capacity n] [-exact] [-seed n] [-util u] [-delta] [-json]
 //
 // The bench subcommand measures the memoised analysis service on a
-// generated admission-control workload: throughput, cache hit rate and
-// p50/p99 query latency.
+// generated admission-control workload (chains of one-parameter-apart
+// systems): throughput, cache hit rate, incremental (delta) hit rate
+// and p50/p99 query latency; -json emits a machine-readable report.
 //
 // Exit status is 0 when the system is schedulable (or the benchmark
 // succeeded), 2 when the system is not schedulable, and 1 on errors.

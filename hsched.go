@@ -32,11 +32,13 @@
 //	façade (Analyze, AnalyzeContext, MinimizeBandwidth, …)
 //	  └─ Service — concurrency-safe front-end: engine pool sharded by
 //	     System.Fingerprint, LRU verdict memo keyed by (fingerprint,
-//	     normalised options), singleflight dedup of concurrent
-//	     identical queries, context-aware cancellation
+//	     normalised options) with cost-weighted eviction, singleflight
+//	     dedup of concurrent identical queries, a delta-seed pool that
+//	     re-analyses near-match queries incrementally, context-aware
+//	     cancellation
 //	       └─ Analyzer (analysis.Engine) — one goroutine's reusable
-//	          engine: amortised interference caches and scratch,
-//	          per-round parallel response computation
+//	          engine: transaction-keyed state slabs, per-round parallel
+//	          response computation, incremental AnalyzeFrom replay
 //	            └─ batch — deterministic parallel map primitives
 //
 // Which entry point do I use?
@@ -131,13 +133,19 @@ type (
 	// TaskBounds are the per-task analysis outcome.
 	TaskBounds = analysis.TaskResult
 	// Analyzer is the reusable analysis engine: it owns all
-	// per-analysis scratch state (interference caches, scenario and
-	// result buffers) and amortises it across calls, running each
-	// fixed-point round as a staged pipeline (interference
-	// construction → scenario enumeration → parallel per-task
-	// responses → jitter propagation). One Analyzer serves one
-	// goroutine; results are identical for every worker count.
+	// per-analysis scratch state (transaction-keyed slabs of
+	// interference rows, scenario and result buffers) and amortises it
+	// across calls, running each fixed-point round as a staged
+	// pipeline (interference construction → scenario enumeration →
+	// parallel per-task responses → jitter propagation). One Analyzer
+	// serves one goroutine; results are identical for every worker
+	// count. Analyzer.AnalyzeFrom re-analyses an edited system
+	// incrementally, seeded by a previous result — bit-identical to a
+	// cold Analyze, a fraction of the work.
 	Analyzer = analysis.Engine
+	// AnalysisDelta describes how much work an incremental re-analysis
+	// skipped (AnalysisResult.Delta, non-nil on the delta path).
+	AnalysisDelta = analysis.DeltaInfo
 )
 
 // Service types: the long-running, concurrency-safe analysis
@@ -151,13 +159,28 @@ type (
 	// capacity, default analysis options.
 	ServiceOptions = service.Options
 	// ServiceStats is a snapshot of a service's counters (queries,
-	// hits, misses, evictions, in-flight dedups).
+	// hits, misses, evictions, in-flight dedups, delta hits and the
+	// task-rounds the incremental path saved).
 	ServiceStats = service.Stats
 	// SystemFingerprint is the canonical content hash of a System —
 	// the service's cache and shard key, stable across JSON round
 	// trips.
 	SystemFingerprint = model.Fingerprint
+	// SystemDiff is the transaction-granular structural difference
+	// between two systems (DiffSystems): unchanged / modified / added /
+	// removed transactions plus platform-parameter changes. It is what
+	// the incremental re-analysis path plans its replay from.
+	SystemDiff = model.SystemDiff
 )
+
+// DiffSystems structurally diffs two systems at transaction
+// granularity, matching transactions by their analysis fingerprint
+// (names and holistic-derived offsets ignored). Reorderings diff as
+// unchanged; SystemDiff.InOrder reports whether the matching preserved
+// relative order (the precondition for incremental replay).
+func DiffSystems(old, new *System) *SystemDiff {
+	return model.Diff(old, new)
+}
 
 // Simulation types.
 type (

@@ -25,49 +25,49 @@ import (
 // cycles takes at least max(0, c/α − β). The refined bound is never
 // below the simple one and remains a valid lower bound.
 func bestBounds(sys *model.System, tight bool) (starts, completions [][]float64) {
-	return bestBoundsInto(sys, tight, nil, nil)
-}
-
-// bestBoundsInto is bestBounds with caller-provided buffers: starts and
-// completions are reshaped (reusing their backing arrays when large
-// enough) and returned. The engine calls it once per analysis — the
-// bounds depend only on the first task's offset, BCETs and platform
-// parameters, none of which the fixed-point iteration rewrites — with
-// its own scratch, eliminating per-call allocations.
-func bestBoundsInto(sys *model.System, tight bool, starts, completions [][]float64) ([][]float64, [][]float64) {
-	starts = reuseMatrix(starts, sys)
-	completions = reuseMatrix(completions, sys)
+	starts = reuseMatrix[float64](nil, sys)
+	completions = reuseMatrix[float64](nil, sys)
 	for i := range sys.Transactions {
-		tasks := sys.Transactions[i].Tasks
-		// The external release offset of the first task shifts the
-		// whole chain; all bounds are measured from the transaction
-		// activation.
-		acc := tasks[0].Offset // best-case completion so far
-		runStart := acc        // best-case start of the current same-platform run
-		runDemand := 0.0
-		runPlatform := -1
-		for j := range tasks {
-			t := &tasks[j]
-			p := sys.Platforms[t.Platform]
-			if !tight || t.Platform != runPlatform {
-				runPlatform = t.Platform
-				runStart = acc
-				runDemand = 0
-			}
-			starts[i][j] = acc
-			runDemand += t.BCET
-			// The paper's best-case service term: max(0, Cbest/α − β),
-			// with β granted per task (simple) or per run (tight).
-			done := runStart + math.Max(0, runDemand/p.Alpha-p.Beta)
-			if !tight {
-				done = acc + math.Max(0, t.BCET/p.Alpha-p.Beta)
-			}
-			if done < acc {
-				done = acc
-			}
-			acc = done
-			completions[i][j] = acc
-		}
+		bestBoundsTx(sys, i, tight, starts[i], completions[i])
 	}
 	return starts, completions
+}
+
+// bestBoundsTx computes the bounds of one transaction into
+// caller-provided rows of the right length. The bounds of transaction
+// i depend only on its own tasks (BCETs, platform mapping, the first
+// task's external release offset) and the parameters of the platforms
+// those tasks visit — never on other transactions — which is what lets
+// the engine keep them in per-transaction slabs and the delta path
+// reuse them for unchanged transactions.
+func bestBoundsTx(sys *model.System, i int, tight bool, starts, completions []float64) {
+	tasks := sys.Transactions[i].Tasks
+	// The external release offset of the first task shifts the whole
+	// chain; all bounds are measured from the transaction activation.
+	acc := tasks[0].Offset // best-case completion so far
+	runStart := acc        // best-case start of the current same-platform run
+	runDemand := 0.0
+	runPlatform := -1
+	for j := range tasks {
+		t := &tasks[j]
+		p := sys.Platforms[t.Platform]
+		if !tight || t.Platform != runPlatform {
+			runPlatform = t.Platform
+			runStart = acc
+			runDemand = 0
+		}
+		starts[j] = acc
+		runDemand += t.BCET
+		// The paper's best-case service term: max(0, Cbest/α − β),
+		// with β granted per task (simple) or per run (tight).
+		done := runStart + math.Max(0, runDemand/p.Alpha-p.Beta)
+		if !tight {
+			done = acc + math.Max(0, t.BCET/p.Alpha-p.Beta)
+		}
+		if done < acc {
+			done = acc
+		}
+		acc = done
+		completions[j] = acc
+	}
 }

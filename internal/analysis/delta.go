@@ -1,0 +1,197 @@
+package analysis
+
+import (
+	"hsched/internal/model"
+)
+
+// The incremental re-analysis path.
+//
+// Admission-control traffic mutates one transaction at a time: add a
+// transaction, drop one, retune one task's WCET, move one platform's
+// budget. A cold holistic analysis recomputes every task's response in
+// every round regardless; the delta path instead replays the previous
+// analysis wherever the edit provably cannot have changed anything.
+//
+// The soundness argument is structural, not numerical. The holistic
+// iteration is a deterministic function of its inputs: round r of task
+// (i, j) depends only on (a) the parameters of transaction i, (b) the
+// parameters and round-(r−1) state of the tasks in its interference
+// sets (same platform, priority ≥), (c) its predecessor's round-(r−1)
+// response (which feeds its jitter), and (d) the parameters of the
+// platforms transaction i visits. Mark dirty every task the edit can
+// reach through those edges, transitively; every task left clean has,
+// by induction over rounds, inputs bitwise identical to the previous
+// analysis — so its recorded round-r result IS what a cold analysis of
+// the edited system would compute, and copying it is exact, not
+// approximate. Dirty tasks are recomputed for real; the convergence
+// test, early-stop decisions and iteration count therefore follow the
+// cold trajectory bit for bit.
+//
+// One ordering caveat: interference terms are summed in transaction
+// index order, so the replay additionally requires the unchanged
+// transactions to keep their relative order (model.SystemDiff.InOrder)
+// — a reordered system could differ from the baseline in the last bits
+// of a floating-point sum even with identical operands. In-place
+// edits, appends, insertions and removals all preserve relative order;
+// only genuine permutations fall back to the cold path.
+
+// deltaPlan is the precomputed replay schedule of one AnalyzeFrom
+// call. Its slices are engine scratch, reused across calls.
+type deltaPlan struct {
+	// base is the previous analysis's recorded per-round results,
+	// shared with (and only ever read from) the seed Result.
+	base [][][]TaskResult
+
+	// oldIdx maps a new-system transaction index to its unchanged
+	// counterpart in the baseline (−1 for dirty transactions, which
+	// never consult it).
+	oldIdx []int
+
+	// clean and dirty partition the task coordinates of the new
+	// system, both in flat task order.
+	clean [][2]int
+	dirty [][2]int
+
+	// cleanTx[i] reports that every task of transaction i is clean —
+	// its history rows can then alias the baseline's (history rows are
+	// immutable once recorded), making replayed-round snapshots nearly
+	// free.
+	cleanTx []bool
+}
+
+// deltaScratch is the engine's reusable planning state.
+type deltaScratch struct {
+	plan        deltaPlan
+	unchangedTx []bool
+	changedPlat []bool
+	oldMatched  []bool
+	dirtyFlags  []bool // indexed by flat task index (Engine.rowStart)
+	queue       [][2]int
+}
+
+// planDelta decides whether an incremental analysis seeded by prev is
+// sound for the bound system under the engine's options, and if so
+// computes the replay schedule into the engine's scratch. A nil return
+// means "run cold"; AnalyzeFrom treats it as a silent fallback. Called
+// after bind, so e.flat and e.rowStart describe the new system.
+func (e *Engine) planDelta(prev *Result, sys *model.System) *deltaPlan {
+	if prev == nil || prev.System == nil || len(prev.history) == 0 {
+		return nil
+	}
+	// The baseline must have been computed under the same analysis
+	// semantics: a different epsilon, scenario mode or best-case bound
+	// converges along a different trajectory.
+	if e.opt.ReplayKey() != prev.rkey {
+		return nil
+	}
+	old := prev.System
+	d := model.Diff(old, sys)
+	if d.PlatformCountChanged || !d.InOrder() || len(d.Unchanged) == 0 {
+		return nil
+	}
+
+	ds := &e.delta
+	nT := len(sys.Transactions)
+	ds.plan.oldIdx = reuseRow(ds.plan.oldIdx, nT)
+	ds.unchangedTx = reuseRow(ds.unchangedTx, nT)
+	ds.oldMatched = reuseRow(ds.oldMatched, len(old.Transactions))
+	ds.changedPlat = reuseRow(ds.changedPlat, len(sys.Platforms))
+	ds.dirtyFlags = reuseRow(ds.dirtyFlags, len(e.flat))
+	for i := range ds.plan.oldIdx {
+		ds.plan.oldIdx[i] = -1
+		ds.unchangedTx[i] = false
+	}
+	clear(ds.oldMatched)
+	clear(ds.changedPlat)
+	clear(ds.dirtyFlags)
+	for _, p := range d.Unchanged {
+		ds.plan.oldIdx[p[1]] = p[0]
+		ds.unchangedTx[p[1]] = true
+		ds.oldMatched[p[0]] = true
+	}
+	for _, m := range d.ChangedPlatforms {
+		ds.changedPlat[m] = true
+	}
+
+	// Seed the dirty set: every task of a non-unchanged transaction,
+	// every task on a changed platform, and — the one edge invisible in
+	// the new system alone — every surviving task that used to receive
+	// interference from a task the edit removed or modified away.
+	queue := ds.queue[:0]
+	mark := func(i, j int) {
+		k := e.rowStart[i] + j
+		if !ds.dirtyFlags[k] {
+			ds.dirtyFlags[k] = true
+			queue = append(queue, [2]int{i, j})
+		}
+	}
+	for i := range sys.Transactions {
+		tasks := sys.Transactions[i].Tasks
+		for j := range tasks {
+			if !ds.unchangedTx[i] || ds.changedPlat[tasks[j].Platform] {
+				mark(i, j)
+			}
+		}
+	}
+	for o := range old.Transactions {
+		if ds.oldMatched[o] {
+			continue
+		}
+		for _, t := range old.Transactions[o].Tasks {
+			markInterferenceTargets(sys, t.Platform, t.Priority, mark)
+		}
+	}
+
+	// Transitive closure: a dirty task's changed response reaches its
+	// chain successor (jitter propagation, Eq. 18) and every task whose
+	// interference set contains it (same platform, lower-or-equal
+	// priority, Eq. 17).
+	for len(queue) > 0 {
+		c := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		i, j := c[0], c[1]
+		tasks := sys.Transactions[i].Tasks
+		if j+1 < len(tasks) {
+			mark(i, j+1)
+		}
+		markInterferenceTargets(sys, tasks[j].Platform, tasks[j].Priority, mark)
+	}
+	ds.queue = queue[:0]
+
+	ds.plan.base = prev.history
+	ds.plan.clean = ds.plan.clean[:0]
+	ds.plan.dirty = ds.plan.dirty[:0]
+	ds.plan.cleanTx = reuseRow(ds.plan.cleanTx, nT)
+	for i := range ds.plan.cleanTx {
+		ds.plan.cleanTx[i] = true
+	}
+	for k, c := range e.flat {
+		if ds.dirtyFlags[k] {
+			ds.plan.dirty = append(ds.plan.dirty, c)
+			ds.plan.cleanTx[c[0]] = false
+		} else {
+			ds.plan.clean = append(ds.plan.clean, c)
+		}
+	}
+	if len(ds.plan.clean) == 0 {
+		// Nothing to replay: the cold path is strictly cheaper than
+		// carrying the plan around.
+		return nil
+	}
+	return &ds.plan
+}
+
+// markInterferenceTargets marks dirty every task of sys that a task
+// with the given platform and priority can interfere with: same
+// platform, priority ≤ the interferer's (Eq. 17 membership seen from
+// the receiving side).
+func markInterferenceTargets(sys *model.System, platform, priority int, mark func(i, j int)) {
+	for a := range sys.Transactions {
+		tasks := sys.Transactions[a].Tasks
+		for b := range tasks {
+			if tasks[b].Platform == platform && priority >= tasks[b].Priority {
+				mark(a, b)
+			}
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 
 	"hsched/internal/batch"
@@ -12,20 +13,19 @@ import (
 
 // Engine is a reusable analysis engine: it owns every piece of scratch
 // state an analysis needs (the working copy of the system, the
-// higher-priority interference cache, reduced-offset and best-bound
-// buffers, per-round result matrices, pooled per-task scenario
+// transaction-keyed slabs holding interference rows, reduced offsets,
+// best-case bounds and round results, pooled per-task scenario
 // buffers) and amortises them across calls. Construct one with
 // NewEngine and call Analyze / AnalyzeStatic any number of times; on
 // systems of the same shape (task counts, platform mapping,
 // priorities) consecutive calls reuse all caches and run with near
-// zero allocations, which is what makes the evaluation sweeps
-// (acceptance campaigns, MinimizeBandwidth design searches) run at
-// memory-bandwidth speed instead of allocator speed.
+// zero allocations, and after an edit only the slabs the edit touched
+// are rebuilt.
 //
 // Each fixed-point round is executed as an explicit pipeline:
 //
 //  1. interference construction — the analyzer rebinds the working
-//     system, rebuilding the hp cache only on shape changes and
+//     system, rebuilding only the hp rows an edit invalidated and
 //     refreshing the reduced offsets of Eq. (10);
 //  2. scenario enumeration — per task, the approximate (Sec. 3.1.2)
 //     or exact (Sec. 3.1.1) scenario set is materialised into pooled
@@ -37,6 +37,12 @@ import (
 //  4. jitter propagation — Eq. (18) rewrites the jitters from the
 //     previous round's responses and the loop repeats to the fixed
 //     point.
+//
+// AnalyzeFrom adds the incremental path: seeded with a previous
+// Result, rounds replay the recorded per-task results of every
+// transaction an edit provably did not reach and recompute only the
+// dirty rest — converging to the exact same bits a cold Analyze of
+// the edited system would produce.
 //
 // An Engine is internally concurrent but not safe for concurrent use:
 // run one Engine per goroutine (batch.MapWorkers hands one to each
@@ -56,20 +62,8 @@ type Engine struct {
 	// index order; it is the work list of the parallel response stage.
 	flat [][2]int
 
-	// round holds the TaskResults of the current fixed-point round.
-	round [][]TaskResult
-
-	// prev holds the previous round's worst-case responses for the
-	// convergence test; havePrev guards the first round.
-	prev     [][]float64
+	// havePrev guards the convergence test on the first round.
 	havePrev bool
-
-	// initStarts / initCompl are the best-case bounds of Eq. (18),
-	// computed once per call (they depend only on BCETs, platforms and
-	// the external release offset, none of which the iteration
-	// rewrites).
-	initStarts [][]float64
-	initCompl  [][]float64
 
 	// errs collects per-task errors of a parallel round; the first in
 	// task index order is reported, keeping errors deterministic too.
@@ -79,6 +73,25 @@ type Engine struct {
 	// parallel workers.
 	seq  taskScratch
 	pool sync.Pool
+
+	// rowStart[i] is the flat index of transaction i's first task —
+	// the (i, j) → flat mapping of the delta planner.
+	rowStart []int
+
+	// snapBlock and snapHdrs are the history arenas: snapshotRound
+	// carves round copies (cells and row headers) out of them and
+	// refills them when drained. They only ever advance, so carved
+	// rows stay exclusively owned by the Results they escaped into.
+	snapBlock []TaskResult
+	snapHdrs  [][]TaskResult
+
+	// plan is the delta plan of the in-flight AnalyzeFrom call (nil on
+	// the cold path); delta is the planner's reusable scratch and
+	// deltaSaved counts the per-task response computations the replay
+	// skipped.
+	plan       *deltaPlan
+	delta      deltaScratch
+	deltaSaved int
 
 	// ctx is the context of the in-flight call, set by the Context
 	// entry points before any round runs and read (never written) by
@@ -116,13 +129,49 @@ func (e *Engine) Analyze(sys *model.System) (*Result, error) {
 // cancellation it returns an error wrapping ctx.Err(); the engine
 // stays valid for further calls.
 func (e *Engine) AnalyzeContext(ctx context.Context, sys *model.System) (*Result, error) {
+	return e.analyzeDynamic(ctx, nil, sys)
+}
+
+// AnalyzeFrom is the incremental re-analysis entry point: it runs the
+// holistic analysis of sys exactly like Analyze, but seeded with prev
+// — the Result of an earlier analysis of a structurally similar
+// system. The engine diffs prev.System against sys at transaction
+// granularity, computes the closure of tasks the edit can reach
+// (directly, through shared-platform interference, or through
+// chain-successor jitters), and then replays prev's recorded per-round
+// results for every clean task while recomputing only the dirty ones.
+// Because the replayed values are exactly what a cold analysis of sys
+// would compute for those tasks, the returned Result is bit-identical
+// to Analyze(sys) in every field — the incremental path is a pure
+// optimisation, never an approximation.
+//
+// When nothing is reusable (different options, reordered transactions,
+// different platform counts, no unchanged transactions, or prev
+// lacking replay state) the call transparently falls back to a cold
+// analysis; Result.Delta is non-nil exactly when the delta path ran.
+// prev is only read, so a memoised (shared) Result is a valid seed.
+func (e *Engine) AnalyzeFrom(prev *Result, sys *model.System) (*Result, error) {
+	return e.AnalyzeFromContext(context.Background(), prev, sys)
+}
+
+// AnalyzeFromContext is AnalyzeFrom with cancellation, with the same
+// polling points as AnalyzeContext.
+func (e *Engine) AnalyzeFromContext(ctx context.Context, prev *Result, sys *model.System) (*Result, error) {
+	return e.analyzeDynamic(ctx, prev, sys)
+}
+
+// analyzeDynamic is the shared holistic loop of AnalyzeContext (prev
+// == nil) and AnalyzeFromContext.
+func (e *Engine) analyzeDynamic(ctx context.Context, prev *Result, sys *model.System) (*Result, error) {
 	if err := sys.Validate(); err != nil {
 		return nil, err
 	}
 	e.ctx = ctx
-	defer func() { e.ctx = nil }()
+	defer func() { e.ctx = nil; e.plan = nil; e.delta.plan.base = nil }()
 	e.bind(sys)
-	e.initStarts, e.initCompl = bestBoundsInto(e.work, e.opt.TightBestCase, e.initStarts, e.initCompl)
+	e.plan = e.planDelta(prev, e.work)
+	e.deltaSaved = 0
+	e.initBounds()
 
 	// Initial conditions of Section 3.2: J = 0, φ = Rbest (Eq. 18). The
 	// best starts already include the first task's external release
@@ -130,11 +179,27 @@ func (e *Engine) AnalyzeContext(ctx context.Context, sys *model.System) (*Result
 	// transaction are external inputs and are preserved.
 	for i := range e.work.Transactions {
 		tasks := e.work.Transactions[i].Tasks
+		starts := e.an.slabs[i].initStarts
 		for j := 1; j < len(tasks); j++ {
-			tasks[j].Offset = e.initStarts[i][j]
+			tasks[j].Offset = starts[j]
 			tasks[j].Jitter = 0
 		}
 	}
+
+	// history records every round's detached per-task results — the
+	// replay state a later AnalyzeFrom consumes. Rows must be freshly
+	// allocated (they escape into the Result). Callers that never
+	// re-analyse mutations opt out via Options.DisableReplayState.
+	var history [][][]TaskResult
+	historyCells := 0
+	if !e.opt.DisableReplayState {
+		history = make([][][]TaskResult, 0, 8)
+	}
+
+	// Stage 1: interference construction. The offsets are fixed for the
+	// whole analysis (the loop below only rewrites jitters), so the
+	// reduced offsets of Eq. (10) are derived once, not per round.
+	e.an.refreshOffsets()
 
 	converged := false
 	iters := 0
@@ -144,15 +209,20 @@ func (e *Engine) AnalyzeContext(ctx context.Context, sys *model.System) (*Result
 			return nil, wrapCancelled(err)
 		}
 
-		// Stage 1: interference construction (reduced offsets; the hp
-		// cache is already bound).
-		e.an.refreshOffsets()
-
-		// Stages 2+3: scenario enumeration and per-task responses.
-		if err := e.runRound(); err != nil {
+		// Stages 2+3: scenario enumeration and per-task responses,
+		// replaying clean tasks from the delta baseline when seeded.
+		if err := e.runRound(iter); err != nil {
 			return nil, err
 		}
 		iters = iter + 1
+		if !e.opt.DisableReplayState && historyCells < maxHistoryCells {
+			rows, carved := e.snapshotRound(iter)
+			history = append(history, rows)
+			// Aliased (fully-clean) rows cost nothing — charge the cap
+			// only for cells actually carved, so long delta chains keep
+			// their full replay depth.
+			historyCells += carved
+		}
 		if e.opt.Recorder != nil {
 			// Snapshots must be detached from engine scratch: callers
 			// retain them past the call (Table 3 reproduction), and the
@@ -160,16 +230,16 @@ func (e *Engine) AnalyzeContext(ctx context.Context, sys *model.System) (*Result
 			e.opt.Recorder(iter, e.detach(iters))
 		}
 
-		if e.havePrev && unchanged(e.prev, e.round, e.opt.eps()) {
+		if e.havePrev && e.roundUnchanged() {
 			converged = true
 			break
 		}
-		copyWorst(e.prev, e.round)
+		e.storePrev()
 		e.havePrev = true
 
 		// Any unbounded response time is final: larger jitters can only
 		// increase response times and +Inf is already absorbing.
-		if hasInf(e.round) {
+		if e.roundHasInf() {
 			converged = true
 			break
 		}
@@ -179,8 +249,8 @@ func (e *Engine) AnalyzeContext(ctx context.Context, sys *model.System) (*Result
 		// non-decreasing across rounds.
 		if e.opt.StopAtDeadlineMiss {
 			missed := false
-			for i := range e.round {
-				row := e.round[i]
+			for i := range e.an.slabs {
+				row := e.an.slabs[i].round
 				if row[len(row)-1].Worst > e.work.Transactions[i].Deadline+e.opt.eps() {
 					missed = true
 					break
@@ -198,8 +268,9 @@ func (e *Engine) AnalyzeContext(ctx context.Context, sys *model.System) (*Result
 		// first task, so nothing is added on top.
 		for i := range e.work.Transactions {
 			tasks := e.work.Transactions[i].Tasks
+			sl := &e.an.slabs[i]
 			for j := 1; j < len(tasks); j++ {
-				jit := e.round[i][j-1].Worst - e.initStarts[i][j]
+				jit := sl.round[j-1].Worst - sl.initStarts[j]
 				if jit < 0 {
 					jit = 0
 				}
@@ -217,7 +288,67 @@ func (e *Engine) AnalyzeContext(ctx context.Context, sys *model.System) (*Result
 		// so a positive verdict would be unsound.
 		res.Schedulable = false
 	}
+	res.history = history
+	res.rkey = e.opt.ReplayKey()
+	if e.plan != nil {
+		res.Delta = &DeltaInfo{
+			CleanTasks:      len(e.plan.clean),
+			DirtyTasks:      len(e.plan.dirty),
+			ReplayedRounds:  min(iters, len(e.plan.base)),
+			TaskRoundsSaved: e.deltaSaved,
+		}
+	}
 	return res, nil
+}
+
+// maxHistoryCells bounds the replay state retained on a Result:
+// rounds × tasks cells of TaskResult. Past the bound later rounds are
+// simply not recorded (a partial history replays its prefix and
+// recomputes the rest), so one huge analysis cannot pin megabytes in
+// the service's verdict memo.
+const maxHistoryCells = 1 << 14
+
+// snapshotRound deep-copies the current round matrix. History rows are
+// immutable once recorded, which buys two things: a replayed round can
+// alias the baseline's row outright for a fully-clean transaction (no
+// copy at all — mutation chains then share their common history), and
+// fresh rows can be carved out of snapBlock, an arena the engine
+// refills a few rounds' worth at a time and only ever advances
+// through, so carved rows safely escape into Results.
+func (e *Engine) snapshotRound(iter int) (rows [][]TaskResult, carved int) {
+	nTx := len(e.an.slabs)
+	if len(e.snapHdrs) < nTx {
+		e.snapHdrs = make([][]TaskResult, 8*nTx)
+	}
+	rows = e.snapHdrs[:nTx:nTx]
+	e.snapHdrs = e.snapHdrs[nTx:]
+	var base [][]TaskResult
+	if e.plan != nil && iter < len(e.plan.base) {
+		base = e.plan.base[iter]
+	}
+	for i := range e.an.slabs {
+		if base == nil || !e.plan.cleanTx[i] {
+			carved += len(e.an.slabs[i].round)
+		}
+	}
+	if len(e.snapBlock) < carved {
+		e.snapBlock = make([]TaskResult, max(8*carved, 4*len(e.flat)))
+	}
+	block := e.snapBlock[:carved]
+	e.snapBlock = e.snapBlock[carved:]
+	k := 0
+	for i := range e.an.slabs {
+		if base != nil && e.plan.cleanTx[i] {
+			rows[i] = base[e.plan.oldIdx[i]]
+			continue
+		}
+		round := e.an.slabs[i].round
+		row := block[k : k+len(round) : k+len(round)]
+		copy(row, round)
+		rows[i] = row
+		k += len(round)
+	}
+	return rows, carved
 }
 
 // AnalyzeStatic runs one pass of the static-offset analysis of Section
@@ -236,52 +367,43 @@ func (e *Engine) AnalyzeStaticContext(ctx context.Context, sys *model.System) (*
 	e.ctx = ctx
 	defer func() { e.ctx = nil }()
 	e.bind(sys)
-	e.initStarts, e.initCompl = bestBoundsInto(e.work, e.opt.TightBestCase, e.initStarts, e.initCompl)
+	e.initBounds()
 	// Stage 1 runs once: static analysis keeps the input offsets.
 	e.an.refreshOffsets()
-	if err := e.runRound(); err != nil {
+	if err := e.runRound(0); err != nil {
 		return nil, err
 	}
 	return e.finalize(1, true), nil
 }
 
-// bind copies sys into the engine's working system and rebinds the
-// analyzer. The round buffers are resized only when the task-count
-// dimensions changed — deliberately decoupled from the analyzer's
-// hp-cache key (which also covers priorities and platform mappings),
-// so priority-search callers that reassign priorities on every probe
-// still keep their buffers.
+// bind copies sys into the engine's working system, rebinds the
+// analyzer (which resizes the slabs and selectively rebuilds hp rows)
+// and refreshes the flat work list.
 func (e *Engine) bind(sys *model.System) {
 	e.copySystem(sys)
 	e.an.bind(e.work, e.opt)
-	if !e.dimsMatch() {
-		e.flat = e.flat[:0]
-		for i := range e.work.Transactions {
-			for j := range e.work.Transactions[i].Tasks {
-				e.flat = append(e.flat, [2]int{i, j})
-			}
+	e.flat = e.flat[:0]
+	e.rowStart = e.rowStart[:0]
+	for i := range e.work.Transactions {
+		e.rowStart = append(e.rowStart, len(e.flat))
+		for j := range e.work.Transactions[i].Tasks {
+			e.flat = append(e.flat, [2]int{i, j})
 		}
-		e.round = reuseMatrix(e.round, e.work)
-		e.prev = reuseMatrix(e.prev, e.work)
-		if cap(e.errs) < len(e.flat) {
-			e.errs = make([]error, len(e.flat))
-		}
+	}
+	if cap(e.errs) < len(e.flat) {
+		e.errs = make([]error, len(e.flat))
 	}
 	e.havePrev = false
 }
 
-// dimsMatch reports whether the round buffers already have one cell
-// per task of the working system.
-func (e *Engine) dimsMatch() bool {
-	if len(e.round) != len(e.work.Transactions) {
-		return false
+// initBounds computes the per-transaction best-case bounds of Eq. (18)
+// into the slabs; they depend only on BCETs, platforms and the
+// external release offset, none of which the iteration rewrites.
+func (e *Engine) initBounds() {
+	for i := range e.work.Transactions {
+		sl := &e.an.slabs[i]
+		bestBoundsTx(e.work, i, e.opt.TightBestCase, sl.initStarts, sl.initCompl)
 	}
-	for i := range e.round {
-		if len(e.round[i]) != len(e.work.Transactions[i].Tasks) {
-			return false
-		}
-	}
-	return true
 }
 
 // copySystem copies src value by value into the engine-owned working
@@ -316,13 +438,28 @@ func (e *Engine) copySystem(src *model.System) {
 // either way.
 const minParallelTasks = 16
 
-// runRound executes stages 2 and 3 of the pipeline: for every task, in
-// parallel across Options.Workers goroutines, enumerate its scenarios
-// and compute its worst-case response with the offsets and jitters
-// currently stored in the working system, writing the TaskResults into
-// the round matrix in task index order.
-func (e *Engine) runRound() error {
-	n := len(e.flat)
+// runRound executes stages 2 and 3 of the pipeline for round iter: for
+// every task to compute, in parallel across Options.Workers
+// goroutines, enumerate its scenarios and compute its worst-case
+// response with the offsets and jitters currently stored in the
+// working system, writing the TaskResults into the slabs in task index
+// order. On a seeded (delta) round still covered by the baseline's
+// recorded history, clean tasks are replayed — copied from the
+// baseline — and only the dirty work list is computed; the copied
+// values are bitwise what the computation would have produced.
+func (e *Engine) runRound(iter int) error {
+	work := e.flat
+	if e.plan != nil && iter < len(e.plan.base) {
+		base := e.plan.base[iter]
+		for _, c := range e.plan.clean {
+			i, j := c[0], c[1]
+			e.an.slabs[i].round[j] = base[e.plan.oldIdx[i]][j]
+		}
+		e.deltaSaved += len(e.plan.clean)
+		work = e.plan.dirty
+	}
+
+	n := len(work)
 	workers := e.opt.workers()
 	if workers > n {
 		workers = n
@@ -332,7 +469,7 @@ func (e *Engine) runRound() error {
 			if err := e.ctx.Err(); err != nil {
 				return wrapCancelled(err)
 			}
-			if err := e.analyzeTask(k, &e.seq); err != nil {
+			if err := e.analyzeTask(work[k][0], work[k][1], &e.seq); err != nil {
 				return err
 			}
 		}
@@ -344,7 +481,7 @@ func (e *Engine) runRound() error {
 		errs[k] = nil
 	}
 	// The per-task computations only read the analyzer's state and
-	// write disjoint cells of the round matrix, so a successful round
+	// write disjoint round cells of the slabs, so a successful round
 	// is deterministic regardless of scheduling. Errors are staged per
 	// task and the first in index order among those staged wins; the
 	// sentinel returned to batch.Map cancels the remaining tasks, so
@@ -367,7 +504,7 @@ func (e *Engine) runRound() error {
 		if ts == nil {
 			ts = new(taskScratch)
 		}
-		err := e.analyzeTask(k, ts)
+		err := e.analyzeTask(work[k][0], work[k][1], ts)
 		e.pool.Put(ts)
 		if err != nil {
 			errs[k] = err
@@ -395,10 +532,9 @@ func wrapCancelled(err error) error {
 	return fmt.Errorf("analysis: cancelled: %w", err)
 }
 
-// analyzeTask computes the response of the k-th task of the flattened
-// work list and stores its TaskResult.
-func (e *Engine) analyzeTask(k int, ts *taskScratch) error {
-	i, j := e.flat[k][0], e.flat[k][1]
+// analyzeTask computes the response of task (i, j) of the working
+// system and stores its TaskResult in the transaction's slab.
+func (e *Engine) analyzeTask(i, j int, ts *taskScratch) error {
 	r, crit, err := e.an.responseTime(e.ctx, i, j, ts)
 	if err != nil {
 		// Cancellation is not a property of the task being analysed:
@@ -410,10 +546,10 @@ func (e *Engine) analyzeTask(k int, ts *taskScratch) error {
 		return fmt.Errorf("analysis: %s: %w", e.work.TaskName(i, j), err)
 	}
 	t := &e.work.Transactions[i].Tasks[j]
-	e.round[i][j] = TaskResult{
+	e.an.slabs[i].round[j] = TaskResult{
 		Offset:            t.Offset,
 		Jitter:            t.Jitter,
-		Best:              e.initCompl[i][j],
+		Best:              e.an.slabs[i].initCompl[j],
 		Worst:             r,
 		CriticalInitiator: crit.initiator,
 		CriticalJob:       crit.job,
@@ -427,14 +563,41 @@ func (e *Engine) analyzeTask(k int, ts *taskScratch) error {
 // left at their zero values (a mid-iteration snapshot has neither).
 func (e *Engine) detach(iterations int) *Result {
 	res := &Result{
-		System:     e.work.Clone(),
-		Tasks:      make([][]TaskResult, len(e.round)),
+		System:     cloneCompact(e.work, len(e.flat)),
+		Tasks:      make([][]TaskResult, len(e.an.slabs)),
 		Iterations: iterations,
 	}
-	for i, row := range e.round {
-		res.Tasks[i] = append([]TaskResult(nil), row...)
+	block := make([]TaskResult, len(e.flat))
+	k := 0
+	for i := range e.an.slabs {
+		round := e.an.slabs[i].round
+		row := block[k : k+len(round) : k+len(round)]
+		copy(row, round)
+		res.Tasks[i] = row
+		k += len(round)
 	}
 	return res
+}
+
+// cloneCompact deep-copies a system like model.System.Clone, but
+// carves every transaction's task slice out of one shared block
+// (capacity-capped, so a later append relocates instead of clobbering
+// a neighbour) — detach runs on every analysis, and the per-transaction
+// allocations of the general Clone are measurable on the delta path.
+func cloneCompact(src *model.System, totalTasks int) *model.System {
+	c := &model.System{
+		Transactions: make([]model.Transaction, len(src.Transactions)),
+		Platforms:    append(src.Platforms[:0:0], src.Platforms...),
+	}
+	block := make([]model.Task, 0, totalTasks)
+	for i := range src.Transactions {
+		st := &src.Transactions[i]
+		start := len(block)
+		block = append(block, st.Tasks...)
+		c.Transactions[i] = *st
+		c.Transactions[i].Tasks = block[start:len(block):len(block)]
+	}
+	return c
 }
 
 // finalize builds the analysis outcome from the last round. Oversized
@@ -449,12 +612,45 @@ func (e *Engine) finalize(iterations int, converged bool) *Result {
 	return res
 }
 
-// copyWorst stores the round's worst-case responses into the
-// convergence buffer.
-func copyWorst(dst [][]float64, tasks [][]TaskResult) {
-	for i, row := range tasks {
-		for j := range row {
-			dst[i][j] = row[j].Worst
+// roundUnchanged reports whether the current round's worst-case
+// responses match the previous round's within eps — the fixed-point
+// test of the holistic iteration.
+func (e *Engine) roundUnchanged() bool {
+	eps := e.opt.eps()
+	for i := range e.an.slabs {
+		sl := &e.an.slabs[i]
+		for j := range sl.round {
+			a, b := sl.prev[j], sl.round[j].Worst
+			if math.IsInf(a, 1) && math.IsInf(b, 1) {
+				continue
+			}
+			if math.Abs(a-b) > eps {
+				return false
+			}
 		}
 	}
+	return true
+}
+
+// storePrev stores the round's worst-case responses into the
+// convergence buffers.
+func (e *Engine) storePrev() {
+	for i := range e.an.slabs {
+		sl := &e.an.slabs[i]
+		for j := range sl.round {
+			sl.prev[j] = sl.round[j].Worst
+		}
+	}
+}
+
+// roundHasInf reports an unbounded response in the current round.
+func (e *Engine) roundHasInf() bool {
+	for i := range e.an.slabs {
+		for j := range e.an.slabs[i].round {
+			if math.IsInf(e.an.slabs[i].round[j].Worst, 1) {
+				return true
+			}
+		}
+	}
+	return false
 }

@@ -2,7 +2,6 @@ package analysis
 
 import (
 	"context"
-	"math"
 
 	"hsched/internal/model"
 )
@@ -52,35 +51,6 @@ func AnalyzeContext(ctx context.Context, sys *model.System, opt Options) (*Resul
 // AnalyzeStaticContext is AnalyzeStatic with cancellation.
 func AnalyzeStaticContext(ctx context.Context, sys *model.System, opt Options) (*Result, error) {
 	return NewEngine(opt).AnalyzeStaticContext(ctx, sys)
-}
-
-// unchanged reports whether the current round's worst-case responses
-// match the previous round's within eps — the fixed-point test of the
-// holistic iteration.
-func unchanged(prev [][]float64, cur [][]TaskResult, eps float64) bool {
-	for i, row := range cur {
-		for j, t := range row {
-			a, b := prev[i][j], t.Worst
-			if math.IsInf(a, 1) && math.IsInf(b, 1) {
-				continue
-			}
-			if math.Abs(a-b) > eps {
-				return false
-			}
-		}
-	}
-	return true
-}
-
-func hasInf(tasks [][]TaskResult) bool {
-	for _, row := range tasks {
-		for _, t := range row {
-			if math.IsInf(t.Worst, 1) {
-				return true
-			}
-		}
-	}
-	return false
 }
 
 // BestBounds exposes the best-case bounds used by Eq. 18: for every

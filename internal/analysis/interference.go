@@ -11,34 +11,68 @@ import (
 // analysis would exceed Options.MaxScenarios scenario vectors.
 var ErrTooManyScenarios = fmt.Errorf("analysis: exact scenario count exceeds limit")
 
+// txSlab is the per-transaction slab of analysis state: everything the
+// engine and analyzer know about one transaction Γa lives here, keyed
+// by the transaction's position in the system under analysis. Keeping
+// the state transaction-keyed (instead of flat system-wide matrices)
+// lets consecutive analyses of edited systems invalidate exactly the
+// slabs an edit touched: the interference rows of an unchanged
+// transaction survive a neighbour's retuning, which is what the
+// incremental re-analysis path (Engine.AnalyzeFrom) builds on.
+type txSlab struct {
+	// shape is the structural signature (task count plus per-task
+	// platform and priority) the hp rows were built under; bind
+	// rebuilds only slabs whose signature moved.
+	shape []int
+
+	// hp[b][i] lists the task indices j of transaction i that can
+	// interfere with τa,b per Eq. (17): priority ≥ pa,b and same
+	// platform. For i == a the task (a, b) itself is excluded (its own
+	// jobs are accounted separately in Eq. 13/16).
+	hp [][][]int
+
+	// reduced[j] is the offset φa,j reduced modulo Ta, recomputed at
+	// the start of every analysis round.
+	reduced []float64
+
+	// initStarts / initCompl are the transaction's best-case bounds of
+	// Eq. (18), computed once per analysis.
+	initStarts []float64
+	initCompl  []float64
+
+	// round holds the transaction's TaskResults of the current
+	// fixed-point round; prev the previous round's worst cases for the
+	// convergence test.
+	round []TaskResult
+	prev  []float64
+}
+
 // analyzer carries the per-run state of the static-offset analysis:
 // the system under analysis (whose offsets/jitters the holistic loop
-// rewrites between rounds) and caches that depend only on priorities
-// and platform mappings. It is the interference-construction stage of
-// the engine pipeline: bind attaches a system (rebuilding the
-// higher-priority cache only when the system shape changed) and
-// refreshOffsets derives the reduced offsets feeding Eq. (10)/(11).
+// rewrites between rounds) and the transaction-keyed slabs holding the
+// interference rows and reduced offsets. It is the
+// interference-construction stage of the engine pipeline: bind
+// attaches a system (rebuilding only the hp rows an edit invalidated)
+// and refreshOffsets derives the reduced offsets feeding Eq. (10)/(11).
 type analyzer struct {
 	sys *model.System
 	opt Options
 
-	// hpCache[a][b][i] lists the task indices j of transaction i that
-	// can interfere with τa,b per Eq. (17): priority ≥ pa,b and same
-	// platform. For i == a the task (a,b) itself is excluded (its own
-	// jobs are accounted separately in Eq. 13/16).
-	hpCache [][][][]int
+	// slabs is the per-transaction state, indexed like
+	// sys.Transactions.
+	slabs []txSlab
 
-	// reduced[i][j] is the offset φi,j reduced modulo Ti, recomputed
-	// at the start of every analysis round.
-	reduced [][]float64
+	// nPlatforms is the platform count the slabs were built under; a
+	// different count invalidates every hp row (platform indices are
+	// incomparable across counts).
+	nPlatforms int
 
-	// shape is the structural signature (per-task platform and
-	// priority) under which hpCache was built; bind skips the rebuild
-	// when it is unchanged.
-	shape []int
-
-	// sigBuf is the scratch the next signature is computed into.
-	sigBuf []int
+	// sigBuf is the scratch the next signature is computed into;
+	// changedBuf and changedMark stage the set of slabs an edit
+	// touched.
+	sigBuf      []int
+	changedBuf  []int
+	changedMark []bool
 }
 
 func newAnalyzer(sys *model.System, opt Options) *analyzer {
@@ -48,71 +82,153 @@ func newAnalyzer(sys *model.System, opt Options) *analyzer {
 	return an
 }
 
-// shapeSignature appends the structural signature of sys to dst: the
-// transaction/task counts plus every task's platform index and
-// priority — exactly the inputs hpCache depends on (Eq. 17).
-func shapeSignature(dst []int, sys *model.System) []int {
-	dst = append(dst, len(sys.Platforms), len(sys.Transactions))
-	for i := range sys.Transactions {
-		tasks := sys.Transactions[i].Tasks
-		dst = append(dst, len(tasks))
-		for j := range tasks {
-			dst = append(dst, tasks[j].Platform, tasks[j].Priority)
+// shapeSignatureTx appends the structural signature of transaction i
+// to dst: the task count plus every task's platform index and priority
+// — exactly the per-transaction inputs the hp rows depend on (Eq. 17).
+func shapeSignatureTx(dst []int, sys *model.System, i int) []int {
+	tasks := sys.Transactions[i].Tasks
+	dst = append(dst, len(tasks))
+	for j := range tasks {
+		dst = append(dst, tasks[j].Platform, tasks[j].Priority)
+	}
+	return dst
+}
+
+// bind attaches a system to the analyzer. Slabs are resized to the
+// system's dimensions (reusing backing arrays) and the interference
+// rows are rebuilt selectively: a slab whose own shape changed gets a
+// full row rebuild, an untouched slab only re-derives the sub-slices
+// that reference shape-changed transactions — unchanged transactions
+// keep their interference state across a neighbour's edit. bind does
+// not refresh the reduced offsets; each entry point runs that stage
+// itself (the holistic loop refreshes at the top of every iteration).
+func (an *analyzer) bind(sys *model.System, opt Options) {
+	an.sys, an.opt = sys, opt
+	n := len(sys.Transactions)
+	full := len(an.slabs) != n || an.nPlatforms != len(sys.Platforms)
+	an.nPlatforms = len(sys.Platforms)
+	if cap(an.slabs) < n {
+		slabs := make([]txSlab, n)
+		copy(slabs, an.slabs)
+		an.slabs = slabs
+	} else {
+		an.slabs = an.slabs[:n]
+	}
+	if cap(an.changedMark) < n {
+		an.changedMark = make([]bool, n)
+	} else {
+		an.changedMark = an.changedMark[:n]
+	}
+
+	changed := an.changedBuf[:0]
+	for i := range an.slabs {
+		sl := &an.slabs[i]
+		m := len(sys.Transactions[i].Tasks)
+		sl.reduced = reuseRow(sl.reduced, m)
+		sl.initStarts = reuseRow(sl.initStarts, m)
+		sl.initCompl = reuseRow(sl.initCompl, m)
+		sl.round = reuseRow(sl.round, m)
+		sl.prev = reuseRow(sl.prev, m)
+
+		an.sigBuf = shapeSignatureTx(an.sigBuf[:0], sys, i)
+		an.changedMark[i] = full || !slices.Equal(sl.shape, an.sigBuf)
+		if an.changedMark[i] {
+			sl.shape = append(sl.shape[:0], an.sigBuf...)
+			changed = append(changed, i)
+		}
+	}
+	an.changedBuf = changed
+	if len(changed) == 0 {
+		return
+	}
+	if full || len(changed) == n {
+		for a := range an.slabs {
+			an.buildHPRow(a)
+		}
+		return
+	}
+	for a := range an.slabs {
+		if an.changedMark[a] {
+			// The transaction's own tasks moved: its whole row is stale.
+			an.buildHPRow(a)
+			continue
+		}
+		// Unchanged transaction: only the sub-slices referencing the
+		// shape-changed transactions need re-deriving; everything else
+		// is carried over untouched.
+		sl := &an.slabs[a]
+		for b := range sl.hp {
+			for _, i := range changed {
+				sl.hp[b][i] = an.hpFill(a, b, i, sl.hp[b][i][:0])
+			}
+		}
+	}
+}
+
+// buildHPRow rebuilds the full interference row of transaction a.
+func (an *analyzer) buildHPRow(a int) {
+	sl := &an.slabs[a]
+	nTasks := len(an.sys.Transactions[a].Tasks)
+	n := len(an.sys.Transactions)
+	if cap(sl.hp) < nTasks {
+		sl.hp = make([][][]int, nTasks)
+	} else {
+		sl.hp = sl.hp[:nTasks]
+	}
+	for b := 0; b < nTasks; b++ {
+		row := sl.hp[b]
+		if cap(row) < n {
+			row = make([][]int, n)
+		} else {
+			row = row[:n]
+		}
+		for i := 0; i < n; i++ {
+			row[i] = an.hpFill(a, b, i, row[i][:0])
+		}
+		sl.hp[b] = row
+	}
+}
+
+// hpFill appends to dst the task indices of transaction i that can
+// interfere with τa,b: same platform, priority ≥ pa,b, excluding the
+// task itself.
+func (an *analyzer) hpFill(a, b, i int, dst []int) []int {
+	ta := &an.sys.Transactions[a].Tasks[b]
+	tasks := an.sys.Transactions[i].Tasks
+	for j := range tasks {
+		if i == a && j == b {
+			continue
+		}
+		tj := &tasks[j]
+		if tj.Platform == ta.Platform && tj.Priority >= ta.Priority {
+			dst = append(dst, j)
 		}
 	}
 	return dst
 }
 
-// bind attaches a system to the analyzer, rebuilding the interference
-// cache only when the structural shape changed. It does not refresh
-// the reduced offsets — each entry point runs that stage itself (the
-// holistic loop refreshes at the top of every iteration, so a refresh
-// here would be computed from offsets the initial conditions are
-// about to overwrite).
-func (an *analyzer) bind(sys *model.System, opt Options) {
-	an.sys, an.opt = sys, opt
-	an.sigBuf = shapeSignature(an.sigBuf[:0], sys)
-	if !slices.Equal(an.shape, an.sigBuf) {
-		an.shape = append(an.shape[:0], an.sigBuf...)
-		an.buildHP()
-	}
-}
+// hpRow returns the interference row of task (a, b).
+func (an *analyzer) hpRow(a, b int) [][]int { return an.slabs[a].hp[b] }
 
-func (an *analyzer) buildHP() {
-	n := len(an.sys.Transactions)
-	an.hpCache = make([][][][]int, n)
-	for a := range an.sys.Transactions {
-		tasksA := an.sys.Transactions[a].Tasks
-		an.hpCache[a] = make([][][]int, len(tasksA))
-		for b := range tasksA {
-			ta := &tasksA[b]
-			sets := make([][]int, n)
-			for i := range an.sys.Transactions {
-				for j := range an.sys.Transactions[i].Tasks {
-					if i == a && j == b {
-						continue
-					}
-					tj := &an.sys.Transactions[i].Tasks[j]
-					if tj.Platform == ta.Platform && tj.Priority >= ta.Priority {
-						sets[i] = append(sets[i], j)
-					}
-				}
-			}
-			an.hpCache[a][b] = sets
-		}
-	}
-}
-
-// refreshOffsets recomputes the reduced offsets into the reusable
-// buffer; the holistic loop calls it after rewriting φ and J.
+// refreshOffsets recomputes the reduced offsets into the per-slab
+// buffers; the holistic loop calls it after rewriting φ and J.
 func (an *analyzer) refreshOffsets() {
-	an.reduced = reuseMatrix(an.reduced, an.sys)
 	for i := range an.sys.Transactions {
 		tr := &an.sys.Transactions[i]
+		reduced := an.slabs[i].reduced
 		for j := range tr.Tasks {
-			an.reduced[i][j] = modPos(tr.Tasks[j].Offset, tr.Period)
+			reduced[j] = modPos(tr.Tasks[j].Offset, tr.Period)
 		}
 	}
+}
+
+// reuseRow shapes buf to n elements, reusing the backing array when
+// large enough. Contents are unspecified after the call.
+func reuseRow[T any](buf []T, n int) []T {
+	if cap(buf) < n {
+		return make([]T, n)
+	}
+	return buf[:n]
 }
 
 // reuseMatrix shapes buf to one row per transaction and one column per
@@ -126,12 +242,7 @@ func reuseMatrix[T any](buf [][]T, sys *model.System) [][]T {
 		buf = buf[:n]
 	}
 	for i := range buf {
-		m := len(sys.Transactions[i].Tasks)
-		if cap(buf[i]) < m {
-			buf[i] = make([]T, m)
-		} else {
-			buf[i] = buf[i][:m]
-		}
+		buf[i] = reuseRow(buf[i], len(sys.Transactions[i].Tasks))
 	}
 	return buf
 }
@@ -139,7 +250,8 @@ func reuseMatrix[T any](buf [][]T, sys *model.System) [][]T {
 // phaseK returns ϕ^k_{i,j} (Eq. 10) with reduced offsets.
 func (an *analyzer) phaseK(i, k, j int) float64 {
 	tr := &an.sys.Transactions[i]
-	return phase(an.reduced[i][k], tr.Tasks[k].Jitter, an.reduced[i][j], tr.Period)
+	reduced := an.slabs[i].reduced
+	return phase(reduced[k], tr.Tasks[k].Jitter, reduced[j], tr.Period)
 }
 
 // wk returns W^k_i(τa,b, t) per Eq. (11): the worst-case interference

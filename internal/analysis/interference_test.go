@@ -57,7 +57,7 @@ func newPaperAnalyzer(t *testing.T) *analyzer {
 func TestHPFiltering(t *testing.T) {
 	an := newPaperAnalyzer(t)
 	// τ1,1 (Π3, p=2): within Γ1 only τ1,4 (Π3, p=3); τ4,1 has p=1.
-	hp := an.hpCache[0][0]
+	hp := an.hpRow(0, 0)
 	if len(hp[0]) != 1 || hp[0][0] != 3 {
 		t.Errorf("hp_1(τ1,1) = %v, want [3]", hp[0])
 	}
@@ -65,13 +65,13 @@ func TestHPFiltering(t *testing.T) {
 		t.Errorf("hp_4(τ1,1) = %v, want empty (priority 1 < 2)", hp[3])
 	}
 	// τ1,4 (Π3, p=3): nothing interferes.
-	for i, set := range an.hpCache[0][3] {
+	for i, set := range an.hpRow(0, 3) {
 		if len(set) != 0 {
 			t.Errorf("hp_%d(τ1,4) = %v, want empty", i+1, set)
 		}
 	}
 	// τ1,2 (Π1, p=1): τ2,1 (Π1, p=3) interferes; τ1,3 is on Π2.
-	hp = an.hpCache[0][1]
+	hp = an.hpRow(0, 1)
 	if len(hp[1]) != 1 || hp[1][0] != 0 {
 		t.Errorf("hp_2(τ1,2) = %v, want [0]", hp[1])
 	}
@@ -103,7 +103,7 @@ func TestPhaseKPaperValues(t *testing.T) {
 // (C/α = 1/0.4 = 2.5) as a function of the busy-period length.
 func TestWkPaperValues(t *testing.T) {
 	an := newPaperAnalyzer(t)
-	hp21 := an.hpCache[0][1][1] // tasks of Γ2 interfering with τ1,2
+	hp21 := an.hpRow(0, 1)[1] // tasks of Γ2 interfering with τ1,2
 	alpha := 0.4
 	cases := []struct{ t, want float64 }{
 		{0.5, 2.5},  // one pending job (ϕ = 15: released at t=0)
@@ -125,7 +125,7 @@ func TestWstarIsMaxOfWk(t *testing.T) {
 	// Give Γ1 two tasks on Π3 with priority ≥ τ4,1's (p=1): τ1,1 (p=2)
 	// and τ1,4 (p=3) both interfere with τ4,1.
 	an := newAnalyzer(sys, Options{})
-	hp := an.hpCache[3][0] // interferers of τ4,1
+	hp := an.hpRow(3, 0) // interferers of τ4,1
 	if len(hp[0]) != 2 {
 		t.Fatalf("hp_1(τ4,1) = %v, want two tasks", hp[0])
 	}

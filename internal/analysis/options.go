@@ -65,6 +65,16 @@ type Options struct {
 	// entirely — a cache hit would silence the callbacks.
 	Recorder func(iteration int, snapshot *Result)
 
+	// DisableReplayState skips the per-round history recording that
+	// makes a Result usable as an Engine.AnalyzeFrom seed. The
+	// recording costs one detached copy of every round's TaskResults
+	// (bounded, but pure overhead for callers that never re-analyse
+	// mutations): tight search loops over unrelated systems and
+	// services with the delta path disabled should set it. Like
+	// Workers it never changes the computed bounds, so it is excluded
+	// from cache keys and replay-compatibility checks.
+	DisableReplayState bool
+
 	// Workers bounds the goroutines computing per-task response times
 	// within one fixed-point round. 0 selects runtime.GOMAXPROCS(0);
 	// 1 runs strictly sequentially, and rounds with only a handful of
@@ -96,6 +106,39 @@ func (o Options) Normalised() Options {
 	o.MaxInner = o.maxInner()
 	o.Recorder = nil
 	return o
+}
+
+// ReplayKey is the comparable projection of every Options field that
+// changes computed bounds (defaults materialised). Two runs with
+// equal keys follow identical trajectories on identical systems —
+// the precondition for AnalyzeFrom replaying one run's recorded
+// rounds inside another. Fields that never change results (Workers,
+// Recorder, DisableReplayState) are deliberately absent. This is the
+// single enumeration of semantics-affecting options: the analysis
+// service's memo keys embed it too, so a future Options field added
+// here is automatically respected by both the replay gate and the
+// verdict cache.
+type ReplayKey struct {
+	exact              bool
+	maxScenarios       int
+	epsilon            float64
+	maxIterations      int
+	maxInner           int
+	tightBestCase      bool
+	stopAtDeadlineMiss bool
+}
+
+// ReplayKey returns the options' semantic identity; see the type.
+func (o Options) ReplayKey() ReplayKey {
+	return ReplayKey{
+		exact:              o.Exact,
+		maxScenarios:       o.maxScenarios(),
+		epsilon:            o.eps(),
+		maxIterations:      o.maxIter(),
+		maxInner:           o.maxInner(),
+		tightBestCase:      o.TightBestCase,
+		stopAtDeadlineMiss: o.StopAtDeadlineMiss,
+	}
 }
 
 func (o Options) workers() int {
@@ -176,6 +219,60 @@ type Result struct {
 	// Schedulable reports whether every transaction's end-to-end
 	// response time is finite and within its deadline.
 	Schedulable bool
+
+	// Delta is non-nil when the result was produced by the incremental
+	// path (Engine.AnalyzeFrom with a usable seed) and describes how
+	// much work the replay skipped. The result itself is bit-identical
+	// to a cold analysis either way.
+	Delta *DeltaInfo
+
+	// history is the replay state: every holistic round's detached
+	// per-task results, recorded up to maxHistoryCells. It is what a
+	// later AnalyzeFrom replays for clean tasks. Static analyses and
+	// truncated recordings leave it short or empty — the delta path
+	// then falls back (wholly or per-round) to computing.
+	history [][][]TaskResult
+
+	// rkey identifies the analysis semantics the result was computed
+	// under; a seed is only valid for an analysis with the same key.
+	rkey ReplayKey
+}
+
+// DeltaInfo reports the work profile of an incremental analysis.
+type DeltaInfo struct {
+	// CleanTasks and DirtyTasks partition the system's tasks: clean
+	// tasks were provably unreachable from the edit and replayed from
+	// the baseline, dirty tasks were recomputed every round.
+	CleanTasks, DirtyTasks int
+	// ReplayedRounds is the number of holistic rounds that copied the
+	// clean tasks from the baseline's recorded history (rounds past the
+	// baseline's recording recompute everything).
+	ReplayedRounds int
+	// TaskRoundsSaved is the total number of per-task response-time
+	// computations the replay skipped — CleanTasks × ReplayedRounds,
+	// the service's RoundsSaved currency.
+	TaskRoundsSaved int
+}
+
+// HasReplayState reports whether the result carries the per-round
+// history an AnalyzeFrom seed needs. Results of dynamic analyses
+// normally do; static passes and results trimmed by the history cap do
+// not.
+func (r *Result) HasReplayState() bool { return len(r.history) > 0 }
+
+// WithoutReplayState returns the result stripped of its replay
+// history: a shallow copy sharing every other field (or r itself when
+// there is nothing to strip). The analysis service memoises stripped
+// results and keeps the full ones only in its bounded seed pool, so
+// a large verdict memo does not pin thousands of unreachable
+// histories.
+func (r *Result) WithoutReplayState() *Result {
+	if len(r.history) == 0 {
+		return r
+	}
+	c := *r
+	c.history = nil
+	return &c
 }
 
 // TransactionResponse returns the end-to-end worst-case response time

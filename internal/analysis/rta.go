@@ -91,7 +91,7 @@ const cancelCheckInterval = 256
 func (an *analyzer) responseTime(ctx context.Context, a, b int, ts *taskScratch) (float64, critical, error) {
 	ta := &an.sys.Transactions[a].Tasks[b]
 	alpha := an.sys.Platforms[ta.Platform].Alpha
-	hp := an.hpCache[a][b]
+	hp := an.hpRow(a, b)
 
 	if an.overloaded(a, b, alpha) {
 		return math.Inf(1), unboundedCritical, nil
@@ -134,7 +134,7 @@ func (an *analyzer) responseTime(ctx context.Context, a, b int, ts *taskScratch)
 func (an *analyzer) overloaded(a, b int, alpha float64) bool {
 	ta := &an.sys.Transactions[a].Tasks[b]
 	u := ta.WCET / (an.sys.Transactions[a].Period * alpha)
-	for i, hpI := range an.hpCache[a][b] {
+	for i, hpI := range an.hpRow(a, b) {
 		tr := &an.sys.Transactions[i]
 		for _, j := range hpI {
 			u += tr.Tasks[j].WCET / (tr.Period * alpha)
@@ -337,7 +337,7 @@ func (an *analyzer) scenarioResponse(a, b int, sc scenario, hp [][]int, alpha fl
 // versus Na+1 for the approximate analysis.
 func ScenarioCount(sys *model.System, a, b int) (exact, approximate int) {
 	an := newAnalyzer(sys, Options{})
-	hp := an.hpCache[a][b]
+	hp := an.hpRow(a, b)
 	exact = len(hp[a]) + 1
 	approximate = len(hp[a]) + 1
 	for i, hpI := range hp {

@@ -31,6 +31,9 @@ func CriticalScaling(sys *model.System, opt Options, tol, maxFactor float64) (fl
 	// rescaled in place from the pristine input.
 	fastOpt := opt
 	fastOpt.StopAtDeadlineMiss = true
+	// Every probe rescales every transaction, so no probe could ever
+	// seed another incrementally — skip the replay-state recording.
+	fastOpt.DisableReplayState = true
 	eng := NewEngine(fastOpt)
 	scaled := sys.Clone()
 	feasible := func(k float64) (bool, error) {

@@ -44,6 +44,7 @@ func Analyze(args []string, stdout, stderr io.Writer) int {
 		sensitivity = fs.Bool("sensitivity", false, "also report the critical WCET scaling factor")
 		workers     = fs.Int("workers", 0, "per-round response-time workers (0 = all CPUs, 1 = sequential; results are identical)")
 		cache       = fs.Bool("cache", false, "route the analysis through a memoised analysis service and print cache statistics")
+		delta       = fs.Bool("delta", true, "with -cache: let the service re-analyse near-matches incrementally (delta path)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 1
@@ -71,7 +72,11 @@ func Analyze(args []string, stdout, stderr io.Writer) int {
 		// The service front-end: one-shot here, but the same path an
 		// embedding admission controller uses. (-sensitivity's probes
 		// run their own engine and are not counted in the stats line.)
-		svc = service.New(service.Options{Analysis: opt})
+		deltaWindow := 0
+		if !*delta {
+			deltaWindow = -1
+		}
+		svc = service.New(service.Options{Analysis: opt, DeltaWindow: deltaWindow})
 		if *static {
 			res, err = svc.AnalyzeStatic(context.Background(), sys)
 		} else {
@@ -132,6 +137,6 @@ func Analyze(args []string, stdout, stderr io.Writer) int {
 // printCacheStats renders one service-stats line, shared by the
 // analyze, exper and bench commands.
 func printCacheStats(out io.Writer, st service.Stats) {
-	fmt.Fprintf(out, "cache: queries=%d hits=%d misses=%d evictions=%d inflight-dedups=%d hit-rate=%.1f%%\n",
-		st.Queries, st.Hits, st.Misses, st.Evictions, st.InflightDedups, 100*st.HitRate())
+	fmt.Fprintf(out, "cache: queries=%d hits=%d misses=%d evictions=%d inflight-dedups=%d delta-hits=%d rounds-saved=%d hit-rate=%.1f%%\n",
+		st.Queries, st.Hits, st.Misses, st.Evictions, st.InflightDedups, st.DeltaHits, st.RoundsSaved, 100*st.HitRate())
 }

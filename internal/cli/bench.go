@@ -2,6 +2,7 @@ package cli
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -17,18 +18,53 @@ import (
 	"hsched/internal/service"
 )
 
+// benchReport is the machine-readable form of a bench run, emitted by
+// -json so the performance trajectory can be tracked across commits
+// (CI uploads it as an artifact).
+type benchReport struct {
+	Systems    int     `json:"systems"`
+	Mutations  int     `json:"mutations"`
+	Queries    int     `json:"queries"`
+	Goroutines int     `json:"goroutines"`
+	Exact      bool    `json:"exact"`
+	Delta      bool    `json:"delta"`
+	ElapsedMS  float64 `json:"elapsed_ms"`
+	Throughput float64 `json:"throughput_qps"`
+	Latency    struct {
+		P50us float64 `json:"p50_us"`
+		P90us float64 `json:"p90_us"`
+		P99us float64 `json:"p99_us"`
+		MaxUs float64 `json:"max_us"`
+	} `json:"latency"`
+	Cache struct {
+		Queries        int64   `json:"queries"`
+		Hits           int64   `json:"hits"`
+		Misses         int64   `json:"misses"`
+		Evictions      int64   `json:"evictions"`
+		InflightDedups int64   `json:"inflight_dedups"`
+		DeltaHits      int64   `json:"delta_hits"`
+		RoundsSaved    int64   `json:"rounds_saved"`
+		HitRate        float64 `json:"hit_rate"`
+		DeltaHitRate   float64 `json:"delta_hit_rate"`
+	} `json:"cache"`
+}
+
 // Bench implements `hsched bench`: a service-throughput benchmark over
-// a generated workload. It draws a population of random systems, fires
-// a stream of admission-control-style queries at one shared analysis
-// service from many goroutines (queries round-robin over the
-// population, so the steady-state hit rate is high), and reports
-// throughput, cache hit rate and p50/p99 latency. Exit codes: 0
-// success, 1 error.
+// a generated workload. It draws a population of random base systems,
+// extends each into a chain of single-transaction mutations (the
+// admission-control traffic shape the delta path serves), fires a
+// stream of queries at one shared analysis service from many
+// goroutines (queries round-robin over the population, so the
+// steady-state hit rate is high and every mutation is one step from a
+// resident result), and reports throughput, cache hit rate, delta hit
+// rate and p50/p99 latency — humanly, or as JSON with -json. Exit
+// codes: 0 success, 1 error.
 func Bench(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("hsched bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		systems    = fs.Int("systems", 64, "distinct random systems in the workload population")
+		systems    = fs.Int("systems", 64, "distinct random base systems in the workload population")
+		mutations  = fs.Int("mutations", 4, "single-transaction mutations chained onto each base system")
 		queries    = fs.Int("queries", 4096, "total queries to issue")
 		goroutines = fs.Int("goroutines", 0, "concurrent client goroutines (0 = all CPUs)")
 		shards     = fs.Int("shards", 0, "engine shards of the service (0 = all CPUs)")
@@ -36,17 +72,23 @@ func Bench(args []string, stdout, stderr io.Writer) int {
 		seed       = fs.Int64("seed", 1, "workload generator seed")
 		exact      = fs.Bool("exact", false, "use the exact analysis for the workload")
 		util       = fs.Float64("util", 0.45, "per-platform utilisation of the generated systems")
+		delta      = fs.Bool("delta", true, "route near-match queries through the incremental (delta) analysis")
+		jsonOut    = fs.Bool("json", false, "emit a machine-readable JSON report instead of text")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 1
 	}
-	if *systems <= 0 || *queries <= 0 {
-		fmt.Fprintln(stderr, "hsched bench: -systems and -queries must be positive")
+	if *systems <= 0 || *queries <= 0 || *mutations < 0 {
+		fmt.Fprintln(stderr, "hsched bench: -systems and -queries must be positive, -mutations non-negative")
 		return 1
 	}
 
-	pop := make([]*model.System, *systems)
-	for k := range pop {
+	// Population: each base system plus a chain of cumulative
+	// single-transaction retunings — consecutive chain elements are one
+	// parameter apart, exactly the near-match shape the delta path
+	// absorbs.
+	pop := make([]*model.System, 0, *systems*(*mutations+1))
+	for k := 0; k < *systems; k++ {
 		sys, err := gen.System(gen.Config{
 			Seed: *seed + int64(k), Platforms: 2, Transactions: 3, ChainLen: 3,
 			PeriodMin: 20, PeriodMax: 400, Utilization: *util,
@@ -56,13 +98,25 @@ func Bench(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "hsched bench:", err)
 			return 1
 		}
-		pop[k] = sys
+		pop = append(pop, sys)
+		for c := 1; c <= *mutations; c++ {
+			mut := sys.Clone()
+			tr := &mut.Transactions[c%len(mut.Transactions)]
+			tr.Tasks[c%len(tr.Tasks)].WCET *= 1.0 + 0.02*float64(c)
+			pop = append(pop, mut)
+			sys = mut
+		}
 	}
 
+	deltaWindow := 0
+	if !*delta {
+		deltaWindow = -1
+	}
 	svc := service.New(service.Options{
-		Shards:   *shards,
-		Capacity: *capacity,
-		Analysis: analysis.Options{Exact: *exact, StopAtDeadlineMiss: true, Workers: 1},
+		Shards:      *shards,
+		Capacity:    *capacity,
+		DeltaWindow: deltaWindow,
+		Analysis:    analysis.Options{Exact: *exact, StopAtDeadlineMiss: true, Workers: 1},
 	})
 
 	clients := *goroutines
@@ -109,8 +163,41 @@ func Bench(args []string, stdout, stderr io.Writer) int {
 		return latencies[idx]
 	}
 	st := svc.Stats()
-	fmt.Fprintf(stdout, "workload: %d systems, %d queries, %d goroutines, exact=%v\n",
-		*systems, *queries, clients, *exact)
+
+	if *jsonOut {
+		rep := benchReport{
+			Systems: *systems, Mutations: *mutations, Queries: *queries,
+			Goroutines: clients, Exact: *exact, Delta: *delta,
+			ElapsedMS:  float64(elapsed.Microseconds()) / 1e3,
+			Throughput: float64(*queries) / elapsed.Seconds(),
+		}
+		us := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+		rep.Latency.P50us = us(quantile(0.50))
+		rep.Latency.P90us = us(quantile(0.90))
+		rep.Latency.P99us = us(quantile(0.99))
+		rep.Latency.MaxUs = us(latencies[len(latencies)-1])
+		rep.Cache.Queries = st.Queries
+		rep.Cache.Hits = st.Hits
+		rep.Cache.Misses = st.Misses
+		rep.Cache.Evictions = st.Evictions
+		rep.Cache.InflightDedups = st.InflightDedups
+		rep.Cache.DeltaHits = st.DeltaHits
+		rep.Cache.RoundsSaved = st.RoundsSaved
+		rep.Cache.HitRate = st.HitRate()
+		if st.Misses > 0 {
+			rep.Cache.DeltaHitRate = float64(st.DeltaHits) / float64(st.Misses)
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(stderr, "hsched bench:", err)
+			return 1
+		}
+		return 0
+	}
+
+	fmt.Fprintf(stdout, "workload: %d systems x %d mutation chain, %d queries, %d goroutines, exact=%v delta=%v\n",
+		*systems, *mutations, *queries, clients, *exact, *delta)
 	fmt.Fprintf(stdout, "elapsed: %v  throughput: %.0f queries/s\n",
 		elapsed.Round(time.Millisecond), float64(*queries)/elapsed.Seconds())
 	fmt.Fprintf(stdout, "latency: p50=%v p90=%v p99=%v max=%v\n",

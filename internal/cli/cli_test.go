@@ -2,6 +2,7 @@ package cli
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -188,6 +189,7 @@ func TestExperSingleArtefacts(t *testing.T) {
 		{[]string{"-ablation", "network"}, "Ablation A6"},
 		{[]string{"-ablation", "edf"}, "Ablation A7"},
 		{[]string{"-ablation", "acceptance"}, "Ablation A8"},
+		{[]string{"-ablation", "admission"}, "Ablation A9"},
 	}
 	for _, c := range cases {
 		var out, errb bytes.Buffer
@@ -247,6 +249,57 @@ func TestBench(t *testing.T) {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("bench output missing %q:\n%s", want, out.String())
 		}
+	}
+}
+
+func TestBenchJSON(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := Bench([]string{"-systems", "4", "-mutations", "2", "-queries", "96", "-goroutines", "2", "-json"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	var rep struct {
+		Queries    int     `json:"queries"`
+		Throughput float64 `json:"throughput_qps"`
+		Latency    struct {
+			P99us float64 `json:"p99_us"`
+		} `json:"latency"`
+		Cache struct {
+			Queries      int64   `json:"queries"`
+			DeltaHits    int64   `json:"delta_hits"`
+			RoundsSaved  int64   `json:"rounds_saved"`
+			DeltaHitRate float64 `json:"delta_hit_rate"`
+		} `json:"cache"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("bench -json output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if rep.Queries != 96 || rep.Cache.Queries != 96 {
+		t.Errorf("report queries = %d/%d, want 96", rep.Queries, rep.Cache.Queries)
+	}
+	if rep.Throughput <= 0 || rep.Latency.P99us <= 0 {
+		t.Errorf("report missing throughput/latency: %+v", rep)
+	}
+	// The mutation-chain workload must exercise the delta path.
+	if rep.Cache.DeltaHits == 0 || rep.Cache.RoundsSaved == 0 {
+		t.Errorf("mutation-chain bench never hit the delta path: %+v", rep)
+	}
+}
+
+func TestBenchDeltaOff(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := Bench([]string{"-systems", "4", "-mutations", "2", "-queries", "48", "-goroutines", "2", "-delta=false", "-json"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	var rep struct {
+		Cache struct {
+			DeltaHits int64 `json:"delta_hits"`
+		} `json:"cache"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cache.DeltaHits != 0 {
+		t.Errorf("delta hits with -delta=false: %+v", rep)
 	}
 }
 

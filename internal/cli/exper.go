@@ -17,7 +17,7 @@ func Exper(args []string, stdout, stderr io.Writer) int {
 	var (
 		table    = fs.Int("table", 0, "reproduce one table (1, 2 or 3)")
 		figure   = fs.Int("figure", 0, "reproduce one figure (3 or 5)")
-		ablation = fs.String("ablation", "", "run one ablation: exact, pessimism, soundness, design, network, edf or acceptance")
+		ablation = fs.String("ablation", "", "run one ablation: exact, pessimism, soundness, design, network, edf, acceptance or admission")
 		asCSV    = fs.Bool("csv", false, "emit plot-ready CSV instead of text (table 3, figure 3, pessimism, acceptance)")
 		workers  = fs.Int("workers", 0, "parallel workers of the acceptance sweep (0 = all CPUs)")
 		cache    = fs.Bool("cache", false, "share one memoised analysis service across the acceptance sweep and print its cache statistics")
@@ -163,6 +163,15 @@ func Exper(args []string, stdout, stderr io.Writer) int {
 				return "", err
 			}
 			return experiments.RenderAcceptanceRatio(pts), nil
+		})
+	}
+	if all || *ablation == "admission" {
+		run("ablation A9", func() (string, error) {
+			rep, err := experiments.AdmissionChurn(30, nil)
+			if err != nil {
+				return "", err
+			}
+			return experiments.RenderAdmissionChurn(rep), nil
 		})
 	}
 	if failed {

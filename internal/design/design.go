@@ -70,11 +70,14 @@ type Options struct {
 	Analysis analysis.Options
 	// Service, when non-nil, is the analysis service the feasibility
 	// oracle queries — sharing it across searches shares its engine
-	// pool and verdict memo. When nil, Minimize runs a private
-	// single-shard service for the duration of the search: the binary
-	// searches and coordinate-descent passes re-probe identical
-	// (system, platform-parameters) points, and the memo answers the
-	// repeats without re-running the analysis.
+	// pool, verdict memo and delta-seed pool. When nil, Minimize runs
+	// a private single-shard service for the duration of the search:
+	// the binary searches and coordinate-descent passes re-probe
+	// identical (system, platform-parameters) points, which the memo
+	// answers outright, and every fresh probe is one platform away
+	// from a resident result, which the service's incremental path
+	// re-analyses by replaying the unaffected transactions (see
+	// ServiceStats.DeltaHits / RoundsSaved).
 	Service *service.Service
 }
 
@@ -154,8 +157,12 @@ func MinimizeContext(ctx context.Context, sys *model.System, families []Family, 
 	// The feasibility oracle is evaluated hundreds of times on the
 	// same system shape (only platform parameters move) and the
 	// searches below revisit parameter points — the service's resident
-	// engines keep the interference caches warm, and its verdict memo
-	// answers every revisited point without re-running the analysis.
+	// engines keep the interference caches warm, its verdict memo
+	// answers every revisited point without re-running the analysis,
+	// and fresh probes run incrementally against the nearest resident
+	// result (the transactions are untouched, so only the tasks of the
+	// platform being searched — plus whatever their changed responses
+	// reach — are recomputed).
 	// Analysis errors (e.g. scenario overflow of the exact oracle) are
 	// treated as infeasible points, matching the pre-service
 	// behaviour; cancellation aborts the whole search.

@@ -181,6 +181,40 @@ func TestMinimizeCacheReducesAnalyses(t *testing.T) {
 		on.Queries, on.Misses, off.Misses, 100*float64(off.Misses-on.Misses)/float64(off.Misses))
 }
 
+// TestMinimizeDeltaPath: the feasibility oracle's probes are chains of
+// one-platform-apart systems, which the service routes through the
+// incremental analysis — measurably fewer task-rounds computed, same
+// optimum as with the delta path disabled.
+func TestMinimizeDeltaPath(t *testing.T) {
+	sys := experiments.PaperSystem()
+	fams := []design.Family{design.PollingFamily(0.8333), design.PollingFamily(0.8333), design.PollingFamily(1.25)}
+
+	delta := service.New(service.Options{Shards: 1})
+	resOn, err := design.Minimize(sys, fams, design.Options{Service: delta})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := service.New(service.Options{Shards: 1, DeltaWindow: -1})
+	resOff, err := design.Minimize(sys, fams, design.Options{Service: cold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m := range resOn.Alphas {
+		if resOn.Alphas[m] != resOff.Alphas[m] {
+			t.Fatalf("optimum differs with delta on/off: %v vs %v — the incremental path must be invisible", resOn.Alphas, resOff.Alphas)
+		}
+	}
+	on := delta.Stats()
+	if on.DeltaHits == 0 {
+		t.Fatalf("stats = %+v: the search's one-platform-apart probes never ran incrementally", on)
+	}
+	if on.RoundsSaved <= 0 {
+		t.Fatalf("stats = %+v: RoundsSaved must be positive for a delta-assisted search", on)
+	}
+	t.Logf("design search: %d analyses, %d incremental, %d task-rounds saved",
+		on.Misses, on.DeltaHits, on.RoundsSaved)
+}
+
 // TestMinimizeContextCancelled: a cancelled context aborts the search
 // — including against a warm shared service, where every oracle probe
 // would otherwise be answered by the memo without ever observing the

@@ -1,0 +1,47 @@
+package experiments_test
+
+import (
+	"strings"
+	"testing"
+
+	"hsched/internal/analysis"
+	"hsched/internal/experiments"
+	"hsched/internal/service"
+)
+
+// TestAdmissionChurn locks the delta path's behaviour on the canonical
+// admission workload: most analyses after warm-up run incrementally,
+// identical re-queries (the recurring post-drop system) hit the memo,
+// and the replay saves real fixed-point work.
+func TestAdmissionChurn(t *testing.T) {
+	svc := service.New(service.Options{Shards: 1, Analysis: analysis.Options{Workers: 1}})
+	rep, err := experiments.AdmissionChurn(30, svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := rep.Stats
+	if st.Queries != 30 {
+		t.Fatalf("stats = %+v, want 30 queries", st)
+	}
+	if st.Hits == 0 {
+		t.Fatalf("stats = %+v: the recurring post-drop system must hit the memo", st)
+	}
+	if st.DeltaHits == 0 || st.RoundsSaved <= 0 {
+		t.Fatalf("stats = %+v: the churn must be absorbed incrementally", st)
+	}
+	// Warm-up aside, every executed analysis should have been seeded:
+	// each event is one transaction away from the previous one.
+	if st.DeltaHits < st.Misses/2 {
+		t.Fatalf("stats = %+v: delta hits should dominate the executed analyses", st)
+	}
+	if rep.Admitted == 0 {
+		t.Fatalf("no event admitted — the workload is miscalibrated")
+	}
+
+	out := experiments.RenderAdmissionChurn(rep)
+	for _, want := range []string{"Ablation A9", "incremental (delta) analyses", "task-rounds saved"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered report missing %q:\n%s", want, out)
+		}
+	}
+}

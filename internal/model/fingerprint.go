@@ -93,3 +93,68 @@ func (s *System) fingerprintSize() int {
 	}
 	return n
 }
+
+// txFingerprintVersion guards the canonical per-transaction encoding,
+// independently of the whole-system version: the two encodings cover
+// different field sets (the transaction one omits names) and must
+// never alias.
+const txFingerprintVersion = 1
+
+// Fingerprint computes the transaction's analysis fingerprint: a
+// digest over every field the holistic schedulability analysis reads —
+// period, deadline and per-task WCET, BCET, priority, platform mapping
+// and blocking, plus the external release offset and jitter of the
+// first task. Two classes of fields are deliberately excluded:
+//
+//   - names, which only label reports;
+//   - the offsets and jitters of non-initial tasks, which the holistic
+//     iteration derives from predecessor response times (Eq. 18) and
+//     overwrites before the first round — they are outputs, not inputs.
+//
+// Two transactions with equal fingerprints are therefore
+// interchangeable as far as the holistic analysis's computed bounds
+// are concerned — including a transaction read back from a converged
+// Result, whose derived offsets differ from the spec's. That is
+// exactly the equivalence Diff and the incremental re-analysis path
+// need. Platform *parameters* are not covered (only the indices); Diff
+// reports platform changes separately.
+func (tr *Transaction) Fingerprint() Fingerprint {
+	n := 8 * (4 + 7*len(tr.Tasks))
+	buf := make([]byte, 0, n)
+	u64 := func(v uint64) {
+		buf = binary.LittleEndian.AppendUint64(buf, v)
+	}
+	f64 := func(v float64) { u64(math.Float64bits(v)) }
+
+	u64(txFingerprintVersion)
+	f64(tr.Period)
+	f64(tr.Deadline)
+	u64(uint64(len(tr.Tasks)))
+	for j := range tr.Tasks {
+		t := &tr.Tasks[j]
+		f64(t.WCET)
+		f64(t.BCET)
+		if j == 0 {
+			f64(t.Offset)
+			f64(t.Jitter)
+		} else {
+			f64(0)
+			f64(0)
+		}
+		u64(uint64(int64(t.Priority)))
+		u64(uint64(int64(t.Platform)))
+		f64(t.Blocking)
+	}
+	return sha256.Sum256(buf)
+}
+
+// TransactionFingerprints returns the analysis fingerprints of all
+// transactions, in declaration order. It is the raw material of Diff
+// and of the analysis service's delta-seed matching.
+func (s *System) TransactionFingerprints() []Fingerprint {
+	fps := make([]Fingerprint, len(s.Transactions))
+	for i := range s.Transactions {
+		fps[i] = s.Transactions[i].Fingerprint()
+	}
+	return fps
+}

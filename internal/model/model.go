@@ -113,12 +113,17 @@ func (s *System) validateTransaction(i int) error {
 		if tn == "" {
 			tn = fmt.Sprintf("τ%d,%d", i+1, j+1)
 		}
-		for what, v := range map[string]float64{
-			"WCET": t.WCET, "BCET": t.BCET, "offset": t.Offset,
-			"jitter": t.Jitter, "blocking": t.Blocking,
+		// Spelled out (no map literal): Validate runs on every analysis
+		// entry, so the per-task checks must not allocate.
+		for _, f := range [...]struct {
+			what string
+			v    float64
+		}{
+			{"WCET", t.WCET}, {"BCET", t.BCET}, {"offset", t.Offset},
+			{"jitter", t.Jitter}, {"blocking", t.Blocking},
 		} {
-			if v < 0 || math.IsInf(v, 0) || math.IsNaN(v) {
-				return fmt.Errorf("model: %s/%s: %s %v must be non-negative and finite", name, tn, what, v)
+			if f.v < 0 || math.IsInf(f.v, 0) || math.IsNaN(f.v) {
+				return fmt.Errorf("model: %s/%s: %s %v must be non-negative and finite", name, tn, f.what, f.v)
 			}
 		}
 		if t.WCET == 0 {

@@ -2,16 +2,27 @@
 // the schedulability analysis: the building block for serving
 // admission-control-style queries at traffic scale (the ROADMAP's
 // north star), where many callers keep asking "is this system
-// schedulable?" about overlapping populations of systems.
+// schedulable?" about overlapping populations of systems that mutate
+// one transaction at a time.
 //
-// A Service composes three mechanisms the one-shot API lacks:
+// A query descends a ladder of progressively more expensive paths:
 //
-//   - a sharded pool of resident analysis.Engines. Engines amortise
-//     their interference caches and scratch buffers across calls but
-//     are single-goroutine; the service keeps one engine set per shard
-//     behind a mutex and routes queries by model.System.Fingerprint,
-//     so same-system traffic reuses a warm engine while distinct
-//     systems analyse concurrently on other shards;
+//	query(sys, opts)
+//	  │  fingerprint + normalised-options key
+//	  ▼
+//	verdict memo ──────────── hit ──► shared *Result      (~µs)
+//	  │ miss
+//	  ▼
+//	in-flight table ───────── dup ──► wait on leader      (~analysis)
+//	  │ leader
+//	  ▼
+//	delta-seed pool ── near-match ──► AnalyzeFrom:        (fraction of
+//	  │ no seed                       replay unchanged,    a cold run)
+//	  │                               recompute dirty
+//	  ▼
+//	resident engine ────────────────► cold Analyze        (full work)
+//
+// The mechanisms, top to bottom:
 //
 //   - an LRU verdict memo of detached *analysis.Results keyed by
 //     (fingerprint, normalised options). Options.Normalised
@@ -20,25 +31,50 @@
 //     excluded from keys (results are identical for every worker
 //     count) and Recorder queries bypass the memo (a hit would
 //     silence their callbacks). Memo hits return a shared pointer —
-//     treat cached Results as read-only;
+//     treat cached Results as read-only. Eviction is cost-weighted:
+//     among the oldest quarter of the memo the cheapest-to-recompute
+//     entry goes first, so exact-analysis verdicts (~30× the
+//     recomputation price of approximate ones) survive bursts of
+//     cheap traffic;
 //
 //   - singleflight-style deduplication: concurrent identical queries
 //     block on the first one's in-flight analysis instead of running
 //     their own, and are counted as hits. If the in-flight leader is
 //     cancelled, a waiting caller whose own context is still live
-//     retries and becomes the new leader.
+//     retries and becomes the new leader;
+//
+//   - a delta-seed pool of recent results (Options.DeltaWindow). A
+//     miss diffs the incoming system against the pool by
+//     per-transaction fingerprint overlap; the best near-match seeds
+//     Engine.AnalyzeFrom, which replays the recorded per-round state
+//     of every transaction the edit provably cannot reach and
+//     recomputes only the dirty rest — bit-identical to a cold
+//     analysis, a fraction of the work. Stats.DeltaHits counts the
+//     analyses served this way and Stats.RoundsSaved the per-task
+//     response computations the replay skipped;
+//
+//   - a sharded pool of resident analysis.Engines. Engines amortise
+//     their transaction-keyed slabs (interference rows, bounds, round
+//     buffers) across calls but are single-goroutine; the service
+//     keeps one engine set per shard behind a mutex and routes
+//     queries by model.System.Fingerprint, so same-system traffic
+//     reuses a warm engine while distinct systems analyse
+//     concurrently on other shards.
 //
 // Every entry point takes a context.Context and cancels the underlying
 // analysis promptly (see analysis.Engine.AnalyzeContext for the
-// polling points). Stats exposes queries, hits, misses, evictions and
-// in-flight dedups; Hits + Misses == Queries by construction, and
-// Misses is exactly the number of analyses executed — which is what
-// the design-search and benchmark tests assert on.
+// polling points). Stats exposes queries, hits, misses, evictions,
+// in-flight dedups, delta hits and rounds saved; Hits + Misses ==
+// Queries by construction, Misses is exactly the number of analyses
+// executed, and DeltaHits ⊆ Misses — which is what the design-search
+// and benchmark tests assert on.
 //
 // The heavy consumers are wired through this package: design.Minimize
-// routes its feasibility oracle through a Service (its bisection
-// re-probes identical platform parameters, the biggest memoisation
-// win), the experiments acceptance sweep shares one Service across its
-// workers, and the hsched façade's package-level Analyze/AnalyzeStatic
-// are thin wrappers over a process-wide default Service.
+// routes its feasibility oracle through a Service (revisited points
+// memo-hit, fresh one-platform-apart probes delta-hit), the
+// experiments acceptance sweep shares one Service across its workers,
+// experiments.AdmissionChurn replays the canonical admit/retune/drop
+// workload against one, and the hsched façade's package-level
+// Analyze/AnalyzeStatic are thin wrappers over a process-wide default
+// Service.
 package service

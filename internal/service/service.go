@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"hsched/internal/analysis"
 	"hsched/internal/model"
@@ -31,6 +32,17 @@ type Options struct {
 	// Analysis is the default analysis configuration used by Analyze
 	// and AnalyzeStatic; AnalyzeOptions overrides it per query.
 	Analysis analysis.Options
+
+	// DeltaWindow bounds the pool of recent results the service keeps
+	// as incremental-analysis seeds: on a memo miss the incoming
+	// system is diffed against the pool (by per-transaction
+	// fingerprint overlap) and a near-match routes the query through
+	// Engine.AnalyzeFrom, which replays the unchanged transactions'
+	// state instead of recomputing it — the fast path for
+	// admission-control traffic that mutates one transaction at a
+	// time. 0 selects 4 × shards; a negative value disables the delta
+	// path entirely.
+	DeltaWindow int
 }
 
 func (o Options) shards() int {
@@ -51,6 +63,17 @@ func (o Options) capacity() int {
 	}
 }
 
+func (o Options) deltaWindow() int {
+	switch {
+	case o.DeltaWindow < 0:
+		return 0
+	case o.DeltaWindow == 0:
+		return 4 * o.shards()
+	default:
+		return o.DeltaWindow
+	}
+}
+
 // Stats is a snapshot of the service's counters. Every query is
 // counted exactly once as either a hit (served from the memo, or from
 // a concurrent duplicate's in-flight analysis) or a miss (it ran an
@@ -68,6 +91,16 @@ type Stats struct {
 	// InflightDedups counts the subset of Hits that were answered by
 	// waiting on a concurrent identical query instead of the memo.
 	InflightDedups int64
+	// DeltaHits counts the subset of Misses whose analysis ran
+	// incrementally, seeded by a resident near-match — same result
+	// bits, a fraction of the work.
+	DeltaHits int64
+	// RoundsSaved accumulates the per-task response-time computations
+	// the delta hits skipped by replaying unchanged transactions
+	// (analysis.DeltaInfo.TaskRoundsSaved summed over all delta hits)
+	// — the service-level measure of how much fixed-point work the
+	// incremental path avoided.
+	RoundsSaved int64
 }
 
 // HitRate returns Hits/Queries, or 0 before the first query.
@@ -79,34 +112,21 @@ func (st Stats) HitRate() float64 {
 }
 
 // optKey is the comparable form of normalised analysis options used in
-// cache keys. Workers is deliberately absent: results are bit-identical
-// for every worker count, so queries differing only in Workers share
-// one memo entry. Recorder is absent because recorder queries bypass
-// the memo. static distinguishes the one-pass static analysis from the
+// cache keys: analysis.ReplayKey — the package's single enumeration of
+// semantics-affecting option fields, so a future field is respected
+// here automatically — plus the static bit. Workers is absent from
+// ReplayKey by construction: results are bit-identical for every
+// worker count, so queries differing only in Workers share one memo
+// entry. Recorder is likewise absent (recorder queries bypass the
+// memo). static distinguishes the one-pass static analysis from the
 // holistic iteration — same system, different semantics.
 type optKey struct {
-	exact              bool
-	maxScenarios       int
-	epsilon            float64
-	maxIterations      int
-	maxInner           int
-	tightBestCase      bool
-	stopAtDeadlineMiss bool
-	static             bool
+	rk     analysis.ReplayKey
+	static bool
 }
 
 func keyOf(opt analysis.Options, static bool) optKey {
-	n := opt.Normalised()
-	return optKey{
-		exact:              n.Exact,
-		maxScenarios:       n.MaxScenarios,
-		epsilon:            n.Epsilon,
-		maxIterations:      n.MaxIterations,
-		maxInner:           n.MaxInner,
-		tightBestCase:      n.TightBestCase,
-		stopAtDeadlineMiss: n.StopAtDeadlineMiss,
-		static:             static,
-	}
+	return optKey{rk: opt.ReplayKey(), static: static}
 }
 
 // cacheKey identifies one memoisable verdict: the canonical system
@@ -166,11 +186,30 @@ type Service struct {
 	stats    Stats
 
 	shards []shard
+
+	// seedMu guards the delta-seed pool: recent dynamic Results kept
+	// (most recent first) so a memo miss can look for a near-match to
+	// seed an incremental analysis. Separate from mu so seed scans on
+	// the miss path never block the memoised hit path.
+	seedMu  sync.Mutex
+	seeds   *list.List // of *seedEntry; front = most recent
+	seedIdx map[cacheKey]*list.Element
 }
 
 type entry struct {
 	key cacheKey
 	res *analysis.Result
+	// cost is the measured wall time of the analysis that produced
+	// res — the recomputation price the eviction policy protects.
+	cost time.Duration
+}
+
+// seedEntry is one delta-seed candidate: a recent result plus the
+// precomputed per-transaction fingerprints its matching runs on.
+type seedEntry struct {
+	key   cacheKey
+	txFPs []model.Fingerprint
+	res   *analysis.Result
 }
 
 // New constructs a Service with the given options.
@@ -180,6 +219,8 @@ func New(opt Options) *Service {
 		lru:      list.New(),
 		index:    make(map[cacheKey]*list.Element),
 		inflight: make(map[cacheKey]*inflight),
+		seeds:    list.New(),
+		seedIdx:  make(map[cacheKey]*list.Element),
 		shards:   make([]shard, opt.shards()),
 	}
 	for i := range s.shards {
@@ -228,6 +269,10 @@ func (s *Service) Reset() {
 	s.lru.Init()
 	clear(s.index)
 	s.mu.Unlock()
+	s.seedMu.Lock()
+	s.seeds.Init()
+	clear(s.seedIdx)
+	s.seedMu.Unlock()
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.Lock()
@@ -311,17 +356,129 @@ func (s *Service) analyze(ctx context.Context, sys *model.System, opt analysis.O
 		s.inflight[key] = fl
 		s.mu.Unlock()
 
-		res, err := s.run(ctx, fp, sys, opt, static)
+		// Before running cold, look for a resident near-match to seed
+		// an incremental analysis: same options, overlapping
+		// transaction set. The engine re-verifies soundness and falls
+		// back transparently, so a bad candidate only costs the plan.
+		var seed *analysis.Result
+		var txFPs []model.Fingerprint
+		if !static && opt.Recorder == nil && s.opt.deltaWindow() > 0 {
+			txFPs = sys.TransactionFingerprints()
+			seed = s.findSeed(key.opt, txFPs, sys)
+		}
 
-		fl.res, fl.err = res, err
+		res, cost, err := s.run(ctx, fp, sys, opt, static, seed)
+
+		// The eviction policy prices entries by recomputation cost,
+		// which for a delta-produced result is its *cold* cost, not the
+		// measured incremental run (a re-miss has no guarantee of a
+		// seed). Scale the measurement back up by the fraction of
+		// task-rounds actually computed.
+		if res != nil && res.Delta != nil {
+			total := res.Iterations * (res.Delta.CleanTasks + res.Delta.DirtyTasks)
+			if computed := total - res.Delta.TaskRoundsSaved; computed > 0 && total > computed {
+				cost = cost * time.Duration(total) / time.Duration(computed)
+			}
+		}
+
+		// Callers and the memo receive the result stripped of its
+		// replay history; only the bounded seed pool keeps the full
+		// version, so the memo's thousands of entries never pin
+		// unreachable histories.
+		shared := res
+		if err == nil {
+			if txFPs != nil && res.HasReplayState() {
+				s.storeSeed(key, txFPs, res)
+			}
+			shared = res.WithoutReplayState()
+		}
+
+		fl.res, fl.err = shared, err
 		s.mu.Lock()
 		delete(s.inflight, key)
-		if err == nil && s.opt.capacity() > 0 {
-			s.insert(key, res)
+		if err == nil {
+			if s.opt.capacity() > 0 {
+				s.insert(key, shared, cost)
+			}
+			if res.Delta != nil {
+				s.stats.DeltaHits++
+				s.stats.RoundsSaved += int64(res.Delta.TaskRoundsSaved)
+			}
 		}
 		s.mu.Unlock()
 		close(fl.done)
-		return res, err
+		return shared, err
+	}
+}
+
+// findSeed scans the seed pool for the best incremental baseline for a
+// system with the given transaction fingerprints: same normalised
+// options, same platform count, maximal transaction overlap, then
+// fewest platform-parameter differences, then recency. Returns nil
+// when nothing overlaps.
+func (s *Service) findSeed(opt optKey, txFPs []model.Fingerprint, sys *model.System) *analysis.Result {
+	counts := make(map[model.Fingerprint]int, len(txFPs))
+	for _, fp := range txFPs {
+		counts[fp]++
+	}
+	s.seedMu.Lock()
+	defer s.seedMu.Unlock()
+	var best *seedEntry
+	bestScore, bestPlat := 0, 0
+	used := make(map[model.Fingerprint]int, len(txFPs))
+	for el := s.seeds.Front(); el != nil; el = el.Next() {
+		se := el.Value.(*seedEntry)
+		if se.key.opt != opt || len(se.res.System.Platforms) != len(sys.Platforms) {
+			continue
+		}
+		// Multiset overlap: each incoming transaction can match at
+		// most its multiplicity in the candidate.
+		clear(used)
+		overlap := 0
+		for _, fp := range se.txFPs {
+			if used[fp] < counts[fp] {
+				used[fp]++
+				overlap++
+			}
+		}
+		if overlap == 0 {
+			continue
+		}
+		samePlat := 0
+		for m := range sys.Platforms {
+			if se.res.System.Platforms[m] == sys.Platforms[m] {
+				samePlat++
+			}
+		}
+		// Entries are scanned most-recent-first, so strict improvement
+		// keeps the most recent among equals.
+		if overlap > bestScore || (overlap == bestScore && samePlat > bestPlat) {
+			best, bestScore, bestPlat = se, overlap, samePlat
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	return best.res
+}
+
+// storeSeed records a fresh result in the delta-seed pool, replacing
+// any entry with the same cache key and evicting the oldest past the
+// window.
+func (s *Service) storeSeed(key cacheKey, txFPs []model.Fingerprint, res *analysis.Result) {
+	s.seedMu.Lock()
+	defer s.seedMu.Unlock()
+	if el, ok := s.seedIdx[key]; ok {
+		se := el.Value.(*seedEntry)
+		se.txFPs, se.res = txFPs, res
+		s.seeds.MoveToFront(el)
+		return
+	}
+	s.seedIdx[key] = s.seeds.PushFront(&seedEntry{key: key, txFPs: txFPs, res: res})
+	for s.seeds.Len() > s.opt.deltaWindow() {
+		last := s.seeds.Back()
+		s.seeds.Remove(last)
+		delete(s.seedIdx, last.Value.(*seedEntry).key)
 	}
 }
 
@@ -335,8 +492,13 @@ func (s *Service) analyze(ctx context.Context, sys *model.System, opt analysis.O
 const maxEnginesPerShard = 8
 
 // run executes one analysis on the resident engine of the query's
-// shard, constructing the engine on first use.
-func (s *Service) run(ctx context.Context, fp model.Fingerprint, sys *model.System, opt analysis.Options, static bool) (*analysis.Result, error) {
+// shard, constructing the engine on first use. A non-nil seed routes
+// the analysis through the incremental path; the engine falls back to
+// a cold run when the seed turns out not to be soundly replayable.
+// cost is the wall time of the engine call alone — measured past the
+// shard-lock acquisition, so queueing behind an unrelated analysis
+// does not misprice this entry for the eviction policy.
+func (s *Service) run(ctx context.Context, fp model.Fingerprint, sys *model.System, opt analysis.Options, static bool, seed *analysis.Result) (res *analysis.Result, cost time.Duration, err error) {
 	sh := &s.shards[fp.Shard(len(s.shards))]
 	// Workers is resolved to its effective value for the engine key so
 	// Workers:0 and an explicit Workers:GOMAXPROCS share one engine.
@@ -355,18 +517,33 @@ func (s *Service) run(ctx context.Context, fp model.Fingerprint, sys *model.Syst
 			}
 			delete(sh.engines, k)
 		}
-		eng = analysis.NewEngine(opt.Normalised())
+		engOpt := opt.Normalised()
+		// With the delta path disabled no Result will ever be used as
+		// a seed, so don't pay for recording replay state. The flag is
+		// uniform per service (deltaWindow is fixed at construction),
+		// so it cannot alias engines across settings.
+		engOpt.DisableReplayState = s.opt.deltaWindow() == 0
+		eng = analysis.NewEngine(engOpt)
 		sh.engines[ek] = eng
 	}
-	if static {
-		return eng.AnalyzeStaticContext(ctx, sys)
+	start := time.Now()
+	switch {
+	case static:
+		res, err = eng.AnalyzeStaticContext(ctx, sys)
+	case seed != nil:
+		res, err = eng.AnalyzeFromContext(ctx, seed, sys)
+	default:
+		res, err = eng.AnalyzeContext(ctx, sys)
 	}
-	return eng.AnalyzeContext(ctx, sys)
+	return res, time.Since(start), err
 }
 
 // runFresh executes one analysis on a throwaway engine (recorder
 // queries only — the recorder is baked into the engine's options).
+// Recorder results never enter the seed pool, so replay state is
+// never recorded for them.
 func (s *Service) runFresh(ctx context.Context, sys *model.System, opt analysis.Options, static bool) (*analysis.Result, error) {
+	opt.DisableReplayState = true
 	eng := analysis.NewEngine(opt)
 	if static {
 		return eng.AnalyzeStaticContext(ctx, sys)
@@ -374,19 +551,41 @@ func (s *Service) runFresh(ctx context.Context, sys *model.System, opt analysis.
 	return eng.AnalyzeContext(ctx, sys)
 }
 
-// insert adds (or refreshes) a memo entry and evicts from the LRU tail
-// past capacity. Caller holds s.mu.
-func (s *Service) insert(key cacheKey, res *analysis.Result) {
+// evictionSample bounds how many of the oldest entries the eviction
+// policy weighs against each other. Larger samples protect expensive
+// entries more aggressively but let stale ones linger; recency stays
+// the primary signal because the sample is drawn from the LRU tail
+// only.
+const evictionSample = 8
+
+// insert adds (or refreshes) a memo entry and evicts past capacity.
+// Eviction is cost-weighted, not pure LRU: among the oldest quarter of
+// the memo (capped at evictionSample entries) the cheapest-to-recompute
+// entry goes first, so a resident exact-analysis verdict — ~30× the
+// recomputation price of an approximate one — is not displaced by a
+// burst of cheap entries of equal recency. cost is the measured wall
+// time of the analysis that produced res. Caller holds s.mu.
+func (s *Service) insert(key cacheKey, res *analysis.Result, cost time.Duration) {
 	if el, ok := s.index[key]; ok {
 		s.lru.MoveToFront(el)
-		el.Value.(*entry).res = res
+		e := el.Value.(*entry)
+		e.res, e.cost = res, cost
 		return
 	}
-	s.index[key] = s.lru.PushFront(&entry{key: key, res: res})
+	s.index[key] = s.lru.PushFront(&entry{key: key, res: res, cost: cost})
 	for s.lru.Len() > s.opt.capacity() {
-		last := s.lru.Back()
-		s.lru.Remove(last)
-		delete(s.index, last.Value.(*entry).key)
+		sample := (s.lru.Len() + 3) / 4
+		if sample > evictionSample {
+			sample = evictionSample
+		}
+		victim := s.lru.Back()
+		for k, el := 1, victim.Prev(); k < sample; k, el = k+1, el.Prev() {
+			if el.Value.(*entry).cost < victim.Value.(*entry).cost {
+				victim = el
+			}
+		}
+		s.lru.Remove(victim)
+		delete(s.index, victim.Value.(*entry).key)
 		s.stats.Evictions++
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"hsched/internal/analysis"
+	"hsched/internal/experiments"
 	"hsched/internal/gen"
 	"hsched/internal/model"
 	"hsched/internal/service"
@@ -270,6 +271,160 @@ func TestServiceRecorderBypassesMemo(t *testing.T) {
 	}
 	if st := svc.Stats(); st.Hits != 0 || st.Misses != 2 {
 		t.Fatalf("stats = %+v, want two misses", st)
+	}
+}
+
+// TestServiceDeltaPath: a query one transaction away from a resident
+// result is routed through the incremental analysis — counted as a
+// DeltaHit with RoundsSaved accumulated — and still answers with the
+// exact bits a fresh cold engine produces.
+func TestServiceDeltaPath(t *testing.T) {
+	ctx := context.Background()
+	// The paper example with its background load retuned: the edit
+	// provably reaches only τ4,1, so six of seven tasks replay.
+	base := experiments.PaperSystem()
+	mut := base.Clone()
+	mut.Transactions[3].Tasks[0].WCET = 7.5
+
+	svc := service.New(service.Options{Shards: 2, Analysis: analysis.Options{Workers: 1}})
+	if _, err := svc.Analyze(ctx, base); err != nil {
+		t.Fatal(err)
+	}
+	got, err := svc.Analyze(ctx, mut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := analysis.NewEngine(analysis.Options{Workers: 1}).Analyze(mut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameAnalysis(t, got, want)
+
+	st := svc.Stats()
+	if st.Misses != 2 {
+		t.Fatalf("stats = %+v, want 2 misses", st)
+	}
+	if st.DeltaHits < 1 {
+		t.Fatalf("stats = %+v: the near-match query should have run incrementally", st)
+	}
+	if st.RoundsSaved <= 0 {
+		t.Fatalf("stats = %+v: a delta hit must save task-rounds", st)
+	}
+
+	// Service-returned results are stripped of replay history (only
+	// the bounded seed pool keeps the full copies), so a large memo
+	// never pins unreachable histories.
+	if got.HasReplayState() {
+		t.Fatalf("service-returned result still carries replay state")
+	}
+
+	// Re-querying either system is a plain memo hit, not a delta hit.
+	if _, err := svc.Analyze(ctx, mut); err != nil {
+		t.Fatal(err)
+	}
+	if st2 := svc.Stats(); st2.DeltaHits != st.DeltaHits || st2.Hits != st.Hits+1 {
+		t.Fatalf("stats = %+v: repeat query must hit the memo", st2)
+	}
+
+	// A second single-transaction step chains off the previous
+	// mutation's seed — the full-history copy the pool retained.
+	mut2 := mut.Clone()
+	mut2.Transactions[3].Tasks[0].WCET = 7.25
+	if _, err := svc.Analyze(ctx, mut2); err != nil {
+		t.Fatal(err)
+	}
+	if st3 := svc.Stats(); st3.DeltaHits < st.DeltaHits+1 {
+		t.Fatalf("stats = %+v: chained mutation must delta-hit off the pooled seed", st3)
+	}
+}
+
+// TestServiceDeltaDisabled: DeltaWindow < 0 turns the seed pool off.
+func TestServiceDeltaDisabled(t *testing.T) {
+	ctx := context.Background()
+	base := experiments.PaperSystem()
+	mut := base.Clone()
+	mut.Transactions[3].Tasks[0].WCET = 7.5 // would delta-hit with the pool on
+	svc := service.New(service.Options{Shards: 1, DeltaWindow: -1, Analysis: analysis.Options{Workers: 1}})
+	if _, err := svc.Analyze(ctx, base); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Analyze(ctx, mut); err != nil {
+		t.Fatal(err)
+	}
+	if st := svc.Stats(); st.DeltaHits != 0 {
+		t.Fatalf("stats = %+v: DeltaWindow < 0 must disable the delta path", st)
+	}
+}
+
+// TestServiceDeltaDistinctOptions: a resident result computed under
+// different analysis options must not seed the query (the trajectories
+// differ), and the engine-level fallback keeps the answer correct.
+func TestServiceDeltaDistinctOptions(t *testing.T) {
+	ctx := context.Background()
+	base := experiments.PaperSystem()
+	mut := base.Clone()
+	mut.Transactions[3].Tasks[0].WCET = 7.5
+	svc := service.New(service.Options{Shards: 1})
+	if _, err := svc.AnalyzeOptions(ctx, base, analysis.Options{Workers: 1, TightBestCase: true}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := svc.AnalyzeOptions(ctx, mut, analysis.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := analysis.NewEngine(analysis.Options{Workers: 1}).Analyze(mut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameAnalysis(t, got, want)
+	if st := svc.Stats(); st.DeltaHits != 0 {
+		t.Fatalf("stats = %+v: options mismatch must not delta-seed", st)
+	}
+}
+
+// TestServiceCostWeightedEviction: an expensive exact-analysis verdict
+// survives a burst of cheap insertions that would displace it under
+// pure LRU — the eviction policy weighs the measured recomputation
+// cost of the oldest entries.
+func TestServiceCostWeightedEviction(t *testing.T) {
+	ctx := context.Background()
+	const capacity = 4
+	svc := service.New(service.Options{Shards: 1, Capacity: capacity, Analysis: analysis.Options{Workers: 1}})
+
+	// One expensive entry first: a larger system under the exact
+	// analysis (orders of magnitude above the approximate queries).
+	big, err := gen.System(gen.Config{
+		Seed: 99, Platforms: 3, Transactions: 6, ChainLen: 4,
+		PeriodMin: 10, PeriodMax: 1000, Utilization: 0.4,
+		AlphaMin: 0.4, AlphaMax: 0.9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := analysis.Options{Workers: 1, Exact: true}
+	if _, err := svc.AnalyzeOptions(ctx, big, exact); err != nil {
+		t.Fatal(err)
+	}
+
+	// A burst of cheap approximate queries fills the memo past
+	// capacity; under pure LRU the exact entry would be the first
+	// casualty.
+	for k := 0; k < capacity+2; k++ {
+		if _, err := svc.Analyze(ctx, testSystem(t, int64(30+k))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := svc.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("stats = %+v: the burst must have evicted", st)
+	}
+
+	misses := st.Misses
+	if _, err := svc.AnalyzeOptions(ctx, big, exact); err != nil {
+		t.Fatal(err)
+	}
+	if st = svc.Stats(); st.Misses != misses {
+		t.Fatalf("stats = %+v: the expensive exact verdict was evicted by cheap entries", st)
 	}
 }
 
