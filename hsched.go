@@ -38,7 +38,9 @@
 //	     cancellation
 //	       └─ Analyzer (analysis.Engine) — one goroutine's reusable
 //	          engine: transaction-keyed state slabs, per-round parallel
-//	          response computation, incremental AnalyzeFrom replay
+//	          response computation, exact sweeps streamed/pruned/
+//	          chunk-parallel on a shared worker budget, incremental
+//	          AnalyzeFrom replay
 //	            └─ batch — deterministic parallel map primitives
 //
 // Which entry point do I use?
@@ -137,11 +139,15 @@ type (
 	// interference rows, scenario and result buffers) and amortises it
 	// across calls, running each fixed-point round as a staged
 	// pipeline (interference construction → scenario enumeration →
-	// parallel per-task responses → jitter propagation). One Analyzer
-	// serves one goroutine; results are identical for every worker
-	// count. Analyzer.AnalyzeFrom re-analyses an edited system
-	// incrementally, seeded by a previous result — bit-identical to a
-	// cold Analyze, a fraction of the work.
+	// parallel per-task responses → jitter propagation). Exact
+	// scenario sweeps stream from a mixed-radix cursor, skip scenarios
+	// an admissible bound proves irrelevant
+	// (AnalysisResult.ScenariosPruned counts them) and split across
+	// the workers a round leaves idle. One Analyzer serves one
+	// goroutine; results are identical for every worker count and
+	// every sweep toggle. Analyzer.AnalyzeFrom re-analyses an edited
+	// system incrementally, seeded by a previous result —
+	// bit-identical to a cold Analyze, a fraction of the work.
 	Analyzer = analysis.Engine
 	// AnalysisDelta describes how much work an incremental re-analysis
 	// skipped (AnalysisResult.Delta, non-nil on the delta path).
@@ -159,8 +165,9 @@ type (
 	// capacity, default analysis options.
 	ServiceOptions = service.Options
 	// ServiceStats is a snapshot of a service's counters (queries,
-	// hits, misses, evictions, in-flight dedups, delta hits and the
-	// task-rounds the incremental path saved).
+	// hits, misses, evictions, in-flight dedups, delta hits, the
+	// task-rounds the incremental path saved and the exact scenarios
+	// the sweep prune skipped).
 	ServiceStats = service.Stats
 	// SystemFingerprint is the canonical content hash of a System —
 	// the service's cache and shard key, stable across JSON round

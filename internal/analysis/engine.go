@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"hsched/internal/batch"
 	"hsched/internal/model"
@@ -27,13 +28,19 @@ import (
 //  1. interference construction — the analyzer rebinds the working
 //     system, rebuilding only the hp rows an edit invalidated and
 //     refreshing the reduced offsets of Eq. (10);
-//  2. scenario enumeration — per task, the approximate (Sec. 3.1.2)
-//     or exact (Sec. 3.1.1) scenario set is materialised into pooled
-//     buffers;
+//  2. scenario enumeration — per task, the approximate scenario set
+//     (Sec. 3.1.2) is materialised into pooled buffers, while the
+//     exact scenario space (Sec. 3.1.1) is streamed one vector at a
+//     time from a mixed-radix cursor, pruned by the admissible
+//     per-initiator bound of Eq. 15 (Result.ScenariosPruned counts
+//     the skips), and — when the round leaves workers idle — split
+//     into contiguous cursor chunks evaluated in parallel;
 //  3. per-task response — the response times of all tasks in the
 //     round are independent and are computed on Options.Workers
 //     goroutines via batch.Map, with results collected in task index
 //     order so the outcome is bit-identical for every worker count;
+//     the same worker budget covers the intra-task chunk fan-out of
+//     stage 2, so goroutines never multiply across the two levels;
 //  4. jitter propagation — Eq. (18) rewrites the jitters from the
 //     previous round's responses and the loop repeats to the fixed
 //     point.
@@ -92,6 +99,13 @@ type Engine struct {
 	plan       *deltaPlan
 	delta      deltaScratch
 	deltaSaved int
+
+	// pruned accumulates the exact scenarios the admissible prune
+	// skipped across the in-flight analysis (atomic: the per-task
+	// response computations of a round run in parallel). On the delta
+	// path only the recomputed tasks contribute — replayed tasks sweep
+	// nothing.
+	pruned atomic.Int64
 
 	// ctx is the context of the in-flight call, set by the Context
 	// entry points before any round runs and read (never written) by
@@ -171,6 +185,7 @@ func (e *Engine) analyzeDynamic(ctx context.Context, prev *Result, sys *model.Sy
 	e.bind(sys)
 	e.plan = e.planDelta(prev, e.work)
 	e.deltaSaved = 0
+	e.pruned.Store(0)
 	e.initBounds()
 
 	// Initial conditions of Section 3.2: J = 0, φ = Rbest (Eq. 18). The
@@ -367,6 +382,7 @@ func (e *Engine) AnalyzeStaticContext(ctx context.Context, sys *model.System) (*
 	e.ctx = ctx
 	defer func() { e.ctx = nil }()
 	e.bind(sys)
+	e.pruned.Store(0)
 	e.initBounds()
 	// Stage 1 runs once: static analysis keeps the input offsets.
 	e.an.refreshOffsets()
@@ -464,7 +480,39 @@ func (e *Engine) runRound(iter int) error {
 	if workers > n {
 		workers = n
 	}
-	if workers <= 1 || n < minParallelTasks {
+	sequential := workers <= 1 || n < minParallelTasks
+	outer := workers
+	if sequential {
+		outer = 1
+	}
+
+	// Workers the round's task fan-out leaves idle are lent to the
+	// exact scenario sweeps of the tasks it does run, through the
+	// shared budget: the sweeps split into cursor chunks and borrow
+	// whatever is free, so total goroutines stay bounded by
+	// Options.Workers whichever level the work lands on. The budget
+	// starts at the dispatch-time slack and — on the parallel path —
+	// regains a slot whenever an outer worker drains (batch.Options.
+	// Lend), which is what kills the straggler tail of a skewed round:
+	// one task with a millionfold sweep no longer grinds alone while
+	// the workers that finished the cheap tasks idle. The budget stays
+	// empty when the inner parallelism cannot engage (approximate
+	// analysis, parallelism or streaming disabled) and — by
+	// construction of workers() — when Workers is 1, preserving the
+	// strictly-sequential contract callers inside batch.MapWorkers
+	// rely on.
+	inner := e.opt.Exact && !e.opt.DisableExactParallel && !e.opt.DisableExactStreaming
+	spare := 0
+	if inner {
+		spare = e.opt.workers() - outer
+	}
+	if e.an.budget == nil {
+		e.an.budget = batch.NewBudget(spare)
+	} else {
+		e.an.budget.Reset(spare)
+	}
+
+	if sequential {
 		for k := 0; k < n; k++ {
 			if err := e.ctx.Err(); err != nil {
 				return wrapCancelled(err)
@@ -474,6 +522,10 @@ func (e *Engine) runRound(iter int) error {
 			}
 		}
 		return nil
+	}
+	var lend *batch.Budget
+	if inner {
+		lend = e.an.budget
 	}
 
 	errs := e.errs[:n]
@@ -490,7 +542,7 @@ func (e *Engine) runRound(iter int) error {
 	// cancellation means which failing task the error names can vary
 	// with scheduling when several would fail — the error identity
 	// (ErrTooManyScenarios) is stable, the task name is not.
-	_, _ = batch.Map(n, batch.Options{Workers: workers}, func(k int) (struct{}, error) {
+	_, _ = batch.Map(n, batch.Options{Workers: workers, Lend: lend}, func(k int) (struct{}, error) {
 		// Cancellation point between parallel per-task responses: the
 		// sentinel makes batch.Map stop handing out the round's
 		// remaining tasks.
@@ -535,7 +587,10 @@ func wrapCancelled(err error) error {
 // analyzeTask computes the response of task (i, j) of the working
 // system and stores its TaskResult in the transaction's slab.
 func (e *Engine) analyzeTask(i, j int, ts *taskScratch) error {
-	r, crit, err := e.an.responseTime(e.ctx, i, j, ts)
+	r, crit, pruned, err := e.an.responseTime(e.ctx, i, j, ts)
+	if pruned != 0 {
+		e.pruned.Add(pruned)
+	}
 	if err != nil {
 		// Cancellation is not a property of the task being analysed:
 		// pass it through unwrapped so the message carries a single
@@ -608,6 +663,7 @@ func (e *Engine) finalize(iterations int, converged bool) *Result {
 	e.seq.shrink()
 	res := e.detach(iterations)
 	res.Converged = converged
+	res.ScenariosPruned = e.pruned.Load()
 	res.computeVerdict(e.opt.eps())
 	return res
 }

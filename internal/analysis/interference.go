@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"slices"
 
+	"hsched/internal/batch"
 	"hsched/internal/model"
 )
 
@@ -40,6 +41,13 @@ type txSlab struct {
 	initStarts []float64
 	initCompl  []float64
 
+	// overload[b] reports that τa,b's long-run demand plus its
+	// interfering set's exceeds the platform rate (unbounded busy
+	// period). It depends only on WCETs, periods and platform rates —
+	// never on the jitters the holistic rounds rewrite — so bind
+	// evaluates it once per analysis instead of once per round.
+	overload []bool
+
 	// round holds the transaction's TaskResults of the current
 	// fixed-point round; prev the previous round's worst cases for the
 	// convergence test.
@@ -73,6 +81,12 @@ type analyzer struct {
 	sigBuf      []int
 	changedBuf  []int
 	changedMark []bool
+
+	// budget bounds the goroutines an exact scenario sweep may borrow
+	// for chunk-parallel evaluation; the engine resets it per round to
+	// the workers the round's task fan-out leaves idle. nil (the
+	// standalone analyzer of the unit tests) means strictly inline.
+	budget *batch.Budget
 }
 
 func newAnalyzer(sys *model.System, opt Options) *analyzer {
@@ -127,6 +141,7 @@ func (an *analyzer) bind(sys *model.System, opt Options) {
 		sl.reduced = reuseRow(sl.reduced, m)
 		sl.initStarts = reuseRow(sl.initStarts, m)
 		sl.initCompl = reuseRow(sl.initCompl, m)
+		sl.overload = reuseRow(sl.overload, m)
 		sl.round = reuseRow(sl.round, m)
 		sl.prev = reuseRow(sl.prev, m)
 
@@ -138,29 +153,46 @@ func (an *analyzer) bind(sys *model.System, opt Options) {
 		}
 	}
 	an.changedBuf = changed
-	if len(changed) == 0 {
-		return
-	}
-	if full || len(changed) == n {
+	switch {
+	case len(changed) == 0:
+		// Every slab's shape survived: the hp rows carry over whole.
+	case full || len(changed) == n:
 		for a := range an.slabs {
 			an.buildHPRow(a)
 		}
-		return
-	}
-	for a := range an.slabs {
-		if an.changedMark[a] {
-			// The transaction's own tasks moved: its whole row is stale.
-			an.buildHPRow(a)
-			continue
-		}
-		// Unchanged transaction: only the sub-slices referencing the
-		// shape-changed transactions need re-deriving; everything else
-		// is carried over untouched.
-		sl := &an.slabs[a]
-		for b := range sl.hp {
-			for _, i := range changed {
-				sl.hp[b][i] = an.hpFill(a, b, i, sl.hp[b][i][:0])
+	default:
+		for a := range an.slabs {
+			if an.changedMark[a] {
+				// The transaction's own tasks moved: its whole row is stale.
+				an.buildHPRow(a)
+				continue
 			}
+			// Unchanged transaction: only the sub-slices referencing the
+			// shape-changed transactions need re-deriving; everything else
+			// is carried over untouched.
+			sl := &an.slabs[a]
+			for b := range sl.hp {
+				for _, i := range changed {
+					sl.hp[b][i] = an.hpFill(a, b, i, sl.hp[b][i][:0])
+				}
+			}
+		}
+	}
+	// Unlike the hp rows, the overload test reads parameter values
+	// (WCETs, periods, rates), which can move without any shape change
+	// — recompute it on every bind. Still once per analysis, not per
+	// round: nothing it reads is rewritten by the holistic iteration.
+	an.refreshOverload()
+}
+
+// refreshOverload precomputes the per-task utilisation overload test
+// into the slabs; see txSlab.overload.
+func (an *analyzer) refreshOverload() {
+	for a := range an.slabs {
+		tasks := an.sys.Transactions[a].Tasks
+		for b := range tasks {
+			alpha := an.sys.Platforms[tasks[b].Platform].Alpha
+			an.slabs[a].overload[b] = an.overloaded(a, b, alpha)
 		}
 	}
 }
@@ -189,9 +221,17 @@ func (an *analyzer) buildHPRow(a int) {
 	}
 }
 
+// interferes is the interference-set membership rule of Eq. (17): a
+// task tj can interfere with the task under analysis ta when it runs
+// on the same platform at a priority at least ta's. The single
+// definition is shared by the hp-row construction and ScenarioCount,
+// so the counts always describe what the sweep actually enumerates.
+func interferes(ta, tj *model.Task) bool {
+	return tj.Platform == ta.Platform && tj.Priority >= ta.Priority
+}
+
 // hpFill appends to dst the task indices of transaction i that can
-// interfere with τa,b: same platform, priority ≥ pa,b, excluding the
-// task itself.
+// interfere with τa,b per interferes, excluding the task itself.
 func (an *analyzer) hpFill(a, b, i int, dst []int) []int {
 	ta := &an.sys.Transactions[a].Tasks[b]
 	tasks := an.sys.Transactions[i].Tasks
@@ -199,8 +239,7 @@ func (an *analyzer) hpFill(a, b, i int, dst []int) []int {
 		if i == a && j == b {
 			continue
 		}
-		tj := &tasks[j]
-		if tj.Platform == ta.Platform && tj.Priority >= ta.Priority {
+		if interferes(ta, &tasks[j]) {
 			dst = append(dst, j)
 		}
 	}

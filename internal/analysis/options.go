@@ -86,7 +86,44 @@ type Options struct {
 	// with scheduling.) Callers that already run many analyses in
 	// parallel (batch sweeps, design searches inside batch.MapWorkers)
 	// should set 1 to avoid oversubscription.
+	//
+	// The same bound covers the nested parallelism inside one task's
+	// exact scenario sweep: workers a round leaves idle are lent to
+	// the heavy sweeps of the tasks it does compute, so the total
+	// goroutine count never exceeds Workers whichever level the work
+	// lands on.
 	Workers int
+
+	// DisableExactStreaming reverts the exact analysis to the
+	// historical sweep that materialises the full scenario list before
+	// evaluating it — O(count · axes) peak memory instead of the
+	// cursor's O(axes). Results are bit-identical either way; the
+	// materialised sweep is also strictly sequential (it is the
+	// reference implementation the streamed sweep is tested against).
+	// Like Workers, it never changes computed bounds and is excluded
+	// from replay keys and cache keys.
+	DisableExactStreaming bool
+
+	// DisableExactPruning turns off the admissible scenario prune of
+	// the exact sweep: the upper bound obtained by charging every
+	// other transaction W* (Eq. 15) instead of its scenario's exact
+	// W^k (Eq. 13), computed once per busy-period initiator of the
+	// transaction under analysis, normally skips every scenario whose
+	// bound cannot strictly beat the running best. The prune only ever
+	// discards scenarios that cannot change the outcome, so results
+	// are bit-identical with it on or off; Result.ScenariosPruned
+	// reports how many scenarios it skipped. Excluded from replay keys
+	// and cache keys.
+	DisableExactPruning bool
+
+	// DisableExactParallel keeps each task's exact scenario sweep on
+	// its own goroutine even when the round has Workers to spare.
+	// Sweeps large enough to split are otherwise partitioned into
+	// contiguous cursor ranges evaluated on the spare workers and
+	// reduced in chunk-index order, so results are bit-identical for
+	// every worker count. Requires streaming (the materialised sweep
+	// is sequential). Excluded from replay keys and cache keys.
+	DisableExactParallel bool
 }
 
 // Normalised returns the options with every defaulted numeric field
@@ -113,7 +150,9 @@ func (o Options) Normalised() Options {
 // equal keys follow identical trajectories on identical systems —
 // the precondition for AnalyzeFrom replaying one run's recorded
 // rounds inside another. Fields that never change results (Workers,
-// Recorder, DisableReplayState) are deliberately absent. This is the
+// Recorder, DisableReplayState and the exact-sweep toggles
+// DisableExactStreaming / DisableExactPruning / DisableExactParallel)
+// are deliberately absent. This is the
 // single enumeration of semantics-affecting options: the analysis
 // service's memo keys embed it too, so a future Options field added
 // here is automatically respected by both the replay gate and the
@@ -225,6 +264,18 @@ type Result struct {
 	// much work the replay skipped. The result itself is bit-identical
 	// to a cold analysis either way.
 	Delta *DeltaInfo
+
+	// ScenariosPruned counts the exact scenario vectors the admissible
+	// prune skipped across every task and round of this analysis — the
+	// work the branch-and-bound discipline saved. Always 0 for the
+	// approximate analysis and under Options.DisableExactPruning. Like
+	// Delta it is a work profile, not part of the analysis outcome:
+	// the count depends on scheduling when sweeps run chunk-parallel
+	// (each chunk prunes against its own running best plus a shared
+	// monotone bound), and on the replay depth on the delta path
+	// (replayed tasks sweep nothing, so they contribute no prunes) —
+	// the bounds and verdict are bit-identical regardless.
+	ScenariosPruned int64
 
 	// history is the replay state: every holistic round's detached
 	// per-task results, recorded up to maxHistoryCells. It is what a

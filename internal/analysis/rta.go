@@ -4,7 +4,9 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sync/atomic"
 
+	"hsched/internal/batch"
 	"hsched/internal/model"
 )
 
@@ -32,28 +34,52 @@ type scenario struct {
 }
 
 // taskScratch holds the per-task-analysis buffers (scenario sets,
-// candidate lists, mixed-radix counters). The engine keeps a pool of
-// them so that concurrent per-task response computations reuse
-// allocations instead of growing fresh slices on every call.
+// candidate lists, mixed-radix cursor state, prune bounds). The engine
+// keeps a pool of them so that concurrent per-task response
+// computations reuse allocations instead of growing fresh slices on
+// every call.
 type taskScratch struct {
 	scenarios []scenario
 	cands     []int
 	axes      []axis
 	pick      []int
-	nu        []initiator
+	// nu is the cursor's scenario vector: one initiator per axis,
+	// rewritten in place as the cursor advances — O(axes), not the
+	// O(count·axes) backing the materialised sweep used to pin here.
+	nu     []initiator
+	bounds []float64
 }
 
 // shrink drops scratch buffers that grew past a high-water cap, so a
-// single huge exact analysis does not pin its peak memory for the
-// lifetime of a reused engine. Called between analyses, never inside
-// one.
+// single huge analysis does not pin its peak memory for the lifetime
+// of a reused engine. Called between analyses, never inside one. The
+// scenario list only grows on the approximate path and the
+// materialised (Options.DisableExactStreaming) exact sweep — the
+// streamed sweep never touches it, and its ν backing is allocated
+// fresh and left to the GC, so the old ν high-water check is gone. The
+// remaining buffers are bounded by axis and candidate counts, small by
+// construction, but an outlier system with thousands of transactions
+// or tasks per transaction would still pin them across reuse.
 func (ts *taskScratch) shrink() {
 	const maxRetain = 1 << 16
-	if cap(ts.nu) > maxRetain {
-		ts.nu = nil
-	}
 	if cap(ts.scenarios) > maxRetain {
 		ts.scenarios = nil
+	}
+	const maxSmallRetain = 1 << 10
+	if cap(ts.cands) > maxSmallRetain {
+		ts.cands = nil
+	}
+	if cap(ts.axes) > maxSmallRetain {
+		ts.axes = nil
+	}
+	if cap(ts.pick) > maxSmallRetain {
+		ts.pick = nil
+	}
+	if cap(ts.nu) > maxSmallRetain {
+		ts.nu = nil
+	}
+	if cap(ts.bounds) > maxSmallRetain {
+		ts.bounds = nil
 	}
 }
 
@@ -75,62 +101,251 @@ type critical struct {
 var unboundedCritical = critical{initiator: -1}
 
 // cancelCheckInterval is how many scenarios a response-time sweep
-// evaluates between context polls: an exact analysis can face millions
-// of scenarios per task, each a few fixed-point iterations, so polling
-// every few hundred keeps cancellation latency in the microsecond
-// range while the poll itself stays invisible in profiles.
+// steps through between context polls: an exact analysis can face
+// millions of scenarios per task, each a few fixed-point iterations,
+// so polling every few hundred keeps cancellation latency in the
+// microsecond range while the poll itself stays invisible in profiles.
 const cancelCheckInterval = 256
 
 // responseTime computes the worst-case response time R of τa,b
 // (0-based indices), measured from the activation of Γa, with the
 // offsets and jitters currently stored in the system, together with
-// the scenario attaining it. It returns +Inf when the busy period does
+// the scenario attaining it and the number of exact scenarios the
+// admissible prune skipped. It returns +Inf when the busy period does
 // not converge (platform overload). ts provides reusable buffers; it
 // must not be shared between concurrent calls. ctx is polled every
 // cancelCheckInterval scenarios so huge exact sweeps abort promptly.
-func (an *analyzer) responseTime(ctx context.Context, a, b int, ts *taskScratch) (float64, critical, error) {
+func (an *analyzer) responseTime(ctx context.Context, a, b int, ts *taskScratch) (float64, critical, int64, error) {
 	ta := &an.sys.Transactions[a].Tasks[b]
 	alpha := an.sys.Platforms[ta.Platform].Alpha
 	hp := an.hpRow(a, b)
 
-	if an.overloaded(a, b, alpha) {
-		return math.Inf(1), unboundedCritical, nil
+	if an.slabs[a].overload[b] {
+		return math.Inf(1), unboundedCritical, 0, nil
 	}
 
-	var scenarios []scenario
-	var err error
-	if an.opt.Exact {
-		scenarios, err = an.exactScenarios(a, b, hp, ts)
+	if !an.opt.Exact {
+		r, crit, _, ok, err := an.sweepList(ctx, a, b, an.approxScenarios(a, b, hp, ts), hp, alpha, nil)
 		if err != nil {
-			return 0, unboundedCritical, err
+			return 0, unboundedCritical, 0, err
 		}
-	} else {
-		scenarios = an.approxScenarios(a, b, hp, ts)
+		if !ok {
+			return math.Inf(1), unboundedCritical, 0, nil
+		}
+		return r, crit, 0, nil
+	}
+	return an.exactSweep(ctx, a, b, hp, alpha, ts)
+}
+
+// exactSweep runs the exact scenario enumeration of Section 3.1.1 as a
+// streamed, pruned, optionally chunk-parallel sweep over the
+// mixed-radix scenario space — the same scenarios, in the same
+// deterministic order, as the historical materialised sweep, with
+// bit-identical results for every toggle and worker combination.
+func (an *analyzer) exactSweep(ctx context.Context, a, b int, hp [][]int, alpha float64, ts *taskScratch) (float64, critical, int64, error) {
+	axes, aAxis, count, err := an.buildAxes(a, b, hp, ts)
+	if err != nil {
+		return 0, unboundedCritical, 0, err
 	}
 
+	// The bound computation costs one approximate fixed point per Γa
+	// initiator; on a degenerate single-axis sweep (count equals the
+	// initiator count — no cross-transaction product at all) that is
+	// as much work as the sweep itself with nothing to amortise it, so
+	// pruning only arms when other axes multiply the space.
+	var bounds []float64
+	if !an.opt.DisableExactPruning && count > len(axes[aAxis].cands) {
+		bounds = an.pruneBounds(a, b, hp, alpha, axes[aAxis].cands, ts)
+	}
+
+	if an.opt.DisableExactStreaming {
+		// Reference path: materialise every scenario vector first, then
+		// evaluate the list sequentially — the seed sweep the streamed
+		// cursor is tested against.
+		r, crit, pruned, ok, err := an.sweepList(ctx, a, b, an.materialiseScenarios(axes, aAxis, count, ts), hp, alpha, bounds)
+		if err != nil {
+			return 0, unboundedCritical, 0, err
+		}
+		if !ok {
+			return math.Inf(1), unboundedCritical, pruned, nil
+		}
+		return r, crit, pruned, nil
+	}
+
+	// Chunked dispatch: split the cursor range across the round's
+	// spare workers when the sweep is large enough to amortise the
+	// fan-out. The chunk count is sized to the engine's whole worker
+	// bound, not the budget's dispatch-time slack: a saturated round
+	// lends workers back as its cheap tasks drain (batch.Options.Lend),
+	// and MapRange re-polls the budget at every chunk boundary, so
+	// late-freed workers still land on the remaining chunks. Chunk
+	// results are reduced in chunk-index order below, which reproduces
+	// the sequential sweep's first-maximum tie breaking exactly.
+	chunks := 1
+	if !an.opt.DisableExactParallel && an.budget != nil && an.opt.workers() > 1 && count >= 2*exactChunkMin {
+		chunks = count / exactChunkMin
+		if m := 4 * an.opt.workers(); chunks > m {
+			chunks = m
+		}
+	}
+	if chunks <= 1 {
+		res, err := an.sweepRange(ctx, a, b, axes, aAxis, 0, count, hp, alpha, bounds, nil, ts.pick[:len(axes)], ts.nu[:len(axes)])
+		if err != nil {
+			return 0, unboundedCritical, 0, err
+		}
+		if !res.finite {
+			return math.Inf(1), unboundedCritical, res.pruned, nil
+		}
+		return res.best, res.crit, res.pruned, nil
+	}
+
+	var shared atomic.Uint64 // Float64bits of the best response any chunk evaluated
+	parts, err := batch.MapRange(count, chunks, an.budget, func(chunk, lo, hi int) (chunkResult, error) {
+		// Chunk workers need private cursor state; everything else
+		// (axes, bounds, slabs, the system) is read-only for the round.
+		pick := make([]int, len(axes))
+		nu := make([]initiator, len(axes))
+		return an.sweepRange(ctx, a, b, axes, aAxis, lo, hi, hp, alpha, bounds, &shared, pick, nu)
+	})
+	if err != nil {
+		return 0, unboundedCritical, 0, err
+	}
 	best := 0.0
 	crit := critical{initiator: b}
+	pruned := int64(0)
+	finite := true
+	for _, p := range parts {
+		pruned += p.pruned
+		if !p.finite {
+			finite = false
+		}
+		if p.best > best {
+			best, crit = p.best, p.crit
+		}
+	}
+	if !finite {
+		return math.Inf(1), unboundedCritical, pruned, nil
+	}
+	return best, crit, pruned, nil
+}
+
+// exactChunkMin is the smallest cursor range worth handing to a
+// borrowed goroutine: below it the chunk's fixed-point work does not
+// amortise the dispatch, and the per-chunk prune loses too much of its
+// running-best context.
+const exactChunkMin = 2048
+
+// chunkResult is one contiguous cursor range's reduction: its best
+// response with the scenario attaining it, the scenarios the prune
+// skipped, and whether every evaluated fixed point converged.
+type chunkResult struct {
+	best   float64
+	crit   critical
+	pruned int64
+	finite bool
+}
+
+// sweepRange evaluates the exact scenarios with flat indices [lo, hi)
+// in cursor order. bounds, when non-nil, enables the admissible prune:
+// bounds[c] is an upper bound on the response of every scenario whose
+// Γa initiator is τa,c (Eq. 15 dominates Eq. 13 termwise, see
+// pruneBounds), so a scenario whose bound cannot strictly beat the
+// running best cannot change the outcome and is skipped. shared, when
+// non-nil, is the cross-chunk Float64bits of the best response any
+// chunk has evaluated; pruning against it needs strict dominance
+// (bound < shared) because a tied scenario in another chunk may come
+// later in cursor order than this one, whereas the chunk-local best
+// may prune ties (bound <= best) — a tie with an earlier in-range
+// scenario never updates best under the strict r > best rule.
+func (an *analyzer) sweepRange(ctx context.Context, a, b int, axes []axis, aAxis, lo, hi int, hp [][]int, alpha float64, bounds []float64, shared *atomic.Uint64, pick []int, nu []initiator) (chunkResult, error) {
+	cursorSeek(axes, pick, nu, lo)
+	res := chunkResult{crit: critical{initiator: b}, finite: true}
+	for idx := lo; idx < hi; idx++ {
+		if (idx-lo)%cancelCheckInterval == 0 && ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return chunkResult{}, wrapCancelled(err)
+			}
+		}
+		if bounds != nil {
+			bd := bounds[nu[aAxis].k]
+			if bd <= res.best || (shared != nil && bd < math.Float64frombits(shared.Load())) {
+				res.pruned++
+				cursorNext(axes, pick, nu)
+				continue
+			}
+		}
+		sc := scenario{c: nu[aAxis].k, nu: nu}
+		r, p, ok := an.scenarioResponse(a, b, sc, hp, alpha)
+		if !ok {
+			// Unbounded is absorbing: the task's response is +Inf
+			// whichever scenario diverged first.
+			res.finite = false
+			return res, nil
+		}
+		if r > res.best {
+			res.best = r
+			res.crit = critical{initiator: sc.c, job: p}
+			if shared != nil {
+				sharedMax(shared, r)
+			}
+		}
+		cursorNext(axes, pick, nu)
+	}
+	return res, nil
+}
+
+// sharedMax raises the shared best-response cell to r if r exceeds it
+// (monotone, so concurrent updates commute). Only ever called with
+// r > 0: sweep bests start at 0 and only strict improvements publish.
+func sharedMax(s *atomic.Uint64, r float64) {
+	for {
+		cur := s.Load()
+		if math.Float64frombits(cur) >= r {
+			return
+		}
+		if s.CompareAndSwap(cur, math.Float64bits(r)) {
+			return
+		}
+	}
+}
+
+// sweepList evaluates an explicit scenario list in order — the
+// approximate path's reduced set, or the materialised exact sweep.
+// bounds enables the same admissible prune as sweepRange (nil for the
+// approximate path, whose scenarios ARE the bounds). ok is false when
+// a scenario's busy period diverged (the caller reports +Inf).
+func (an *analyzer) sweepList(ctx context.Context, a, b int, scenarios []scenario, hp [][]int, alpha float64, bounds []float64) (float64, critical, int64, bool, error) {
+	best := 0.0
+	crit := critical{initiator: b}
+	pruned := int64(0)
 	for si, sc := range scenarios {
 		if si%cancelCheckInterval == 0 && ctx != nil {
 			if err := ctx.Err(); err != nil {
-				return 0, unboundedCritical, wrapCancelled(err)
+				return 0, unboundedCritical, 0, false, wrapCancelled(err)
 			}
+		}
+		if bounds != nil && bounds[sc.c] <= best {
+			pruned++
+			continue
 		}
 		r, p, ok := an.scenarioResponse(a, b, sc, hp, alpha)
 		if !ok {
-			return math.Inf(1), unboundedCritical, nil
+			return 0, unboundedCritical, pruned, false, nil
 		}
 		if r > best {
 			best = r
 			crit = critical{initiator: sc.c, job: p}
 		}
 	}
-	return best, crit, nil
+	return best, crit, pruned, true, nil
 }
 
 // overloaded reports whether the long-run demand of τa,b plus its
 // interfering set exceeds the platform rate, which makes the busy
-// period unbounded.
+// period unbounded. It reads only WCETs, periods and the platform
+// rate — inputs the holistic rounds never rewrite — so the analyzer
+// evaluates it once per analysis into the slabs (refreshOverload)
+// instead of re-summing the hp row every round.
 func (an *analyzer) overloaded(a, b int, alpha float64) bool {
 	ta := &an.sys.Transactions[a].Tasks[b]
 	u := ta.WCET / (an.sys.Transactions[a].Period * alpha)
@@ -186,13 +401,15 @@ func (an *analyzer) approxScenarios(a, b int, hp [][]int, ts *taskScratch) []sce
 	return scenarios
 }
 
-// exactScenarios builds every scenario vector ν of Section 3.1.1: the
-// cartesian product of the candidate critical-instant tasks of every
-// transaction with interfering tasks (Eq. 12), with the task under
-// analysis added to its own transaction's candidates.
-func (an *analyzer) exactScenarios(a, b int, hp [][]int, ts *taskScratch) ([]scenario, error) {
-	axes := ts.axes[:0]
-	count := 1
+// buildAxes derives the axes of the exact scenario product of Section
+// 3.1.1 — per transaction with interfering tasks, its candidate
+// critical-instant set (Eq. 12), with the task under analysis added to
+// its own transaction's candidates — plus the index aAxis of the
+// transaction under analysis among them and the product count.
+func (an *analyzer) buildAxes(a, b int, hp [][]int, ts *taskScratch) (axes []axis, aAxis, count int, err error) {
+	axes = ts.axes[:0]
+	count = 1
+	aAxis = -1
 	for i, hpI := range hp {
 		var cands []int
 		if i == a {
@@ -200,6 +417,7 @@ func (an *analyzer) exactScenarios(a, b int, hp [][]int, ts *taskScratch) ([]sce
 			// it borrows the scratch candidate buffer.
 			ts.cands = append(append(ts.cands[:0], hpI...), b)
 			cands = ts.cands
+			aAxis = len(axes)
 		} else if len(hpI) > 0 {
 			cands = hpI
 		} else {
@@ -209,59 +427,97 @@ func (an *analyzer) exactScenarios(a, b int, hp [][]int, ts *taskScratch) ([]sce
 		count *= len(cands)
 		if count > an.opt.maxScenarios() {
 			ts.axes = axes
-			return nil, fmt.Errorf("%w: task τ%d,%d needs more than %d scenarios",
+			return nil, 0, 0, fmt.Errorf("%w: task τ%d,%d needs more than %d scenarios",
 				ErrTooManyScenarios, a+1, b+1, an.opt.maxScenarios())
 		}
 	}
 	ts.axes = axes
-
 	if cap(ts.pick) < len(axes) {
 		ts.pick = make([]int, len(axes))
 	}
-	pick := ts.pick[:len(axes)]
-	for i := range pick {
+	if cap(ts.nu) < len(axes) {
+		ts.nu = make([]initiator, len(axes))
+	}
+	return axes, aAxis, count, nil
+}
+
+// pruneBounds computes, for every candidate initiator c of the
+// transaction under analysis, an upper bound on the response of every
+// exact scenario with ν_a = c: the fixed point of the approximate
+// scenario that charges Γa its exact contribution W^c_a and every
+// other transaction the pointwise maximum W* (Eq. 15). W* dominates
+// every per-initiator W^k termwise, the busy-period and completion
+// fixed points are monotone in the interference, and the dominated job
+// range is a subset — so the bound is admissible, and a scenario whose
+// bound cannot strictly beat the running best can be skipped without
+// changing any result bit. A bound whose own fixed point diverges is
+// +Inf, which never prunes. The returned slice is indexed by initiator
+// task id; entries for non-candidates are stale and must not be read.
+func (an *analyzer) pruneBounds(a, b int, hp [][]int, alpha float64, cands []int, ts *taskScratch) []float64 {
+	nTasks := len(an.sys.Transactions[a].Tasks)
+	if cap(ts.bounds) < nTasks {
+		ts.bounds = make([]float64, nTasks)
+	}
+	bounds := ts.bounds[:nTasks]
+	for _, c := range cands {
+		r, _, ok := an.scenarioResponse(a, b, scenario{c: c}, hp, alpha)
+		if !ok {
+			r = math.Inf(1)
+		}
+		bounds[c] = r
+	}
+	ts.bounds = bounds
+	return bounds
+}
+
+// cursorSeek positions the mixed-radix scenario cursor at flat index
+// idx: pick[i] is the candidate index of axis i — axis 0 is the
+// fastest-varying digit, exactly the enumeration order of the
+// materialised sweep — and nu mirrors it as the (transaction,
+// initiator) pairs the interference sum consumes, in axis order.
+func cursorSeek(axes []axis, pick []int, nu []initiator, idx int) {
+	for i := range axes {
+		n := len(axes[i].cands)
+		d := idx % n
+		idx /= n
+		pick[i] = d
+		nu[i] = initiator{tr: axes[i].tr, k: axes[i].cands[d]}
+	}
+}
+
+// cursorNext advances the cursor one scenario, rewriting only the nu
+// entries of the axes whose digit moved — amortised O(1) per step.
+func cursorNext(axes []axis, pick []int, nu []initiator) {
+	for i := range axes {
+		pick[i]++
+		if pick[i] < len(axes[i].cands) {
+			nu[i] = initiator{tr: axes[i].tr, k: axes[i].cands[pick[i]]}
+			return
+		}
 		pick[i] = 0
+		nu[i] = initiator{tr: axes[i].tr, k: axes[i].cands[0]}
 	}
+}
 
-	// Pre-size the shared ν backing so the subslices handed to the
-	// scenarios below never relocate.
-	need := count * len(axes)
-	if cap(ts.nu) < need {
-		ts.nu = make([]initiator, 0, need)
-	}
-	nuBuf := ts.nu[:0]
-
+// materialiseScenarios expands the axes into the full scenario list by
+// walking the cursor once — the reference (seed) form of the exact
+// sweep, kept behind Options.DisableExactStreaming for the bit-identity
+// tests. The ν backing is allocated fresh and handed to the GC with
+// the list; only the list header is pooled.
+func (an *analyzer) materialiseScenarios(axes []axis, aAxis, count int, ts *taskScratch) []scenario {
+	pick := ts.pick[:len(axes)]
+	nu := ts.nu[:len(axes)]
+	cursorSeek(axes, pick, nu, 0)
+	nuBuf := make([]initiator, 0, count*len(axes))
 	scenarios := ts.scenarios[:0]
-	for {
-		// One (transaction, initiator) pair per axis, in axis order, so
-		// the interference sum is evaluated deterministically.
+	for idx := 0; idx < count; idx++ {
 		start := len(nuBuf)
-		cA := b // default: Γa has no interfering tasks, τa,b starts its own busy period
-		for ai, ax := range axes {
-			k := ax.cands[pick[ai]]
-			nuBuf = append(nuBuf, initiator{tr: ax.tr, k: k})
-			if ax.tr == a {
-				cA = k
-			}
-		}
-		scenarios = append(scenarios, scenario{c: cA, nu: nuBuf[start:len(nuBuf):len(nuBuf)]})
-
-		// Advance the mixed-radix counter.
-		ai := 0
-		for ; ai < len(axes); ai++ {
-			pick[ai]++
-			if pick[ai] < len(axes[ai].cands) {
-				break
-			}
-			pick[ai] = 0
-		}
-		if ai == len(axes) {
-			break
-		}
+		nuBuf = append(nuBuf, nu...)
+		scenarios = append(scenarios, scenario{c: nu[aAxis].k, nu: nuBuf[start:len(nuBuf):len(nuBuf)]})
+		cursorNext(axes, pick, nu)
 	}
-	ts.nu = nuBuf
 	ts.scenarios = scenarios
-	return scenarios, nil
+	return scenarios
 }
 
 // scenarioResponse evaluates one scenario: busy-period length (the
@@ -334,17 +590,39 @@ func (an *analyzer) scenarioResponse(a, b int, sc scenario, hp [][]int, alpha fl
 
 // ScenarioCount returns N(τa,b) of Eq. (12): the number of scenario
 // vectors the exact analysis must examine for task (a, b) (0-based),
-// versus Na+1 for the approximate analysis.
+// versus Na+1 for the approximate analysis. The product saturates at
+// math.MaxInt — wide systems overflow a machine int long before the
+// exact analysis is feasible, and a wrapped negative count would
+// nonsense every consumer comparing it to MaxScenarios.
 func ScenarioCount(sys *model.System, a, b int) (exact, approximate int) {
-	an := newAnalyzer(sys, Options{})
-	hp := an.hpRow(a, b)
-	exact = len(hp[a]) + 1
-	approximate = len(hp[a]) + 1
-	for i, hpI := range hp {
-		if i == a || len(hpI) == 0 {
+	ta := &sys.Transactions[a].Tasks[b]
+	interferers := func(i int) int {
+		n := 0
+		tasks := sys.Transactions[i].Tasks
+		for j := range tasks {
+			if i == a && j == b {
+				continue
+			}
+			if interferes(ta, &tasks[j]) {
+				n++
+			}
+		}
+		return n
+	}
+	exact = interferers(a) + 1
+	approximate = exact
+	for i := range sys.Transactions {
+		if i == a {
 			continue
 		}
-		exact *= len(hpI)
+		n := interferers(i)
+		if n <= 1 {
+			continue
+		}
+		if exact > math.MaxInt/n {
+			return math.MaxInt, approximate
+		}
+		exact *= n
 	}
 	return exact, approximate
 }

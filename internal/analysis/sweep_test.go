@@ -1,0 +1,287 @@
+package analysis_test
+
+import (
+	"math"
+	"testing"
+
+	"hsched/internal/analysis"
+	"hsched/internal/experiments"
+	"hsched/internal/gen"
+	"hsched/internal/model"
+	"hsched/internal/platform"
+)
+
+// seedSweepOptions returns the reference configuration of the exact
+// analysis: the historical materialise-then-evaluate sweep with every
+// acceleration (streaming, pruning, intra-task parallelism) disabled
+// and a strictly sequential engine. Every accelerated configuration
+// must reproduce its results bit for bit.
+func seedSweepOptions() analysis.Options {
+	return analysis.Options{
+		Exact:                 true,
+		Workers:               1,
+		MaxIterations:         40,
+		DisableExactStreaming: true,
+		DisableExactPruning:   true,
+		DisableExactParallel:  true,
+	}
+}
+
+// sweepSystems draws the bit-identity population: single-platform
+// systems (every task interferes with every lower-priority one, the
+// regime where the scenario product of Eq. 12 actually grows) plus a
+// couple of multi-platform chains, spanning schedulable and
+// unschedulable draws.
+func sweepSystems(t testing.TB) []*model.System {
+	t.Helper()
+	var out []*model.System
+	for k := 0; k < 4; k++ {
+		sys, err := gen.System(gen.Config{
+			Seed:      int64(9000 + k),
+			Platforms: 1, Transactions: 3, ChainLen: 4,
+			PeriodMin: 20, PeriodMax: 200,
+			Utilization: 0.4 + 0.1*float64(k%2),
+			AlphaMin:    0.5, AlphaMax: 0.9,
+			RandomPriorities: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, sys)
+	}
+	for k := 0; k < 2; k++ {
+		sys, err := gen.System(gen.Config{
+			Seed:      int64(9100 + k),
+			Platforms: 2, Transactions: 3, ChainLen: 3,
+			PeriodMin: 20, PeriodMax: 300,
+			Utilization: 0.45,
+			AlphaMin:    0.4, AlphaMax: 0.9,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, sys)
+	}
+	return out
+}
+
+// exactHeavySystem builds a single dedicated platform carrying
+// `transactions` chains of `chainLen` tasks with per-transaction
+// descending priorities: every task of every higher-indexed
+// transaction interferes with every task of the lower-priority ones,
+// so the lowest-priority tasks face chainLen^transactions exact
+// scenario vectors — the worst-case shape of Eq. 12. Utilisation is
+// kept low so each scenario's fixed point converges in a few steps and
+// the cost is the enumeration itself.
+func exactHeavySystem(transactions, chainLen int) *model.System {
+	sys := &model.System{Platforms: []platform.Params{platform.Dedicated()}}
+	for i := 0; i < transactions; i++ {
+		tr := model.Transaction{
+			Period:   1000 + 40*float64(i),
+			Deadline: 4000,
+		}
+		for j := 0; j < chainLen; j++ {
+			tr.Tasks = append(tr.Tasks, model.Task{
+				WCET: 1 + 0.1*float64(j), BCET: 0.5,
+				Priority: transactions - i,
+			})
+		}
+		sys.Transactions = append(sys.Transactions, tr)
+	}
+	return sys
+}
+
+// TestExactSweepBitIdentity is the tentpole's metamorphic contract:
+// the streamed cursor, the admissible prune and the chunk-parallel
+// dispatch — in every on/off combination and for every worker count —
+// must reproduce the seed sweep's results bit for bit: all task
+// bounds, critical scenarios, iteration counts and verdicts.
+func TestExactSweepBitIdentity(t *testing.T) {
+	type toggles struct {
+		name                       string
+		streamed, pruned, parallel bool
+	}
+	onOff := func(on bool, tag string) string {
+		if on {
+			return tag
+		}
+		return "no" + tag
+	}
+	var combos []toggles
+	for s := 0; s < 2; s++ {
+		for p := 0; p < 2; p++ {
+			for q := 0; q < 2; q++ {
+				c := toggles{streamed: s == 1, pruned: p == 1, parallel: q == 1}
+				c.name = onOff(c.streamed, "stream") + "/" + onOff(c.pruned, "prune") + "/" + onOff(c.parallel, "par")
+				combos = append(combos, c)
+			}
+		}
+	}
+
+	for si, sys := range sweepSystems(t) {
+		seed, err := analysis.NewEngine(seedSweepOptions()).Analyze(sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range combos {
+			for _, workers := range []int{1, 4, 8} {
+				opt := seedSweepOptions()
+				opt.Workers = workers
+				opt.DisableExactStreaming = !c.streamed
+				opt.DisableExactPruning = !c.pruned
+				opt.DisableExactParallel = !c.parallel
+				got, err := analysis.NewEngine(opt).Analyze(sys)
+				if err != nil {
+					t.Fatalf("system %d %s workers=%d: %v", si, c.name, workers, err)
+				}
+				if !resultsIdentical(seed, got) {
+					t.Fatalf("system %d %s workers=%d: diverged from the seed sweep", si, c.name, workers)
+				}
+				if !c.pruned && got.ScenariosPruned != 0 {
+					t.Fatalf("system %d %s: pruning disabled but ScenariosPruned=%d", si, c.name, got.ScenariosPruned)
+				}
+			}
+		}
+	}
+}
+
+// TestExactSweepBitIdentityHeavy covers the regime the small random
+// systems cannot reach: a sweep large enough (≥ 10^4 scenario vectors
+// on its costliest tasks) for the chunk-parallel dispatch to actually
+// engage, with borrowed goroutines, a shared cross-chunk prune bound
+// and chunk-order reduction all in play. One static pass (the sweep
+// itself, no holistic iteration on top) keeps the -race run short.
+func TestExactSweepBitIdentityHeavy(t *testing.T) {
+	// Costliest tasks face 6^5 = 7776 scenario vectors — past the
+	// 2·exactChunkMin threshold, so the sweep actually splits.
+	sys := exactHeavySystem(5, 6)
+	seedEng := analysis.NewEngine(seedSweepOptions())
+	seed, err := seedEng.AnalyzeStatic(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pruned := range []bool{false, true} {
+		for _, workers := range []int{1, 4, 8} {
+			opt := analysis.Options{
+				Exact: true, Workers: workers,
+				DisableExactPruning: !pruned,
+			}
+			got, err := analysis.NewEngine(opt).AnalyzeStatic(sys)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !resultsIdentical(seed, got) {
+				t.Fatalf("pruned=%v workers=%d: heavy sweep diverged from the seed sweep", pruned, workers)
+			}
+		}
+	}
+}
+
+// TestExactSweepPrunesPaperExample locks the admissible prune engaging
+// on the paper's own Table 3 example: even its small scenario sets
+// contain dominated vectors the bound discards.
+func TestExactSweepPrunesPaperExample(t *testing.T) {
+	sys := experiments.PaperSystem()
+	res, err := analysis.NewEngine(analysis.Options{Exact: true, Workers: 1}).Analyze(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ScenariosPruned <= 0 {
+		t.Fatalf("exact analysis of the paper example pruned %d scenarios, want > 0", res.ScenariosPruned)
+	}
+
+	// And the accelerated sweep still reproduces Table 3's fixed point.
+	if r := res.TransactionResponse(0); math.Abs(r-31) > 1e-6 {
+		t.Fatalf("R(Γ1) = %v under the pruned sweep, want 31", r)
+	}
+	base, err := analysis.NewEngine(seedSweepOptions()).Analyze(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resultsIdentical(base, res) {
+		t.Fatal("pruned sweep diverged from the seed sweep on the paper example")
+	}
+}
+
+// TestExactSweepPrunedCountStable locks the sequential prune count:
+// with one worker the sweep order is the seed order, so the number of
+// pruned scenarios is a deterministic function of the system.
+func TestExactSweepPrunedCountStable(t *testing.T) {
+	sys := exactHeavySystem(4, 4)
+	first, err := analysis.NewEngine(analysis.Options{Exact: true, Workers: 1}).Analyze(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := analysis.NewEngine(analysis.Options{Exact: true, Workers: 1}).Analyze(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.ScenariosPruned != second.ScenariosPruned {
+		t.Fatalf("sequential prune count not reproducible: %d vs %d", first.ScenariosPruned, second.ScenariosPruned)
+	}
+	if first.ScenariosPruned <= 0 {
+		t.Fatalf("heavy sweep pruned nothing")
+	}
+}
+
+// TestScenarioCountSaturates locks the overflow fix: a wide
+// single-platform system whose scenario product exceeds an int64 must
+// report math.MaxInt, not a wrapped negative count.
+func TestScenarioCountSaturates(t *testing.T) {
+	// 41 transactions × 3 tasks on one platform: the lowest-priority
+	// task's product is 3^40 · 4 ≈ 4.9·10^19 > MaxInt64.
+	sys := exactHeavySystem(41, 3)
+	a := len(sys.Transactions) - 1
+	b := len(sys.Transactions[a].Tasks) - 1
+	exact, approx := analysis.ScenarioCount(sys, a, b)
+	if exact != math.MaxInt {
+		t.Fatalf("ScenarioCount = %d, want saturation at MaxInt", exact)
+	}
+	if approx <= 0 {
+		t.Fatalf("approximate count %d must stay exact (no product involved)", approx)
+	}
+
+	// Sanity: a small system still counts exactly. For the last task
+	// of the lowest-priority transaction of exactHeavySystem(3, 2),
+	// the own axis has 1 interferer + the task itself and each of the
+	// two higher-priority transactions contributes its 2 tasks:
+	// 2 · 2 · 2 = 8 scenario vectors versus 2 approximate ones.
+	small := exactHeavySystem(3, 2)
+	exact, approx = analysis.ScenarioCount(small, 2, 1)
+	if exact != 8 || approx != 2 {
+		t.Fatalf("small system counts exact=%d approx=%d, want 8 and 2", exact, approx)
+	}
+}
+
+// BenchmarkExactSweep measures the exact sweep on the heavy workload
+// (≥ 10^5 scenario vectors on the costliest tasks) in the three
+// configurations the tentpole compares: the seed sweep, the streamed
+// and pruned sequential sweep, and the fully parallel sweep at 8
+// workers. One static pass isolates the sweep itself from holistic
+// iteration effects.
+func BenchmarkExactSweep(b *testing.B) {
+	sys := exactHeavySystem(6, 7) // lowest-priority tasks: 7^6 = 117 649 scenarios
+	if ex, _ := analysis.ScenarioCount(sys, 5, 6); ex < 100_000 {
+		b.Fatalf("heavy workload too light: %d scenarios on the costliest task", ex)
+	}
+	run := func(b *testing.B, opt analysis.Options) {
+		b.Helper()
+		eng := analysis.NewEngine(opt)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.AnalyzeStatic(sys); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("seed", func(b *testing.B) {
+		opt := seedSweepOptions()
+		run(b, opt)
+	})
+	b.Run("streamed-pruned-1w", func(b *testing.B) {
+		run(b, analysis.Options{Exact: true, Workers: 1})
+	})
+	b.Run("full-8w", func(b *testing.B) {
+		run(b, analysis.Options{Exact: true, Workers: 8})
+	})
+}

@@ -147,3 +147,114 @@ func TestCount(t *testing.T) {
 		t.Errorf("Count error = %v", err)
 	}
 }
+
+func TestMapRangeCoversAndOrders(t *testing.T) {
+	for _, tc := range []struct{ n, chunks, slots int }{
+		{0, 4, 2}, {1, 4, 2}, {10, 3, 0}, {100, 7, 3}, {5, 9, 8}, {64, 64, 4},
+	} {
+		bud := NewBudget(tc.slots)
+		seen := make([]atomic.Int64, tc.n)
+		out, err := MapRange(tc.n, tc.chunks, bud, func(chunk, lo, hi int) ([2]int, error) {
+			for i := lo; i < hi; i++ {
+				seen[i].Add(1)
+			}
+			return [2]int{lo, hi}, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Chunks are contiguous, ordered, and cover [0, n) exactly once.
+		pos := 0
+		for c, span := range out {
+			if span[0] != pos || span[1] < span[0] {
+				t.Fatalf("n=%d chunks=%d: chunk %d spans %v, want start %d", tc.n, tc.chunks, c, span, pos)
+			}
+			pos = span[1]
+		}
+		if pos != tc.n {
+			t.Fatalf("n=%d chunks=%d: covered %d items", tc.n, tc.chunks, pos)
+		}
+		for i := range seen {
+			if got := seen[i].Load(); got != 1 {
+				t.Fatalf("item %d evaluated %d times", i, got)
+			}
+		}
+		// Every borrowed slot was returned.
+		free := 0
+		for bud.TryAcquire() {
+			free++
+		}
+		if free != tc.slots {
+			t.Fatalf("budget leaked: %d of %d slots free after MapRange", free, tc.slots)
+		}
+	}
+}
+
+func TestMapRangeNilBudgetRunsInline(t *testing.T) {
+	out, err := MapRange(10, 4, nil, func(chunk, lo, hi int) (int, error) { return hi - lo, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, v := range out {
+		total += v
+	}
+	if total != 10 {
+		t.Fatalf("covered %d of 10 items", total)
+	}
+}
+
+func TestMapRangeFirstErrorInChunkOrder(t *testing.T) {
+	errA, errB := errors.New("a"), errors.New("b")
+	_, err := MapRange(8, 8, NewBudget(4), func(chunk, lo, hi int) (int, error) {
+		switch chunk {
+		case 2:
+			return 0, errA
+		case 6:
+			return 0, errB
+		}
+		return 0, nil
+	})
+	if !errors.Is(err, errA) {
+		t.Fatalf("err = %v, want the chunk-2 error", err)
+	}
+}
+
+func TestBudgetBoundsConcurrency(t *testing.T) {
+	bud := NewBudget(3)
+	var active, peak atomic.Int64
+	_, err := MapRange(64, 32, bud, func(chunk, lo, hi int) (int, error) {
+		a := active.Add(1)
+		for {
+			p := peak.Load()
+			if a <= p || peak.CompareAndSwap(p, a) {
+				break
+			}
+		}
+		active.Add(-1)
+		return 0, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Caller + at most 3 borrowed goroutines.
+	if p := peak.Load(); p > 4 {
+		t.Fatalf("observed %d concurrent chunk evaluations, budget allows 4", p)
+	}
+}
+
+func TestMapLendReleasesWorkers(t *testing.T) {
+	bud := NewBudget(0)
+	_, err := Map(8, Options{Workers: 4, Lend: bud}, func(i int) (int, error) { return i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every exiting worker donated its slot.
+	free := 0
+	for bud.TryAcquire() {
+		free++
+	}
+	if free != 4 {
+		t.Fatalf("lend released %d slots, want 4", free)
+	}
+}

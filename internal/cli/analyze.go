@@ -114,8 +114,14 @@ func Analyze(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	w.Flush()
-	fmt.Fprintf(stdout, "iterations: %d  converged: %v  schedulable: %v\n",
+	fmt.Fprintf(stdout, "iterations: %d  converged: %v  schedulable: %v",
 		res.Iterations, res.Converged, res.Schedulable)
+	if *exact {
+		// The branch-and-bound work profile of the exact sweep; only
+		// meaningful when the exact enumeration actually ran.
+		fmt.Fprintf(stdout, "  scenarios-pruned: %d", res.ScenariosPruned)
+	}
+	fmt.Fprintln(stdout)
 
 	if *sensitivity {
 		k, err := analysis.CriticalScaling(sys, opt, 1e-3, 0)
@@ -137,6 +143,6 @@ func Analyze(args []string, stdout, stderr io.Writer) int {
 // printCacheStats renders one service-stats line, shared by the
 // analyze, exper and bench commands.
 func printCacheStats(out io.Writer, st service.Stats) {
-	fmt.Fprintf(out, "cache: queries=%d hits=%d misses=%d evictions=%d inflight-dedups=%d delta-hits=%d rounds-saved=%d hit-rate=%.1f%%\n",
-		st.Queries, st.Hits, st.Misses, st.Evictions, st.InflightDedups, st.DeltaHits, st.RoundsSaved, 100*st.HitRate())
+	fmt.Fprintf(out, "cache: queries=%d hits=%d misses=%d evictions=%d inflight-dedups=%d delta-hits=%d rounds-saved=%d scenarios-pruned=%d hit-rate=%.1f%%\n",
+		st.Queries, st.Hits, st.Misses, st.Evictions, st.InflightDedups, st.DeltaHits, st.RoundsSaved, st.ScenariosPruned, 100*st.HitRate())
 }

@@ -6,6 +6,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"os"
 	"runtime"
 	"sort"
 	"sync"
@@ -20,8 +21,11 @@ import (
 
 // benchReport is the machine-readable form of a bench run, emitted by
 // -json so the performance trajectory can be tracked across commits
-// (CI uploads it as an artifact).
+// (CI uploads it as an artifact and gates on -compare). BENCH_seed.json
+// at the repository root holds one report per workload preset — the
+// committed baseline the CI regression gate compares against.
 type benchReport struct {
+	Workload   string  `json:"workload"`
 	Systems    int     `json:"systems"`
 	Mutations  int     `json:"mutations"`
 	Queries    int     `json:"queries"`
@@ -37,17 +41,23 @@ type benchReport struct {
 		MaxUs float64 `json:"max_us"`
 	} `json:"latency"`
 	Cache struct {
-		Queries        int64   `json:"queries"`
-		Hits           int64   `json:"hits"`
-		Misses         int64   `json:"misses"`
-		Evictions      int64   `json:"evictions"`
-		InflightDedups int64   `json:"inflight_dedups"`
-		DeltaHits      int64   `json:"delta_hits"`
-		RoundsSaved    int64   `json:"rounds_saved"`
-		HitRate        float64 `json:"hit_rate"`
-		DeltaHitRate   float64 `json:"delta_hit_rate"`
+		Queries         int64   `json:"queries"`
+		Hits            int64   `json:"hits"`
+		Misses          int64   `json:"misses"`
+		Evictions       int64   `json:"evictions"`
+		InflightDedups  int64   `json:"inflight_dedups"`
+		DeltaHits       int64   `json:"delta_hits"`
+		RoundsSaved     int64   `json:"rounds_saved"`
+		ScenariosPruned int64   `json:"scenarios_pruned"`
+		HitRate         float64 `json:"hit_rate"`
+		DeltaHitRate    float64 `json:"delta_hit_rate"`
 	} `json:"cache"`
 }
+
+// regressionTolerance is the fraction of baseline throughput a -compare
+// run must reach: below 75% the gate reports a regression and the
+// command exits non-zero.
+const regressionTolerance = 0.75
 
 // Bench implements `hsched bench`: a service-throughput benchmark over
 // a generated workload. It draws a population of random base systems,
@@ -57,12 +67,21 @@ type benchReport struct {
 // goroutines (queries round-robin over the population, so the
 // steady-state hit rate is high and every mutation is one step from a
 // resident result), and reports throughput, cache hit rate, delta hit
-// rate and p50/p99 latency — humanly, or as JSON with -json. Exit
-// codes: 0 success, 1 error.
+// rate and p50/p99 latency — humanly, or as JSON with -json.
+//
+// Two workload presets exist: "default" exercises the memo and delta
+// paths with the approximate analysis on multi-platform chains, while
+// "exact-heavy" routes single-platform, high-interference systems
+// through the exact scenario sweep — the streamed/pruned/parallel hot
+// path — and reports the scenarios the admissible prune skipped.
+// -compare FILE checks the measured throughput against a recorded
+// baseline (BENCH_seed.json, or a previous -json report) and fails on
+// a >25% regression. Exit codes: 0 success, 1 error or regression.
 func Bench(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("hsched bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
+		workload   = fs.String("workload", "default", "workload preset: default (approximate admission-control chains) or exact-heavy (exact scenario sweeps)")
 		systems    = fs.Int("systems", 64, "distinct random base systems in the workload population")
 		mutations  = fs.Int("mutations", 4, "single-transaction mutations chained onto each base system")
 		queries    = fs.Int("queries", 4096, "total queries to issue")
@@ -74,8 +93,38 @@ func Bench(args []string, stdout, stderr io.Writer) int {
 		util       = fs.Float64("util", 0.45, "per-platform utilisation of the generated systems")
 		delta      = fs.Bool("delta", true, "route near-match queries through the incremental (delta) analysis")
 		jsonOut    = fs.Bool("json", false, "emit a machine-readable JSON report instead of text")
+		compare    = fs.String("compare", "", "baseline report file; exit non-zero when throughput regresses >25% against the matching workload entry")
 	)
 	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+
+	// Preset defaults: flags the user set explicitly always win.
+	explicit := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	switch *workload {
+	case "default":
+	case "exact-heavy":
+		// Fewer, hotter systems: every miss is a full exact sweep, so
+		// the population stays small and the interesting signal is the
+		// cold-path latency and the pruned-scenario count.
+		if !explicit["exact"] {
+			*exact = true
+		}
+		if !explicit["systems"] {
+			*systems = 8
+		}
+		if !explicit["mutations"] {
+			*mutations = 2
+		}
+		if !explicit["queries"] {
+			*queries = 256
+		}
+		if !explicit["util"] {
+			*util = 0.5
+		}
+	default:
+		fmt.Fprintf(stderr, "hsched bench: unknown -workload %q (want default or exact-heavy)\n", *workload)
 		return 1
 	}
 	if *systems <= 0 || *queries <= 0 || *mutations < 0 {
@@ -89,11 +138,22 @@ func Bench(args []string, stdout, stderr io.Writer) int {
 	// absorbs.
 	pop := make([]*model.System, 0, *systems*(*mutations+1))
 	for k := 0; k < *systems; k++ {
-		sys, err := gen.System(gen.Config{
+		cfg := gen.Config{
 			Seed: *seed + int64(k), Platforms: 2, Transactions: 3, ChainLen: 3,
 			PeriodMin: 20, PeriodMax: 400, Utilization: *util,
 			AlphaMin: 0.4, AlphaMax: 0.9,
-		})
+		}
+		if *workload == "exact-heavy" {
+			// One platform maximises same-platform interference — the
+			// regime where the exact scenario product of Eq. 12 grows —
+			// and random priorities break the rate-monotonic nesting
+			// that keeps the candidate sets small.
+			cfg.Platforms = 1
+			cfg.ChainLen = 4
+			cfg.AlphaMin, cfg.AlphaMax = 0.5, 0.9
+			cfg.RandomPriorities = true
+		}
+		sys, err := gen.System(cfg)
 		if err != nil {
 			fmt.Fprintln(stderr, "hsched bench:", err)
 			return 1
@@ -164,44 +224,104 @@ func Bench(args []string, stdout, stderr io.Writer) int {
 	}
 	st := svc.Stats()
 
+	rep := benchReport{
+		Workload: *workload,
+		Systems:  *systems, Mutations: *mutations, Queries: *queries,
+		Goroutines: clients, Exact: *exact, Delta: *delta,
+		ElapsedMS:  float64(elapsed.Microseconds()) / 1e3,
+		Throughput: float64(*queries) / elapsed.Seconds(),
+	}
+	us := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+	rep.Latency.P50us = us(quantile(0.50))
+	rep.Latency.P90us = us(quantile(0.90))
+	rep.Latency.P99us = us(quantile(0.99))
+	rep.Latency.MaxUs = us(latencies[len(latencies)-1])
+	rep.Cache.Queries = st.Queries
+	rep.Cache.Hits = st.Hits
+	rep.Cache.Misses = st.Misses
+	rep.Cache.Evictions = st.Evictions
+	rep.Cache.InflightDedups = st.InflightDedups
+	rep.Cache.DeltaHits = st.DeltaHits
+	rep.Cache.RoundsSaved = st.RoundsSaved
+	rep.Cache.ScenariosPruned = st.ScenariosPruned
+	rep.Cache.HitRate = st.HitRate()
+	if st.Misses > 0 {
+		rep.Cache.DeltaHitRate = float64(st.DeltaHits) / float64(st.Misses)
+	}
+
 	if *jsonOut {
-		rep := benchReport{
-			Systems: *systems, Mutations: *mutations, Queries: *queries,
-			Goroutines: clients, Exact: *exact, Delta: *delta,
-			ElapsedMS:  float64(elapsed.Microseconds()) / 1e3,
-			Throughput: float64(*queries) / elapsed.Seconds(),
-		}
-		us := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
-		rep.Latency.P50us = us(quantile(0.50))
-		rep.Latency.P90us = us(quantile(0.90))
-		rep.Latency.P99us = us(quantile(0.99))
-		rep.Latency.MaxUs = us(latencies[len(latencies)-1])
-		rep.Cache.Queries = st.Queries
-		rep.Cache.Hits = st.Hits
-		rep.Cache.Misses = st.Misses
-		rep.Cache.Evictions = st.Evictions
-		rep.Cache.InflightDedups = st.InflightDedups
-		rep.Cache.DeltaHits = st.DeltaHits
-		rep.Cache.RoundsSaved = st.RoundsSaved
-		rep.Cache.HitRate = st.HitRate()
-		if st.Misses > 0 {
-			rep.Cache.DeltaHitRate = float64(st.DeltaHits) / float64(st.Misses)
-		}
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(rep); err != nil {
 			fmt.Fprintln(stderr, "hsched bench:", err)
 			return 1
 		}
-		return 0
+	} else {
+		fmt.Fprintf(stdout, "workload: %s — %d systems x %d mutation chain, %d queries, %d goroutines, exact=%v delta=%v\n",
+			*workload, *systems, *mutations, *queries, clients, *exact, *delta)
+		fmt.Fprintf(stdout, "elapsed: %v  throughput: %.0f queries/s\n",
+			elapsed.Round(time.Millisecond), rep.Throughput)
+		fmt.Fprintf(stdout, "latency: p50=%v p90=%v p99=%v max=%v\n",
+			quantile(0.50), quantile(0.90), quantile(0.99), latencies[len(latencies)-1])
+		printCacheStats(stdout, st)
 	}
 
-	fmt.Fprintf(stdout, "workload: %d systems x %d mutation chain, %d queries, %d goroutines, exact=%v delta=%v\n",
-		*systems, *mutations, *queries, clients, *exact, *delta)
-	fmt.Fprintf(stdout, "elapsed: %v  throughput: %.0f queries/s\n",
-		elapsed.Round(time.Millisecond), float64(*queries)/elapsed.Seconds())
-	fmt.Fprintf(stdout, "latency: p50=%v p90=%v p99=%v max=%v\n",
-		quantile(0.50), quantile(0.90), quantile(0.99), latencies[len(latencies)-1])
-	printCacheStats(stdout, st)
+	if *compare != "" {
+		// Gate messages go to stderr so -json stdout stays parseable.
+		if err := compareThroughput(stderr, *compare, *workload, rep.Throughput); err != nil {
+			fmt.Fprintln(stderr, "hsched bench:", err)
+			return 1
+		}
+	}
 	return 0
+}
+
+// compareThroughput loads a baseline report file and fails when the
+// measured throughput falls below regressionTolerance of the recorded
+// one. The file is either a map of workload name to report (the
+// committed BENCH_seed.json) or a single report from a previous
+// `hsched bench -json` run.
+func compareThroughput(out io.Writer, path, workload string, measured float64) error {
+	base, err := loadBaseline(path, workload)
+	if err != nil {
+		return err
+	}
+	floor := regressionTolerance * base.Throughput
+	ratio := 0.0
+	if base.Throughput > 0 {
+		ratio = measured / base.Throughput
+	}
+	if measured < floor {
+		return fmt.Errorf("throughput regression on workload %q: %.0f qps is %.0f%% of the %.0f qps baseline (floor %.0f%%)",
+			workload, measured, 100*ratio, base.Throughput, 100*regressionTolerance)
+	}
+	fmt.Fprintf(out, "bench compare: workload %q at %.0f%% of baseline throughput (%.0f vs %.0f qps) — ok\n",
+		workload, 100*ratio, measured, base.Throughput)
+	return nil
+}
+
+// loadBaseline reads the baseline entry for a workload; see
+// compareThroughput for the accepted shapes.
+func loadBaseline(path, workload string) (benchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return benchReport{}, fmt.Errorf("baseline: %w", err)
+	}
+	var single benchReport
+	if err := json.Unmarshal(data, &single); err == nil && single.Throughput > 0 {
+		// A bare report matches when it does not name a conflicting
+		// workload (older reports predate the field).
+		if single.Workload == "" || single.Workload == workload {
+			return single, nil
+		}
+		return benchReport{}, fmt.Errorf("baseline %s records workload %q, not %q", path, single.Workload, workload)
+	}
+	var byWorkload map[string]benchReport
+	if err := json.Unmarshal(data, &byWorkload); err == nil {
+		if rep, ok := byWorkload[workload]; ok && rep.Throughput > 0 {
+			return rep, nil
+		}
+		return benchReport{}, fmt.Errorf("baseline %s has no entry for workload %q", path, workload)
+	}
+	return benchReport{}, fmt.Errorf("baseline %s: neither a bench report nor a workload map", path)
 }

@@ -312,3 +312,79 @@ func TestBenchBadFlags(t *testing.T) {
 		t.Errorf("unknown flag: exit %d, want 1", code)
 	}
 }
+
+func TestBenchExactHeavyWorkload(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := Bench([]string{"-workload", "exact-heavy", "-systems", "3", "-mutations", "1", "-queries", "48", "-goroutines", "2", "-json"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	var rep struct {
+		Workload string `json:"workload"`
+		Exact    bool   `json:"exact"`
+		Cache    struct {
+			ScenariosPruned int64 `json:"scenarios_pruned"`
+		} `json:"cache"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("bench -json output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if rep.Workload != "exact-heavy" || !rep.Exact {
+		t.Errorf("preset not applied: %+v", rep)
+	}
+	// The single-platform high-interference population must route
+	// through the exact sweep and engage the admissible prune.
+	if rep.Cache.ScenariosPruned <= 0 {
+		t.Errorf("exact-heavy bench pruned no scenarios: %+v", rep)
+	}
+	if code := Bench([]string{"-workload", "nope"}, &out, &errb); code != 1 {
+		t.Errorf("unknown workload: exit %d, want 1", code)
+	}
+}
+
+func TestBenchCompare(t *testing.T) {
+	dir := t.TempDir()
+	run := func(args ...string) (int, string) {
+		var out, errb bytes.Buffer
+		code := Bench(args, &out, &errb)
+		return code, out.String() + errb.String()
+	}
+
+	// Record a baseline of this machine, then compare against doctored
+	// copies: an unreachable baseline must gate, a slow one must pass.
+	base := filepath.Join(dir, "base.json")
+	var out, errb bytes.Buffer
+	if code := Bench([]string{"-systems", "4", "-queries", "64", "-goroutines", "2", "-json"}, &out, &errb); code != 0 {
+		t.Fatalf("baseline run: exit %d, stderr: %s", code, errb.String())
+	}
+	var rep map[string]any
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	write := func(path string, qps float64) {
+		rep["throughput_qps"] = qps
+		data, err := json.Marshal(map[string]any{"default": rep})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	write(base, 1e12) // no machine reaches 10^12 qps: must regress
+	if code, log := run("-systems", "4", "-queries", "64", "-goroutines", "2", "-compare", base); code != 1 || !strings.Contains(log, "regression") {
+		t.Errorf("inflated baseline: exit %d, log:\n%s", code, log)
+	}
+	write(base, 1) // any machine beats 1 qps: must pass
+	if code, log := run("-systems", "4", "-queries", "64", "-goroutines", "2", "-compare", base); code != 0 || !strings.Contains(log, "ok") {
+		t.Errorf("floor baseline: exit %d, log:\n%s", code, log)
+	}
+
+	// Missing entry and missing file are hard errors, not silent passes.
+	if code, _ := run("-workload", "exact-heavy", "-systems", "2", "-queries", "16", "-compare", base); code != 1 {
+		t.Errorf("missing workload entry: exit %d, want 1", code)
+	}
+	if code, _ := run("-systems", "4", "-queries", "16", "-compare", filepath.Join(dir, "absent.json")); code != 1 {
+		t.Errorf("missing baseline file: exit %d, want 1", code)
+	}
+}

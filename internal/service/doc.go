@@ -21,6 +21,11 @@
 //	  │                               recompute dirty
 //	  ▼
 //	resident engine ────────────────► cold Analyze        (full work)
+//	                                    │ exact sweeps stream from a
+//	                                    │ mixed-radix cursor, prune by
+//	                                    │ the admissible W* bound
+//	                                    │ (Stats.ScenariosPruned) and
+//	                                    ▼ chunk-split onto idle workers
 //
 // The mechanisms, top to bottom:
 //
@@ -64,10 +69,11 @@
 // Every entry point takes a context.Context and cancels the underlying
 // analysis promptly (see analysis.Engine.AnalyzeContext for the
 // polling points). Stats exposes queries, hits, misses, evictions,
-// in-flight dedups, delta hits and rounds saved; Hits + Misses ==
-// Queries by construction, Misses is exactly the number of analyses
-// executed, and DeltaHits ⊆ Misses — which is what the design-search
-// and benchmark tests assert on.
+// in-flight dedups, delta hits, rounds saved and scenarios pruned (the
+// exact sweeps' branch-and-bound savings, summed over executed
+// analyses); Hits + Misses == Queries by construction, Misses is
+// exactly the number of analyses executed, and DeltaHits ⊆ Misses —
+// which is what the design-search and benchmark tests assert on.
 //
 // The heavy consumers are wired through this package: design.Minimize
 // routes its feasibility oracle through a Service (revisited points

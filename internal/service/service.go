@@ -101,6 +101,12 @@ type Stats struct {
 	// — the service-level measure of how much fixed-point work the
 	// incremental path avoided.
 	RoundsSaved int64
+	// ScenariosPruned accumulates the exact scenario vectors the
+	// analyses this service executed skipped via the admissible sweep
+	// prune (analysis.Result.ScenariosPruned summed over all misses) —
+	// the branch-and-bound counterpart of RoundsSaved for the cold
+	// exact path. Always 0 for purely approximate traffic.
+	ScenariosPruned int64
 }
 
 // HitRate returns Hits/Queries, or 0 before the first query.
@@ -298,7 +304,13 @@ func (s *Service) analyze(ctx context.Context, sys *model.System, opt analysis.O
 		s.stats.Queries++
 		s.stats.Misses++
 		s.mu.Unlock()
-		return s.runFresh(ctx, sys, opt, static)
+		res, err := s.runFresh(ctx, sys, opt, static)
+		if err == nil && res.ScenariosPruned > 0 {
+			s.mu.Lock()
+			s.stats.ScenariosPruned += res.ScenariosPruned
+			s.mu.Unlock()
+		}
+		return res, err
 	}
 
 	key := cacheKey{fp: fp, opt: keyOf(opt, static)}
@@ -404,6 +416,7 @@ func (s *Service) analyze(ctx context.Context, sys *model.System, opt analysis.O
 				s.stats.DeltaHits++
 				s.stats.RoundsSaved += int64(res.Delta.TaskRoundsSaved)
 			}
+			s.stats.ScenariosPruned += res.ScenariosPruned
 		}
 		s.mu.Unlock()
 		close(fl.done)

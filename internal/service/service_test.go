@@ -444,3 +444,30 @@ func TestServiceReset(t *testing.T) {
 		t.Fatalf("stats = %+v: Reset must drop the memo (counters preserved)", st)
 	}
 }
+
+// TestServiceScenariosPruned locks the end-to-end flow of the exact
+// sweep's prune counter: an exact query's analysis reports its pruned
+// scenarios on the Result, the service accumulates them in Stats, and
+// a memo hit — which runs no analysis — adds nothing.
+func TestServiceScenariosPruned(t *testing.T) {
+	svc := service.New(service.Options{Shards: 1, Analysis: analysis.Options{Exact: true, Workers: 1}})
+	sys := experiments.PaperSystem()
+	res, err := svc.Analyze(context.Background(), sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ScenariosPruned <= 0 {
+		t.Fatalf("exact analysis pruned %d scenarios, want > 0", res.ScenariosPruned)
+	}
+	st := svc.Stats()
+	if st.ScenariosPruned != res.ScenariosPruned {
+		t.Fatalf("service stats pruned %d, result reports %d", st.ScenariosPruned, res.ScenariosPruned)
+	}
+	if _, err := svc.Analyze(context.Background(), sys); err != nil {
+		t.Fatal(err)
+	}
+	after := svc.Stats()
+	if after.Hits != st.Hits+1 || after.ScenariosPruned != st.ScenariosPruned {
+		t.Fatalf("memo hit changed the pruned counter: %+v -> %+v", st, after)
+	}
+}
