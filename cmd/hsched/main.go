@@ -7,12 +7,21 @@
 // Usage:
 //
 //	hsched [-spec system.json] [-exact] [-static] [-tight] [-dump] [-sensitivity] [-workers n] [-cache] [-delta]
-//	hsched bench [-systems n] [-mutations n] [-queries n] [-goroutines n] [-shards n] [-capacity n] [-exact] [-seed n] [-util u] [-delta] [-json]
+//	hsched assign [-spec system.json] [-policy rm|dm|hopa|audsley] [-iterations n] [-exact] [-workers n] [-cache] [-delta]
+//	hsched bench [-workload default|exact-heavy|assign] [-systems n] [-mutations n] [-queries n] [-goroutines n] [-shards n] [-capacity n] [-exact] [-seed n] [-util u] [-delta] [-json]
+//
+// The assign subcommand searches a local fixed-priority assignment
+// (the paper leaves it to the component designer): the classical
+// monotonic rankings, the HOPA heuristic, or an Audsley-style optimal
+// search, with the holistic analysis as the oracle — routed through a
+// memoised analysis service whose statistics -cache prints.
 //
 // The bench subcommand measures the memoised analysis service on a
-// generated admission-control workload (chains of one-parameter-apart
-// systems): throughput, cache hit rate, incremental (delta) hit rate
-// and p50/p99 query latency; -json emits a machine-readable report.
+// generated workload: admission-control mutation chains (default),
+// exact scenario sweeps (exact-heavy), or full priority-assignment
+// searches (assign); it reports throughput, cache hit rate,
+// incremental (delta) hit rate and p50/p99 query latency; -json emits
+// a machine-readable report.
 //
 // Exit status is 0 when the system is schedulable (or the benchmark
 // succeeded), 2 when the system is not schedulable, and 1 on errors.
@@ -26,8 +35,13 @@ import (
 
 func main() {
 	args := os.Args[1:]
-	if len(args) > 0 && args[0] == "bench" {
-		os.Exit(cli.Bench(args[1:], os.Stdout, os.Stderr))
+	if len(args) > 0 {
+		switch args[0] {
+		case "bench":
+			os.Exit(cli.Bench(args[1:], os.Stdout, os.Stderr))
+		case "assign":
+			os.Exit(cli.Assign(args[1:], os.Stdout, os.Stderr))
+		}
 	}
 	os.Exit(cli.Analyze(args, os.Stdout, os.Stderr))
 }

@@ -20,6 +20,10 @@
 //     repeated identical queries are memoised.
 //   - Simulate executes the system on concrete budget servers and
 //     reports observed response times, for validation and exploration.
+//   - Assign / HOPA / Audsley choose the local fixed priorities the
+//     paper leaves to the component designer: closed-form monotonic
+//     rankings plus two oracle-driven searches whose probes ride a
+//     probe session (below).
 //   - MinimizeBandwidth searches minimal platform parameters keeping
 //     the system schedulable (the paper's Section 5 future work); its
 //     feasibility oracle runs through an analysis service, so the
@@ -29,19 +33,25 @@
 //
 // The analysis stack is layered; each layer is usable on its own:
 //
-//	façade (Analyze, AnalyzeContext, MinimizeBandwidth, …)
-//	  └─ Service — concurrency-safe front-end: engine pool sharded by
-//	     System.Fingerprint, LRU verdict memo keyed by (fingerprint,
-//	     normalised options) with cost-weighted eviction, singleflight
-//	     dedup of concurrent identical queries, a delta-seed pool that
-//	     re-analyses near-match queries incrementally, context-aware
-//	     cancellation
-//	       └─ Analyzer (analysis.Engine) — one goroutine's reusable
-//	          engine: transaction-keyed state slabs, per-round parallel
-//	          response computation, exact sweeps streamed/pruned/
-//	          chunk-parallel on a shared worker budget, incremental
-//	          AnalyzeFrom replay
-//	            └─ batch — deterministic parallel map primitives
+//	façade (Analyze, AnalyzeContext, Assign, MinimizeBandwidth, …)
+//	  └─ search layer (Assign/HOPA/Audsley, MinimizeBandwidth) —
+//	     oracle-driven loops probing chains of one-edit-apart systems
+//	       └─ ProbeSession (Service.NewSession) — pins the previous
+//	          probe's result as the next probe's incremental seed;
+//	          per-session SessionStats roll up into ServiceStats
+//	          └─ Service — concurrency-safe front-end: engine pool
+//	             sharded by System.Fingerprint, LRU verdict memo keyed
+//	             by (fingerprint, normalised options) with
+//	             cost-weighted eviction, singleflight dedup of
+//	             concurrent identical queries, a delta-seed pool that
+//	             re-analyses near-match queries incrementally,
+//	             context-aware cancellation
+//	              └─ Analyzer (analysis.Engine) — one goroutine's
+//	                 reusable engine: transaction-keyed state slabs,
+//	                 per-round parallel response computation, exact
+//	                 sweeps streamed/pruned/chunk-parallel on a shared
+//	                 worker budget, incremental AnalyzeFrom replay
+//	                   └─ batch — deterministic parallel map primitives
 //
 // Which entry point do I use?
 //
@@ -51,6 +61,8 @@
 //	tight loop, single goroutine,     NewAnalyzer + Analyzer.Analyze
 //	  private mutable results
 //	sweeping huge populations         NewAnalyzer inside batch.MapWorkers
+//	choosing task priorities          Assign (policy rm/dm/hopa/audsley)
+//	search loop of one-edit probes    Service.NewSession + ProbeSession
 //
 // Results returned by the service-backed entry points (Analyze,
 // AnalyzeContext, Service.Analyze) may be shared with other callers —
@@ -72,6 +84,7 @@ import (
 	"hsched/internal/model"
 	"hsched/internal/network"
 	"hsched/internal/platform"
+	"hsched/internal/sched"
 	"hsched/internal/server"
 	"hsched/internal/service"
 	"hsched/internal/sim"
@@ -178,6 +191,17 @@ type (
 	// removed transactions plus platform-parameter changes. It is what
 	// the incremental re-analysis path plans its replay from.
 	SystemDiff = model.SystemDiff
+	// ProbeSession is a pinned-seed probe handle on a Service
+	// (Service.NewSession): it holds the caller's previous result as
+	// the explicit seed of the next query, so search loops analysing
+	// chains of one-edit-apart systems ride the incremental path
+	// deterministically. The priority-assignment searches and the
+	// bandwidth minimisation probe through one.
+	ProbeSession = service.Session
+	// SessionStats is a snapshot of one probe session's counters
+	// (probes, memo hits, executed analyses, delta hits, rounds
+	// saved).
+	SessionStats = service.SessionStats
 )
 
 // DiffSystems structurally diffs two systems at transaction
@@ -260,6 +284,87 @@ const (
 	// provided method.
 	HandlerThread = component.Handler
 )
+
+// Priority-assignment types (package sched): the paper leaves local
+// fixed priorities to the component designer; these close the gap.
+type (
+	// AssignPolicy names a priority-assignment policy for Assign:
+	// AssignRM, AssignDM, AssignHOPA or AssignAudsley.
+	AssignPolicy = sched.Policy
+	// AssignOptions tunes Assign (oracle options, HOPA iterations,
+	// shared analysis service).
+	AssignOptions = sched.AssignOptions
+	// HOPAOptions tunes HOPA / HOPAContext.
+	HOPAOptions = sched.HOPAOptions
+	// AudsleyOptions tunes AudsleyContext.
+	AudsleyOptions = sched.AudsleyOptions
+)
+
+// The priority-assignment policies.
+const (
+	// AssignRM ranks tasks by transaction period (rate monotonic).
+	AssignRM = sched.PolicyRM
+	// AssignDM ranks tasks by end-to-end deadline (deadline
+	// monotonic).
+	AssignDM = sched.PolicyDM
+	// AssignHOPA searches by iterative deadline distribution (HOPA).
+	AssignHOPA = sched.PolicyHOPA
+	// AssignAudsley searches bottom-up per platform (Audsley-style
+	// optimal priority assignment).
+	AssignAudsley = sched.PolicyAudsley
+)
+
+// Assign applies one priority-assignment policy to sys, overwriting
+// its task priorities, and returns the holistic analysis of the
+// installed assignment plus whether it is schedulable. The search
+// policies (AssignHOPA, AssignAudsley) probe the analysis through a
+// ProbeSession on AssignOptions.Service — each probe is one priority
+// move from the previous one, so it re-analyses incrementally and
+// revisited assignments come from the verdict memo. Treat the result
+// as read-only.
+func Assign(ctx context.Context, sys *System, policy AssignPolicy, opt AssignOptions) (*AnalysisResult, bool, error) {
+	return sched.Assign(ctx, sys, policy, opt)
+}
+
+// AssignPolicies lists the selectable priority-assignment policies.
+func AssignPolicies() []AssignPolicy { return sched.Policies() }
+
+// RateMonotonic and DeadlineMonotonic install the closed-form
+// monotonic rankings in place (no analysis is run; use Assign for an
+// analysed verdict).
+var (
+	// RateMonotonic ranks every task by its transaction's period.
+	RateMonotonic = sched.RateMonotonic
+	// DeadlineMonotonic ranks every task by its transaction's
+	// end-to-end deadline.
+	DeadlineMonotonic = sched.DeadlineMonotonic
+)
+
+// HOPA searches a priority assignment by iterative deadline
+// distribution against the holistic analysis and installs the best
+// assignment found; see package sched for the search's shape.
+func HOPA(sys *System, opt HOPAOptions) (*AnalysisResult, error) {
+	return sched.HOPA(sys, opt)
+}
+
+// HOPAContext is HOPA with cancellation, polled between oracle probes
+// and inside the analyses.
+func HOPAContext(ctx context.Context, sys *System, opt HOPAOptions) (*AnalysisResult, error) {
+	return sched.HOPAContext(ctx, sys, opt)
+}
+
+// Audsley performs Audsley-style optimal priority assignment per
+// platform with the holistic analysis as its oracle, installs the
+// found assignment, and reports whether it is schedulable.
+func Audsley(sys *System, opt AnalysisOptions) (*AnalysisResult, bool, error) {
+	return sched.Audsley(sys, opt)
+}
+
+// AudsleyContext is Audsley with cancellation and an explicit oracle
+// service (AudsleyOptions.Service).
+func AudsleyContext(ctx context.Context, sys *System, opt AudsleyOptions) (*AnalysisResult, bool, error) {
+	return sched.AudsleyContext(ctx, sys, opt)
+}
 
 // Network and design-search types.
 type (

@@ -8,24 +8,51 @@ import (
 //
 // Admission-control traffic mutates one transaction at a time: add a
 // transaction, drop one, retune one task's WCET, move one platform's
-// budget. A cold holistic analysis recomputes every task's response in
-// every round regardless; the delta path instead replays the previous
-// analysis wherever the edit provably cannot have changed anything.
+// budget, probe one priority level. A cold holistic analysis
+// recomputes every task's response in every round regardless; the
+// delta path instead replays the previous analysis wherever the edit
+// provably cannot have changed anything.
 //
 // The soundness argument is structural, not numerical. The holistic
 // iteration is a deterministic function of its inputs: round r of task
 // (i, j) depends only on (a) the parameters of transaction i, (b) the
-// parameters and round-(r−1) state of the tasks in its interference
-// sets (same platform, priority ≥), (c) its predecessor's round-(r−1)
-// response (which feeds its jitter), and (d) the parameters of the
-// platforms transaction i visits. Mark dirty every task the edit can
-// reach through those edges, transitively; every task left clean has,
-// by induction over rounds, inputs bitwise identical to the previous
-// analysis — so its recorded round-r result IS what a cold analysis of
-// the edited system would compute, and copying it is exact, not
-// approximate. Dirty tasks are recomputed for real; the convergence
-// test, early-stop decisions and iteration count therefore follow the
-// cold trajectory bit for bit.
+// parameters and round-(r−1) activation state (offset, jitter) of the
+// tasks in its interference sets (same platform, priority ≥), (c) its
+// predecessor's round-(r−1) response (which feeds its jitter), and
+// (d) the parameters of the platforms transaction i visits. Two kinds
+// of taint propagate along those edges:
+//
+//   - response-dirty: the task's computed response may differ from the
+//     baseline, so it must be recomputed. A changed response feeds
+//     exactly one place — the chain successor's jitter (Eq. 18) — so
+//     it makes the successor activation-dirty, nothing else. In
+//     particular it does NOT change the task's own interference
+//     contribution, which reads the task's activation state and static
+//     parameters, never its response.
+//
+//   - activation-dirty: the task's offset or jitter trajectory may
+//     differ, so every task whose interference set contains it (same
+//     platform, priority ≤ its own, Eq. 17) becomes response-dirty —
+//     and the task itself must be recomputed too.
+//
+// Parameter edits seed the closure: a task with changed WCET/BCET/
+// platform (or of an added transaction, or on a platform whose
+// (α, Δ, β) moved) is activation-dirty — its contribution terms read
+// those parameters directly. A task whose only change is its priority
+// is merely response-dirty, plus the tasks in the priority band
+// between its old and new level (their interference-set membership of
+// the moved task flipped): priorities enter the analysis only through
+// the ≥ membership test, so tasks outside the band keep bitwise
+// identical interference sums. This band rule is what makes
+// priority-assignment searches (package sched) cheap: probing one
+// task's level re-analyses a handful of tasks, not the platform.
+//
+// Every task left clean has, by induction over rounds, inputs bitwise
+// identical to the previous analysis — so its recorded round-r result
+// IS what a cold analysis of the edited system would compute, and
+// copying it is exact, not approximate. Dirty tasks are recomputed for
+// real; the convergence test, early-stop decisions and iteration count
+// therefore follow the cold trajectory bit for bit.
 //
 // One ordering caveat: interference terms are summed in transaction
 // index order, so the replay additionally requires the unchanged
@@ -33,7 +60,9 @@ import (
 // — a reordered system could differ from the baseline in the last bits
 // of a floating-point sum even with identical operands. In-place
 // edits, appends, insertions and removals all preserve relative order;
-// only genuine permutations fall back to the cold path.
+// only genuine permutations fall back to the cold path. Priority-only
+// modified transactions take the band fast path only when matched at
+// the same position, for the same reason.
 
 // deltaPlan is the precomputed replay schedule of one AnalyzeFrom
 // call. Its slices are engine scratch, reused across calls.
@@ -42,9 +71,10 @@ type deltaPlan struct {
 	// shared with (and only ever read from) the seed Result.
 	base [][][]TaskResult
 
-	// oldIdx maps a new-system transaction index to its unchanged
-	// counterpart in the baseline (−1 for dirty transactions, which
-	// never consult it).
+	// oldIdx maps a new-system transaction index to its baseline
+	// counterpart — an unchanged transaction's match, or a
+	// priority-only modified transaction's positional match (−1 for
+	// transactions whose tasks are all dirty, which never consult it).
 	oldIdx []int
 
 	// clean and dirty partition the task coordinates of the new
@@ -62,11 +92,13 @@ type deltaPlan struct {
 // deltaScratch is the engine's reusable planning state.
 type deltaScratch struct {
 	plan        deltaPlan
-	unchangedTx []bool
+	replayTx    []bool
 	changedPlat []bool
 	oldMatched  []bool
-	dirtyFlags  []bool // indexed by flat task index (Engine.rowStart)
-	queue       [][2]int
+	respFlags   []bool // response-dirty, indexed by flat task index
+	actFlags    []bool // activation-dirty, same indexing
+	respQueue   [][2]int
+	actQueue    [][2]int
 }
 
 // planDelta decides whether an incremental analysis seeded by prev is
@@ -86,77 +118,171 @@ func (e *Engine) planDelta(prev *Result, sys *model.System) *deltaPlan {
 	}
 	old := prev.System
 	d := model.Diff(old, sys)
-	if d.PlatformCountChanged || !d.InOrder() || len(d.Unchanged) == 0 {
+	if d.PlatformCountChanged || !d.InOrder() {
 		return nil
 	}
 
+	// Split the modified pairs: a transaction that differs from its
+	// same-position baseline counterpart only in task priorities keeps
+	// its replay rows and seeds the closure per task (the priority-
+	// band fast path); every other modification dirties the whole
+	// transaction conservatively.
 	ds := &e.delta
 	nT := len(sys.Transactions)
 	ds.plan.oldIdx = reuseRow(ds.plan.oldIdx, nT)
-	ds.unchangedTx = reuseRow(ds.unchangedTx, nT)
+	ds.replayTx = reuseRow(ds.replayTx, nT)
 	ds.oldMatched = reuseRow(ds.oldMatched, len(old.Transactions))
 	ds.changedPlat = reuseRow(ds.changedPlat, len(sys.Platforms))
-	ds.dirtyFlags = reuseRow(ds.dirtyFlags, len(e.flat))
+	ds.respFlags = reuseRow(ds.respFlags, len(e.flat))
+	ds.actFlags = reuseRow(ds.actFlags, len(e.flat))
 	for i := range ds.plan.oldIdx {
 		ds.plan.oldIdx[i] = -1
-		ds.unchangedTx[i] = false
+		ds.replayTx[i] = false
 	}
 	clear(ds.oldMatched)
 	clear(ds.changedPlat)
-	clear(ds.dirtyFlags)
-	for _, p := range d.Unchanged {
-		ds.plan.oldIdx[p[1]] = p[0]
-		ds.unchangedTx[p[1]] = true
-		ds.oldMatched[p[0]] = true
-	}
+	clear(ds.respFlags)
+	clear(ds.actFlags)
 	for _, m := range d.ChangedPlatforms {
 		ds.changedPlat[m] = true
 	}
-
-	// Seed the dirty set: every task of a non-unchanged transaction,
-	// every task on a changed platform, and — the one edge invisible in
-	// the new system alone — every surviving task that used to receive
-	// interference from a task the edit removed or modified away.
-	queue := ds.queue[:0]
-	mark := func(i, j int) {
-		k := e.rowStart[i] + j
-		if !ds.dirtyFlags[k] {
-			ds.dirtyFlags[k] = true
-			queue = append(queue, [2]int{i, j})
+	replayable := 0
+	for _, p := range d.Unchanged {
+		ds.plan.oldIdx[p[1]] = p[0]
+		ds.replayTx[p[1]] = true
+		ds.oldMatched[p[0]] = true
+		replayable++
+	}
+	prioPairs := 0
+	for _, p := range d.Modified {
+		if p[0] == p[1] && model.PriorityOnlyDiff(&old.Transactions[p[0]], &sys.Transactions[p[1]]) {
+			ds.plan.oldIdx[p[1]] = p[0]
+			ds.replayTx[p[1]] = true
+			ds.oldMatched[p[0]] = true
+			replayable++
+			prioPairs++
 		}
 	}
+	if replayable == 0 {
+		return nil
+	}
+	// The ordering caveat applies to the COMBINED matching: a clean
+	// task's interference sums may draw terms from unchanged and
+	// priority-only transactions alike, so the two kinds together must
+	// preserve relative order — d.InOrder() alone covers only the
+	// unchanged pairs among themselves, and a positional priority pair
+	// can interleave out of order with fingerprint-matched unchanged
+	// pairs when transactions were also added or removed.
+	last := -1
+	for i := 0; i < nT; i++ {
+		if !ds.replayTx[i] {
+			continue
+		}
+		if ds.plan.oldIdx[i] <= last {
+			return nil
+		}
+		last = ds.plan.oldIdx[i]
+	}
+
+	// The two-flag closure. markResp: the task must be recomputed, and
+	// its changed response makes the chain successor activation-dirty.
+	// markAct: additionally, the task's interference contribution
+	// changed, so everything it can interfere with must be recomputed.
+	respQueue, actQueue := ds.respQueue[:0], ds.actQueue[:0]
+	markResp := func(i, j int) {
+		k := e.rowStart[i] + j
+		if !ds.respFlags[k] {
+			ds.respFlags[k] = true
+			respQueue = append(respQueue, [2]int{i, j})
+		}
+	}
+	markAct := func(i, j int) {
+		k := e.rowStart[i] + j
+		if !ds.actFlags[k] {
+			ds.actFlags[k] = true
+			actQueue = append(actQueue, [2]int{i, j})
+		}
+		markResp(i, j)
+	}
+
+	// Seed. Parameter-changed tasks (non-replayable transactions,
+	// changed platforms) are activation-dirty: their contribution
+	// terms read the changed values directly.
 	for i := range sys.Transactions {
 		tasks := sys.Transactions[i].Tasks
 		for j := range tasks {
-			if !ds.unchangedTx[i] || ds.changedPlat[tasks[j].Platform] {
-				mark(i, j)
+			if !ds.replayTx[i] || ds.changedPlat[tasks[j].Platform] {
+				markAct(i, j)
 			}
 		}
 	}
+	// Tasks that used to receive interference from a task the edit
+	// removed or modified away — the one edge invisible in the new
+	// system alone. Priority-only pairs are handled by the band rule
+	// below instead (their oldMatched is set).
 	for o := range old.Transactions {
 		if ds.oldMatched[o] {
 			continue
 		}
 		for _, t := range old.Transactions[o].Tasks {
-			markInterferenceTargets(sys, t.Platform, t.Priority, mark)
+			markInterferenceTargets(sys, t.Platform, t.Priority, markResp)
+		}
+	}
+	// The priority-band fast path: a moved priority flips the moved
+	// task's membership exactly in the interference sets of the tasks
+	// whose own priority lies in (min(old, new), max(old, new)] on the
+	// same platform — those and the moved task itself are recomputed,
+	// everyone else keeps bitwise identical interference sums.
+	if prioPairs > 0 {
+		for _, p := range d.Modified {
+			if p[0] != p[1] || !ds.replayTx[p[1]] {
+				continue
+			}
+			oldTasks := old.Transactions[p[0]].Tasks
+			newTasks := sys.Transactions[p[1]].Tasks
+			for j := range newTasks {
+				pOld, pNew := oldTasks[j].Priority, newTasks[j].Priority
+				if pOld == pNew {
+					continue
+				}
+				markResp(p[1], j)
+				lo, hi := pOld, pNew
+				if lo > hi {
+					lo, hi = hi, lo
+				}
+				m := newTasks[j].Platform
+				for a := range sys.Transactions {
+					tasks := sys.Transactions[a].Tasks
+					for b := range tasks {
+						if tasks[b].Platform == m && lo < tasks[b].Priority && tasks[b].Priority <= hi {
+							markResp(a, b)
+						}
+					}
+				}
+			}
 		}
 	}
 
-	// Transitive closure: a dirty task's changed response reaches its
-	// chain successor (jitter propagation, Eq. 18) and every task whose
-	// interference set contains it (same platform, lower-or-equal
-	// priority, Eq. 17).
-	for len(queue) > 0 {
-		c := queue[len(queue)-1]
-		queue = queue[:len(queue)-1]
-		i, j := c[0], c[1]
-		tasks := sys.Transactions[i].Tasks
-		if j+1 < len(tasks) {
-			mark(i, j+1)
+	// Transitive closure: a recomputed response reaches its chain
+	// successor's activation (jitter propagation, Eq. 18); a changed
+	// activation reaches every task whose interference set contains
+	// the task (same platform, lower-or-equal priority, Eq. 17).
+	for len(respQueue) > 0 || len(actQueue) > 0 {
+		if n := len(actQueue); n > 0 {
+			c := actQueue[n-1]
+			actQueue = actQueue[:n-1]
+			markInterferenceTargets(sys, sys.Transactions[c[0]].Tasks[c[1]].Platform,
+				sys.Transactions[c[0]].Tasks[c[1]].Priority, markResp)
+			continue
 		}
-		markInterferenceTargets(sys, tasks[j].Platform, tasks[j].Priority, mark)
+		n := len(respQueue)
+		c := respQueue[n-1]
+		respQueue = respQueue[:n-1]
+		if c[1]+1 < len(sys.Transactions[c[0]].Tasks) {
+			markAct(c[0], c[1]+1)
+		}
 	}
-	ds.queue = queue[:0]
+	ds.respQueue, ds.actQueue = respQueue[:0], actQueue[:0]
 
 	ds.plan.base = prev.history
 	ds.plan.clean = ds.plan.clean[:0]
@@ -166,7 +292,7 @@ func (e *Engine) planDelta(prev *Result, sys *model.System) *deltaPlan {
 		ds.plan.cleanTx[i] = true
 	}
 	for k, c := range e.flat {
-		if ds.dirtyFlags[k] {
+		if ds.respFlags[k] {
 			ds.plan.dirty = append(ds.plan.dirty, c)
 			ds.plan.cleanTx[c[0]] = false
 		} else {
@@ -181,10 +307,10 @@ func (e *Engine) planDelta(prev *Result, sys *model.System) *deltaPlan {
 	return &ds.plan
 }
 
-// markInterferenceTargets marks dirty every task of sys that a task
-// with the given platform and priority can interfere with: same
-// platform, priority ≤ the interferer's (Eq. 17 membership seen from
-// the receiving side).
+// markInterferenceTargets marks every task of sys that a task with the
+// given platform and priority can interfere with: same platform,
+// priority ≤ the interferer's (Eq. 17 membership seen from the
+// receiving side).
 func markInterferenceTargets(sys *model.System, platform, priority int, mark func(i, j int)) {
 	for a := range sys.Transactions {
 		tasks := sys.Transactions[a].Tasks

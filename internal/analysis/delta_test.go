@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"hsched/internal/analysis"
@@ -520,5 +521,61 @@ func BenchmarkDeltaPaperIncremental(b *testing.B) {
 		if res.Delta == nil {
 			b.Fatal("delta path did not engage")
 		}
+	}
+}
+
+// TestAnalyzeFromPriorityPairReorderFallsBack: the priority-band fast
+// path must refuse a matching whose COMBINED replay order (unchanged
+// pairs plus positional priority-only pairs) reverses transaction
+// order — a clean task's interference terms would sum in a different
+// order than the baseline recorded. Here A's removal lets C
+// (fingerprint-matched) jump ahead of the positionally-matched
+// priority pair B/B', so the planner must fall back cold; the result
+// stays bit-identical either way.
+func TestAnalyzeFromPriorityPairReorderFallsBack(t *testing.T) {
+	plats := []platform.Params{{Alpha: 0.8, Delta: 1, Beta: 0.5}, {Alpha: 0.5, Delta: 1, Beta: 0.5}}
+	mkTx := func(name string, period float64, wcet float64, prio, plat int) model.Transaction {
+		return model.Transaction{Name: name, Period: period, Deadline: period,
+			Tasks: []model.Task{{Name: name + ",1", WCET: wcet, BCET: wcet / 2, Priority: prio, Platform: plat}}}
+	}
+	old := &model.System{Platforms: plats, Transactions: []model.Transaction{
+		mkTx("A", 30, 1, 5, 1),
+		mkTx("B", 40, 2, 4, 0),
+		mkTx("C", 50, 3, 3, 0),
+		mkTx("Z", 60, 4, 1, 0),
+	}}
+	eng := analysis.NewEngine(analysis.Options{})
+	prev, err := eng.Analyze(old)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// New system: A removed, C hoisted above B, B's priority moved
+	// 4→2. B' matches B positionally (index 1 in both), C and Z match
+	// old indices 2 and 3 by fingerprint — combined old order [2,1,3].
+	bPrime := mkTx("B", 40, 2, 2, 0)
+	next := &model.System{Platforms: plats, Transactions: []model.Transaction{
+		mkTx("C", 50, 3, 3, 0),
+		bPrime,
+		mkTx("Z", 60, 4, 1, 0),
+	}}
+	d := model.Diff(old, next)
+	if len(d.Unchanged) != 2 || len(d.Modified) != 1 || d.Modified[0] != [2]int{1, 1} || !d.InOrder() {
+		t.Fatalf("scenario no longer matches its premise: %+v", d)
+	}
+
+	got, err := eng.AnalyzeFrom(prev, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Delta != nil {
+		t.Fatalf("order-reversing matching took the replay path (Delta = %+v); interference sums are order-sensitive", got.Delta)
+	}
+	want, err := analysis.NewEngine(analysis.Options{}).Analyze(next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Tasks, want.Tasks) {
+		t.Fatalf("fallback result differs from cold analysis")
 	}
 }

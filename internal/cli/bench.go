@@ -16,6 +16,7 @@ import (
 	"hsched/internal/analysis"
 	"hsched/internal/gen"
 	"hsched/internal/model"
+	"hsched/internal/sched"
 	"hsched/internal/service"
 )
 
@@ -69,19 +70,23 @@ const regressionTolerance = 0.75
 // resident result), and reports throughput, cache hit rate, delta hit
 // rate and p50/p99 latency — humanly, or as JSON with -json.
 //
-// Two workload presets exist: "default" exercises the memo and delta
-// paths with the approximate analysis on multi-platform chains, while
+// Three workload presets exist: "default" exercises the memo and
+// delta paths with the approximate analysis on multi-platform chains;
 // "exact-heavy" routes single-platform, high-interference systems
 // through the exact scenario sweep — the streamed/pruned/parallel hot
-// path — and reports the scenarios the admissible prune skipped.
-// -compare FILE checks the measured throughput against a recorded
-// baseline (BENCH_seed.json, or a previous -json report) and fails on
-// a >25% regression. Exit codes: 0 success, 1 error or regression.
+// path — and reports the scenarios the admissible prune skipped;
+// "assign" runs one full Audsley priority-assignment search per query
+// against the shared service, the probe-chain traffic of the sched
+// layer (every probe one priority move apart, served by the session-
+// pinned incremental path and the memo). -compare FILE checks the
+// measured throughput against a recorded baseline (BENCH_seed.json,
+// or a previous -json report) and fails on a >25% regression. Exit
+// codes: 0 success, 1 error or regression.
 func Bench(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("hsched bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		workload   = fs.String("workload", "default", "workload preset: default (approximate admission-control chains) or exact-heavy (exact scenario sweeps)")
+		workload   = fs.String("workload", "default", "workload preset: default (approximate admission-control chains), exact-heavy (exact scenario sweeps) or assign (priority-assignment searches)")
 		systems    = fs.Int("systems", 64, "distinct random base systems in the workload population")
 		mutations  = fs.Int("mutations", 4, "single-transaction mutations chained onto each base system")
 		queries    = fs.Int("queries", 4096, "total queries to issue")
@@ -123,8 +128,22 @@ func Bench(args []string, stdout, stderr io.Writer) int {
 		if !explicit["util"] {
 			*util = 0.5
 		}
+	case "assign":
+		// Each query is a whole Audsley search (tens of oracle probes),
+		// so far fewer queries saturate the interesting machinery: the
+		// per-search probe sessions and the shared memo that answers
+		// re-searched population members outright.
+		if !explicit["systems"] {
+			*systems = 16
+		}
+		if !explicit["mutations"] {
+			*mutations = 2
+		}
+		if !explicit["queries"] {
+			*queries = 64
+		}
 	default:
-		fmt.Fprintf(stderr, "hsched bench: unknown -workload %q (want default or exact-heavy)\n", *workload)
+		fmt.Fprintf(stderr, "hsched bench: unknown -workload %q (want default, exact-heavy or assign)\n", *workload)
 		return 1
 	}
 	if *systems <= 0 || *queries <= 0 || *mutations < 0 {
@@ -179,6 +198,26 @@ func Bench(args []string, stdout, stderr io.Writer) int {
 		Analysis:    analysis.Options{Exact: *exact, StopAtDeadlineMiss: true, Workers: 1},
 	})
 
+	// One query is one service call — except on the assign workload,
+	// where it is one whole priority-assignment search probing the
+	// shared service through its own session (the population member is
+	// cloned: the search overwrites priorities in place).
+	query := func(ctx context.Context, k int) error {
+		_, err := svc.Analyze(ctx, pop[k%len(pop)])
+		return err
+	}
+	if *workload == "assign" {
+		assignOpt := analysis.Options{Exact: *exact, Workers: 1}
+		query = func(ctx context.Context, k int) error {
+			sys := pop[k%len(pop)].Clone()
+			_, _, err := sched.Assign(ctx, sys, sched.PolicyAudsley, sched.AssignOptions{
+				Analysis: assignOpt,
+				Service:  svc,
+			})
+			return err
+		}
+	}
+
 	clients := *goroutines
 	if clients <= 0 {
 		clients = runtime.GOMAXPROCS(0)
@@ -201,7 +240,7 @@ func Bench(args []string, stdout, stderr io.Writer) int {
 					return
 				}
 				t0 := time.Now()
-				_, err := svc.Analyze(ctx, pop[k%len(pop)])
+				err := query(ctx, k)
 				latencies[k] = time.Since(t0)
 				if err != nil {
 					firstErr.CompareAndSwap(nil, err)

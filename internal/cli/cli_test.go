@@ -190,6 +190,7 @@ func TestExperSingleArtefacts(t *testing.T) {
 		{[]string{"-ablation", "edf"}, "Ablation A7"},
 		{[]string{"-ablation", "acceptance"}, "Ablation A8"},
 		{[]string{"-ablation", "admission"}, "Ablation A9"},
+		{[]string{"-ablation", "assign"}, "Ablation A10"},
 	}
 	for _, c := range cases {
 		var out, errb bytes.Buffer
@@ -199,6 +200,67 @@ func TestExperSingleArtefacts(t *testing.T) {
 		if !strings.Contains(out.String(), c.want) {
 			t.Errorf("%v: output missing %q", c.args, c.want)
 		}
+	}
+}
+
+// TestAssignPolicies: the assign subcommand runs every policy on the
+// paper example, prints the installed priorities and the verdict, and
+// exits 0.
+func TestAssignPolicies(t *testing.T) {
+	for _, policy := range []string{"rm", "dm", "hopa", "audsley"} {
+		var out, errb bytes.Buffer
+		if code := Assign([]string{"-policy", policy}, &out, &errb); code != 0 {
+			t.Fatalf("%s: exit %d, stderr: %s", policy, code, errb.String())
+		}
+		for _, want := range []string{"policy: " + policy, "tau1,4", "schedulable: true"} {
+			if !strings.Contains(out.String(), want) {
+				t.Errorf("%s: output missing %q:\n%s", policy, want, out.String())
+			}
+		}
+	}
+}
+
+// TestAssignCacheFlag: -cache prints the oracle's stats line, and on
+// the Audsley search it must show memo hits and incremental probes —
+// the acceptance criterion of the service-routed search layer.
+func TestAssignCacheFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := Assign([]string{"-policy", "audsley", "-cache", "-delta"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "cache: queries=") {
+		t.Fatalf("cache stats line missing:\n%s", s)
+	}
+	if strings.Contains(s, "delta-hits=0 ") {
+		t.Errorf("audsley probes never rode the delta path:\n%s", s)
+	}
+	if strings.Contains(s, "hits=0 ") {
+		t.Errorf("audsley probes never hit the memo:\n%s", s)
+	}
+
+	// With the delta path off the stats line must report zero delta
+	// hits (cold probes), and the verdict must be unchanged.
+	out.Reset()
+	if code := Assign([]string{"-policy", "audsley", "-cache", "-delta=false"}, &out, &errb); code != 0 {
+		t.Fatalf("-delta=false exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "delta-hits=0 ") {
+		t.Errorf("-delta=false still delta-hit:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "schedulable: true") {
+		t.Errorf("verdict missing:\n%s", out.String())
+	}
+}
+
+// TestAssignBadFlags: unknown policies and specs fail cleanly.
+func TestAssignBadFlags(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := Assign([]string{"-policy", "bogus"}, &out, &errb); code != 1 {
+		t.Errorf("unknown policy: exit %d, want 1", code)
+	}
+	if code := Assign([]string{"-spec", "/does/not/exist.json"}, &out, &errb); code != 1 {
+		t.Errorf("missing spec: exit %d, want 1", code)
 	}
 }
 
@@ -338,6 +400,42 @@ func TestBenchExactHeavyWorkload(t *testing.T) {
 	}
 	if code := Bench([]string{"-workload", "nope"}, &out, &errb); code != 1 {
 		t.Errorf("unknown workload: exit %d, want 1", code)
+	}
+}
+
+// TestBenchAssignWorkload: the assign preset runs whole Audsley
+// searches against the shared service; the report must show far more
+// oracle probes than queries (each query is a search) and the probe
+// traffic riding the memo and the delta path.
+func TestBenchAssignWorkload(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := Bench([]string{"-workload", "assign", "-systems", "4", "-mutations", "1", "-queries", "12", "-goroutines", "2", "-json"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	var rep struct {
+		Workload string `json:"workload"`
+		Queries  int    `json:"queries"`
+		Cache    struct {
+			Queries   int64 `json:"queries"`
+			Hits      int64 `json:"hits"`
+			Misses    int64 `json:"misses"`
+			DeltaHits int64 `json:"delta_hits"`
+		} `json:"cache"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("bench -json output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if rep.Workload != "assign" || rep.Queries != 12 {
+		t.Fatalf("report header wrong: %+v", rep)
+	}
+	if rep.Cache.Queries <= int64(rep.Queries) {
+		t.Errorf("cache queries %d should far exceed the %d searches (oracle probes)", rep.Cache.Queries, rep.Queries)
+	}
+	if rep.Cache.Hits+rep.Cache.Misses != rep.Cache.Queries {
+		t.Errorf("stats inconsistent: %+v", rep.Cache)
+	}
+	if rep.Cache.Hits == 0 || rep.Cache.DeltaHits == 0 {
+		t.Errorf("assign workload never hit the memo/delta path: %+v", rep.Cache)
 	}
 }
 

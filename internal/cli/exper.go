@@ -9,6 +9,16 @@ import (
 	"hsched/internal/service"
 )
 
+// The A10 policy sweep's shared parameters, fixed-seeded so the test
+// suite can lock the rendered values: the utilisation band where the
+// policies genuinely separate on the generated jittered task sets.
+var policySweepUtils = []float64{0.5, 0.65, 0.8}
+
+const (
+	policySweepPerPoint = 25
+	policySweepSeed     = int64(2000)
+)
+
 // Exper implements cmd/hsexper: regenerate paper tables/figures and
 // the ablations of DESIGN.md. Exit codes: 0 success, 1 error.
 func Exper(args []string, stdout, stderr io.Writer) int {
@@ -17,10 +27,10 @@ func Exper(args []string, stdout, stderr io.Writer) int {
 	var (
 		table    = fs.Int("table", 0, "reproduce one table (1, 2 or 3)")
 		figure   = fs.Int("figure", 0, "reproduce one figure (3 or 5)")
-		ablation = fs.String("ablation", "", "run one ablation: exact, pessimism, soundness, design, network, edf, acceptance or admission")
-		asCSV    = fs.Bool("csv", false, "emit plot-ready CSV instead of text (table 3, figure 3, pessimism, acceptance)")
-		workers  = fs.Int("workers", 0, "parallel workers of the acceptance sweep (0 = all CPUs)")
-		cache    = fs.Bool("cache", false, "share one memoised analysis service across the acceptance sweep and print its cache statistics")
+		ablation = fs.String("ablation", "", "run one ablation: exact, pessimism, soundness, design, network, edf, acceptance, admission or assign")
+		asCSV    = fs.Bool("csv", false, "emit plot-ready CSV instead of text (table 3, figure 3, pessimism, acceptance, assign)")
+		workers  = fs.Int("workers", 0, "parallel workers of the acceptance and assign sweeps (0 = all CPUs)")
+		cache    = fs.Bool("cache", false, "share one memoised analysis service across the acceptance/assign sweep and print its cache statistics")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 1
@@ -33,22 +43,36 @@ func Exper(args []string, stdout, stderr io.Writer) int {
 	var svc *service.Service
 	if *cache {
 		svc = service.New(service.Options{Shards: experiments.SweepShards(*workers)})
-		// Only the acceptance sweep is service-instrumented; say so
-		// instead of silently ignoring the flag elsewhere.
-		if !(*table == 0 && *figure == 0 && *ablation == "") && *ablation != "acceptance" {
-			fmt.Fprintln(stderr, "hsexper: -cache only instruments the acceptance sweep; other artefacts run uncached")
+		// Only the acceptance and assign sweeps are service-
+		// instrumented; say so instead of silently ignoring the flag
+		// elsewhere.
+		if !(*table == 0 && *figure == 0 && *ablation == "") && *ablation != "acceptance" && *ablation != "assign" {
+			fmt.Fprintln(stderr, "hsexper: -cache only instruments the acceptance and assign sweeps; other artefacts run uncached")
 		}
+	}
+	// Stats go to stderr in CSV mode so the data stream stays
+	// machine-readable.
+	sweepStats := func() {
+		if svc == nil {
+			return
+		}
+		dst := stdout
+		if *asCSV {
+			dst = stderr
+		}
+		printCacheStats(dst, svc.Stats())
 	}
 	acceptance := func(utils []float64, perPoint int, seed int64) ([]experiments.AcceptancePoint, error) {
 		pts, err := experiments.AcceptanceRatioService(utils, perPoint, seed, *workers, svc)
-		if err == nil && svc != nil {
-			// Stats go to stderr in CSV mode so the data stream stays
-			// machine-readable.
-			dst := stdout
-			if *asCSV {
-				dst = stderr
-			}
-			printCacheStats(dst, svc.Stats())
+		if err == nil {
+			sweepStats()
+		}
+		return pts, err
+	}
+	policies := func(utils []float64, perPoint int, seed int64) ([]experiments.PolicyAcceptancePoint, error) {
+		pts, err := experiments.PolicyAcceptance(utils, perPoint, seed, *workers, svc)
+		if err == nil {
+			sweepStats()
 		}
 		return pts, err
 	}
@@ -74,8 +98,15 @@ func Exper(args []string, stdout, stderr io.Writer) int {
 			} else {
 				err = rerr
 			}
+		case *ablation == "assign":
+			pts, rerr := policies(policySweepUtils, policySweepPerPoint, policySweepSeed)
+			if rerr == nil {
+				err = experiments.PolicyAcceptanceCSV(stdout, pts)
+			} else {
+				err = rerr
+			}
 		default:
-			err = fmt.Errorf("-csv supports -table 3, -figure 3, -ablation pessimism and -ablation acceptance")
+			err = fmt.Errorf("-csv supports -table 3, -figure 3, -ablation pessimism, -ablation acceptance and -ablation assign")
 		}
 		if err != nil {
 			fmt.Fprintln(stderr, "hsexper:", err)
@@ -172,6 +203,15 @@ func Exper(args []string, stdout, stderr io.Writer) int {
 				return "", err
 			}
 			return experiments.RenderAdmissionChurn(rep), nil
+		})
+	}
+	if all || *ablation == "assign" {
+		run("ablation A10", func() (string, error) {
+			pts, err := policies(policySweepUtils, policySweepPerPoint, policySweepSeed)
+			if err != nil {
+				return "", err
+			}
+			return experiments.RenderPolicyAcceptance(pts), nil
 		})
 	}
 	if failed {

@@ -132,13 +132,20 @@ func MinimizeContext(ctx context.Context, sys *model.System, families []Family, 
 		svc = service.New(service.Options{Shards: 1})
 	}
 
+	// All oracle traffic flows through one probe session: the searches
+	// below move one platform's parameters at a time, so the session's
+	// pinned previous result seeds each fresh probe's incremental
+	// re-analysis deterministically instead of relying on what the
+	// shared delta pool happens to retain.
+	sess := svc.NewSession()
+
 	work := sys.Clone()
 	alphas := make([]float64, len(families))
 	for m := range alphas {
 		alphas[m] = 1
 		work.Platforms[m] = families[m](1)
 	}
-	res, err := svc.AnalyzeOptions(ctx, work, opt.Analysis)
+	res, err := sess.AnalyzeOptions(ctx, work, opt.Analysis)
 	if err != nil {
 		return nil, err
 	}
@@ -176,7 +183,7 @@ func MinimizeContext(ctx context.Context, sys *model.System, families []Family, 
 		if err := ctx.Err(); err != nil {
 			return false, fmt.Errorf("design: %w", err)
 		}
-		r, err := svc.AnalyzeOptions(ctx, work, oracleOpt)
+		r, err := sess.AnalyzeOptions(ctx, work, oracleOpt)
 		if err != nil {
 			if ctx.Err() != nil {
 				return false, fmt.Errorf("design: %w", err)

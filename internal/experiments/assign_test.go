@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"hsched/internal/service"
+)
+
+// TestPolicyAcceptance locks the A10 sweep's invariants on a small
+// fixed-seeded run: deterministic results, Audsley dominating the
+// closed-form policies (the bottom-up search is optimal for
+// independent jittered task sets under the same bounded oracle), and
+// the probe traffic riding the shared service's memo and delta paths.
+func TestPolicyAcceptance(t *testing.T) {
+	utils := []float64{0.5, 0.65}
+	svc := service.New(service.Options{Shards: SweepShards(2)})
+	pts, err := PolicyAcceptance(utils, 10, 2000, 2, svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(utils) {
+		t.Fatalf("got %d points, want %d", len(pts), len(utils))
+	}
+	for _, p := range pts {
+		if p.Audsley < p.RM || p.Audsley < p.DM {
+			t.Errorf("U=%v: audsley %.2f below rm %.2f / dm %.2f — the optimal search lost to a closed-form ranking",
+				p.Utilization, p.Audsley, p.RM, p.DM)
+		}
+		for _, v := range []float64{p.RM, p.DM, p.HOPA, p.Audsley} {
+			if v < 0 || v > 1 {
+				t.Errorf("U=%v: acceptance ratio %v outside [0, 1]", p.Utilization, v)
+			}
+		}
+	}
+	st := svc.Stats()
+	if st.Hits == 0 || st.DeltaHits == 0 {
+		t.Errorf("policy sweep never shared probe traffic: %+v", st)
+	}
+
+	// Determinism: a rerun on a fresh service reproduces the points.
+	again, err := PolicyAcceptance(utils, 10, 2000, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(pts, again) {
+		t.Errorf("sweep not deterministic:\n%+v\nvs\n%+v", pts, again)
+	}
+}

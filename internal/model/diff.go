@@ -179,6 +179,42 @@ func Diff(old, new *System) *SystemDiff {
 	return d
 }
 
+// PriorityOnlyDiff reports whether two transactions differ only in
+// task priorities: same task count, period, deadline, and per-task
+// parameters (WCET, BCET, platform, blocking, first-task release
+// offset and jitter) — with at least one priority actually different.
+// Priorities enter the analysis purely through interference-set
+// membership (Eq. 17), so a priority-only edit has a much smaller
+// reach than a general one; the incremental re-analysis planner uses
+// this predicate to seed its dirty closure at task granularity (the
+// priority-search fast path). Floats are compared by bit pattern,
+// like txEquivalent.
+func PriorityOnlyDiff(a, b *Transaction) bool {
+	if len(a.Tasks) != len(b.Tasks) ||
+		math.Float64bits(a.Period) != math.Float64bits(b.Period) ||
+		math.Float64bits(a.Deadline) != math.Float64bits(b.Deadline) {
+		return false
+	}
+	changed := false
+	for j := range a.Tasks {
+		x, y := &a.Tasks[j], &b.Tasks[j]
+		if math.Float64bits(x.WCET) != math.Float64bits(y.WCET) ||
+			math.Float64bits(x.BCET) != math.Float64bits(y.BCET) ||
+			x.Platform != y.Platform ||
+			math.Float64bits(x.Blocking) != math.Float64bits(y.Blocking) {
+			return false
+		}
+		if j == 0 && (math.Float64bits(x.Offset) != math.Float64bits(y.Offset) ||
+			math.Float64bits(x.Jitter) != math.Float64bits(y.Jitter)) {
+			return false
+		}
+		if x.Priority != y.Priority {
+			changed = true
+		}
+	}
+	return changed
+}
+
 // txEquivalent compares two transactions on exactly the fields
 // Transaction.Fingerprint covers, but directly — no hashing. Floats
 // are compared by bit pattern, matching the fingerprint's encoding

@@ -1,11 +1,13 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"hsched/internal/analysis"
 	"hsched/internal/model"
+	"hsched/internal/service"
 )
 
 // audsleyUnassigned is the temporary priority of not-yet-assigned
@@ -13,6 +15,21 @@ import (
 // candidate under test sees the maximal interference from its own
 // platform.
 const audsleyUnassigned = 1 << 20
+
+// AudsleyOptions tunes AudsleyContext.
+type AudsleyOptions struct {
+	// Analysis configures the holistic oracle.
+	Analysis analysis.Options
+	// Service, when non-nil, is the analysis service the oracle probes
+	// route through (via a probe Session): consecutive probes are one
+	// priority move apart, so the session's pinned seed turns most of
+	// them into incremental re-analyses, and re-visited assignments
+	// (including the final verification of the last accepted probe)
+	// are answered by the verdict memo. When nil, the search runs a
+	// private single-shard service for its duration. Results are
+	// bit-identical to probing a private engine either way.
+	Service *service.Service
+}
 
 // Audsley performs Audsley-style optimal priority assignment per
 // platform, bottom-up, using the holistic analysis as the
@@ -35,8 +52,18 @@ const audsleyUnassigned = 1 << 20
 // The system's priorities are overwritten with the found assignment
 // (or the last attempted one when the search fails). It returns the
 // final analysis result and whether a full schedulable assignment was
-// found.
+// found; treat the result as read-only — it may be shared with the
+// oracle service's verdict memo.
 func Audsley(sys *model.System, opt analysis.Options) (*analysis.Result, bool, error) {
+	return AudsleyContext(context.Background(), sys, AudsleyOptions{Analysis: opt})
+}
+
+// AudsleyContext is Audsley with cancellation and an explicit oracle
+// service. The context is polled before every probe — a warm service
+// can answer the whole search from its memo without any analysis ever
+// observing the context, and the search must still honour a
+// cancellation — and aborts the analyses themselves.
+func AudsleyContext(ctx context.Context, sys *model.System, opt AudsleyOptions) (*analysis.Result, bool, error) {
 	if err := sys.Validate(); err != nil {
 		return nil, false, err
 	}
@@ -56,11 +83,19 @@ func Audsley(sys *model.System, opt analysis.Options) (*analysis.Result, bool, e
 
 	task := func(r ref) *model.Task { return &sys.Transactions[r.i].Tasks[r.j] }
 
-	// One engine serves every oracle probe of the search: only
-	// priorities change between probes (the hp cache rebuilds, but the
-	// working system and all round buffers amortise across the
-	// hundreds of calls).
-	eng := analysis.NewEngine(opt)
+	// One probe session serves every oracle query of the search: only
+	// priorities change between probes, so each probe re-analyses
+	// incrementally against the session's pinned previous result, and
+	// assignments the search revisits (notably the final analysis of
+	// an attempt, which re-states the last accepted probe) come
+	// straight from the service's verdict memo.
+	sess := sessionFor(opt.Service)
+	probe := func() (*analysis.Result, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("sched: %w", err)
+		}
+		return sess.AnalyzeOptions(ctx, sys, opt.Analysis)
+	}
 
 	attempt := func(order []int) (*analysis.Result, bool, error) {
 		for i := range sys.Transactions {
@@ -78,7 +113,7 @@ func Audsley(sys *model.System, opt analysis.Options) (*analysis.Result, bool, e
 						continue
 					}
 					task(refs[c]).Priority = level
-					res, err := eng.Analyze(sys)
+					res, err := probe()
 					if err != nil {
 						return nil, false, fmt.Errorf("sched: audsley oracle: %w", err)
 					}
@@ -91,7 +126,7 @@ func Audsley(sys *model.System, opt analysis.Options) (*analysis.Result, bool, e
 					task(refs[c]).Priority = audsleyUnassigned
 				}
 				if !found {
-					res, err := eng.Analyze(sys)
+					res, err := probe()
 					if err != nil {
 						return nil, false, err
 					}
@@ -99,7 +134,7 @@ func Audsley(sys *model.System, opt analysis.Options) (*analysis.Result, bool, e
 				}
 			}
 		}
-		res, err := eng.Analyze(sys)
+		res, err := probe()
 		if err != nil {
 			return nil, false, err
 		}

@@ -1,18 +1,31 @@
 // Package sched assigns local fixed priorities to the tasks of a
-// system: the classical rate- and deadline-monotonic policies, plus a
+// system: the classical rate- and deadline-monotonic policies, a
 // HOPA-style heuristic (after Gutiérrez García & González Harbour)
 // that distributes end-to-end deadlines over the tasks of each chain
-// and iterates against the holistic analysis — useful because the
-// paper's model leaves priority assignment to the component designer.
+// and iterates against the holistic analysis, and an Audsley-style
+// optimal per-platform search — useful because the paper's model
+// leaves priority assignment to the component designer. Assign
+// dispatches over the four policies by name.
+//
+// The iterative searches (HOPA, Audsley) probe chains of systems one
+// priority move apart — exactly the near-match shape the analysis
+// service's incremental path serves — so their oracles run through a
+// service.Session: each probe is seeded by the previous result and
+// re-analyses only what the move can reach, revisited assignments come
+// from the verdict memo, and sharing one service across searches
+// shares all of it. Results are bit-identical to probing a private
+// engine.
 package sched
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
 	"hsched/internal/analysis"
 	"hsched/internal/model"
+	"hsched/internal/service"
 )
 
 // RateMonotonic assigns every task the priority rank of its
@@ -71,6 +84,12 @@ type HOPAOptions struct {
 	Iterations int
 	// Analysis configures the holistic oracle.
 	Analysis analysis.Options
+	// Service, when non-nil, is the analysis service the oracle probes
+	// route through (via a probe Session) — sharing it across searches
+	// shares its engine pool, verdict memo and delta-seed pool. When
+	// nil, the search runs a private single-shard service for its
+	// duration.
+	Service *service.Service
 }
 
 func (o HOPAOptions) iterations() int {
@@ -80,6 +99,18 @@ func (o HOPAOptions) iterations() int {
 	return o.Iterations
 }
 
+// sessionFor returns a probe session on svc, or on a private
+// single-shard service when svc is nil: the searches are sequential,
+// so one resident engine suffices, and the session's pinned seed plus
+// the verdict memo are what turn a chain of one-priority-apart probes
+// into memo hits and incremental re-analyses.
+func sessionFor(svc *service.Service) *service.Session {
+	if svc == nil {
+		svc = service.New(service.Options{Shards: 1})
+	}
+	return svc.NewSession()
+}
+
 // HOPA searches a priority assignment for a system of multi-platform
 // transactions: end-to-end deadlines are split into per-task local
 // deadlines proportional to the tasks' scaled demand, priorities
@@ -87,9 +118,21 @@ func (o HOPAOptions) iterations() int {
 // is analysed, and local deadlines are redistributed proportionally to
 // each task's share of the chain's response time. The best assignment
 // seen (schedulable with the largest minimum slack, or failing that
-// the smallest worst normalised response) is installed in the system,
+// the smallest worst normalised overshoot) is installed in the system,
 // and the corresponding analysis result returned.
+//
+// The oracle runs through an analysis service (HOPAOptions.Service, or
+// a private one); treat the returned result as read-only — it may be
+// shared with the service's verdict memo.
 func HOPA(sys *model.System, opt HOPAOptions) (*analysis.Result, error) {
+	return HOPAContext(context.Background(), sys, opt)
+}
+
+// HOPAContext is HOPA with cancellation: the context is polled before
+// every oracle probe — a warm service can answer every probe from its
+// memo without ever observing the context, and the search must still
+// honour a cancellation — and aborts the analyses themselves.
+func HOPAContext(ctx context.Context, sys *model.System, opt HOPAOptions) (*analysis.Result, error) {
 	if err := sys.Validate(); err != nil {
 		return nil, err
 	}
@@ -113,12 +156,17 @@ func HOPA(sys *model.System, opt HOPAOptions) (*analysis.Result, error) {
 	}
 	var best *candidate
 
-	// Only priorities change between rounds, so one engine amortises
-	// its working copy and buffers across the whole iteration.
-	eng := analysis.NewEngine(opt.Analysis)
+	// Only priorities change between rounds, so a probe session keeps
+	// every round one edit away from its pinned previous result: the
+	// re-analysis replays whatever the priority moves provably cannot
+	// reach, and revisited assignments are answered by the memo.
+	sess := sessionFor(opt.Service)
 	for round := 0; round < opt.iterations(); round++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("sched: %w", err)
+		}
 		assignByLocalDeadlines(sys, locals)
-		res, err := eng.Analyze(sys)
+		res, err := sess.AnalyzeOptions(ctx, sys, opt.Analysis)
 		if err != nil {
 			return nil, err
 		}
@@ -154,22 +202,48 @@ func HOPA(sys *model.System, opt HOPAOptions) (*analysis.Result, error) {
 	return best.res, nil
 }
 
+// unboundedPenalty separates the score bands of assignments with
+// unbounded (diverging) transaction responses: each unbounded chain
+// costs one penalty, so candidates first compare by how many chains
+// diverge and only then by the slack of the bounded ones. The finite
+// slack contribution is clamped to ±slackClamp < unboundedPenalty/2,
+// so the bands can never overlap however astronomic an overshoot gets
+// — beyond the clamp two failures are equally hopeless anyway.
+const (
+	unboundedPenalty = 1e9
+	slackClamp       = unboundedPenalty / 4
+)
+
 // scoreOf prefers schedulable results with large minimum slack and
-// penalises unschedulable ones by their worst normalised overshoot.
+// penalises unschedulable ones by their worst normalised overshoot
+// (the most negative slack), so the search keeps the least-bad failing
+// assignment rather than the first one it saw. Assignments with
+// unbounded responses rank below every bounded one, ordered by how
+// many chains diverge and then by the slack of those that do not.
 func scoreOf(res *analysis.Result) float64 {
 	minSlack := math.Inf(1)
+	unbounded := 0
 	for i := range res.Tasks {
 		tr := res.System.Transactions[i]
 		r := res.TransactionResponse(i)
 		if math.IsInf(r, 1) {
-			return math.Inf(-1)
+			unbounded++
+			continue
 		}
 		slack := (tr.Deadline - r) / tr.Deadline
 		if slack < minSlack {
 			minSlack = slack
 		}
 	}
-	return minSlack
+	if unbounded == 0 {
+		return math.Max(minSlack, -slackClamp)
+	}
+	if math.IsInf(minSlack, 1) {
+		// Every chain diverges: nothing finite left to rank by.
+		minSlack = 0
+	}
+	minSlack = math.Max(math.Min(minSlack, slackClamp), -slackClamp)
+	return minSlack - unboundedPenalty*float64(unbounded)
 }
 
 func assignByLocalDeadlines(sys *model.System, locals [][]float64) {

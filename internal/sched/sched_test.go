@@ -4,7 +4,6 @@ import (
 	"testing"
 
 	"hsched/internal/analysis"
-	"hsched/internal/experiments"
 	"hsched/internal/model"
 	"hsched/internal/platform"
 )
@@ -77,7 +76,7 @@ func TestHOPAFindsSchedulableAssignment(t *testing.T) {
 // TestHOPAOnPaperExample: HOPA must keep the paper example schedulable
 // (it may find a different but valid assignment).
 func TestHOPAOnPaperExample(t *testing.T) {
-	sys := experiments.PaperSystem()
+	sys := paperSystem()
 	res, err := HOPA(sys, HOPAOptions{})
 	if err != nil {
 		t.Fatalf("HOPA: %v", err)

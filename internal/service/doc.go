@@ -66,6 +66,16 @@
 //     reuses a warm engine while distinct systems analyse
 //     concurrently on other shards.
 //
+// Search loops — the priority-assignment searches of package sched,
+// the bandwidth minimisation of package design, an admission
+// controller trialling edits — probe chains of one-edit-apart systems
+// and should hold a Session (NewSession): the session pins the
+// caller's previous result as the explicit seed of the next probe, so
+// the chained probes ride the incremental path deterministically
+// instead of depending on what the shared pool retains, and
+// SessionStats attributes the session's share of the traffic
+// (probes, memo hits, executed analyses, delta hits, rounds saved).
+//
 // Every entry point takes a context.Context and cancels the underlying
 // analysis promptly (see analysis.Engine.AnalyzeContext for the
 // polling points). Stats exposes queries, hits, misses, evictions,
@@ -75,10 +85,13 @@
 // exactly the number of analyses executed, and DeltaHits ⊆ Misses —
 // which is what the design-search and benchmark tests assert on.
 //
-// The heavy consumers are wired through this package: design.Minimize
-// routes its feasibility oracle through a Service (revisited points
-// memo-hit, fresh one-platform-apart probes delta-hit), the
-// experiments acceptance sweep shares one Service across its workers,
+// The heavy consumers are wired through this package: sched.Audsley
+// and sched.HOPA probe their schedulability oracle through a Session
+// (one-priority-move probes delta-hit via the priority-band dirty
+// rule, revisited assignments memo-hit), design.Minimize routes its
+// feasibility oracle the same way (revisited points memo-hit, fresh
+// one-platform-apart probes delta-hit), the experiments acceptance and
+// policy sweeps share one Service across their workers,
 // experiments.AdmissionChurn replays the canonical admit/retune/drop
 // workload against one, and the hsched façade's package-level
 // Analyze/AnalyzeStatic are thin wrappers over a process-wide default

@@ -239,23 +239,23 @@ func New(opt Options) *Service {
 // sys under the service's default options. It is safe for concurrent
 // use; ctx cancels the underlying analysis promptly.
 func (s *Service) Analyze(ctx context.Context, sys *model.System) (*analysis.Result, error) {
-	return s.analyze(ctx, sys, s.opt.Analysis, false)
+	return s.analyze(ctx, sys, s.opt.Analysis, false, nil)
 }
 
 // AnalyzeOptions is Analyze with per-query analysis options.
 func (s *Service) AnalyzeOptions(ctx context.Context, sys *model.System, opt analysis.Options) (*analysis.Result, error) {
-	return s.analyze(ctx, sys, opt, false)
+	return s.analyze(ctx, sys, opt, false, nil)
 }
 
 // AnalyzeStatic runs (or recalls) the one-pass static-offset analysis
 // of sys under the service's default options.
 func (s *Service) AnalyzeStatic(ctx context.Context, sys *model.System) (*analysis.Result, error) {
-	return s.analyze(ctx, sys, s.opt.Analysis, true)
+	return s.analyze(ctx, sys, s.opt.Analysis, true, nil)
 }
 
 // AnalyzeStaticOptions is AnalyzeStatic with per-query options.
 func (s *Service) AnalyzeStaticOptions(ctx context.Context, sys *model.System, opt analysis.Options) (*analysis.Result, error) {
-	return s.analyze(ctx, sys, opt, true)
+	return s.analyze(ctx, sys, opt, true, nil)
 }
 
 // Stats returns a snapshot of the service counters.
@@ -287,7 +287,7 @@ func (s *Service) Reset() {
 	}
 }
 
-func (s *Service) analyze(ctx context.Context, sys *model.System, opt analysis.Options, static bool) (*analysis.Result, error) {
+func (s *Service) analyze(ctx context.Context, sys *model.System, opt analysis.Options, static bool, sess *Session) (*analysis.Result, error) {
 	// No up-front Validate: the engine validates on every miss, and an
 	// invalid system can never collide with a valid system's
 	// fingerprint (the fingerprint covers every field validation
@@ -295,6 +295,9 @@ func (s *Service) analyze(ctx context.Context, sys *model.System, opt analysis.O
 	// expensive part of a memoised query.
 	fp := sys.Fingerprint()
 
+	if sess != nil {
+		sess.noteProbe()
+	}
 	if opt.Recorder != nil {
 		// Recorder queries want their per-iteration callbacks fired,
 		// which a memo hit would silence; they bypass both the memo
@@ -305,6 +308,9 @@ func (s *Service) analyze(ctx context.Context, sys *model.System, opt analysis.O
 		s.stats.Misses++
 		s.mu.Unlock()
 		res, err := s.runFresh(ctx, sys, opt, static)
+		if sess != nil {
+			sess.noteExecuted(res)
+		}
 		if err == nil && res.ScenariosPruned > 0 {
 			s.mu.Lock()
 			s.stats.ScenariosPruned += res.ScenariosPruned
@@ -328,6 +334,9 @@ func (s *Service) analyze(ctx context.Context, sys *model.System, opt analysis.O
 			s.stats.Hits++
 			res := el.Value.(*entry).res
 			s.mu.Unlock()
+			if sess != nil {
+				sess.noteHit()
+			}
 			return res, nil
 		}
 		if fl, ok := s.inflight[key]; ok {
@@ -343,6 +352,9 @@ func (s *Service) analyze(ctx context.Context, sys *model.System, opt analysis.O
 				s.stats.Hits++
 				s.stats.InflightDedups++
 				s.mu.Unlock()
+				if sess != nil {
+					sess.noteHit()
+				}
 			}
 			select {
 			case <-fl.done:
@@ -368,18 +380,28 @@ func (s *Service) analyze(ctx context.Context, sys *model.System, opt analysis.O
 		s.inflight[key] = fl
 		s.mu.Unlock()
 
-		// Before running cold, look for a resident near-match to seed
-		// an incremental analysis: same options, overlapping
-		// transaction set. The engine re-verifies soundness and falls
-		// back transparently, so a bad candidate only costs the plan.
+		// Before running cold, look for a seed for an incremental
+		// analysis: the session's pinned previous result first (the
+		// deterministic chained-probe path), then a resident near-match
+		// from the delta pool — same options, overlapping transaction
+		// set. The engine re-verifies soundness and falls back
+		// transparently, so a bad candidate only costs the plan.
 		var seed *analysis.Result
 		var txFPs []model.Fingerprint
 		if !static && opt.Recorder == nil && s.opt.deltaWindow() > 0 {
 			txFPs = sys.TransactionFingerprints()
-			seed = s.findSeed(key.opt, txFPs, sys)
+			if sess != nil {
+				seed = sess.currentSeed()
+			}
+			if seed == nil {
+				seed = s.findSeed(key.opt, txFPs, sys)
+			}
 		}
 
 		res, cost, err := s.run(ctx, fp, sys, opt, static, seed)
+		if sess != nil {
+			sess.noteExecuted(res)
+		}
 
 		// The eviction policy prices entries by recomputation cost,
 		// which for a delta-produced result is its *cold* cost, not the

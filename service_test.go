@@ -63,3 +63,54 @@ func TestFacadeService(t *testing.T) {
 		t.Error("cancelled context should abort the analysis")
 	}
 }
+
+// TestFacadeAssign drives the priority-assignment surface through the
+// façade: the policy dispatcher over a shared service, the direct
+// search entry points, and the probe-session statistics.
+func TestFacadeAssign(t *testing.T) {
+	ctx := context.Background()
+	svc := hsched.NewService(hsched.ServiceOptions{Shards: 1})
+
+	for _, policy := range hsched.AssignPolicies() {
+		sys := experiments.PaperSystem()
+		res, ok, err := hsched.Assign(ctx, sys, policy, hsched.AssignOptions{Service: svc})
+		if err != nil {
+			t.Fatalf("%s: %v", policy, err)
+		}
+		if !ok || !res.Schedulable {
+			t.Errorf("%s: paper example should stay schedulable", policy)
+		}
+	}
+	st := svc.Stats()
+	if st.Queries == 0 || st.Hits+st.Misses != st.Queries {
+		t.Fatalf("assign traffic not accounted on the shared service: %+v", st)
+	}
+	if st.DeltaHits == 0 {
+		t.Errorf("the searches' probe chains never rode the incremental path: %+v", st)
+	}
+
+	// A probe session is constructible and queryable from the façade.
+	var sess *hsched.ProbeSession = svc.NewSession()
+	if _, err := sess.Analyze(ctx, experiments.PaperSystem()); err != nil {
+		t.Fatal(err)
+	}
+	var ss hsched.SessionStats = sess.Stats()
+	if ss.Probes != 1 || ss.MemoHits+ss.Executed != ss.Probes {
+		t.Errorf("session stats inconsistent: %+v", ss)
+	}
+
+	// Audsley installs a schedulable assignment even from scratch.
+	sys := experiments.PaperSystem()
+	for i := range sys.Transactions {
+		for j := range sys.Transactions[i].Tasks {
+			sys.Transactions[i].Tasks[j].Priority = 0
+		}
+	}
+	res, ok, err := hsched.Audsley(sys, hsched.AnalysisOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || !res.Schedulable {
+		t.Errorf("Audsley failed on the priority-free paper example")
+	}
+}
