@@ -8,7 +8,8 @@
 //
 //	hsched [-spec system.json] [-exact] [-static] [-tight] [-dump] [-sensitivity] [-workers n] [-cache] [-delta]
 //	hsched assign [-spec system.json] [-policy rm|dm|hopa|audsley] [-iterations n] [-exact] [-workers n] [-cache] [-delta]
-//	hsched bench [-workload default|exact-heavy|assign] [-systems n] [-mutations n] [-queries n] [-goroutines n] [-shards n] [-capacity n] [-exact] [-seed n] [-util u] [-delta] [-json]
+//	hsched bench [-workload default|exact-heavy|assign] [-systems n] [-mutations n] [-queries n] [-goroutines n] [-shards n] [-capacity n] [-exact] [-seed n] [-util u] [-delta] [-json] [-remote URL] [-pipeline n]
+//	hsched serve [-addr host:port] [-shards n] [-cache n] [-delta] [-max-inflight n] [-max-sessions n] [-parse-memo n] [-workers n] [-drain d]
 //
 // The assign subcommand searches a local fixed-priority assignment
 // (the paper leaves it to the component designer): the classical
@@ -21,10 +22,20 @@
 // exact scenario sweeps (exact-heavy), or full priority-assignment
 // searches (assign); it reports throughput, cache hit rate,
 // incremental (delta) hit rate and p50/p99 query latency; -json emits
-// a machine-readable report.
+// a machine-readable report. With -remote URL the same workload is
+// fired over HTTP at a running `hsched serve` instance instead of the
+// in-process service (-pipeline n keeps n requests in flight per
+// connection).
+//
+// The serve subcommand runs the HTTP/JSON analysis server of
+// internal/httpd: POST /v1/analyze, /v1/assign and /v1/minimize over
+// one shared memoised service, per-client probe sessions under
+// /v1/session, per-request deadlines via X-Deadline-Ms, and GET
+// /v1/stats. SIGTERM drains gracefully.
 //
 // Exit status is 0 when the system is schedulable (or the benchmark
-// succeeded), 2 when the system is not schedulable, and 1 on errors.
+// succeeded, or the server drained cleanly), 2 when the system is not
+// schedulable, and 1 on errors.
 package main
 
 import (
@@ -41,6 +52,8 @@ func main() {
 			os.Exit(cli.Bench(args[1:], os.Stdout, os.Stderr))
 		case "assign":
 			os.Exit(cli.Assign(args[1:], os.Stdout, os.Stderr))
+		case "serve":
+			os.Exit(cli.Serve(args[1:], os.Stdout, os.Stderr))
 		}
 	}
 	os.Exit(cli.Analyze(args, os.Stdout, os.Stderr))

@@ -63,6 +63,12 @@
 //	sweeping huge populations         NewAnalyzer inside batch.MapWorkers
 //	choosing task priorities          Assign (policy rm/dm/hopa/audsley)
 //	search loop of one-edit probes    Service.NewSession + ProbeSession
+//	other processes or hosts          `hsched serve` (internal/httpd):
+//	                                  the same service over HTTP/JSON,
+//	                                  with ProbeSessions as per-client
+//	                                  session tokens (remote probe
+//	                                  chains send diff-shaped edits and
+//	                                  ride the incremental path)
 //
 // Results returned by the service-backed entry points (Analyze,
 // AnalyzeContext, Service.Analyze) may be shared with other callers —

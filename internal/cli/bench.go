@@ -1,23 +1,30 @@
 package cli
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
+	"net/url"
 	"os"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"hsched/internal/analysis"
 	"hsched/internal/gen"
+	"hsched/internal/httpd"
 	"hsched/internal/model"
 	"hsched/internal/sched"
 	"hsched/internal/service"
+	"hsched/internal/spec"
 )
 
 // benchReport is the machine-readable form of a bench run, emitted by
@@ -27,6 +34,7 @@ import (
 // committed baseline the CI regression gate compares against.
 type benchReport struct {
 	Workload   string  `json:"workload"`
+	Remote     string  `json:"remote,omitempty"`
 	Systems    int     `json:"systems"`
 	Mutations  int     `json:"mutations"`
 	Queries    int     `json:"queries"`
@@ -41,17 +49,12 @@ type benchReport struct {
 		P99us float64 `json:"p99_us"`
 		MaxUs float64 `json:"max_us"`
 	} `json:"latency"`
+	// Cache inlines service.Stats — the json tags of the two are one
+	// wire contract, asserted by the service's round-trip tests.
 	Cache struct {
-		Queries         int64   `json:"queries"`
-		Hits            int64   `json:"hits"`
-		Misses          int64   `json:"misses"`
-		Evictions       int64   `json:"evictions"`
-		InflightDedups  int64   `json:"inflight_dedups"`
-		DeltaHits       int64   `json:"delta_hits"`
-		RoundsSaved     int64   `json:"rounds_saved"`
-		ScenariosPruned int64   `json:"scenarios_pruned"`
-		HitRate         float64 `json:"hit_rate"`
-		DeltaHitRate    float64 `json:"delta_hit_rate"`
+		service.Stats
+		HitRate      float64 `json:"hit_rate"`
+		DeltaHitRate float64 `json:"delta_hit_rate"`
 	} `json:"cache"`
 }
 
@@ -82,6 +85,16 @@ const regressionTolerance = 0.75
 // measured throughput against a recorded baseline (BENCH_seed.json,
 // or a previous -json report) and fails on a >25% regression. Exit
 // codes: 0 success, 1 error or regression.
+//
+// -remote URL switches to client mode: the same workload is
+// serialised once and fired over keep-alive HTTP at a running
+// `hsched serve` instance; the report's cache block is then the
+// server-side counter delta and the baseline key becomes "serve"
+// (or "serve-<preset>"), since wire-bound throughput gates against
+// its own baseline. -pipeline n keeps up to n requests in flight per
+// connection (HTTP/1.1 pipelining), which amortises the per-round-trip
+// syscall cost on loopback; latencies then include the queueing the
+// window introduces.
 func Bench(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("hsched bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -99,6 +112,8 @@ func Bench(args []string, stdout, stderr io.Writer) int {
 		delta      = fs.Bool("delta", true, "route near-match queries through the incremental (delta) analysis")
 		jsonOut    = fs.Bool("json", false, "emit a machine-readable JSON report instead of text")
 		compare    = fs.String("compare", "", "baseline report file; exit non-zero when throughput regresses >25% against the matching workload entry")
+		remote     = fs.String("remote", "", "benchmark a running `hsched serve` instance at this base URL instead of the in-process service")
+		pipeline   = fs.Int("pipeline", 1, "remote mode: requests in flight per connection (HTTP/1.1 pipelining; latencies then include pipeline queueing)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 1
@@ -187,43 +202,65 @@ func Bench(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	deltaWindow := 0
-	if !*delta {
-		deltaWindow = -1
-	}
-	svc := service.New(service.Options{
-		Shards:      *shards,
-		Capacity:    *capacity,
-		DeltaWindow: deltaWindow,
-		Analysis:    analysis.Options{Exact: *exact, StopAtDeadlineMiss: true, Workers: 1},
-	})
-
-	// One query is one service call — except on the assign workload,
-	// where it is one whole priority-assignment search probing the
-	// shared service through its own session (the population member is
-	// cloned: the search overwrites priorities in place).
-	query := func(ctx context.Context, k int) error {
-		_, err := svc.Analyze(ctx, pop[k%len(pop)])
-		return err
-	}
-	if *workload == "assign" {
-		assignOpt := analysis.Options{Exact: *exact, Workers: 1}
-		query = func(ctx context.Context, k int) error {
-			sys := pop[k%len(pop)].Clone()
-			_, _, err := sched.Assign(ctx, sys, sched.PolicyAudsley, sched.AssignOptions{
-				Analysis: assignOpt,
-				Service:  svc,
-			})
-			return err
-		}
-	}
-
 	clients := *goroutines
 	if clients <= 0 {
 		clients = runtime.GOMAXPROCS(0)
 	}
-	ctx := context.Background()
+
+	// query issues one benchmark query; finalStats snapshots the
+	// service counters the run accumulated (remotely: the server-side
+	// counter delta over the run). Remote runs time their own queries
+	// (a pipelined response completes on a later query call than the
+	// one that wrote its request) and drain pending responses through
+	// flush.
 	latencies := make([]time.Duration, *queries)
+	var (
+		query      func(ctx context.Context, k int) error
+		flush      func() error
+		finalStats func() (service.Stats, error)
+	)
+	if *remote != "" {
+		rec := func(k int, d time.Duration) { latencies[k] = d }
+		q, fl, fin, err := remoteQuerier(*remote, *workload, *exact, clients, *pipeline, pop, rec)
+		if err != nil {
+			fmt.Fprintln(stderr, "hsched bench:", err)
+			return 1
+		}
+		query, flush, finalStats = q, fl, fin
+	} else {
+		deltaWindow := 0
+		if !*delta {
+			deltaWindow = -1
+		}
+		svc := service.New(service.Options{
+			Shards:      *shards,
+			Capacity:    *capacity,
+			DeltaWindow: deltaWindow,
+			Analysis:    analysis.Options{Exact: *exact, StopAtDeadlineMiss: true, Workers: 1},
+		})
+		// One query is one service call — except on the assign
+		// workload, where it is one whole priority-assignment search
+		// probing the shared service through its own session (the
+		// population member is cloned: the search overwrites
+		// priorities in place).
+		query = func(ctx context.Context, k int) error {
+			_, err := svc.Analyze(ctx, pop[k%len(pop)])
+			return err
+		}
+		if *workload == "assign" {
+			assignOpt := analysis.Options{Exact: *exact, Workers: 1}
+			query = func(ctx context.Context, k int) error {
+				sys := pop[k%len(pop)].Clone()
+				_, _, err := sched.Assign(ctx, sys, sched.PolicyAudsley, sched.AssignOptions{
+					Analysis: assignOpt,
+					Service:  svc,
+				})
+				return err
+			}
+		}
+		finalStats = func() (service.Stats, error) { return svc.Stats(), nil }
+	}
+	ctx := context.Background()
 	var (
 		next     atomic.Int64
 		firstErr atomic.Value
@@ -241,7 +278,10 @@ func Bench(args []string, stdout, stderr io.Writer) int {
 				}
 				t0 := time.Now()
 				err := query(ctx, k)
-				latencies[k] = time.Since(t0)
+				if flush == nil {
+					// Remote queries time themselves (see rec).
+					latencies[k] = time.Since(t0)
+				}
 				if err != nil {
 					firstErr.CompareAndSwap(nil, err)
 					return
@@ -250,6 +290,11 @@ func Bench(args []string, stdout, stderr io.Writer) int {
 		}()
 	}
 	wg.Wait()
+	if flush != nil {
+		if err := flush(); err != nil {
+			firstErr.CompareAndSwap(nil, err)
+		}
+	}
 	elapsed := time.Since(start)
 	if err := firstErr.Load(); err != nil {
 		fmt.Fprintln(stderr, "hsched bench:", err)
@@ -261,28 +306,31 @@ func Bench(args []string, stdout, stderr io.Writer) int {
 		idx := int(q * float64(len(latencies)-1))
 		return latencies[idx]
 	}
-	st := svc.Stats()
+	st, err := finalStats()
+	if err != nil {
+		fmt.Fprintln(stderr, "hsched bench:", err)
+		return 1
+	}
 
 	rep := benchReport{
-		Workload: *workload,
-		Systems:  *systems, Mutations: *mutations, Queries: *queries,
+		Workload: *workload, Remote: *remote,
+		Systems: *systems, Mutations: *mutations, Queries: *queries,
 		Goroutines: clients, Exact: *exact, Delta: *delta,
 		ElapsedMS:  float64(elapsed.Microseconds()) / 1e3,
 		Throughput: float64(*queries) / elapsed.Seconds(),
+	}
+	if *remote != "" {
+		// Remote runs gate against their own baseline key: the wire
+		// round-trip dominates, so comparing them to the in-process
+		// numbers would always read as a regression.
+		rep.Workload = remoteWorkloadName(*workload)
 	}
 	us := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
 	rep.Latency.P50us = us(quantile(0.50))
 	rep.Latency.P90us = us(quantile(0.90))
 	rep.Latency.P99us = us(quantile(0.99))
 	rep.Latency.MaxUs = us(latencies[len(latencies)-1])
-	rep.Cache.Queries = st.Queries
-	rep.Cache.Hits = st.Hits
-	rep.Cache.Misses = st.Misses
-	rep.Cache.Evictions = st.Evictions
-	rep.Cache.InflightDedups = st.InflightDedups
-	rep.Cache.DeltaHits = st.DeltaHits
-	rep.Cache.RoundsSaved = st.RoundsSaved
-	rep.Cache.ScenariosPruned = st.ScenariosPruned
+	rep.Cache.Stats = st
 	rep.Cache.HitRate = st.HitRate()
 	if st.Misses > 0 {
 		rep.Cache.DeltaHitRate = float64(st.DeltaHits) / float64(st.Misses)
@@ -297,7 +345,10 @@ func Bench(args []string, stdout, stderr io.Writer) int {
 		}
 	} else {
 		fmt.Fprintf(stdout, "workload: %s — %d systems x %d mutation chain, %d queries, %d goroutines, exact=%v delta=%v\n",
-			*workload, *systems, *mutations, *queries, clients, *exact, *delta)
+			rep.Workload, *systems, *mutations, *queries, clients, *exact, *delta)
+		if *remote != "" {
+			fmt.Fprintf(stdout, "remote: %s (cache stats are the server-side counter delta)\n", *remote)
+		}
 		fmt.Fprintf(stdout, "elapsed: %v  throughput: %.0f queries/s\n",
 			elapsed.Round(time.Millisecond), rep.Throughput)
 		fmt.Fprintf(stdout, "latency: p50=%v p90=%v p99=%v max=%v\n",
@@ -307,12 +358,214 @@ func Bench(args []string, stdout, stderr io.Writer) int {
 
 	if *compare != "" {
 		// Gate messages go to stderr so -json stdout stays parseable.
-		if err := compareThroughput(stderr, *compare, *workload, rep.Throughput); err != nil {
+		if err := compareThroughput(stderr, *compare, rep.Workload, rep.Throughput); err != nil {
 			fmt.Fprintln(stderr, "hsched bench:", err)
 			return 1
 		}
 	}
 	return 0
+}
+
+// remoteWorkloadName maps a workload preset to its baseline key for
+// remote (client-mode) runs: "serve" for the default preset,
+// "serve-<preset>" otherwise. Remote throughput is wire-bound, so it
+// gates against its own recorded baseline, never the in-process one.
+func remoteWorkloadName(workload string) string {
+	if workload == "default" {
+		return "serve"
+	}
+	return "serve-" + workload
+}
+
+// remoteQuerier builds the client-mode query function: the same
+// population, serialised once into request bodies and fired at a
+// running `hsched serve` over keep-alive connections. The returned
+// stats function reports the server-side counter delta over the run,
+// so the report's cache block means the same thing it does in-process.
+func remoteQuerier(base, workload string, exact bool, clients, window int, pop []*model.System, rec func(k int, d time.Duration)) (func(context.Context, int) error, func() error, func() (service.Stats, error), error) {
+	base = strings.TrimRight(base, "/")
+	u, err := url.Parse(base)
+	if err != nil || u.Host == "" {
+		return nil, nil, nil, fmt.Errorf("remote %q: not a URL", base)
+	}
+	if window < 1 {
+		window = 1
+	}
+
+	path := u.Path + "/v1/analyze"
+	if workload == "assign" {
+		path = u.Path + "/v1/assign"
+	}
+	// Pre-assemble every request down to the bytes on the wire: the
+	// benchmark measures the server and the transport, not client-side
+	// encoding — and net/http's full client stack costs several times
+	// a memo-hit analysis per request, so the hot loop writes these
+	// over persistent connections instead (one per goroutine, pooled),
+	// keeping up to `window` requests in flight per connection.
+	reqs := make([][]byte, len(pop))
+	for k, sys := range pop {
+		var (
+			data []byte
+			err  error
+		)
+		if workload == "assign" {
+			data, err = json.Marshal(&httpd.AssignRequest{
+				System:  spec.FromSystem(sys),
+				Policy:  "audsley",
+				Options: httpd.OptionsSpec{Exact: exact},
+			})
+		} else {
+			data, err = json.Marshal(&httpd.AnalyzeRequest{
+				System:  spec.FromSystem(sys),
+				Options: httpd.OptionsSpec{Exact: exact, StopAtDeadlineMiss: true},
+			})
+		}
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		reqs[k] = fmt.Appendf(nil,
+			"POST %s HTTP/1.1\r\nHost: %s\r\nContent-Type: application/json\r\nContent-Length: %d\r\n\r\n%s",
+			path, u.Host, len(data), data)
+	}
+
+	client := &http.Client{}
+	before, err := remoteStats(client, base)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("remote %s unreachable: %w", base, err)
+	}
+
+	conns := make(chan *benchConn, clients)
+	query := func(ctx context.Context, k int) error {
+		var bc *benchConn
+		select {
+		case bc = <-conns:
+		default:
+			var err error
+			if bc, err = dialBench(u.Host); err != nil {
+				return err
+			}
+		}
+		if err := bc.submit(k, reqs[k%len(reqs)], window, rec); err != nil {
+			bc.conn.Close()
+			return fmt.Errorf("remote %s: %w", path, err)
+		}
+		conns <- bc
+		return nil
+	}
+	// flush drains the responses still in flight at the end of the run
+	// and closes every pooled connection.
+	flush := func() error {
+		var firstErr error
+		for {
+			select {
+			case bc := <-conns:
+				for len(bc.inflight) > 0 && firstErr == nil {
+					firstErr = bc.readOne(rec)
+				}
+				bc.conn.Close()
+			default:
+				if firstErr != nil {
+					return fmt.Errorf("remote %s: %w", path, firstErr)
+				}
+				return nil
+			}
+		}
+	}
+	finalStats := func() (service.Stats, error) {
+		after, err := remoteStats(client, base)
+		if err != nil {
+			return service.Stats{}, err
+		}
+		return service.Stats{
+			Queries:         after.Queries - before.Queries,
+			Hits:            after.Hits - before.Hits,
+			Misses:          after.Misses - before.Misses,
+			Evictions:       after.Evictions - before.Evictions,
+			InflightDedups:  after.InflightDedups - before.InflightDedups,
+			DeltaHits:       after.DeltaHits - before.DeltaHits,
+			RoundsSaved:     after.RoundsSaved - before.RoundsSaved,
+			ScenariosPruned: after.ScenariosPruned - before.ScenariosPruned,
+		}, nil
+	}
+	return query, flush, finalStats, nil
+}
+
+// benchConn is one persistent keep-alive connection of the bench
+// client's hot loop, carrying the write-time FIFO of its in-flight
+// pipelined requests.
+type benchConn struct {
+	conn     net.Conn
+	br       *bufio.Reader
+	inflight []pendingReq
+}
+
+// pendingReq is one written-but-unanswered request: responses arrive
+// in request order, so the head of the FIFO names the next response.
+type pendingReq struct {
+	k  int
+	t0 time.Time
+}
+
+func dialBench(host string) (*benchConn, error) {
+	conn, err := net.Dial("tcp", host)
+	if err != nil {
+		return nil, err
+	}
+	return &benchConn{conn: conn, br: bufio.NewReader(conn)}, nil
+}
+
+// submit writes one pre-assembled request, then reads responses until
+// the connection is back under its pipeline window. Each response is
+// timed from its own request's write (rec), so pipelined latencies
+// include the queueing the window introduces.
+func (c *benchConn) submit(k int, req []byte, window int, rec func(int, time.Duration)) error {
+	c.conn.SetDeadline(time.Now().Add(2 * time.Minute)) //nolint:errcheck
+	t0 := time.Now()
+	if _, err := c.conn.Write(req); err != nil {
+		return err
+	}
+	c.inflight = append(c.inflight, pendingReq{k: k, t0: t0})
+	for len(c.inflight) >= window {
+		if err := c.readOne(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readOne consumes the response of the oldest in-flight request,
+// draining the body so the connection stays reusable.
+func (c *benchConn) readOne(rec func(int, time.Duration)) error {
+	p := c.inflight[0]
+	c.inflight = c.inflight[1:]
+	resp, err := http.ReadResponse(c.br, nil)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	rec(p.k, time.Since(p.t0))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// remoteStats fetches the server's service counters from /v1/stats.
+func remoteStats(client *http.Client, base string) (service.Stats, error) {
+	resp, err := client.Get(base + "/v1/stats")
+	if err != nil {
+		return service.Stats{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return service.Stats{}, fmt.Errorf("GET /v1/stats: status %d", resp.StatusCode)
+	}
+	var st httpd.StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return service.Stats{}, fmt.Errorf("GET /v1/stats: %w", err)
+	}
+	return st.Service, nil
 }
 
 // compareThroughput loads a baseline report file and fails when the

@@ -1,0 +1,304 @@
+package cli
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"hsched/internal/experiments"
+	"hsched/internal/httpd"
+	"hsched/internal/spec"
+)
+
+// syncBuffer is an io.Writer the server goroutine and the test can
+// share.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// startServe runs `hsched serve` on a free port and returns its base
+// URL, the exit-code channel and the stderr buffer (which receives the
+// final stats line on drain).
+func startServe(t *testing.T, args []string) (string, chan int, *syncBuffer) {
+	t.Helper()
+	stdout, stderr := &syncBuffer{}, &syncBuffer{}
+	exit := make(chan int, 1)
+	go func() {
+		exit <- Serve(append([]string{"-addr", "127.0.0.1:0"}, args...), stdout, stderr)
+	}()
+	const banner = "listening on "
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if out := stdout.String(); strings.Contains(out, banner) {
+			addr := out[strings.Index(out, banner)+len(banner):]
+			addr = strings.TrimSpace(addr[:strings.Index(addr, "\n")])
+			return "http://" + addr, exit, stderr
+		}
+		select {
+		case code := <-exit:
+			t.Fatalf("serve exited early with %d: %s", code, stderr.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("serve never printed its address; stdout: %q", stdout.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// sigterm delivers SIGTERM to this process — safe while Serve's
+// signal.NotifyContext is registered, which relays it as a context
+// cancel instead of the default termination.
+func sigterm(t *testing.T) {
+	t.Helper()
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServeSIGTERM is the CI smoke test in miniature: start the
+// server, analyse the paper example over the wire, check the stats
+// endpoint, SIGTERM, and require a clean exit with a final stats line.
+func TestServeSIGTERM(t *testing.T) {
+	base, exit, stderr := startServe(t, nil)
+
+	body, err := json.Marshal(&httpd.AnalyzeRequest{System: spec.FromSystem(experiments.PaperSystem())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/analyze", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("analyze: status %d: %s", resp.StatusCode, data)
+	}
+	var ar httpd.AnalyzeResponse
+	if err := json.Unmarshal(data, &ar); err != nil {
+		t.Fatal(err)
+	}
+	if !ar.Schedulable {
+		t.Error("paper example not schedulable over the wire")
+	}
+
+	sresp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st httpd.StatsResponse
+	err = json.NewDecoder(sresp.Body).Decode(&st)
+	sresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Service.Queries != 1 {
+		t.Errorf("service queries = %d, want 1", st.Service.Queries)
+	}
+
+	sigterm(t)
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("serve exited %d after SIGTERM: %s", code, stderr.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("serve did not exit after SIGTERM")
+	}
+	if !strings.Contains(stderr.String(), "final stats") {
+		t.Errorf("no final stats line on stderr: %q", stderr.String())
+	}
+	// The listener is gone.
+	if _, err := http.Get(base + "/v1/healthz"); err == nil {
+		t.Error("server still reachable after drained exit")
+	}
+}
+
+func TestServeBadFlags(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := Serve([]string{"-bogus"}, &out, &errb); code != 1 {
+		t.Errorf("bad flag: exit %d, want 1", code)
+	}
+	if code := Serve([]string{"-addr", "256.0.0.1:bad"}, &out, &errb); code != 1 {
+		t.Errorf("bad addr: exit %d, want 1", code)
+	}
+}
+
+// TestBenchRemote runs the bench client mode against a served
+// instance: the report must carry the "serve" baseline key, every
+// query must succeed, and the cache block must reflect the
+// server-side counters (high hit rate on the round-robin workload).
+func TestBenchRemote(t *testing.T) {
+	base, exit, _ := startServe(t, []string{"-max-inflight", "64"})
+
+	var out, errb bytes.Buffer
+	code := Bench([]string{
+		"-remote", base, "-systems", "4", "-mutations", "2",
+		"-queries", "128", "-goroutines", "4", "-json",
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("bench -remote exit %d: %s", code, errb.String())
+	}
+	var rep struct {
+		Workload   string  `json:"workload"`
+		Remote     string  `json:"remote"`
+		Throughput float64 `json:"throughput_qps"`
+		Cache      struct {
+			Queries int64 `json:"queries"`
+			Hits    int64 `json:"hits"`
+		} `json:"cache"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("report: %v\n%s", err, out.String())
+	}
+	if rep.Workload != "serve" || rep.Remote != base {
+		t.Errorf("report provenance: workload %q remote %q", rep.Workload, rep.Remote)
+	}
+	if rep.Throughput <= 0 {
+		t.Error("no throughput measured")
+	}
+	if rep.Cache.Queries != 128 {
+		t.Errorf("server-side query delta = %d, want 128", rep.Cache.Queries)
+	}
+	if rep.Cache.Hits == 0 {
+		t.Error("round-robin workload produced no server-side memo hits")
+	}
+
+	// Pipelined run over the same server: the window keeps several
+	// requests in flight per connection and flush drains the tail, so
+	// the server-side query delta must still match exactly.
+	out.Reset()
+	errb.Reset()
+	code = Bench([]string{
+		"-remote", base, "-systems", "4", "-mutations", "2",
+		"-queries", "128", "-goroutines", "2", "-pipeline", "8", "-json",
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("bench -remote -pipeline exit %d: %s", code, errb.String())
+	}
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("pipelined report: %v\n%s", err, out.String())
+	}
+	if rep.Cache.Queries != 128 {
+		t.Errorf("pipelined server-side query delta = %d, want 128", rep.Cache.Queries)
+	}
+	if rep.Throughput <= 0 {
+		t.Error("pipelined run measured no throughput")
+	}
+
+	sigterm(t)
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("serve exited %d", code)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("serve did not exit")
+	}
+}
+
+// TestBenchRemoteUnreachable: a dead remote is a startup error, not a
+// hang or a zero-query report.
+func TestBenchRemoteUnreachable(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := Bench([]string{"-remote", "http://127.0.0.1:1", "-queries", "8"}, &out, &errb); code != 1 {
+		t.Errorf("unreachable remote: exit %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "unreachable") {
+		t.Errorf("error does not say unreachable: %s", errb.String())
+	}
+}
+
+// TestServeSessionProbeChainRemote drives the remote Audsley-style
+// probe shape end to end: a session token, a full-spec probe, then
+// chained one-edit probes; the session stats over the wire must show
+// both memo hits and delta hits.
+func TestServeSessionProbeChainRemote(t *testing.T) {
+	base, exit, _ := startServe(t, nil)
+	client := &http.Client{}
+
+	post := func(path string, payload any) (*http.Response, []byte) {
+		t.Helper()
+		data, err := json.Marshal(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := client.Post(base+path, "application/json", bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp, body
+	}
+
+	resp, body := post("/v1/session", &httpd.SessionRequest{})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("session create: %d: %s", resp.StatusCode, body)
+	}
+	var tok httpd.SessionResponse
+	if err := json.Unmarshal(body, &tok); err != nil {
+		t.Fatal(err)
+	}
+	path := "/v1/session/" + tok.Token + "/analyze"
+
+	file := spec.FromSystem(experiments.PaperSystem())
+	if resp, body = post(path, &httpd.AnalyzeRequest{System: file}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("seed probe: %d: %s", resp.StatusCode, body)
+	}
+	// Identical probe: memo hit.
+	if resp, body = post(path, &httpd.AnalyzeRequest{System: file}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("memo probe: %d: %s", resp.StatusCode, body)
+	}
+	// Chain of one-edit probes, each riding the pinned seed.
+	var last httpd.AnalyzeResponse
+	for i := 0; i < 3; i++ {
+		repl := file.Transactions[0]
+		repl.Tasks[0].WCET = 1.0 + 0.05*float64(i+1)
+		edit := &httpd.AnalyzeRequest{Edit: &httpd.EditSpec{
+			Set: []httpd.TransactionSet{{Index: 1, Transaction: repl}},
+		}}
+		if resp, body = post(path, edit); resp.StatusCode != http.StatusOK {
+			t.Fatalf("edit probe %d: %d: %s", i, resp.StatusCode, body)
+		}
+		if err := json.Unmarshal(body, &last); err != nil {
+			t.Fatal(err)
+		}
+		if last.Delta == nil {
+			t.Errorf("edit probe %d ran cold", i)
+		}
+	}
+	ss := last.SessionStats
+	if ss == nil || ss.MemoHits == 0 || ss.DeltaHits == 0 {
+		t.Fatalf("remote probe chain stats: %+v, want memo and delta hits", ss)
+	}
+	if ss.Probes != 5 || ss.MemoHits+ss.Executed != ss.Probes {
+		t.Errorf("probe accounting: %+v", ss)
+	}
+
+	sigterm(t)
+	if code := <-exit; code != 0 {
+		t.Fatalf("serve exited %d", code)
+	}
+}

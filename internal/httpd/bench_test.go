@@ -1,0 +1,41 @@
+package httpd
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"hsched/internal/experiments"
+	"hsched/internal/service"
+	"hsched/internal/spec"
+)
+
+// BenchmarkAnalyzeHandler measures the handler-only cost of a memo-hit
+// analyze (no network): the per-request budget the transport adds on
+// top of the in-process service ladder.
+func BenchmarkAnalyzeHandler(b *testing.B) {
+	s := New(Options{Service: service.New(service.Options{})})
+	h := s.Handler()
+	body, err := json.Marshal(&AnalyzeRequest{System: spec.FromSystem(experiments.PaperSystem())})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm the memo.
+	req := httptest.NewRequest("POST", "/v1/analyze", bytes.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		b.Fatalf("warmup: %d: %s", rec.Code, rec.Body.String())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest("POST", "/v1/analyze", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatal(rec.Code)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+// Package httpd is the HTTP/JSON transport over the analysis service:
+// it exposes the toolchain's three verbs — holistic analysis, priority
+// assignment, bandwidth minimisation — plus per-client probe sessions
+// and an observability endpoint, all routed through one shared
+// service.Service so remote traffic enjoys the same verdict memo,
+// resident engine pool and incremental re-analysis as in-process
+// callers.
+//
+// Routes:
+//
+//	POST   /v1/analyze                   holistic (or static/exact) analysis of a spec document
+//	POST   /v1/assign                    priority assignment (rm, dm, hopa, audsley) + analysis
+//	POST   /v1/minimize                  minimal-bandwidth platform design search
+//	POST   /v1/session                   bind a probe session; returns a token
+//	POST   /v1/session/{token}/analyze   session-scoped probe: full spec or an edit
+//	                                     against the session's last accepted system
+//	GET    /v1/session/{token}/stats     the session's probe counters
+//	DELETE /v1/session/{token}           drop the session (and its pinned seed)
+//	GET    /v1/stats                     service counters + per-endpoint transport stats
+//	GET    /v1/healthz                   liveness
+//
+// Request bodies reuse the internal/spec JSON system format, wrapped
+// with an options block mirroring the CLI flags (exact, workers,
+// deadline_ms, …). A body-hash parse memo in front of /v1/analyze
+// mirrors the service's verdict memo one layer up: admission-control
+// traffic re-asks about a small population of systems, and for a
+// memo-hit query the JSON decode and spec conversion cost far more
+// than the analysis, so a byte-identical repeated body skips both
+// (ParseHits in /v1/stats). Analysis endpoints honour per-request
+// deadlines —
+// the options block's deadline_ms or the X-Deadline-Ms header — by
+// wrapping the analysis in a context.WithTimeout: an expired deadline
+// aborts the fixed-point iteration mid-flight and the client receives
+// a 504 carrying the elapsed time and a service-stats snapshot. The
+// service guarantees an aborted analysis leaves no trace in the
+// verdict memo or the delta-seed pool.
+//
+// Sessions are the remote form of service.Session: each token pins the
+// previous successful result as the seed of the next probe, so a
+// client chaining one-edit-apart probes (an admission controller, a
+// remote priority search) rides the incremental path
+// (Engine.AnalyzeFrom) deterministically instead of depending on
+// delta-pool luck. Session-scoped probes accept either a full spec or
+// a model.Diff-shaped edit (platform parameter changes, transaction
+// set/remove/add) applied against the session's last accepted system.
+// The registry is LRU-bounded; abandoned tokens eventually drop their
+// pinned seeds.
+//
+// Error contract: malformed or inconsistent requests are 400s whose
+// body names the offending field (spec.ErrInvalid wrapping), missed
+// deadlines are 504s, analysable-but-failed requests (scenario
+// blow-up, infeasible designs) are 422s, and load shedding beyond the
+// configured in-flight bound is a 429. All error bodies share the
+// ErrorResponse shape.
+//
+// Server.Serve drains gracefully on context cancellation (the CLI
+// wires SIGTERM/SIGINT to it): the listener closes first, in-flight
+// requests finish or hit their own deadlines within DrainTimeout, and
+// a final stats line is flushed.
+package httpd

@@ -1,0 +1,223 @@
+package httpd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// lockedBuffer is an io.Writer safe to read after Serve returns.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestGracefulDrain exercises the SIGTERM path end to end (the CLI
+// maps the signal to a context cancel): with a slow analysis in
+// flight, cancelling the serve context must stop the listener — new
+// connections are refused — while the in-flight request runs to
+// completion and gets its 200; Serve then returns nil and flushes a
+// final stats line.
+func TestGracefulDrain(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Options{DrainTimeout: 30 * time.Second})
+	ctx, cancel := context.WithCancel(context.Background())
+	logw := &lockedBuffer{}
+	served := make(chan error, 1)
+	go func() { served <- s.Serve(ctx, ln, logw) }()
+
+	base := "http://" + ln.Addr().String()
+	client := &http.Client{}
+
+	// Launch the slow in-flight request.
+	slow := slowSystem(t)
+	body, err := json.Marshal(&AnalyzeRequest{System: slow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type result struct {
+		status int
+		body   []byte
+		err    error
+	}
+	inflight := make(chan result, 1)
+	go func() {
+		resp, err := client.Post(base+"/v1/analyze", "application/json", bytes.NewReader(body))
+		if err != nil {
+			inflight <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(resp.Body)
+		inflight <- result{status: resp.StatusCode, body: data}
+	}()
+	for i := 0; s.inflight.Load() == 0; i++ {
+		if i > 5000 {
+			t.Fatal("slow request never entered flight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// SIGTERM (as the CLI delivers it): stop accepting.
+	cancel()
+
+	// New connections are refused once the listener closes. The close
+	// races with the cancel, so poll.
+	refused := false
+	for i := 0; i < 5000 && !refused; i++ {
+		conn, err := net.DialTimeout("tcp", ln.Addr().String(), 100*time.Millisecond)
+		if err != nil {
+			refused = true
+			break
+		}
+		conn.Close()
+		time.Sleep(time.Millisecond)
+	}
+	if !refused {
+		t.Error("listener still accepting connections after cancel")
+	}
+
+	// The in-flight request still completes normally.
+	r := <-inflight
+	if r.err != nil {
+		t.Fatalf("in-flight request: %v", r.err)
+	}
+	if r.status != http.StatusOK {
+		t.Fatalf("in-flight request: status %d: %s", r.status, r.body)
+	}
+	var resp AnalyzeResponse
+	if err := json.Unmarshal(r.body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Converged {
+		t.Error("in-flight analysis did not converge")
+	}
+
+	// Serve drains clean and flushes the final stats line.
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("Serve: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Serve did not return after drain")
+	}
+	if out := logw.String(); !strings.Contains(out, "final stats") || !strings.Contains(out, `"queries":1`) {
+		t.Errorf("final stats line: %q", out)
+	}
+}
+
+// TestDrainRespectsRequestDeadline: an in-flight request with its own
+// deadline does not stall the drain — it 504s at its deadline and the
+// server exits.
+func TestDrainRespectsRequestDeadline(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Options{DrainTimeout: 30 * time.Second})
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- s.Serve(ctx, ln, nil) }()
+
+	slow := slowSystem(t)
+	body, err := json.Marshal(&AnalyzeRequest{System: slow, Options: OptionsSpec{DeadlineMS: 150}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type result struct {
+		status int
+		body   []byte
+		err    error
+	}
+	inflight := make(chan result, 1)
+	go func() {
+		resp, err := http.Post("http://"+ln.Addr().String()+"/v1/analyze", "application/json", bytes.NewReader(body))
+		if err != nil {
+			inflight <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(resp.Body)
+		inflight <- result{status: resp.StatusCode, body: data}
+	}()
+	for i := 0; s.inflight.Load() == 0; i++ {
+		if i > 5000 {
+			t.Fatal("request never entered flight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+
+	r := <-inflight
+	if r.err != nil {
+		t.Fatalf("in-flight request: %v", r.err)
+	}
+	if r.status != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504: %s", r.status, r.body)
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(r.body, &er); err != nil {
+		t.Fatal(err)
+	}
+	if er.DeadlineMS != 150 || er.Stats == nil {
+		t.Errorf("504 during drain: %+v", er)
+	}
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("Serve: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Serve did not return")
+	}
+}
+
+// TestServeListenerError: a listener failing outright surfaces as an
+// error, not a hang.
+func TestServeListenerError(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Options{})
+	served := make(chan error, 1)
+	go func() { served <- s.Serve(context.Background(), ln, nil) }()
+	// Closing the listener out from under Serve is the failure mode.
+	time.Sleep(10 * time.Millisecond)
+	ln.Close()
+	select {
+	case err := <-served:
+		if err == nil || errors.Is(err, context.Canceled) {
+			t.Fatalf("Serve: %v, want listener error", err)
+		}
+		if !strings.Contains(err.Error(), "closed") {
+			t.Logf("listener error: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Serve did not return after listener close")
+	}
+}

@@ -1,0 +1,689 @@
+package httpd
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"hsched/internal/analysis"
+	"hsched/internal/design"
+	"hsched/internal/model"
+	"hsched/internal/sched"
+	"hsched/internal/service"
+	"hsched/internal/spec"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Service is the analysis service every endpoint routes through;
+	// nil constructs a private one with default options.
+	Service *service.Service
+	// Analysis is the server-side default analysis configuration;
+	// request options blocks override it field-by-field (see
+	// OptionsSpec). Servers shared by concurrent clients should set
+	// Workers: 1 so requests do not oversubscribe the host.
+	Analysis analysis.Options
+	// MaxInflight bounds the number of analysis-running requests
+	// executing concurrently; excess requests are shed with a 429.
+	// 0 means unbounded.
+	MaxInflight int
+	// MaxSessions caps the session registry; the least-recently-used
+	// session is evicted (seed dropped) beyond it. 0 selects 1024.
+	MaxSessions int
+	// MaxBodyBytes caps request bodies. 0 selects 8 MiB.
+	MaxBodyBytes int64
+	// ParseMemo sizes the body-hash decode cache on /v1/analyze: a
+	// byte-identical repeated body skips JSON decoding and spec
+	// conversion (see parseMemo). 0 selects 512; negative disables.
+	ParseMemo int
+	// DrainTimeout bounds the graceful shutdown: after it expires
+	// in-flight requests are cut off hard. 0 selects 30 s.
+	DrainTimeout time.Duration
+}
+
+func (o Options) maxSessions() int {
+	if o.MaxSessions <= 0 {
+		return 1024
+	}
+	return o.MaxSessions
+}
+
+func (o Options) maxBodyBytes() int64 {
+	if o.MaxBodyBytes <= 0 {
+		return 8 << 20
+	}
+	return o.MaxBodyBytes
+}
+
+func (o Options) parseMemo() int {
+	if o.ParseMemo == 0 {
+		return 512
+	}
+	return o.ParseMemo
+}
+
+func (o Options) drainTimeout() time.Duration {
+	if o.DrainTimeout <= 0 {
+		return 30 * time.Second
+	}
+	return o.DrainTimeout
+}
+
+// endpointMetrics are one route's atomic request counters.
+type endpointMetrics struct {
+	requests atomic.Int64
+	errors   atomic.Int64
+	shed     atomic.Int64
+	totalUS  atomic.Int64
+	maxUS    atomic.Int64
+}
+
+func (m *endpointMetrics) observe(status int, d time.Duration) {
+	m.requests.Add(1)
+	if status >= 300 {
+		m.errors.Add(1)
+	}
+	us := d.Microseconds()
+	m.totalUS.Add(us)
+	for {
+		cur := m.maxUS.Load()
+		if us <= cur || m.maxUS.CompareAndSwap(cur, us) {
+			return
+		}
+	}
+}
+
+func (m *endpointMetrics) snapshot() EndpointStats {
+	n := m.requests.Load()
+	st := EndpointStats{
+		Requests: n,
+		Errors:   m.errors.Load(),
+		Shed:     m.shed.Load(),
+		MaxUS:    float64(m.maxUS.Load()),
+	}
+	if n > 0 {
+		st.MeanUS = float64(m.totalUS.Load()) / float64(n)
+	}
+	return st
+}
+
+// Server is the HTTP/JSON transport over a service.Service: the
+// analysis endpoints of the paper's toolchain (analyze, assign,
+// minimize) plus per-client probe sessions and a stats endpoint. See
+// the package documentation for the route table.
+type Server struct {
+	svc      *service.Service
+	def      analysis.Options
+	sessions *sessions
+	parse    *parseMemo
+	mux      *http.ServeMux
+
+	maxInflight int
+	inflight    atomic.Int64
+	maxBody     int64
+	drain       time.Duration
+	start       time.Time
+
+	metrics map[string]*endpointMetrics
+}
+
+// New constructs a Server. The zero Options value is usable.
+func New(opt Options) *Server {
+	svc := opt.Service
+	if svc == nil {
+		svc = service.New(service.Options{Analysis: opt.Analysis})
+	}
+	s := &Server{
+		svc:         svc,
+		def:         opt.Analysis,
+		sessions:    newSessions(opt.maxSessions()),
+		parse:       newParseMemo(opt.parseMemo()),
+		mux:         http.NewServeMux(),
+		maxInflight: opt.MaxInflight,
+		maxBody:     opt.maxBodyBytes(),
+		drain:       opt.drainTimeout(),
+		start:       time.Now(),
+		metrics:     make(map[string]*endpointMetrics),
+	}
+	s.route("POST /v1/analyze", "analyze", true, s.handleAnalyze)
+	s.route("POST /v1/assign", "assign", true, s.handleAssign)
+	s.route("POST /v1/minimize", "minimize", true, s.handleMinimize)
+	s.route("POST /v1/session", "session.create", false, s.handleSessionCreate)
+	s.route("POST /v1/session/{token}/analyze", "session.analyze", true, s.handleSessionAnalyze)
+	s.route("GET /v1/session/{token}/stats", "session.stats", false, s.handleSessionStats)
+	s.route("DELETE /v1/session/{token}", "session.delete", false, s.handleSessionDelete)
+	s.route("GET /v1/stats", "stats", false, s.handleStats)
+	s.route("GET /v1/healthz", "healthz", false, s.handleHealthz)
+	return s
+}
+
+// Handler returns the server's routing handler, for embedding in
+// tests or behind custom middleware.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// route installs a handler with per-endpoint metrics; analysis-running
+// endpoints (sheds true) additionally count into the in-flight
+// semaphore and are shed with a 429 beyond MaxInflight.
+func (s *Server) route(pattern, name string, sheds bool, h http.HandlerFunc) {
+	m := &endpointMetrics{}
+	s.metrics[name] = m
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		if sheds {
+			n := s.inflight.Add(1)
+			defer s.inflight.Add(-1)
+			if s.maxInflight > 0 && n > int64(s.maxInflight) {
+				m.shed.Add(1)
+				s.writeError(w, http.StatusTooManyRequests,
+					fmt.Errorf("httpd: %d analyses in flight (limit %d)", n-1, s.maxInflight), start, 0)
+				m.observe(http.StatusTooManyRequests, time.Since(start))
+				return
+			}
+		}
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		m.observe(sw.status, time.Since(start))
+	})
+}
+
+// statusWriter captures the response status for the metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v) //nolint:errcheck // client gone; nothing to do
+}
+
+// writeError renders the uniform error body. 504s additionally carry
+// the partial-work profile: elapsed wall time, the missed deadline and
+// a snapshot of the service counters at abort.
+func (s *Server) writeError(w http.ResponseWriter, status int, err error, start time.Time, deadlineMS float64) {
+	resp := &ErrorResponse{Error: err.Error(), Status: status}
+	if status == http.StatusGatewayTimeout {
+		resp.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
+		resp.DeadlineMS = deadlineMS
+		st := s.svc.Stats()
+		resp.Stats = &st
+	}
+	writeJSON(w, status, resp)
+}
+
+// errStatus maps an analysis error to its HTTP status: the caller's
+// fault (400) for malformed or inconsistent specs, a missed deadline
+// (504) for context expiry, otherwise an analysable-but-failed request
+// (422: scenario blow-up, non-convergence, infeasible design).
+func errStatus(err error) int {
+	switch {
+	case errors.Is(err, spec.ErrInvalid):
+		return http.StatusBadRequest
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusUnprocessableEntity
+	}
+}
+
+// rawBody reads the request body, enforcing the body cap. Read errors
+// wrap spec.ErrInvalid (the request is at fault).
+func (s *Server) rawBody(r *http.Request) ([]byte, error) {
+	body, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, s.maxBody))
+	if err != nil {
+		return nil, fmt.Errorf("%w: reading body: %w", spec.ErrInvalid, err)
+	}
+	return body, nil
+}
+
+// readBody decodes the request body into v, enforcing the body cap.
+// The raw bytes are returned for shape-fallback re-decodes. Decode
+// errors wrap spec.ErrInvalid (the request is at fault).
+func (s *Server) readBody(r *http.Request, v any) ([]byte, error) {
+	body, err := s.rawBody(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(body) == 0 {
+		return body, nil
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		return nil, fmt.Errorf("%w: decoding request: %w", spec.ErrInvalid, err)
+	}
+	return body, nil
+}
+
+// requestCtx derives the per-request analysis context: the options
+// block's deadline_ms wins over the X-Deadline-Ms header; neither
+// leaves the request's own context untouched. The returned deadline is
+// 0 when none applies.
+func requestCtx(r *http.Request, o OptionsSpec) (context.Context, context.CancelFunc, float64, error) {
+	ms := o.DeadlineMS
+	if ms == 0 {
+		if h := r.Header.Get("X-Deadline-Ms"); h != "" {
+			v, err := strconv.ParseFloat(h, 64)
+			if err != nil {
+				return nil, nil, 0, fmt.Errorf("%w: X-Deadline-Ms: %w", spec.ErrInvalid, err)
+			}
+			ms = v
+		}
+	}
+	if ms <= 0 {
+		ctx, cancel := context.WithCancel(r.Context())
+		return ctx, cancel, 0, nil
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), time.Duration(ms*float64(time.Millisecond)))
+	return ctx, cancel, ms, nil
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	body, err := s.rawBody(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err, start, 0)
+		return
+	}
+	// The decode path (JSON into the request struct, spec conversion,
+	// validation) costs far more than a memo-hit analysis does, so a
+	// byte-identical repeated body short-circuits through the parse
+	// memo on a hash of the raw bytes.
+	var (
+		sys  *model.System
+		opts OptionsSpec
+		key  [32]byte
+	)
+	if len(body) > 0 {
+		key = sha256.Sum256(body)
+	}
+	if cached, ok := s.parse.get(key); len(body) > 0 && ok {
+		sys, opts = cached.sys, cached.opt
+	} else {
+		var req AnalyzeRequest
+		if len(body) > 0 {
+			if err := json.Unmarshal(body, &req); err != nil {
+				s.writeError(w, http.StatusBadRequest,
+					fmt.Errorf("%w: decoding request: %w", spec.ErrInvalid, err), start, 0)
+				return
+			}
+		}
+		if req.System == nil && len(body) > 0 {
+			// curl friendliness: accept a bare spec document too.
+			var f spec.File
+			if json.Unmarshal(body, &f) == nil && len(f.Transactions) > 0 {
+				req.System = &f
+			}
+		}
+		if req.System == nil {
+			s.writeError(w, http.StatusBadRequest,
+				fmt.Errorf("%w: request has no system", spec.ErrInvalid), start, 0)
+			return
+		}
+		if req.Edit != nil {
+			s.writeError(w, http.StatusBadRequest,
+				fmt.Errorf("%w: edit requires a session-scoped analyze", spec.ErrInvalid), start, 0)
+			return
+		}
+		sys, err = req.System.ToSystem()
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, err, start, 0)
+			return
+		}
+		opts = req.Options
+		s.parse.put(key, sys, opts)
+	}
+	ctx, cancel, dms, err := requestCtx(r, opts)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err, start, 0)
+		return
+	}
+	defer cancel()
+	opt := opts.analysis(s.def)
+	var res *analysis.Result
+	if opts.Static {
+		res, err = s.svc.AnalyzeStaticOptions(ctx, sys, opt)
+	} else {
+		res, err = s.svc.AnalyzeOptions(ctx, sys, opt)
+	}
+	if err != nil {
+		s.writeError(w, errStatus(err), err, start, dms)
+		return
+	}
+	writeJSON(w, http.StatusOK, buildAnalyzeResponse(res, opts.Bounds, elapsedMS(start)))
+}
+
+func (s *Server) handleAssign(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var req AssignRequest
+	if _, err := s.readBody(r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, err, start, 0)
+		return
+	}
+	if req.System == nil {
+		s.writeError(w, http.StatusBadRequest,
+			fmt.Errorf("%w: request has no system", spec.ErrInvalid), start, 0)
+		return
+	}
+	policy := sched.Policy(req.Policy)
+	if req.Policy == "" {
+		policy = sched.PolicyAudsley
+	}
+	valid := false
+	for _, p := range sched.Policies() {
+		valid = valid || p == policy
+	}
+	if !valid {
+		s.writeError(w, http.StatusBadRequest,
+			fmt.Errorf("%w: unknown policy %q", spec.ErrInvalid, req.Policy), start, 0)
+		return
+	}
+	sys, err := req.System.ToSystem()
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err, start, 0)
+		return
+	}
+	ctx, cancel, dms, err := requestCtx(r, req.Options)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err, start, 0)
+		return
+	}
+	defer cancel()
+	res, _, err := sched.Assign(ctx, sys, policy, sched.AssignOptions{
+		Analysis:   req.Options.analysis(s.def),
+		Iterations: req.Iterations,
+		Service:    s.svc,
+	})
+	if err != nil {
+		s.writeError(w, errStatus(err), err, start, dms)
+		return
+	}
+	resp := &AssignResponse{
+		AnalyzeResponse: *buildAnalyzeResponse(res, req.Options.Bounds, elapsedMS(start)),
+		Policy:          string(policy),
+	}
+	for i := range sys.Transactions {
+		prio := make([]int, len(sys.Transactions[i].Tasks))
+		for j := range prio {
+			prio[j] = sys.Transactions[i].Tasks[j].Priority
+		}
+		resp.Priorities = append(resp.Priorities, prio)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleMinimize(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var req MinimizeRequest
+	if _, err := s.readBody(r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, err, start, 0)
+		return
+	}
+	if req.System == nil {
+		s.writeError(w, http.StatusBadRequest,
+			fmt.Errorf("%w: request has no system", spec.ErrInvalid), start, 0)
+		return
+	}
+	sys, err := req.System.ToSystem()
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err, start, 0)
+		return
+	}
+	families, err := buildFamilies(req.Families, sys)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err, start, 0)
+		return
+	}
+	ctx, cancel, dms, err := requestCtx(r, req.Options)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err, start, 0)
+		return
+	}
+	defer cancel()
+	res, err := design.MinimizeContext(ctx, sys, families, design.Options{
+		Tolerance: req.Tolerance,
+		Passes:    req.Passes,
+		Analysis:  req.Options.analysis(s.def),
+		Service:   s.svc,
+	})
+	if err != nil {
+		s.writeError(w, errStatus(err), err, start, dms)
+		return
+	}
+	resp := &MinimizeResponse{
+		Alphas:         res.Alphas,
+		TotalBandwidth: res.TotalBandwidth,
+		ElapsedMS:      elapsedMS(start),
+	}
+	for m, p := range res.Platforms {
+		resp.Platforms = append(resp.Platforms, spec.PlatformSpec{
+			Name: fmt.Sprintf("Pi%d", m+1), Alpha: p.Alpha, Delta: p.Delta, Beta: p.Beta,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// buildFamilies maps the request's family specs to design families;
+// an empty list defaults every platform to a polling server whose
+// period is a quarter of the shortest transaction period.
+func buildFamilies(fs []FamilySpec, sys *model.System) ([]design.Family, error) {
+	if len(fs) == 0 {
+		period := math.Inf(1)
+		for i := range sys.Transactions {
+			period = math.Min(period, sys.Transactions[i].Period)
+		}
+		fam := design.PollingFamily(period / 4)
+		out := make([]design.Family, len(sys.Platforms))
+		for m := range out {
+			out[m] = fam
+		}
+		return out, nil
+	}
+	if len(fs) != len(sys.Platforms) {
+		return nil, fmt.Errorf("%w: %d families for %d platforms", spec.ErrInvalid, len(fs), len(sys.Platforms))
+	}
+	out := make([]design.Family, len(fs))
+	for m, f := range fs {
+		switch f.Kind {
+		case "polling":
+			if f.Period <= 0 {
+				return nil, fmt.Errorf("%w: family %d: polling needs period > 0", spec.ErrInvalid, m+1)
+			}
+			out[m] = design.PollingFamily(f.Period)
+		case "tdma":
+			if f.Frame <= 0 {
+				return nil, fmt.Errorf("%w: family %d: tdma needs frame > 0", spec.ErrInvalid, m+1)
+			}
+			out[m] = design.TDMAFamily(f.Frame)
+		case "pfair":
+			if f.Quantum <= 0 {
+				return nil, fmt.Errorf("%w: family %d: pfair needs quantum > 0", spec.ErrInvalid, m+1)
+			}
+			out[m] = design.PfairFamily(f.Quantum)
+		default:
+			return nil, fmt.Errorf("%w: family %d: unknown kind %q", spec.ErrInvalid, m+1, f.Kind)
+		}
+	}
+	return out, nil
+}
+
+func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var req SessionRequest
+	if _, err := s.readBody(r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, err, start, 0)
+		return
+	}
+	sess, err := s.sessions.create(s.svc, req.Options)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, err, start, 0)
+		return
+	}
+	writeJSON(w, http.StatusOK, &SessionResponse{Token: sess.token})
+}
+
+func (s *Server) handleSessionAnalyze(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	sess := s.sessions.lookup(r.PathValue("token"))
+	if sess == nil {
+		s.writeError(w, http.StatusNotFound, errors.New("httpd: unknown session token"), start, 0)
+		return
+	}
+	var req AnalyzeRequest
+	if _, err := s.readBody(r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, err, start, 0)
+		return
+	}
+
+	// Serialise probes on the session: chained-edit determinism (and
+	// the edit base) only exists for sequential probes.
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+
+	ropt := req.Options
+	if ropt == (OptionsSpec{}) {
+		ropt = sess.opt
+	}
+	if ropt.Static {
+		s.writeError(w, http.StatusBadRequest,
+			fmt.Errorf("%w: static analysis is not session-scoped (use /v1/analyze)", spec.ErrInvalid), start, 0)
+		return
+	}
+
+	var sys *model.System
+	var err error
+	switch {
+	case req.System != nil && req.Edit != nil:
+		err = fmt.Errorf("%w: request has both system and edit", spec.ErrInvalid)
+	case req.System != nil:
+		sys, err = req.System.ToSystem()
+	case req.Edit != nil:
+		if sess.base == nil {
+			err = fmt.Errorf("%w: edit against a session with no accepted system yet", spec.ErrInvalid)
+		} else {
+			sys, err = req.Edit.apply(sess.base)
+		}
+	default:
+		err = fmt.Errorf("%w: request has neither system nor edit", spec.ErrInvalid)
+	}
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err, start, 0)
+		return
+	}
+
+	ctx, cancel, dms, err := requestCtx(r, ropt)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err, start, 0)
+		return
+	}
+	defer cancel()
+	res, err := sess.probe.AnalyzeOptions(ctx, sys, ropt.analysis(s.def))
+	if err != nil {
+		s.writeError(w, errStatus(err), err, start, dms)
+		return
+	}
+	sess.base = sys
+
+	resp := buildAnalyzeResponse(res, ropt.Bounds, elapsedMS(start))
+	ss := sess.probe.Stats()
+	resp.SessionStats = &ss
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSessionStats(w http.ResponseWriter, r *http.Request) {
+	sess := s.sessions.lookup(r.PathValue("token"))
+	if sess == nil {
+		s.writeError(w, http.StatusNotFound, errors.New("httpd: unknown session token"), time.Now(), 0)
+		return
+	}
+	writeJSON(w, http.StatusOK, sess.probe.Stats())
+}
+
+func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
+	if !s.sessions.remove(r.PathValue("token")) {
+		s.writeError(w, http.StatusNotFound, errors.New("httpd: unknown session token"), time.Now(), 0)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.statsSnapshot())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) statsSnapshot() *StatsResponse {
+	st := s.svc.Stats()
+	resp := &StatsResponse{
+		Service:     st,
+		HitRate:     st.HitRate(),
+		Sessions:    s.sessions.counters(),
+		Inflight:    s.inflight.Load(),
+		MaxInflight: s.maxInflight,
+		UptimeMS:    elapsedMS(s.start),
+		Endpoints:   make(map[string]EndpointStats, len(s.metrics)),
+	}
+	if s.parse != nil {
+		resp.ParseHits = s.parse.hits.Load()
+	}
+	for name, m := range s.metrics {
+		if m.requests.Load() > 0 || m.shed.Load() > 0 {
+			resp.Endpoints[name] = m.snapshot()
+		}
+	}
+	return resp
+}
+
+func elapsedMS(start time.Time) float64 {
+	return float64(time.Since(start)) / float64(time.Millisecond)
+}
+
+// Serve runs the server on ln until ctx is cancelled, then drains
+// gracefully: the listener closes (new connections are refused),
+// in-flight requests finish — or hit their own per-request deadlines —
+// within DrainTimeout, stragglers past it are cut off hard, and one
+// final stats line is written to logw. A clean drain returns nil.
+func (s *Server) Serve(ctx context.Context, ln net.Listener, logw io.Writer) error {
+	srv := &http.Server{Handler: s.mux, ReadHeaderTimeout: 10 * time.Second}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		// The listener failed on its own; nothing to drain.
+		return fmt.Errorf("httpd: %w", err)
+	case <-ctx.Done():
+	}
+	dctx, cancel := context.WithTimeout(context.Background(), s.drain)
+	defer cancel()
+	err := srv.Shutdown(dctx)
+	if err != nil {
+		srv.Close()
+	}
+	<-errc // Serve has returned ErrServerClosed
+	if logw != nil {
+		data, _ := json.Marshal(s.statsSnapshot())
+		fmt.Fprintf(logw, "httpd: drained; final stats: %s\n", data)
+	}
+	if err != nil {
+		return fmt.Errorf("httpd: drain: %w", err)
+	}
+	return nil
+}

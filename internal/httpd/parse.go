@@ -1,0 +1,84 @@
+package httpd
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"sync"
+	"sync/atomic"
+
+	"hsched/internal/model"
+)
+
+// parsedAnalyze is one decoded /v1/analyze body: the converted system
+// plus the request's options block. The *model.System is shared across
+// requests verbatim — the analyze path treats systems as read-only
+// (the service memoises shared *Results over them), so a repeated body
+// needs no re-decode and no fresh copy.
+type parsedAnalyze struct {
+	key [sha256.Size]byte
+	sys *model.System
+	opt OptionsSpec
+}
+
+// parseMemo is a body-hash LRU in front of the analyze decode path.
+// Admission-control traffic keeps re-asking about the same small
+// population of systems, so the expensive part of a memo-hit query is
+// not the analysis (the service answers in ~µs) but decoding the JSON
+// spec and rebuilding the model — this cache skips both: a repeated
+// byte-identical body costs one SHA-256 of the raw bytes. Entries are
+// only ever successful parses; malformed bodies are re-diagnosed every
+// time so their 400s stay accurate.
+type parseMemo struct {
+	mu    sync.Mutex
+	cap   int
+	lru   list.List // of *parsedAnalyze, front = most recent
+	byKey map[[sha256.Size]byte]*list.Element
+	hits  atomic.Int64
+}
+
+func newParseMemo(capacity int) *parseMemo {
+	if capacity <= 0 {
+		return nil
+	}
+	return &parseMemo{
+		cap:   capacity,
+		byKey: make(map[[sha256.Size]byte]*list.Element),
+	}
+}
+
+// get returns the cached parse for a body hash, if any. A nil memo
+// (disabled) never hits.
+func (p *parseMemo) get(key [sha256.Size]byte) (*parsedAnalyze, bool) {
+	if p == nil {
+		return nil, false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	el, ok := p.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	p.lru.MoveToFront(el)
+	p.hits.Add(1)
+	return el.Value.(*parsedAnalyze), true
+}
+
+// put records a successful parse, evicting the least-recently-used
+// entry beyond capacity.
+func (p *parseMemo) put(key [sha256.Size]byte, sys *model.System, opt OptionsSpec) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if el, ok := p.byKey[key]; ok {
+		p.lru.MoveToFront(el)
+		return
+	}
+	p.byKey[key] = p.lru.PushFront(&parsedAnalyze{key: key, sys: sys, opt: opt})
+	for p.lru.Len() > p.cap {
+		victim := p.lru.Back()
+		p.lru.Remove(victim)
+		delete(p.byKey, victim.Value.(*parsedAnalyze).key)
+	}
+}

@@ -1,0 +1,113 @@
+package httpd
+
+import (
+	"container/list"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync"
+
+	"hsched/internal/model"
+	"hsched/internal/service"
+)
+
+// session binds one HTTP client to a service.Session: the probe handle
+// that pins each successful result as the seed of the next probe, plus
+// the last accepted system that session-scoped edits apply against.
+// The mutex serialises probes — chained-edit determinism (and the
+// edit base itself) only makes sense for sequential probes, so
+// concurrent requests on one token queue rather than race.
+type session struct {
+	token string
+	probe *service.Session
+
+	mu sync.Mutex
+	// base is the last system a successful probe analysed; nil until
+	// the first full-spec probe. Edits apply against it and advance it
+	// only when their analysis succeeds.
+	base *model.System
+	// opt is the session's default options block, set at creation;
+	// per-probe options override it field-by-field under the usual
+	// fallback rules.
+	opt OptionsSpec
+}
+
+// sessions is the server's token registry: an LRU capped at
+// MaxSessions so abandoned tokens cannot pin seeds (each holds a full
+// replay history) forever.
+type sessions struct {
+	mu      sync.Mutex
+	cap     int
+	lru     list.List // front = most recent; values are *session
+	byToken map[string]*list.Element
+
+	created int64
+	evicted int64
+}
+
+func newSessions(cap int) *sessions {
+	return &sessions{cap: cap, byToken: make(map[string]*list.Element)}
+}
+
+// create binds a new session and returns it. When the registry is
+// full the least-recently-used session is evicted and its seed
+// dropped.
+func (r *sessions) create(svc *service.Service, opt OptionsSpec) (*session, error) {
+	var buf [16]byte
+	if _, err := rand.Read(buf[:]); err != nil {
+		return nil, fmt.Errorf("httpd: session token: %w", err)
+	}
+	s := &session{
+		token: hex.EncodeToString(buf[:]),
+		probe: svc.NewSession(),
+		opt:   opt,
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for r.lru.Len() >= r.cap {
+		oldest := r.lru.Back()
+		victim := oldest.Value.(*session)
+		r.lru.Remove(oldest)
+		delete(r.byToken, victim.token)
+		victim.probe.Drop()
+		r.evicted++
+	}
+	r.byToken[s.token] = r.lru.PushFront(s)
+	r.created++
+	return s, nil
+}
+
+// lookup returns the session for token, refreshing its LRU position,
+// or nil.
+func (r *sessions) lookup(token string) *session {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	el, ok := r.byToken[token]
+	if !ok {
+		return nil
+	}
+	r.lru.MoveToFront(el)
+	return el.Value.(*session)
+}
+
+// remove deletes the session for token, dropping its pinned seed.
+// It reports whether the token existed.
+func (r *sessions) remove(token string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	el, ok := r.byToken[token]
+	if !ok {
+		return false
+	}
+	r.lru.Remove(el)
+	delete(r.byToken, token)
+	el.Value.(*session).probe.Drop()
+	return true
+}
+
+// counters snapshots the registry for /v1/stats.
+func (r *sessions) counters() SessionCounters {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return SessionCounters{Open: r.lru.Len(), Created: r.created, Evicted: r.evicted}
+}

@@ -96,4 +96,13 @@
 // workload against one, and the hsched façade's package-level
 // Analyze/AnalyzeStatic are thin wrappers over a process-wide default
 // Service.
+//
+// Out-of-process callers get the same ladder over HTTP: the
+// internal/httpd server (CLI: `hsched serve`) routes its analyze,
+// assign and minimize endpoints through one shared Service, and its
+// per-client session tokens are Sessions — a remote probe chain of
+// diff-shaped edits rides the pinned-seed incremental path exactly
+// like an in-process search loop, with SessionStats reported in every
+// response. The json tags on Stats and SessionStats are that wire
+// contract.
 package service

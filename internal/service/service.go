@@ -79,34 +79,39 @@ func (o Options) deltaWindow() int {
 // a concurrent duplicate's in-flight analysis) or a miss (it ran an
 // analysis), so Hits + Misses == Queries always holds; Misses is the
 // number of analyses the engines actually executed.
+//
+// The json tags are a stable wire contract: /v1/stats (internal/httpd)
+// and `hsched bench -json` emit these lowercase names, and clients
+// (bench -remote, dashboards) parse them — renaming one is a breaking
+// API change, not a refactor.
 type Stats struct {
 	// Queries is the total number of Analyze* calls accepted.
-	Queries int64
+	Queries int64 `json:"queries"`
 	// Hits counts queries answered without running an analysis.
-	Hits int64
+	Hits int64 `json:"hits"`
 	// Misses counts queries that ran (or errored in) an analysis.
-	Misses int64
+	Misses int64 `json:"misses"`
 	// Evictions counts memo entries displaced by the LRU policy.
-	Evictions int64
+	Evictions int64 `json:"evictions"`
 	// InflightDedups counts the subset of Hits that were answered by
 	// waiting on a concurrent identical query instead of the memo.
-	InflightDedups int64
+	InflightDedups int64 `json:"inflight_dedups"`
 	// DeltaHits counts the subset of Misses whose analysis ran
 	// incrementally, seeded by a resident near-match — same result
 	// bits, a fraction of the work.
-	DeltaHits int64
+	DeltaHits int64 `json:"delta_hits"`
 	// RoundsSaved accumulates the per-task response-time computations
 	// the delta hits skipped by replaying unchanged transactions
 	// (analysis.DeltaInfo.TaskRoundsSaved summed over all delta hits)
 	// — the service-level measure of how much fixed-point work the
 	// incremental path avoided.
-	RoundsSaved int64
+	RoundsSaved int64 `json:"rounds_saved"`
 	// ScenariosPruned accumulates the exact scenario vectors the
 	// analyses this service executed skipped via the admissible sweep
 	// prune (analysis.Result.ScenariosPruned summed over all misses) —
 	// the branch-and-bound counterpart of RoundsSaved for the cold
 	// exact path. Always 0 for purely approximate traffic.
-	ScenariosPruned int64
+	ScenariosPruned int64 `json:"scenarios_pruned"`
 }
 
 // HitRate returns Hits/Queries, or 0 before the first query.

@@ -13,23 +13,26 @@ import (
 // running an analysis — from the verdict memo or by waiting on a
 // concurrent identical query) or an executed analysis, of which
 // DeltaHits ran incrementally: MemoHits + Executed == Probes.
+// Like Stats, the json tags are a stable wire contract — the HTTP
+// server's per-session stats endpoint emits them and remote probe
+// clients assert on them.
 type SessionStats struct {
 	// Probes is the number of Analyze* calls issued through the
 	// session.
-	Probes int64
+	Probes int64 `json:"probes"`
 	// MemoHits counts probes answered without running an analysis.
-	MemoHits int64
+	MemoHits int64 `json:"memo_hits"`
 	// Executed counts probes that ran (or errored in) an analysis on a
 	// resident engine.
-	Executed int64
+	Executed int64 `json:"executed"`
 	// DeltaHits counts the subset of Executed that rode the
 	// incremental path, seeded by the session's pinned previous result
 	// (or, for the first probes, a delta-pool near-match).
-	DeltaHits int64
+	DeltaHits int64 `json:"delta_hits"`
 	// RoundsSaved accumulates the per-task response-time computations
 	// the session's delta hits skipped (analysis.DeltaInfo.
 	// TaskRoundsSaved summed over all delta hits).
-	RoundsSaved int64
+	RoundsSaved int64 `json:"rounds_saved"`
 }
 
 // Session is a pinned-seed probe handle on a Service, for search loops

@@ -1,19 +1,28 @@
 // Package spec serialises systems to and from a JSON format consumed
-// by the command-line tools (cmd/hsched, cmd/hsim). The format mirrors
-// the model: platforms as (alpha, delta, beta) triples and
-// transactions as task chains; platform references are 1-based in the
-// file (matching the paper's Π1 … ΠM notation) and converted to the
-// model's 0-based indices on load.
+// by the command-line tools (cmd/hsched, cmd/hsim) and the HTTP server
+// (internal/httpd). The format mirrors the model: platforms as
+// (alpha, delta, beta) triples and transactions as task chains;
+// platform references are 1-based in the file (matching the paper's
+// Π1 … ΠM notation) and converted to the model's 0-based indices on
+// load.
 package spec
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 
 	"hsched/internal/model"
 	"hsched/internal/platform"
 )
+
+// ErrInvalid is wrapped into every error a malformed or inconsistent
+// document produces — undecodable JSON, dangling platform references,
+// model validation failures. Servers test errors.Is(err, ErrInvalid)
+// to map spec failures to a 400 (the request is at fault, naming the
+// offending field) rather than a 500.
+var ErrInvalid = errors.New("invalid system specification")
 
 // PlatformSpec is the JSON form of an abstract platform.
 type PlatformSpec struct {
@@ -49,37 +58,53 @@ type File struct {
 	Transactions []TransactionSpec `json:"transactions"`
 }
 
+// ToTransaction converts one transaction spec to its model form,
+// checking its task platform references against a system with
+// platforms platforms. A missing deadline defaults to the period. The
+// returned errors wrap ErrInvalid and name the offending task.
+func (t *TransactionSpec) ToTransaction(platforms int) (model.Transaction, error) {
+	tr := model.Transaction{Name: t.Name, Period: t.Period, Deadline: t.Deadline}
+	if tr.Deadline == 0 {
+		tr.Deadline = tr.Period
+	}
+	for j, k := range t.Tasks {
+		if k.Platform < 1 || k.Platform > platforms {
+			return model.Transaction{}, fmt.Errorf("%w: task %d: platform %d outside [1, %d]", ErrInvalid, j+1, k.Platform, platforms)
+		}
+		tr.Tasks = append(tr.Tasks, model.Task{
+			Name:     k.Name,
+			WCET:     k.WCET,
+			BCET:     k.BCET,
+			Offset:   k.Offset,
+			Jitter:   k.Jitter,
+			Priority: k.Priority,
+			Platform: k.Platform - 1,
+			Blocking: k.Blocking,
+		})
+	}
+	return tr, nil
+}
+
 // ToSystem converts the document to a validated model system. A
-// missing deadline defaults to the period.
+// missing deadline defaults to the period. Errors wrap ErrInvalid and
+// carry enough context to name the offending transaction and field.
 func (f *File) ToSystem() (*model.System, error) {
 	sys := &model.System{}
 	for _, p := range f.Platforms {
 		sys.Platforms = append(sys.Platforms, platform.Params{Alpha: p.Alpha, Delta: p.Delta, Beta: p.Beta})
 	}
-	for ti, t := range f.Transactions {
-		tr := model.Transaction{Name: t.Name, Period: t.Period, Deadline: t.Deadline}
-		if tr.Deadline == 0 {
-			tr.Deadline = tr.Period
-		}
-		for _, k := range t.Tasks {
-			if k.Platform < 1 || k.Platform > len(sys.Platforms) {
-				return nil, fmt.Errorf("spec: transaction %d: platform %d outside [1, %d]", ti+1, k.Platform, len(sys.Platforms))
-			}
-			tr.Tasks = append(tr.Tasks, model.Task{
-				Name:     k.Name,
-				WCET:     k.WCET,
-				BCET:     k.BCET,
-				Offset:   k.Offset,
-				Jitter:   k.Jitter,
-				Priority: k.Priority,
-				Platform: k.Platform - 1,
-				Blocking: k.Blocking,
-			})
+	for ti := range f.Transactions {
+		tr, err := f.Transactions[ti].ToTransaction(len(sys.Platforms))
+		if err != nil {
+			return nil, fmt.Errorf("spec: transaction %d: %w", ti+1, err)
 		}
 		sys.Transactions = append(sys.Transactions, tr)
 	}
 	if err := sys.Validate(); err != nil {
-		return nil, err
+		// Validation errors already name the transaction/task/field
+		// (model.Validate's messages); the wrap adds the spec origin
+		// and the ErrInvalid class servers branch on.
+		return nil, fmt.Errorf("spec: %w: %w", ErrInvalid, err)
 	}
 	return sys, nil
 }
@@ -112,7 +137,7 @@ func FromSystem(sys *model.System) *File {
 func Parse(data []byte) (*model.System, error) {
 	var f File
 	if err := json.Unmarshal(data, &f); err != nil {
-		return nil, fmt.Errorf("spec: %w", err)
+		return nil, fmt.Errorf("spec: %w: %w", ErrInvalid, err)
 	}
 	return f.ToSystem()
 }

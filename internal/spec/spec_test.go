@@ -1,9 +1,11 @@
 package spec
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 
 	"hsched/internal/experiments"
@@ -77,6 +79,74 @@ func TestParseErrors(t *testing.T) {
 	         "transactions":[{"period":-10,"tasks":[{"wcet":1,"priority":1,"platform":1}]}]}`
 	if _, err := Parse([]byte(neg)); err == nil {
 		t.Errorf("negative period accepted")
+	}
+}
+
+// TestErrorContext locks the error contract the HTTP server's 400
+// responses rely on: every malformed-document error wraps ErrInvalid
+// and names the offending transaction (and field, via the model's
+// validation messages).
+func TestErrorContext(t *testing.T) {
+	cases := []struct {
+		name, doc string
+		contains  []string
+	}{
+		{
+			name:     "undecodable json",
+			doc:      "{not json",
+			contains: []string{"spec:"},
+		},
+		{
+			name: "dangling platform reference",
+			doc: `{"platforms":[{"alpha":0.5,"delta":1,"beta":1}],
+			       "transactions":[{"period":10,"tasks":[{"wcet":1,"priority":1,"platform":1}]},
+			                       {"period":20,"tasks":[{"wcet":1,"priority":1,"platform":3}]}]}`,
+			contains: []string{"transaction 2", "task 1", "platform 3"},
+		},
+		{
+			name: "negative period",
+			doc: `{"platforms":[{"alpha":0.5,"delta":1,"beta":1}],
+			       "transactions":[{"period":10,"tasks":[{"wcet":1,"priority":1,"platform":1}]},
+			                       {"period":-10,"tasks":[{"wcet":1,"priority":1,"platform":1}]}]}`,
+			contains: []string{"Γ2", "period"},
+		},
+		{
+			name: "zero wcet",
+			doc: `{"platforms":[{"alpha":0.5,"delta":1,"beta":1}],
+			       "transactions":[{"name":"sensor","period":10,"tasks":[{"priority":1,"platform":1}]}]}`,
+			contains: []string{"sensor", "WCET"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse([]byte(tc.doc))
+			if err == nil {
+				t.Fatal("malformed document accepted")
+			}
+			if !errors.Is(err, ErrInvalid) {
+				t.Errorf("error does not wrap ErrInvalid: %v", err)
+			}
+			for _, want := range tc.contains {
+				if !strings.Contains(err.Error(), want) {
+					t.Errorf("error %q does not name %q", err, want)
+				}
+			}
+		})
+	}
+}
+
+func TestToTransaction(t *testing.T) {
+	ts := TransactionSpec{Period: 10, Tasks: []TaskSpec{{WCET: 1, Priority: 1, Platform: 1}}}
+	tr, err := ts.ToTransaction(1)
+	if err != nil {
+		t.Fatalf("ToTransaction: %v", err)
+	}
+	if tr.Deadline != 10 || tr.Tasks[0].Platform != 0 {
+		t.Errorf("conversion: deadline %v platform %d, want 10 and 0", tr.Deadline, tr.Tasks[0].Platform)
+	}
+	ts.Tasks[0].Platform = 2
+	if _, err := ts.ToTransaction(1); !errors.Is(err, ErrInvalid) {
+		t.Errorf("dangling platform: err = %v, want ErrInvalid", err)
 	}
 }
 
