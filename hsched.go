@@ -159,13 +159,16 @@ type (
 	// across calls, running each fixed-point round as a staged
 	// pipeline (interference construction → scenario enumeration →
 	// parallel per-task responses → jitter propagation). Exact
-	// scenario sweeps stream from a mixed-radix cursor, skip scenarios
-	// an admissible bound proves irrelevant
-	// (AnalysisResult.ScenariosPruned counts them) and split across
-	// the workers a round leaves idle. One Analyzer serves one
-	// goroutine; results are identical for every worker count and
-	// every sweep toggle. Analyzer.AnalyzeFrom re-analyses an edited
-	// system incrementally, seeded by a previous result —
+	// scenario sweeps stream from a mixed-radix cursor and run true
+	// branch-and-bound: admissible prefix bounds jump whole refuted
+	// subtrees (AnalysisResult.ScenariosPruned / SubtreesPruned count
+	// the savings) and large sweeps split across the workers a round
+	// leaves idle. One Analyzer serves one goroutine; results are
+	// identical for every worker count and every sweep toggle.
+	// Analyzer.AnalyzeFrom re-analyses an edited system incrementally,
+	// seeded by a previous result — including each sweep's critical
+	// scenario, re-evaluated as the next sweep's incumbent floor, the
+	// state that makes exact-oracle search chains tractable —
 	// bit-identical to a cold Analyze, a fraction of the work.
 	Analyzer = analysis.Engine
 	// AnalysisDelta describes how much work an incremental re-analysis
@@ -201,8 +204,12 @@ type (
 	// (Service.NewSession): it holds the caller's previous result as
 	// the explicit seed of the next query, so search loops analysing
 	// chains of one-edit-apart systems ride the incremental path
-	// deterministically. The priority-assignment searches and the
-	// bandwidth minimisation probe through one.
+	// deterministically. The pinned result carries the previous
+	// probe's exact-sweep state too — each task's critical scenario,
+	// re-evaluated as the next sweep's branch-and-bound incumbent —
+	// which is what keeps exact-oracle search chains tractable. The
+	// priority-assignment searches and the bandwidth minimisation
+	// probe through one.
 	ProbeSession = service.Session
 	// SessionStats is a snapshot of one probe session's counters
 	// (probes, memo hits, executed analyses, delta hits, rounds

@@ -104,8 +104,23 @@ type Engine struct {
 	// skipped across the in-flight analysis (atomic: the per-task
 	// response computations of a round run in parallel). On the delta
 	// path only the recomputed tasks contribute — replayed tasks sweep
-	// nothing.
-	pruned atomic.Int64
+	// nothing. subtrees counts the whole-subtree cursor jumps among
+	// them (the branch-and-bound decisions), sweepSeeded / sweepDiscarded
+	// the sweeps that used, respectively threw away, a recorded
+	// incumbent seed, and roundCopied the per-task computations the
+	// unchanged-inputs round fast path replaced with a copy.
+	pruned         atomic.Int64
+	subtrees       atomic.Int64
+	sweepSeeded    atomic.Int64
+	sweepDiscarded atomic.Int64
+	roundCopied    atomic.Int64
+
+	// jitChanged[i] reports whether any task of transaction i changed
+	// jitter (bitwise) in the last propagation step; roundCopyValid
+	// arms the round fast path once the slabs hold a previous round
+	// and the flags describe the step that led to the current one.
+	jitChanged     []bool
+	roundCopyValid bool
 
 	// ctx is the context of the in-flight call, set by the Context
 	// entry points before any round runs and read (never written) by
@@ -185,8 +200,9 @@ func (e *Engine) analyzeDynamic(ctx context.Context, prev *Result, sys *model.Sy
 	e.bind(sys)
 	e.plan = e.planDelta(prev, e.work)
 	e.deltaSaved = 0
-	e.pruned.Store(0)
+	e.resetCounters()
 	e.initBounds()
+	e.installSweepSeeds(prev)
 
 	// Initial conditions of Section 3.2: J = 0, φ = Rbest (Eq. 18). The
 	// best starts already include the first task's external release
@@ -280,18 +296,28 @@ func (e *Engine) analyzeDynamic(ctx context.Context, prev *Result, sys *model.Sy
 		// Stage 4: jitter propagation, Eq. 18:
 		// J(i,j) = R(i,j−1) − Rbest(i,j−1). The worst-case response
 		// already includes the effect of the release jitter of the
-		// first task, so nothing is added on top.
+		// first task, so nothing is added on top. Per transaction, the
+		// step records whether any jitter moved bitwise: a task whose
+		// own and interfering transactions all kept their jitters is
+		// recomputed from bit-identical inputs next round, so
+		// analyzeTask reuses the previous round's TaskResult outright.
 		for i := range e.work.Transactions {
 			tasks := e.work.Transactions[i].Tasks
 			sl := &e.an.slabs[i]
+			changed := false
 			for j := 1; j < len(tasks); j++ {
 				jit := sl.round[j-1].Worst - sl.initStarts[j]
 				if jit < 0 {
 					jit = 0
 				}
+				if jit != tasks[j].Jitter {
+					changed = true
+				}
 				tasks[j].Jitter = jit
 			}
+			e.jitChanged[i] = changed
 		}
+		e.roundCopyValid = !e.opt.DisableSweepReuse
 	}
 	if iters == 0 {
 		return nil, fmt.Errorf("analysis: no iterations executed")
@@ -305,6 +331,7 @@ func (e *Engine) analyzeDynamic(ctx context.Context, prev *Result, sys *model.Sy
 	}
 	res.history = history
 	res.rkey = e.opt.ReplayKey()
+	res.sweepNu = e.harvestSweepSeeds()
 	if e.plan != nil {
 		res.Delta = &DeltaInfo{
 			CleanTasks:      len(e.plan.clean),
@@ -314,6 +341,79 @@ func (e *Engine) analyzeDynamic(ctx context.Context, prev *Result, sys *model.Sy
 		}
 	}
 	return res, nil
+}
+
+// resetCounters zeroes the per-analysis work-profile counters.
+func (e *Engine) resetCounters() {
+	e.pruned.Store(0)
+	e.subtrees.Store(0)
+	e.sweepSeeded.Store(0)
+	e.sweepDiscarded.Store(0)
+	e.roundCopied.Store(0)
+}
+
+// installSweepSeeds copies the cross-probe sweep summary of a seed
+// Result into the engine's slabs, where the exact sweeps of this
+// analysis pick the vectors up as incumbent seeds. Installation is
+// positional (transaction and task counts must line up — the same
+// correspondence the delta planner replays under) and per-seed
+// validation happens at sweep time: a vector whose axes no longer
+// match the task's interference shape is discarded there, so a seed
+// that is stale — or from a one-edit-apart system — costs one shape
+// check, never a wrong bound. prev is only read; the slabs get copies.
+func (e *Engine) installSweepSeeds(prev *Result) {
+	if prev == nil || !e.opt.Exact || e.opt.DisableSweepReuse {
+		return
+	}
+	if len(prev.sweepNu) != len(e.an.slabs) {
+		return
+	}
+	for i, row := range prev.sweepNu {
+		sl := &e.an.slabs[i]
+		if len(row) != len(sl.seedNu) {
+			continue
+		}
+		for b, nu := range row {
+			if len(nu) > 0 {
+				sl.seedNu[b] = append(sl.seedNu[b][:0], nu...)
+			}
+		}
+	}
+}
+
+// harvestSweepSeeds deep-copies the slabs' recorded critical scenario
+// vectors into a Result-owned summary — the prune state a later
+// AnalyzeFrom re-seeds from. nil when the result cannot serve as a
+// seed anyway (approximate analysis, reuse or replay state disabled).
+func (e *Engine) harvestSweepSeeds() [][][]initiator {
+	if !e.opt.Exact || e.opt.DisableSweepReuse || e.opt.DisableReplayState {
+		return nil
+	}
+	total := 0
+	for i := range e.an.slabs {
+		for _, nu := range e.an.slabs[i].seedNu {
+			total += len(nu)
+		}
+	}
+	if total == 0 {
+		return nil
+	}
+	block := make([]initiator, 0, total)
+	sweep := make([][][]initiator, len(e.an.slabs))
+	for i := range e.an.slabs {
+		seeds := e.an.slabs[i].seedNu
+		row := make([][]initiator, len(seeds))
+		for b, nu := range seeds {
+			if len(nu) == 0 {
+				continue
+			}
+			start := len(block)
+			block = append(block, nu...)
+			row[b] = block[start:len(block):len(block)]
+		}
+		sweep[i] = row
+	}
+	return sweep
 }
 
 // maxHistoryCells bounds the replay state retained on a Result:
@@ -382,7 +482,7 @@ func (e *Engine) AnalyzeStaticContext(ctx context.Context, sys *model.System) (*
 	e.ctx = ctx
 	defer func() { e.ctx = nil }()
 	e.bind(sys)
-	e.pruned.Store(0)
+	e.resetCounters()
 	e.initBounds()
 	// Stage 1 runs once: static analysis keeps the input offsets.
 	e.an.refreshOffsets()
@@ -409,6 +509,11 @@ func (e *Engine) bind(sys *model.System) {
 	if cap(e.errs) < len(e.flat) {
 		e.errs = make([]error, len(e.flat))
 	}
+	e.jitChanged = reuseRow(e.jitChanged, len(e.work.Transactions))
+	for i := range e.jitChanged {
+		e.jitChanged[i] = false
+	}
+	e.roundCopyValid = false
 	e.havePrev = false
 }
 
@@ -585,11 +690,33 @@ func wrapCancelled(err error) error {
 }
 
 // analyzeTask computes the response of task (i, j) of the working
-// system and stores its TaskResult in the transaction's slab.
+// system and stores its TaskResult in the transaction's slab. When the
+// last propagation step left every input of the task bitwise unchanged
+// — the jitters of its own transaction and of every transaction with a
+// non-empty interference row; offsets, best-case bounds and parameters
+// are fixed for the whole analysis — recomputation is a pure function
+// of inputs identical to the previous round's, so the previous round's
+// TaskResult is copied instead (bit-identical by determinism). The
+// fast path is what makes the convergence-confirming final rounds of
+// an exact analysis near-free.
 func (e *Engine) analyzeTask(i, j int, ts *taskScratch) error {
-	r, crit, pruned, err := e.an.responseTime(e.ctx, i, j, ts)
-	if pruned != 0 {
-		e.pruned.Add(pruned)
+	if e.roundCopyValid && e.roundInputsUnchanged(i, j) {
+		e.an.slabs[i].round[j] = e.an.slabs[i].lastRound[j]
+		e.roundCopied.Add(1)
+		return nil
+	}
+	r, crit, st, err := e.an.responseTime(e.ctx, i, j, ts)
+	if st.pruned != 0 {
+		e.pruned.Add(st.pruned)
+	}
+	if st.subtrees != 0 {
+		e.subtrees.Add(st.subtrees)
+	}
+	if st.seeded {
+		e.sweepSeeded.Add(1)
+	}
+	if st.discarded {
+		e.sweepDiscarded.Add(1)
 	}
 	if err != nil {
 		// Cancellation is not a property of the task being analysed:
@@ -664,6 +791,7 @@ func (e *Engine) finalize(iterations int, converged bool) *Result {
 	res := e.detach(iterations)
 	res.Converged = converged
 	res.ScenariosPruned = e.pruned.Load()
+	res.SubtreesPruned = e.subtrees.Load()
 	res.computeVerdict(e.opt.eps())
 	return res
 }
@@ -689,14 +817,32 @@ func (e *Engine) roundUnchanged() bool {
 }
 
 // storePrev stores the round's worst-case responses into the
-// convergence buffers.
+// convergence buffers, and the full TaskResults into the round
+// fast path's copy source.
 func (e *Engine) storePrev() {
 	for i := range e.an.slabs {
 		sl := &e.an.slabs[i]
+		copy(sl.lastRound, sl.round)
 		for j := range sl.round {
 			sl.prev[j] = sl.round[j].Worst
 		}
 	}
+}
+
+// roundInputsUnchanged reports whether every transaction whose jitters
+// feed the response computation of task (i, j) — its own, plus every
+// transaction with interfering tasks (Eq. 17) — kept bitwise-identical
+// jitters through the last propagation step.
+func (e *Engine) roundInputsUnchanged(i, j int) bool {
+	if e.jitChanged[i] {
+		return false
+	}
+	for idx, hpI := range e.an.hpRow(i, j) {
+		if len(hpI) > 0 && e.jitChanged[idx] {
+			return false
+		}
+	}
+	return true
 }
 
 // roundHasInf reports an unbounded response in the current round.

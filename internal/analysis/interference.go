@@ -50,9 +50,20 @@ type txSlab struct {
 
 	// round holds the transaction's TaskResults of the current
 	// fixed-point round; prev the previous round's worst cases for the
-	// convergence test.
-	round []TaskResult
-	prev  []float64
+	// convergence test, and lastRound the previous round's full
+	// TaskResults — the copy source of the unchanged-inputs round
+	// fast path (see Engine.analyzeTask).
+	round     []TaskResult
+	prev      []float64
+	lastRound []TaskResult
+
+	// seedNu[b] is the critical scenario vector the last completed
+	// exact sweep of τa,b recorded — the incumbent seed of the next
+	// sweep of the same task (see analyzer.exactSweep). It survives
+	// across analyses of same-shaped systems (that is the cross-probe
+	// reuse) and is cleared whenever the slab's shape moves; a
+	// neighbour's shape change is caught per sweep by seedValidFor.
+	seedNu [][]initiator
 }
 
 // analyzer carries the per-run state of the static-offset analysis:
@@ -144,12 +155,22 @@ func (an *analyzer) bind(sys *model.System, opt Options) {
 		sl.overload = reuseRow(sl.overload, m)
 		sl.round = reuseRow(sl.round, m)
 		sl.prev = reuseRow(sl.prev, m)
+		sl.lastRound = reuseRow(sl.lastRound, m)
+		if len(sl.seedNu) != m {
+			sl.seedNu = make([][]initiator, m)
+		}
 
 		an.sigBuf = shapeSignatureTx(an.sigBuf[:0], sys, i)
 		an.changedMark[i] = full || !slices.Equal(sl.shape, an.sigBuf)
 		if an.changedMark[i] {
 			sl.shape = append(sl.shape[:0], an.sigBuf...)
 			changed = append(changed, i)
+			// A shape change moves the transaction's own scenario axes:
+			// its recorded critical scenarios no longer index the new
+			// candidate sets, so the seeds are dropped, not re-validated.
+			for b := range sl.seedNu {
+				sl.seedNu[b] = sl.seedNu[b][:0]
+			}
 		}
 	}
 	an.changedBuf = changed

@@ -124,6 +124,22 @@ type Options struct {
 	// every worker count. Requires streaming (the materialised sweep
 	// is sequential). Excluded from replay keys and cache keys.
 	DisableExactParallel bool
+
+	// DisableSweepReuse turns off the two cross-sweep reuse ladders of
+	// the branch-and-bound exact sweep: incumbent seeding (the critical
+	// scenario a sweep records is re-evaluated under the next sweep's
+	// inputs — next holistic round, or next analysis via
+	// Engine.AnalyzeFrom — and pruned against strictly, so near-repeat
+	// probes skip almost the whole scenario space) and the
+	// unchanged-inputs round fast path (a task whose own and
+	// interfering transactions all kept bitwise-identical jitters since
+	// the previous round reuses that round's TaskResult outright —
+	// recomputation is a pure function of those inputs). Both reuse
+	// mechanisms only ever skip work whose outcome is already
+	// determined, so results are bit-identical with the toggle on or
+	// off; it exists for the metamorphic seeded-vs-cold tests and for
+	// A/B benchmarking. Excluded from replay keys and cache keys.
+	DisableSweepReuse bool
 }
 
 // Normalised returns the options with every defaulted numeric field
@@ -272,10 +288,20 @@ type Result struct {
 	// Delta it is a work profile, not part of the analysis outcome:
 	// the count depends on scheduling when sweeps run chunk-parallel
 	// (each chunk prunes against its own running best plus a shared
-	// monotone bound), and on the replay depth on the delta path
-	// (replayed tasks sweep nothing, so they contribute no prunes) —
+	// monotone bound), on the replay depth on the delta path
+	// (replayed tasks sweep nothing, so they contribute no prunes),
+	// and on the engine-resident sweep seeds of earlier analyses —
 	// the bounds and verdict are bit-identical regardless.
 	ScenariosPruned int64
+
+	// SubtreesPruned counts the whole-subtree cursor jumps among the
+	// pruned scenarios: each is one branch-and-bound decision that
+	// skipped a contiguous run of scenario vectors (the subtree fixing
+	// a failing suffix of axis digits) with a single seek instead of
+	// stepping through them. The ratio ScenariosPruned/SubtreesPruned
+	// is the average subtree size the bounds refuted. A work profile
+	// like ScenariosPruned, with the same caveats.
+	SubtreesPruned int64
 
 	// history is the replay state: every holistic round's detached
 	// per-task results, recorded up to maxHistoryCells. It is what a
@@ -283,6 +309,17 @@ type Result struct {
 	// truncated recordings leave it short or empty — the delta path
 	// then falls back (wholly or per-round) to computing.
 	history [][][]TaskResult
+
+	// sweepNu is the exact sweep's cross-probe prune-state summary:
+	// sweepNu[i][j] is the critical scenario vector of τ(i+1),(j+1)'s
+	// final sweep (one initiator per scenario axis; empty when the
+	// task never recorded one). AnalyzeFrom installs it into the next
+	// engine's slabs, where each sweep re-evaluates its entry under
+	// the new inputs as the incumbent seed — or discards it when the
+	// dirty closure moved the task's interference shape. Recorded only
+	// for exact analyses with reuse and replay state enabled; stripped
+	// with the history.
+	sweepNu [][][]initiator
 
 	// rkey identifies the analysis semantics the result was computed
 	// under; a seed is only valid for an analysis with the same key.
@@ -318,11 +355,12 @@ func (r *Result) HasReplayState() bool { return len(r.history) > 0 }
 // a large verdict memo does not pin thousands of unreachable
 // histories.
 func (r *Result) WithoutReplayState() *Result {
-	if len(r.history) == 0 {
+	if len(r.history) == 0 && r.sweepNu == nil {
 		return r
 	}
 	c := *r
 	c.history = nil
+	c.sweepNu = nil
 	return &c
 }
 

@@ -24,13 +24,24 @@ type initiator struct{ tr, k int }
 //   - nu != nil: an exact scenario vector of Section 3.1.1 — one
 //     initiator per transaction with interfering tasks (Eq. 12).
 //
+// On the approximate encoding, pinTr optionally pins ONE further
+// transaction to an exact initiator: pinTr is the 1-based transaction
+// index (0, the zero value, means no pin — a 0-based field would make
+// the zero-value scenario silently pin transaction 0) and pinK the
+// initiator task charged via W^pinK instead of W*. The pinned form is
+// what the per-axis subtree bound tables of the branch-and-bound sweep
+// are computed from (see prefixBounds); the plain exact encoding
+// ignores both fields.
+//
 // Scenarios are plain data (no captured closures): the interference
 // they induce is evaluated by analyzer.interference, which keeps the
-// per-scenario footprint to a couple of words and lets the engine pool
-// the backing slices across calls.
+// per-scenario footprint to a few words and lets the engine pool the
+// backing slices across calls.
 type scenario struct {
-	c  int
-	nu []initiator
+	c     int
+	pinTr int
+	pinK  int
+	nu    []initiator
 }
 
 // taskScratch holds the per-task-analysis buffers (scenario sets,
@@ -48,6 +59,15 @@ type taskScratch struct {
 	// O(count·axes) backing the materialised sweep used to pin here.
 	nu     []initiator
 	bounds []float64
+
+	// Branch-and-bound scratch: boundTab holds the per-axis subtree
+	// bound tables (sub-slices of boundFlat), strides the mixed-radix
+	// subtree sizes and sufMin the cursor's running suffix minima; see
+	// prefixBounds and sweepRange.
+	boundTab  [][]float64
+	boundFlat []float64
+	strides   []int
+	sufMin    []float64
 }
 
 // shrink drops scratch buffers that grew past a high-water cap, so a
@@ -81,6 +101,18 @@ func (ts *taskScratch) shrink() {
 	if cap(ts.bounds) > maxSmallRetain {
 		ts.bounds = nil
 	}
+	if cap(ts.boundTab) > maxSmallRetain {
+		ts.boundTab = nil
+	}
+	if cap(ts.boundFlat) > maxSmallRetain {
+		ts.boundFlat = nil
+	}
+	if cap(ts.strides) > maxSmallRetain {
+		ts.strides = nil
+	}
+	if cap(ts.sufMin) > maxSmallRetain {
+		ts.sufMin = nil
+	}
 }
 
 // axis is one dimension of the exact scenario product: the candidate
@@ -107,45 +139,64 @@ var unboundedCritical = critical{initiator: -1}
 // microsecond range while the poll itself stays invisible in profiles.
 const cancelCheckInterval = 256
 
+// sweepStats is the work profile one task's response computation
+// reports upward: the exact scenarios the admissible prune skipped,
+// the whole-subtree cursor jumps among them, and whether a previous
+// sweep's critical scenario seeded (or was discarded as stale by) this
+// sweep's incumbent.
+type sweepStats struct {
+	pruned    int64
+	subtrees  int64
+	seeded    bool
+	discarded bool
+}
+
 // responseTime computes the worst-case response time R of τa,b
 // (0-based indices), measured from the activation of Γa, with the
 // offsets and jitters currently stored in the system, together with
-// the scenario attaining it and the number of exact scenarios the
-// admissible prune skipped. It returns +Inf when the busy period does
-// not converge (platform overload). ts provides reusable buffers; it
-// must not be shared between concurrent calls. ctx is polled every
-// cancelCheckInterval scenarios so huge exact sweeps abort promptly.
-func (an *analyzer) responseTime(ctx context.Context, a, b int, ts *taskScratch) (float64, critical, int64, error) {
+// the scenario attaining it and the sweep's work profile. It returns
+// +Inf when the busy period does not converge (platform overload). ts
+// provides reusable buffers; it must not be shared between concurrent
+// calls. ctx is polled every cancelCheckInterval scenarios so huge
+// exact sweeps abort promptly.
+func (an *analyzer) responseTime(ctx context.Context, a, b int, ts *taskScratch) (float64, critical, sweepStats, error) {
 	ta := &an.sys.Transactions[a].Tasks[b]
 	alpha := an.sys.Platforms[ta.Platform].Alpha
 	hp := an.hpRow(a, b)
 
 	if an.slabs[a].overload[b] {
-		return math.Inf(1), unboundedCritical, 0, nil
+		return math.Inf(1), unboundedCritical, sweepStats{}, nil
 	}
 
 	if !an.opt.Exact {
 		r, crit, _, ok, err := an.sweepList(ctx, a, b, an.approxScenarios(a, b, hp, ts), hp, alpha, nil)
 		if err != nil {
-			return 0, unboundedCritical, 0, err
+			return 0, unboundedCritical, sweepStats{}, err
 		}
 		if !ok {
-			return math.Inf(1), unboundedCritical, 0, nil
+			return math.Inf(1), unboundedCritical, sweepStats{}, nil
 		}
-		return r, crit, 0, nil
+		return r, crit, sweepStats{}, nil
 	}
 	return an.exactSweep(ctx, a, b, hp, alpha, ts)
 }
 
 // exactSweep runs the exact scenario enumeration of Section 3.1.1 as a
-// streamed, pruned, optionally chunk-parallel sweep over the
+// streamed, branch-and-bound, optionally chunk-parallel sweep over the
 // mixed-radix scenario space — the same scenarios, in the same
 // deterministic order, as the historical materialised sweep, with
-// bit-identical results for every toggle and worker combination.
-func (an *analyzer) exactSweep(ctx context.Context, a, b int, hp [][]int, alpha float64, ts *taskScratch) (float64, critical, int64, error) {
+// bit-identical results for every toggle and worker combination. Two
+// layers of state make it a true tree search instead of a per-scenario
+// filter: per-axis admissible bound tables let the cursor skip whole
+// subtrees with one seek (see sweepRange), and the critical scenario of
+// the previous sweep of the same task — last round, or last analysis
+// via Engine.AnalyzeFrom — is re-evaluated under the current inputs to
+// seed the incumbent the bounds are pruned against.
+func (an *analyzer) exactSweep(ctx context.Context, a, b int, hp [][]int, alpha float64, ts *taskScratch) (float64, critical, sweepStats, error) {
+	var st sweepStats
 	axes, aAxis, count, err := an.buildAxes(a, b, hp, ts)
 	if err != nil {
-		return 0, unboundedCritical, 0, err
+		return 0, unboundedCritical, st, err
 	}
 
 	// The bound computation costs one approximate fixed point per Γa
@@ -161,15 +212,61 @@ func (an *analyzer) exactSweep(ctx context.Context, a, b int, hp [][]int, alpha 
 	if an.opt.DisableExactStreaming {
 		// Reference path: materialise every scenario vector first, then
 		// evaluate the list sequentially — the seed sweep the streamed
-		// cursor is tested against.
+		// cursor is tested against. No subtree bounds, no incumbent
+		// seeding: this is the historical per-scenario prune, verbatim.
 		r, crit, pruned, ok, err := an.sweepList(ctx, a, b, an.materialiseScenarios(axes, aAxis, count, ts), hp, alpha, bounds)
+		st.pruned = pruned
 		if err != nil {
-			return 0, unboundedCritical, 0, err
+			return 0, unboundedCritical, st, err
 		}
 		if !ok {
-			return math.Inf(1), unboundedCritical, pruned, nil
+			return math.Inf(1), unboundedCritical, st, nil
 		}
-		return r, crit, pruned, nil
+		return r, crit, st, nil
+	}
+
+	var bb *sweepBounds
+	if bounds != nil {
+		bb = an.prefixBounds(a, b, hp, alpha, axes, aAxis, count, bounds, ts)
+	}
+
+	// Incumbent seeding: re-evaluate the critical scenario recorded by
+	// the previous sweep of this task under the CURRENT offsets and
+	// jitters. Whatever inputs that scenario was recorded under, it is
+	// a member of the current scenario space once its shape validates,
+	// so its response is ≤ the true maximum — an admissible prune floor
+	// that never enters the result. Pruning against it is strict
+	// (bound < floor): a scenario tying the floor may be the first
+	// maximum and must still be evaluated. A seed whose axes no longer
+	// match (the dirty closure moved the task's interference shape) is
+	// discarded, never trusted. The floor's guaranteed price — one
+	// extra fixed point per sweep — is only ever paid when a seed
+	// exists, i.e. from the second round of a converging task or across
+	// AnalyzeFrom probes, exactly the regimes where the previous
+	// critical scenario is close to (usually is) the current maximum
+	// and the floor prunes most of the space; a gate on sweep size was
+	// tried and measurably hurt the probe-chain workloads, whose sweeps
+	// are small but whose seeds are near-perfect.
+	reuse := !an.opt.DisableSweepReuse
+	floor := 0.0
+	if bb != nil && reuse {
+		if seed := an.slabs[a].seedNu[b]; len(seed) > 0 {
+			if !seedValidFor(axes, seed) {
+				st.discarded = true
+			} else {
+				st.seeded = true
+				r, _, ok := an.scenarioResponse(a, b, scenario{c: seed[aAxis].k, nu: seed}, hp, alpha)
+				if !ok {
+					// The seed scenario itself diverges under the current
+					// inputs. Its bound diverges too (the bound dominates),
+					// so a cold sweep could never prune it, would evaluate
+					// it, and unbounded is absorbing — the outcome is the
+					// same +Inf either way.
+					return math.Inf(1), unboundedCritical, st, nil
+				}
+				floor = r
+			}
+		}
 	}
 
 	// Chunked dispatch: split the cursor range across the round's
@@ -189,44 +286,116 @@ func (an *analyzer) exactSweep(ctx context.Context, a, b int, hp [][]int, alpha 
 		}
 	}
 	if chunks <= 1 {
-		res, err := an.sweepRange(ctx, a, b, axes, aAxis, 0, count, hp, alpha, bounds, nil, ts.pick[:len(axes)], ts.nu[:len(axes)])
+		if cap(ts.sufMin) < len(axes) {
+			ts.sufMin = make([]float64, len(axes))
+		}
+		res, err := an.sweepRange(ctx, a, b, axes, aAxis, 0, count, hp, alpha, bb, floor, reuse, nil, ts.pick[:len(axes)], ts.nu[:len(axes)], ts.sufMin[:len(axes)])
 		if err != nil {
-			return 0, unboundedCritical, 0, err
+			return 0, unboundedCritical, st, err
 		}
+		st.pruned, st.subtrees = res.pruned, res.subtrees
 		if !res.finite {
-			return math.Inf(1), unboundedCritical, res.pruned, nil
+			return math.Inf(1), unboundedCritical, st, nil
 		}
-		return res.best, res.crit, res.pruned, nil
+		an.storeSeed(a, b, res.critNu)
+		return res.best, res.crit, st, nil
+	}
+
+	// Frontier-aware chunk boundaries: aligning the cut points to the
+	// largest subtree stride that still fits a chunk keeps whole
+	// subtrees inside one chunk, so a failing prefix bound skips them
+	// with a single seek instead of two chunks each re-deciding half.
+	align := 1
+	if bb != nil {
+		target := count / chunks
+		for j := 1; j < len(bb.strides); j++ {
+			if bb.strides[j] > target {
+				break
+			}
+			align = bb.strides[j]
+		}
 	}
 
 	var shared atomic.Uint64 // Float64bits of the best response any chunk evaluated
-	parts, err := batch.MapRange(count, chunks, an.budget, func(chunk, lo, hi int) (chunkResult, error) {
+	if floor > 0 {
+		// The incumbent floor enters the chunked sweep as the initial
+		// shared bound: chunks already prune strictly against it
+		// (bound < shared), exactly the tie discipline the floor needs.
+		shared.Store(math.Float64bits(floor))
+	}
+	parts, err := batch.MapRangeAligned(count, chunks, align, an.budget, func(chunk, lo, hi int) (chunkResult, error) {
 		// Chunk workers need private cursor state; everything else
 		// (axes, bounds, slabs, the system) is read-only for the round.
 		pick := make([]int, len(axes))
 		nu := make([]initiator, len(axes))
-		return an.sweepRange(ctx, a, b, axes, aAxis, lo, hi, hp, alpha, bounds, &shared, pick, nu)
+		sufMin := make([]float64, len(axes))
+		return an.sweepRange(ctx, a, b, axes, aAxis, lo, hi, hp, alpha, bb, floor, reuse, &shared, pick, nu, sufMin)
 	})
 	if err != nil {
-		return 0, unboundedCritical, 0, err
+		return 0, unboundedCritical, st, err
 	}
 	best := 0.0
 	crit := critical{initiator: b}
-	pruned := int64(0)
+	var critNu []initiator
 	finite := true
 	for _, p := range parts {
-		pruned += p.pruned
+		st.pruned += p.pruned
+		st.subtrees += p.subtrees
 		if !p.finite {
 			finite = false
 		}
 		if p.best > best {
-			best, crit = p.best, p.crit
+			best, crit, critNu = p.best, p.crit, p.critNu
 		}
 	}
 	if !finite {
-		return math.Inf(1), unboundedCritical, pruned, nil
+		return math.Inf(1), unboundedCritical, st, nil
 	}
-	return best, crit, pruned, nil
+	an.storeSeed(a, b, critNu)
+	return best, crit, st, nil
+}
+
+// storeSeed records the critical scenario vector of a completed sweep
+// into the transaction's slab, where the next sweep of the same task —
+// next holistic round, or next analysis through Engine.AnalyzeFrom —
+// picks it up as its incumbent seed. Concurrent per-task computations
+// write disjoint slots. An empty vector (nothing beat zero, or seeding
+// disabled) leaves the previous seed in place: it stays shape-valid
+// and re-evaluation keeps it sound.
+func (an *analyzer) storeSeed(a, b int, critNu []initiator) {
+	if an.opt.DisableSweepReuse || len(critNu) == 0 {
+		return
+	}
+	sl := &an.slabs[a]
+	sl.seedNu[b] = append(sl.seedNu[b][:0], critNu...)
+}
+
+// seedValidFor reports whether a recorded critical scenario vector is
+// a member of the CURRENT scenario space: one initiator per axis, each
+// naming the axis's transaction and one of its candidate tasks. Any
+// edit that moved the task's interference shape (priorities, platform
+// mapping, task counts) fails the check and the stale seed is
+// discarded — an out-of-space vector's response bounds nothing.
+func seedValidFor(axes []axis, seed []initiator) bool {
+	if len(seed) != len(axes) {
+		return false
+	}
+	for i, s := range seed {
+		if s.tr != axes[i].tr {
+			return false
+		}
+		found := false
+		for _, c := range axes[i].cands {
+			if c == s.k {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
 }
 
 // exactChunkMin is the smallest cursor range worth handing to a
@@ -236,41 +405,101 @@ func (an *analyzer) exactSweep(ctx context.Context, a, b int, hp [][]int, alpha 
 const exactChunkMin = 2048
 
 // chunkResult is one contiguous cursor range's reduction: its best
-// response with the scenario attaining it, the scenarios the prune
-// skipped, and whether every evaluated fixed point converged.
+// response with the scenario attaining it (critNu is the full vector,
+// recorded for the next sweep's incumbent seed), the scenarios the
+// prune skipped with the whole-subtree jumps among them, and whether
+// every evaluated fixed point converged.
 type chunkResult struct {
-	best   float64
-	crit   critical
-	pruned int64
-	finite bool
+	best     float64
+	crit     critical
+	critNu   []initiator
+	pruned   int64
+	subtrees int64
+	finite   bool
+}
+
+// sweepBounds is the branch-and-bound state shared (read-only) by the
+// chunks of one exact sweep. tab[j], when non-nil, is the subtree
+// bound table of axis j: tab[j][d] upper-bounds the response of EVERY
+// scenario whose axis-j digit is d, whatever the other axes pick (see
+// prefixBounds for the admissibility argument). strides[j] is the size
+// of the subtree that fixes the digits of axes ≥ j — the run of
+// consecutive flat indices a failing bound lets the cursor skip.
+type sweepBounds struct {
+	tab     [][]float64
+	strides []int
 }
 
 // sweepRange evaluates the exact scenarios with flat indices [lo, hi)
-// in cursor order. bounds, when non-nil, enables the admissible prune:
-// bounds[c] is an upper bound on the response of every scenario whose
-// Γa initiator is τa,c (Eq. 15 dominates Eq. 13 termwise, see
-// pruneBounds), so a scenario whose bound cannot strictly beat the
-// running best cannot change the outcome and is skipped. shared, when
-// non-nil, is the cross-chunk Float64bits of the best response any
-// chunk has evaluated; pruning against it needs strict dominance
-// (bound < shared) because a tied scenario in another chunk may come
-// later in cursor order than this one, whereas the chunk-local best
-// may prune ties (bound <= best) — a tie with an earlier in-range
-// scenario never updates best under the strict r > best rule.
-func (an *analyzer) sweepRange(ctx context.Context, a, b int, axes []axis, aAxis, lo, hi int, hp [][]int, alpha float64, bounds []float64, shared *atomic.Uint64, pick []int, nu []initiator) (chunkResult, error) {
+// in cursor order. bb, when non-nil, arms the branch-and-bound prune:
+// the cursor maintains sufMin[j] = min over axes i ≥ j of
+// tab[i][pick[i]] — an admissible bound on every scenario of the
+// subtree that keeps the digits of axes ≥ j — and when the tightest of
+// them (sufMin[0], the current scenario's own bound) cannot strictly
+// beat the incumbent, it finds the LARGEST failing j (the failing set
+// is down-closed: sufMin grows with j and the predicate is monotone)
+// and seeks straight past the whole subtree instead of stepping
+// through it. floor is the incumbent seeded from a previous sweep's
+// critical scenario re-evaluated under the current inputs; it is a
+// response some in-space scenario attains, so pruning against it is
+// strict (bound < floor) — a tying scenario may be the first maximum —
+// and it never enters res.best. trackNu records the running best's full
+// scenario vector into res.critNu for the next sweep's seed; the caller
+// gates it on the reuse toggle. shared, when non-nil, is the
+// cross-chunk Float64bits of the best response any chunk has evaluated
+// (pre-seeded with the floor); pruning against it is strict for the
+// same tie reason, whereas the chunk-local best may prune ties
+// (bound <= best) — a tie with an earlier in-range scenario never
+// updates best under the strict r > best rule.
+func (an *analyzer) sweepRange(ctx context.Context, a, b int, axes []axis, aAxis, lo, hi int, hp [][]int, alpha float64, bb *sweepBounds, floor float64, trackNu bool, shared *atomic.Uint64, pick []int, nu []initiator, sufMin []float64) (chunkResult, error) {
 	cursorSeek(axes, pick, nu, lo)
 	res := chunkResult{crit: critical{initiator: b}, finite: true}
-	for idx := lo; idx < hi; idx++ {
-		if (idx-lo)%cancelCheckInterval == 0 && ctx != nil {
+	if bb != nil {
+		refreshSufMin(bb.tab, pick, sufMin, len(axes)-1)
+	}
+	steps := 0
+	for idx := lo; idx < hi; {
+		if steps%cancelCheckInterval == 0 && ctx != nil {
 			if err := ctx.Err(); err != nil {
 				return chunkResult{}, wrapCancelled(err)
 			}
 		}
-		if bounds != nil {
-			bd := bounds[nu[aAxis].k]
-			if bd <= res.best || (shared != nil && bd < math.Float64frombits(shared.Load())) {
-				res.pruned++
-				cursorNext(axes, pick, nu)
+		steps++
+		if bb != nil {
+			thr := floor
+			if shared != nil {
+				if sv := math.Float64frombits(shared.Load()); sv > thr {
+					thr = sv
+				}
+			}
+			if bd := sufMin[0]; bd <= res.best || bd < thr {
+				// Find the largest axis whose whole remaining subtree the
+				// failing bound covers, and skip it in one jump.
+				jmax := 0
+				for j := len(axes) - 1; j >= 1; j-- {
+					if x := sufMin[j]; x <= res.best || x < thr {
+						jmax = j
+						break
+					}
+				}
+				if jmax == 0 {
+					res.pruned++
+					refreshSufMin(bb.tab, pick, sufMin, cursorNext(axes, pick, nu))
+					idx++
+					continue
+				}
+				next := idx - idx%bb.strides[jmax] + bb.strides[jmax]
+				if next > hi {
+					next = hi
+				}
+				res.pruned += int64(next - idx)
+				res.subtrees++
+				idx = next
+				if idx >= hi {
+					break
+				}
+				cursorSeek(axes, pick, nu, idx)
+				refreshSufMin(bb.tab, pick, sufMin, len(axes)-1)
 				continue
 			}
 		}
@@ -285,13 +514,40 @@ func (an *analyzer) sweepRange(ctx context.Context, a, b int, axes []axis, aAxis
 		if r > res.best {
 			res.best = r
 			res.crit = critical{initiator: sc.c, job: p}
+			if trackNu {
+				res.critNu = append(res.critNu[:0], nu...)
+			}
 			if shared != nil {
 				sharedMax(shared, r)
 			}
 		}
-		cursorNext(axes, pick, nu)
+		top := cursorNext(axes, pick, nu)
+		if bb != nil {
+			refreshSufMin(bb.tab, pick, sufMin, top)
+		}
+		idx++
 	}
 	return res, nil
+}
+
+// refreshSufMin rebuilds the suffix minima of the axes ≤ top after the
+// cursor digits of those axes moved; entries above top are unchanged
+// by construction of the mixed-radix order (cursorNext reports the
+// highest rolled axis). Axes without a bound table contribute +Inf —
+// they never tighten a subtree bound, only their neighbours do.
+func refreshSufMin(tab [][]float64, pick []int, sufMin []float64, top int) {
+	m := math.Inf(1)
+	if top+1 < len(sufMin) {
+		m = sufMin[top+1]
+	}
+	for j := top; j >= 0; j-- {
+		if t := tab[j]; t != nil {
+			if v := t[pick[j]]; v < m {
+				m = v
+			}
+		}
+		sufMin[j] = m
+	}
 }
 
 // sharedMax raises the shared best-response cell to r if r exceeds it
@@ -361,7 +617,9 @@ func (an *analyzer) overloaded(a, b int, alpha float64) bool {
 // interference returns the total higher-priority demand the scenario sc
 // charges to a busy period of length t of τa,b (already scaled by 1/α),
 // excluding the jobs of τa,b itself: Eq. 13 for exact scenario vectors,
-// Eq. 15/16 for the approximate reduction.
+// Eq. 15/16 for the approximate reduction — with at most one further
+// transaction pinned to an exact initiator (sc.pinTr, 1-based; the
+// pinned form underlies the per-axis subtree bound tables).
 func (an *analyzer) interference(a int, sc scenario, hp [][]int, alpha, t float64) float64 {
 	sum := 0.0
 	if sc.nu == nil {
@@ -369,9 +627,12 @@ func (an *analyzer) interference(a int, sc scenario, hp [][]int, alpha, t float6
 			if len(hpI) == 0 {
 				continue
 			}
-			if i == a {
+			switch {
+			case i == a:
 				sum += an.wk(a, sc.c, hpI, alpha, t)
-			} else {
+			case i+1 == sc.pinTr:
+				sum += an.wk(i, sc.pinK, hpI, alpha, t)
+			default:
 				sum += an.wstar(i, hpI, alpha, t)
 			}
 		}
@@ -470,6 +731,105 @@ func (an *analyzer) pruneBounds(a, b int, hp [][]int, alpha float64, cands []int
 	return bounds
 }
 
+// pairBoundAmortise gates the pairwise bound tables: one table entry
+// costs |cands_a| approximate fixed points (each comparable to a few
+// scenario evaluations, the W* sums included), so the tables only pay
+// for themselves when the scenario product dwarfs their construction.
+// Below the gate the sweep keeps only the free aAxis table — the
+// per-initiator bounds pruneBounds computed anyway.
+const pairBoundAmortise = 8
+
+// prefixBounds assembles the branch-and-bound state of one exact
+// sweep: the per-axis subtree bound tables and the mixed-radix
+// strides. The aAxis table is the per-initiator bound pruneBounds
+// already computed, re-indexed by candidate position. For every other
+// axis j — when count amortises the construction — entry d is
+//
+//	max over c ∈ cands_a of the fixed point of the approximate
+//	scenario charging Γa its exact W^c, axis j's transaction its
+//	exact W^{cands_j[d]}, and every remaining transaction W*,
+//
+// which is admissible for EVERY exact scenario whose axis-j digit is d:
+// the pinned interference dominates the exact one termwise (W* ≥ every
+// W^k pointwise, Eq. 15), the busy-period and completion fixed points
+// are monotone in the interference, the dominated job range is a
+// subset, and the max over c covers whichever Γa initiator the
+// scenario picks (the phase ϕ of Eq. 10 depends on it). A subtree
+// fixing the digits of axes ≥ j therefore has min over i ≥ j of
+// tab[i][pick[i]] as an upper bound on every response inside it — the
+// suffix minimum sweepRange prunes whole subtrees against. An entry
+// whose own fixed point diverges is +Inf, which never prunes.
+func (an *analyzer) prefixBounds(a, b int, hp [][]int, alpha float64, axes []axis, aAxis, count int, bounds []float64, ts *taskScratch) *sweepBounds {
+	n := len(axes)
+	if cap(ts.strides) < n+1 {
+		ts.strides = make([]int, n+1)
+	}
+	strides := ts.strides[:n+1]
+	strides[0] = 1
+	for j := 0; j < n; j++ {
+		strides[j+1] = strides[j] * len(axes[j].cands)
+	}
+
+	if cap(ts.boundTab) < n {
+		ts.boundTab = make([][]float64, n)
+	}
+	tab := ts.boundTab[:n]
+	for j := range tab {
+		tab[j] = nil
+	}
+
+	pairCost := 0
+	for j, ax := range axes {
+		if j != aAxis {
+			pairCost += len(ax.cands)
+		}
+	}
+	pairCost *= len(axes[aAxis].cands)
+	buildPairs := pairCost > 0 && count >= pairBoundAmortise*pairCost
+
+	need := len(axes[aAxis].cands)
+	if buildPairs {
+		need += pairCost / len(axes[aAxis].cands)
+	}
+	if cap(ts.boundFlat) < need {
+		ts.boundFlat = make([]float64, 0, need)
+	}
+	flat := ts.boundFlat[:0]
+
+	start := len(flat)
+	for _, c := range axes[aAxis].cands {
+		flat = append(flat, bounds[c])
+	}
+	tab[aAxis] = flat[start:len(flat):len(flat)]
+
+	if buildPairs {
+		for j, ax := range axes {
+			if j == aAxis {
+				continue
+			}
+			start = len(flat)
+			for _, k := range ax.cands {
+				bd := 0.0
+				for _, c := range axes[aAxis].cands {
+					r, _, ok := an.scenarioResponse(a, b, scenario{c: c, pinTr: ax.tr + 1, pinK: k}, hp, alpha)
+					if !ok {
+						bd = math.Inf(1)
+						break
+					}
+					if r > bd {
+						bd = r
+					}
+				}
+				flat = append(flat, bd)
+			}
+			tab[j] = flat[start:len(flat):len(flat)]
+		}
+	}
+
+	ts.boundTab, ts.boundFlat, ts.strides = tab, flat, strides
+	return &sweepBounds{tab: tab, strides: strides}
+}
+
 // cursorSeek positions the mixed-radix scenario cursor at flat index
 // idx: pick[i] is the candidate index of axis i — axis 0 is the
 // fastest-varying digit, exactly the enumeration order of the
@@ -486,17 +846,20 @@ func cursorSeek(axes []axis, pick []int, nu []initiator, idx int) {
 }
 
 // cursorNext advances the cursor one scenario, rewriting only the nu
-// entries of the axes whose digit moved — amortised O(1) per step.
-func cursorNext(axes []axis, pick []int, nu []initiator) {
+// entries of the axes whose digit moved — amortised O(1) per step. It
+// returns the highest axis index whose digit changed, which is exactly
+// the prefix of suffix minima the branch-and-bound sweep must refresh.
+func cursorNext(axes []axis, pick []int, nu []initiator) int {
 	for i := range axes {
 		pick[i]++
 		if pick[i] < len(axes[i].cands) {
 			nu[i] = initiator{tr: axes[i].tr, k: axes[i].cands[pick[i]]}
-			return
+			return i
 		}
 		pick[i] = 0
 		nu[i] = initiator{tr: axes[i].tr, k: axes[i].cands[0]}
 	}
+	return len(axes) - 1
 }
 
 // materialiseScenarios expands the axes into the full scenario list by

@@ -191,6 +191,21 @@ func (b *Budget) Release() { b.free.Add(1) }
 // poll its own cancellation signal — and the first error in
 // chunk-index order is returned, keeping the error deterministic too.
 func MapRange[T any](n, chunks int, bud *Budget, fn func(chunk, lo, hi int) (T, error)) ([]T, error) {
+	return MapRangeAligned(n, chunks, 1, bud, fn)
+}
+
+// MapRangeAligned is MapRange with every interior chunk boundary
+// rounded down to a multiple of align, so a chunk never splits an
+// align-sized block of the range. It is the contract the
+// branch-and-bound exact sweep needs: aligning chunk boundaries to a
+// cursor stride keeps whole subtrees inside one chunk, so a prefix
+// bound refuted once is refuted for the entire subtree instead of
+// re-checked across a chunk seam. Rounding can empty a chunk
+// (lo == hi); fn is still called for it, so callers relying on
+// per-chunk zero values being meaningful must handle empty spans.
+// align < 1 is treated as 1, which makes the split identical to
+// MapRange's.
+func MapRangeAligned[T any](n, chunks, align int, bud *Budget, fn func(chunk, lo, hi int) (T, error)) ([]T, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("batch: negative range size %d", n)
 	}
@@ -204,6 +219,9 @@ func MapRange[T any](n, chunks int, bud *Budget, fn func(chunk, lo, hi int) (T, 
 	if chunks == 0 {
 		return out, nil
 	}
+	if align < 1 {
+		align = 1
+	}
 	errs := make([]error, chunks)
 	base, rem := n/chunks, n%chunks
 	span := func(c int) (lo, hi int) {
@@ -211,6 +229,12 @@ func MapRange[T any](n, chunks int, bud *Budget, fn func(chunk, lo, hi int) (T, 
 		hi = lo + base
 		if c < rem {
 			hi++
+		}
+		if align > 1 {
+			lo -= lo % align
+			if c+1 < chunks {
+				hi -= hi % align
+			}
 		}
 		return lo, hi
 	}

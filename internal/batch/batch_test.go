@@ -190,6 +190,79 @@ func TestMapRangeCoversAndOrders(t *testing.T) {
 	}
 }
 
+// TestMapRangeAlignedBoundaries: interior chunk boundaries land on
+// align multiples, chunks stay contiguous and ordered, the union is
+// exactly [0, n), and chunks emptied by the rounding still invoke fn
+// (callers depend on one result per chunk index).
+func TestMapRangeAlignedBoundaries(t *testing.T) {
+	for _, tc := range []struct{ n, chunks, align int }{
+		{100, 7, 8}, {64, 4, 16}, {64, 4, 64}, // align ≥ span: all but one chunk empty
+		{10, 3, 3}, {49, 8, 7}, {100, 7, 1}, {5, 9, 4},
+	} {
+		seen := make([]atomic.Int64, tc.n)
+		calls := atomic.Int64{}
+		out, err := MapRangeAligned(tc.n, tc.chunks, tc.align, NewBudget(2), func(chunk, lo, hi int) ([2]int, error) {
+			calls.Add(1)
+			for i := lo; i < hi; i++ {
+				seen[i].Add(1)
+			}
+			return [2]int{lo, hi}, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int(calls.Load()) != len(out) {
+			t.Fatalf("n=%d chunks=%d align=%d: fn called %d times for %d chunks (empty chunks must still be called)",
+				tc.n, tc.chunks, tc.align, calls.Load(), len(out))
+		}
+		pos := 0
+		for c, span := range out {
+			if span[0] != pos || span[1] < span[0] {
+				t.Fatalf("n=%d chunks=%d align=%d: chunk %d spans %v, want start %d",
+					tc.n, tc.chunks, tc.align, c, span, pos)
+			}
+			if c > 0 && span[0]%tc.align != 0 {
+				t.Fatalf("n=%d chunks=%d align=%d: chunk %d starts at %d, not an align multiple",
+					tc.n, tc.chunks, tc.align, c, span[0])
+			}
+			pos = span[1]
+		}
+		if pos != tc.n {
+			t.Fatalf("n=%d chunks=%d align=%d: covered %d items", tc.n, tc.chunks, tc.align, pos)
+		}
+		for i := range seen {
+			if got := seen[i].Load(); got != 1 {
+				t.Fatalf("item %d evaluated %d times", i, got)
+			}
+		}
+	}
+}
+
+// TestMapRangeAlignedAlignOneMatchesMapRange: align ≤ 1 must reproduce
+// MapRange's spans exactly — MapRange delegates, so a drift here would
+// silently change every existing caller.
+func TestMapRangeAlignedAlignOneMatchesMapRange(t *testing.T) {
+	span := func(chunk, lo, hi int) ([2]int, error) { return [2]int{lo, hi}, nil }
+	want, err := MapRange(100, 7, nil, span)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, align := range []int{1, 0, -3} {
+		got, err := MapRangeAligned(100, 7, align, nil, span)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("align=%d: %d chunks, want %d", align, len(got), len(want))
+		}
+		for c := range got {
+			if got[c] != want[c] {
+				t.Fatalf("align=%d chunk %d: %v, want %v", align, c, got[c], want[c])
+			}
+		}
+	}
+}
+
 func TestMapRangeNilBudgetRunsInline(t *testing.T) {
 	out, err := MapRange(10, 4, nil, func(chunk, lo, hi int) (int, error) { return hi - lo, nil })
 	if err != nil {

@@ -73,11 +73,14 @@ const regressionTolerance = 0.75
 // resident result), and reports throughput, cache hit rate, delta hit
 // rate and p50/p99 latency — humanly, or as JSON with -json.
 //
-// Three workload presets exist: "default" exercises the memo and
+// Four workload presets exist: "default" exercises the memo and
 // delta paths with the approximate analysis on multi-platform chains;
 // "exact-heavy" routes single-platform, high-interference systems
-// through the exact scenario sweep — the streamed/pruned/parallel hot
-// path — and reports the scenarios the admissible prune skipped;
+// through the exact scenario sweep — the streamed/pruned/parallel
+// branch-and-bound hot path — and reports the scenarios and subtrees
+// the admissible bounds refuted; "exact-search" runs one exact-oracle
+// Audsley search per query, the probe-chain traffic the session-
+// carried sweep state (cross-probe incumbent seeding) accelerates;
 // "assign" runs one full Audsley priority-assignment search per query
 // against the shared service, the probe-chain traffic of the sched
 // layer (every probe one priority move apart, served by the session-
@@ -99,7 +102,7 @@ func Bench(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("hsched bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		workload   = fs.String("workload", "default", "workload preset: default (approximate admission-control chains), exact-heavy (exact scenario sweeps) or assign (priority-assignment searches)")
+		workload   = fs.String("workload", "default", "workload preset: default (approximate admission-control chains), exact-heavy (exact scenario sweeps), exact-search (exact-oracle priority searches) or assign (priority-assignment searches)")
 		systems    = fs.Int("systems", 64, "distinct random base systems in the workload population")
 		mutations  = fs.Int("mutations", 4, "single-transaction mutations chained onto each base system")
 		queries    = fs.Int("queries", 4096, "total queries to issue")
@@ -138,7 +141,31 @@ func Bench(args []string, stdout, stderr io.Writer) int {
 			*mutations = 2
 		}
 		if !explicit["queries"] {
-			*queries = 256
+			// Enough queries that the tail quantiles rest on dozens of
+			// samples (256 put p99 on ~3), while the population keeps
+			// every ~16th query a cold exact sweep.
+			*queries = 2048
+		}
+		if !explicit["util"] {
+			*util = 0.5
+		}
+	case "exact-search":
+		// One whole exact-oracle Audsley search per query: tens of
+		// probes each one priority move apart, the traffic the
+		// session-carried sweep state (cross-probe incumbent seeding)
+		// exists for. Systems stay small — the cost per query is the
+		// search, not the single sweep.
+		if !explicit["exact"] {
+			*exact = true
+		}
+		if !explicit["systems"] {
+			*systems = 4
+		}
+		if !explicit["mutations"] {
+			*mutations = 1
+		}
+		if !explicit["queries"] {
+			*queries = 16
 		}
 		if !explicit["util"] {
 			*util = 0.5
@@ -158,7 +185,7 @@ func Bench(args []string, stdout, stderr io.Writer) int {
 			*queries = 64
 		}
 	default:
-		fmt.Fprintf(stderr, "hsched bench: unknown -workload %q (want default, exact-heavy or assign)\n", *workload)
+		fmt.Fprintf(stderr, "hsched bench: unknown -workload %q (want default, exact-heavy, exact-search or assign)\n", *workload)
 		return 1
 	}
 	if *systems <= 0 || *queries <= 0 || *mutations < 0 {
@@ -177,7 +204,7 @@ func Bench(args []string, stdout, stderr io.Writer) int {
 			PeriodMin: 20, PeriodMax: 400, Utilization: *util,
 			AlphaMin: 0.4, AlphaMax: 0.9,
 		}
-		if *workload == "exact-heavy" {
+		if *workload == "exact-heavy" || *workload == "exact-search" {
 			// One platform maximises same-platform interference — the
 			// regime where the exact scenario product of Eq. 12 grows —
 			// and random priorities break the rate-monotonic nesting
@@ -186,6 +213,12 @@ func Bench(args []string, stdout, stderr io.Writer) int {
 			cfg.ChainLen = 4
 			cfg.AlphaMin, cfg.AlphaMax = 0.5, 0.9
 			cfg.RandomPriorities = true
+			if *workload == "exact-search" {
+				// The search multiplies every system by tens of exact
+				// probes; a shorter chain keeps one query in the tens of
+				// milliseconds.
+				cfg.ChainLen = 3
+			}
 		}
 		sys, err := gen.System(cfg)
 		if err != nil {
@@ -247,7 +280,7 @@ func Bench(args []string, stdout, stderr io.Writer) int {
 			_, err := svc.Analyze(ctx, pop[k%len(pop)])
 			return err
 		}
-		if *workload == "assign" {
+		if *workload == "assign" || *workload == "exact-search" {
 			assignOpt := analysis.Options{Exact: *exact, Workers: 1}
 			query = func(ctx context.Context, k int) error {
 				sys := pop[k%len(pop)].Clone()
@@ -393,7 +426,8 @@ func remoteQuerier(base, workload string, exact bool, clients, window int, pop [
 	}
 
 	path := u.Path + "/v1/analyze"
-	if workload == "assign" {
+	search := workload == "assign" || workload == "exact-search"
+	if search {
 		path = u.Path + "/v1/assign"
 	}
 	// Pre-assemble every request down to the bytes on the wire: the
@@ -408,7 +442,7 @@ func remoteQuerier(base, workload string, exact bool, clients, window int, pop [
 			data []byte
 			err  error
 		)
-		if workload == "assign" {
+		if search {
 			data, err = json.Marshal(&httpd.AssignRequest{
 				System:  spec.FromSystem(sys),
 				Policy:  "audsley",
@@ -427,6 +461,24 @@ func remoteQuerier(base, workload string, exact bool, clients, window int, pop [
 			"POST %s HTTP/1.1\r\nHost: %s\r\nContent-Type: application/json\r\nContent-Length: %d\r\n\r\n%s",
 			path, u.Host, len(data), data)
 	}
+
+	// Warm-up: prime every distinct request once, sequentially, so the
+	// measured run starts from the steady state the benchmark means to
+	// characterise regardless of what the server saw before. The stats
+	// snapshot is taken after the warm-up — not at connect time — so
+	// the reported cache block is the counter delta of the measured
+	// queries alone, never of warm-up or pre-existing traffic.
+	wc, err := dialBench(u.Host)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("remote %s unreachable: %w", base, err)
+	}
+	for k := range reqs {
+		if err := wc.submit(k, reqs[k], 1, func(int, time.Duration) {}); err != nil {
+			wc.conn.Close()
+			return nil, nil, nil, fmt.Errorf("remote %s warm-up: %w", path, err)
+		}
+	}
+	wc.conn.Close()
 
 	client := &http.Client{}
 	before, err := remoteStats(client, base)
@@ -485,6 +537,7 @@ func remoteQuerier(base, workload string, exact bool, clients, window int, pop [
 			DeltaHits:       after.DeltaHits - before.DeltaHits,
 			RoundsSaved:     after.RoundsSaved - before.RoundsSaved,
 			ScenariosPruned: after.ScenariosPruned - before.ScenariosPruned,
+			SubtreesPruned:  after.SubtreesPruned - before.SubtreesPruned,
 		}, nil
 	}
 	return query, flush, finalStats, nil

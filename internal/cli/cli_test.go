@@ -385,6 +385,7 @@ func TestBenchExactHeavyWorkload(t *testing.T) {
 		Exact    bool   `json:"exact"`
 		Cache    struct {
 			ScenariosPruned int64 `json:"scenarios_pruned"`
+			SubtreesPruned  int64 `json:"subtrees_pruned"`
 		} `json:"cache"`
 	}
 	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
@@ -394,9 +395,13 @@ func TestBenchExactHeavyWorkload(t *testing.T) {
 		t.Errorf("preset not applied: %+v", rep)
 	}
 	// The single-platform high-interference population must route
-	// through the exact sweep and engage the admissible prune.
+	// through the exact sweep and engage the admissible bounds — both
+	// per-scenario skips and whole-subtree jumps.
 	if rep.Cache.ScenariosPruned <= 0 {
 		t.Errorf("exact-heavy bench pruned no scenarios: %+v", rep)
+	}
+	if rep.Cache.SubtreesPruned <= 0 {
+		t.Errorf("exact-heavy bench pruned no subtrees: %+v", rep)
 	}
 	if code := Bench([]string{"-workload", "nope"}, &out, &errb); code != 1 {
 		t.Errorf("unknown workload: exit %d, want 1", code)
@@ -436,6 +441,38 @@ func TestBenchAssignWorkload(t *testing.T) {
 	}
 	if rep.Cache.Hits == 0 || rep.Cache.DeltaHits == 0 {
 		t.Errorf("assign workload never hit the memo/delta path: %+v", rep.Cache)
+	}
+}
+
+// TestBenchExactSearchWorkload: the exact-search preset runs whole
+// Audsley searches with the exact oracle, so the report must show the
+// searches fanning out into many exact probes and the probes engaging
+// the branch-and-bound sweep (pruned scenarios).
+func TestBenchExactSearchWorkload(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := Bench([]string{"-workload", "exact-search", "-systems", "2", "-mutations", "1", "-queries", "4", "-goroutines", "2", "-json"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	var rep struct {
+		Workload string `json:"workload"`
+		Exact    bool   `json:"exact"`
+		Queries  int    `json:"queries"`
+		Cache    struct {
+			Queries         int64 `json:"queries"`
+			ScenariosPruned int64 `json:"scenarios_pruned"`
+		} `json:"cache"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("bench -json output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if rep.Workload != "exact-search" || !rep.Exact {
+		t.Errorf("preset not applied: %+v", rep)
+	}
+	if rep.Cache.Queries <= int64(rep.Queries) {
+		t.Errorf("cache queries %d should far exceed the %d searches (oracle probes)", rep.Cache.Queries, rep.Queries)
+	}
+	if rep.Cache.ScenariosPruned <= 0 {
+		t.Errorf("exact-search bench pruned no scenarios: %+v", rep.Cache)
 	}
 }
 

@@ -123,6 +123,31 @@ func TestAnalyzeBounds(t *testing.T) {
 	}
 }
 
+// TestAnalyzeExactPruneCounters: an exact query's response reports
+// the branch-and-bound work profile of its sweep — per-scenario skips
+// and whole-subtree jumps — and /v1/stats accumulates the same
+// counters service-side.
+func TestAnalyzeExactPruneCounters(t *testing.T) {
+	s := New(Options{})
+	var resp AnalyzeResponse
+	req := &AnalyzeRequest{System: paperFile(), Options: OptionsSpec{Exact: true}}
+	if w := do(t, s, "POST", "/v1/analyze", req, &resp); w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	if resp.ScenariosPruned <= 0 || resp.SubtreesPruned <= 0 {
+		t.Fatalf("exact response reports scenarios=%d subtrees=%d pruned, want both > 0",
+			resp.ScenariosPruned, resp.SubtreesPruned)
+	}
+	var st StatsResponse
+	if w := do(t, s, "GET", "/v1/stats", nil, &st); w.Code != http.StatusOK {
+		t.Fatalf("stats status %d", w.Code)
+	}
+	if st.Service.ScenariosPruned != resp.ScenariosPruned || st.Service.SubtreesPruned != resp.SubtreesPruned {
+		t.Fatalf("stats report scenarios=%d subtrees=%d, response reported %d and %d",
+			st.Service.ScenariosPruned, st.Service.SubtreesPruned, resp.ScenariosPruned, resp.SubtreesPruned)
+	}
+}
+
 // One malformed body per endpoint: the 400 must name the offending
 // field, not just fail (the spec error-context satellite, observed
 // through the transport).

@@ -222,6 +222,9 @@ type AnalyzeResponse struct {
 	// ScenariosPruned is the exact sweep's branch-and-bound savings
 	// for this analysis (0 for approximate or memo-answered traffic).
 	ScenariosPruned int64 `json:"scenarios_pruned,omitempty"`
+	// SubtreesPruned counts the whole cursor subtrees those skips were
+	// taken in — the branch-and-bound jump count behind ScenariosPruned.
+	SubtreesPruned int64 `json:"subtrees_pruned,omitempty"`
 	// Delta is non-nil when the answering analysis ran incrementally.
 	Delta     *DeltaStats `json:"delta,omitempty"`
 	ElapsedMS float64     `json:"elapsed_ms"`
@@ -347,6 +350,7 @@ func buildAnalyzeResponse(res *analysis.Result, bounds bool, elapsedMS float64) 
 		Converged:       res.Converged,
 		Iterations:      res.Iterations,
 		ScenariosPruned: res.ScenariosPruned,
+		SubtreesPruned:  res.SubtreesPruned,
 		ElapsedMS:       elapsedMS,
 	}
 	if res.Delta != nil {

@@ -1,0 +1,63 @@
+package sched
+
+import (
+	"context"
+	"testing"
+
+	"hsched/internal/analysis"
+	"hsched/internal/gen"
+	"hsched/internal/service"
+)
+
+// exactSearchSystem draws the exact-search benchmark workload: one
+// platform (maximal same-platform interference, the regime where the
+// exact scenario product of Eq. 12 grows) with enough tasks that one
+// Audsley search issues tens of exact-oracle probes.
+func exactSearchSystem(tb testing.TB) *gen.Config {
+	tb.Helper()
+	return &gen.Config{
+		Seed: 7, Platforms: 1, Transactions: 3, ChainLen: 3,
+		PeriodMin: 20, PeriodMax: 400, Utilization: 0.5,
+		AlphaMin: 0.5, AlphaMax: 0.9,
+		RandomPriorities: true,
+	}
+}
+
+// BenchmarkExactSearch measures one whole Audsley search with the
+// exact oracle: tens of probes, each a branch-and-bound exact sweep,
+// all routed through one probe session so consecutive one-move-apart
+// probes seed each other's sweeps with the previous critical scenario
+// (cross-probe prune-state reuse). The "cold" variant disables the
+// reuse to isolate its contribution; results are bit-identical either
+// way.
+func BenchmarkExactSearch(b *testing.B) {
+	cfg := exactSearchSystem(b)
+	sys, err := gen.System(*cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, opt analysis.Options) {
+		b.Helper()
+		ctx := context.Background()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// A fresh service per search: the benchmark measures the
+			// search (and its intra-search session reuse), not the
+			// steady-state memo answering repeated identical searches.
+			svc := service.New(service.Options{Shards: 1, Analysis: opt})
+			work := sys.Clone()
+			if _, _, err := Assign(ctx, work, PolicyAudsley, AssignOptions{
+				Analysis: opt,
+				Service:  svc,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("session-reuse", func(b *testing.B) {
+		run(b, analysis.Options{Exact: true, Workers: 1})
+	})
+	b.Run("cold", func(b *testing.B) {
+		run(b, analysis.Options{Exact: true, Workers: 1, DisableSweepReuse: true})
+	})
+}

@@ -22,9 +22,10 @@
 //	  ▼
 //	resident engine ────────────────► cold Analyze        (full work)
 //	                                    │ exact sweeps stream from a
-//	                                    │ mixed-radix cursor, prune by
-//	                                    │ the admissible W* bound
-//	                                    │ (Stats.ScenariosPruned) and
+//	                                    │ mixed-radix cursor, jump
+//	                                    │ refuted subtrees via admissible
+//	                                    │ prefix bounds (Stats.Scenarios-
+//	                                    │ Pruned / SubtreesPruned) and
 //	                                    ▼ chunk-split onto idle workers
 //
 // The mechanisms, top to bottom:
@@ -75,12 +76,19 @@
 // instead of depending on what the shared pool retains, and
 // SessionStats attributes the session's share of the traffic
 // (probes, memo hits, executed analyses, delta hits, rounds saved).
+// The pinned result also carries the previous probe's exact-sweep
+// state — each task's critical scenario vector — which the next
+// probe's sweeps re-evaluate as their branch-and-bound incumbents, so
+// exact-oracle searches prune against what the one-edit-apart
+// predecessor already established (bit-identical either way; stale
+// shapes are discarded, never believed).
 //
 // Every entry point takes a context.Context and cancels the underlying
 // analysis promptly (see analysis.Engine.AnalyzeContext for the
 // polling points). Stats exposes queries, hits, misses, evictions,
-// in-flight dedups, delta hits, rounds saved and scenarios pruned (the
-// exact sweeps' branch-and-bound savings, summed over executed
+// in-flight dedups, delta hits, rounds saved, and scenarios and
+// subtrees pruned (the exact sweeps' branch-and-bound savings — per-
+// scenario skips and whole-subtree cursor jumps — summed over executed
 // analyses); Hits + Misses == Queries by construction, Misses is
 // exactly the number of analyses executed, and DeltaHits ⊆ Misses —
 // which is what the design-search and benchmark tests assert on.

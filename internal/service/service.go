@@ -112,6 +112,13 @@ type Stats struct {
 	// the branch-and-bound counterpart of RoundsSaved for the cold
 	// exact path. Always 0 for purely approximate traffic.
 	ScenariosPruned int64 `json:"scenarios_pruned"`
+	// SubtreesPruned accumulates the whole cursor subtrees the exact
+	// sweeps refuted with a single prefix bound instead of per-scenario
+	// checks (analysis.Result.SubtreesPruned summed over all misses).
+	// ScenariosPruned/SubtreesPruned is the average refuted-subtree
+	// size — the depth the branch-and-bound bounds cut at. Always 0
+	// for purely approximate traffic.
+	SubtreesPruned int64 `json:"subtrees_pruned"`
 }
 
 // HitRate returns Hits/Queries, or 0 before the first query.
@@ -316,9 +323,10 @@ func (s *Service) analyze(ctx context.Context, sys *model.System, opt analysis.O
 		if sess != nil {
 			sess.noteExecuted(res)
 		}
-		if err == nil && res.ScenariosPruned > 0 {
+		if err == nil && (res.ScenariosPruned > 0 || res.SubtreesPruned > 0) {
 			s.mu.Lock()
 			s.stats.ScenariosPruned += res.ScenariosPruned
+			s.stats.SubtreesPruned += res.SubtreesPruned
 			s.mu.Unlock()
 		}
 		return res, err
@@ -444,6 +452,7 @@ func (s *Service) analyze(ctx context.Context, sys *model.System, opt analysis.O
 				s.stats.RoundsSaved += int64(res.Delta.TaskRoundsSaved)
 			}
 			s.stats.ScenariosPruned += res.ScenariosPruned
+			s.stats.SubtreesPruned += res.SubtreesPruned
 		}
 		s.mu.Unlock()
 		close(fl.done)

@@ -391,12 +391,14 @@ func TestServiceCostWeightedEviction(t *testing.T) {
 	const capacity = 4
 	svc := service.New(service.Options{Shards: 1, Capacity: capacity, Analysis: analysis.Options{Workers: 1}})
 
-	// One expensive entry first: a larger system under the exact
-	// analysis (orders of magnitude above the approximate queries).
+	// One expensive entry first: a single-platform high-interference
+	// system under the exact analysis — the shape whose scenario space
+	// survives even the branch-and-bound bounds, keeping it orders of
+	// magnitude above the approximate queries.
 	big, err := gen.System(gen.Config{
-		Seed: 99, Platforms: 3, Transactions: 6, ChainLen: 4,
+		Seed: 99, Platforms: 1, Transactions: 6, ChainLen: 5,
 		PeriodMin: 10, PeriodMax: 1000, Utilization: 0.4,
-		AlphaMin: 0.4, AlphaMax: 0.9,
+		AlphaMin: 0.4, AlphaMax: 0.9, RandomPriorities: true,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -446,9 +448,9 @@ func TestServiceReset(t *testing.T) {
 }
 
 // TestServiceScenariosPruned locks the end-to-end flow of the exact
-// sweep's prune counter: an exact query's analysis reports its pruned
-// scenarios on the Result, the service accumulates them in Stats, and
-// a memo hit — which runs no analysis — adds nothing.
+// sweep's prune counters: an exact query's analysis reports its pruned
+// scenarios and subtrees on the Result, the service accumulates both
+// in Stats, and a memo hit — which runs no analysis — adds nothing.
 func TestServiceScenariosPruned(t *testing.T) {
 	svc := service.New(service.Options{Shards: 1, Analysis: analysis.Options{Exact: true, Workers: 1}})
 	sys := experiments.PaperSystem()
@@ -459,15 +461,21 @@ func TestServiceScenariosPruned(t *testing.T) {
 	if res.ScenariosPruned <= 0 {
 		t.Fatalf("exact analysis pruned %d scenarios, want > 0", res.ScenariosPruned)
 	}
+	if res.SubtreesPruned <= 0 {
+		t.Fatalf("exact analysis pruned %d subtrees, want > 0", res.SubtreesPruned)
+	}
 	st := svc.Stats()
 	if st.ScenariosPruned != res.ScenariosPruned {
 		t.Fatalf("service stats pruned %d, result reports %d", st.ScenariosPruned, res.ScenariosPruned)
+	}
+	if st.SubtreesPruned != res.SubtreesPruned {
+		t.Fatalf("service stats subtrees %d, result reports %d", st.SubtreesPruned, res.SubtreesPruned)
 	}
 	if _, err := svc.Analyze(context.Background(), sys); err != nil {
 		t.Fatal(err)
 	}
 	after := svc.Stats()
-	if after.Hits != st.Hits+1 || after.ScenariosPruned != st.ScenariosPruned {
-		t.Fatalf("memo hit changed the pruned counter: %+v -> %+v", st, after)
+	if after.Hits != st.Hits+1 || after.ScenariosPruned != st.ScenariosPruned || after.SubtreesPruned != st.SubtreesPruned {
+		t.Fatalf("memo hit changed the pruned counters: %+v -> %+v", st, after)
 	}
 }

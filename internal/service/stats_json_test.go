@@ -14,6 +14,7 @@ func TestStatsJSONRoundTrip(t *testing.T) {
 	in := Stats{
 		Queries: 1, Hits: 2, Misses: 3, Evictions: 4,
 		InflightDedups: 5, DeltaHits: 6, RoundsSaved: 7, ScenariosPruned: 8,
+		SubtreesPruned: 9,
 	}
 	data, err := json.Marshal(in)
 	if err != nil {
@@ -29,6 +30,7 @@ func TestStatsJSONRoundTrip(t *testing.T) {
 	assertLowercaseKeys(t, data, reflect.TypeOf(in), []string{
 		"queries", "hits", "misses", "evictions",
 		"inflight_dedups", "delta_hits", "rounds_saved", "scenarios_pruned",
+		"subtrees_pruned",
 	})
 }
 
