@@ -180,20 +180,26 @@ type (
 // front-end (engine pool + verdict memo + in-flight dedup).
 type (
 	// Service is a sharded, memoising, concurrency-safe analysis
-	// service; construct with NewService. See package
-	// internal/service for the full semantics.
+	// service; construct with NewService. Callers that decode
+	// systems from bytes can collapse duplicate-heavy traffic to one
+	// resident copy per distinct system via Service.Intern (the
+	// fingerprint-keyed intern pool). See package internal/service
+	// for the full semantics.
 	Service = service.Service
 	// ServiceOptions configures NewService: shard count, verdict-memo
-	// capacity, default analysis options.
+	// capacity, intern-pool capacity, default analysis options.
 	ServiceOptions = service.Options
 	// ServiceStats is a snapshot of a service's counters (queries,
 	// hits, misses, evictions, in-flight dedups, delta hits, the
-	// task-rounds the incremental path saved and the exact scenarios
-	// the sweep prune skipped).
+	// task-rounds the incremental path saved, the exact scenarios
+	// the sweep prune skipped, and the intern pool's hits, misses
+	// and resident count).
 	ServiceStats = service.Stats
 	// SystemFingerprint is the canonical content hash of a System —
 	// the service's cache and shard key, stable across JSON round
-	// trips.
+	// trips. It is the SHA-256 of the system's canonical wire bytes
+	// (System.MarshalBinary), so a holder of the encoded form can
+	// compute it without decoding.
 	SystemFingerprint = model.Fingerprint
 	// SystemDiff is the transaction-granular structural difference
 	// between two systems (DiffSystems): unchanged / modified / added /

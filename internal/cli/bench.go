@@ -117,8 +117,23 @@ func Bench(args []string, stdout, stderr io.Writer) int {
 		compare    = fs.String("compare", "", "baseline report file; exit non-zero when throughput regresses >25% against the matching workload entry")
 		remote     = fs.String("remote", "", "benchmark a running `hsched serve` instance at this base URL instead of the in-process service")
 		pipeline   = fs.Int("pipeline", 1, "remote mode: requests in flight per connection (HTTP/1.1 pipelining; latencies then include pipeline queueing)")
+		codec      = fs.String("codec", "json", "remote request encoding: json, or binary for the canonical wire format (zero-decode intern hits on the server)")
 	)
 	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	switch *codec {
+	case "json", "binary":
+	default:
+		fmt.Fprintf(stderr, "hsched bench: unknown -codec %q (want json or binary)\n", *codec)
+		return 1
+	}
+	if *codec == "binary" && *remote == "" {
+		fmt.Fprintln(stderr, "hsched bench: -codec binary requires -remote (the in-process service takes no wire bytes)")
+		return 1
+	}
+	if *codec == "binary" && (*workload == "assign" || *workload == "exact-search") {
+		fmt.Fprintf(stderr, "hsched bench: -codec binary does not apply to the %s workload (/v1/assign speaks JSON only)\n", *workload)
 		return 1
 	}
 
@@ -254,7 +269,7 @@ func Bench(args []string, stdout, stderr io.Writer) int {
 	)
 	if *remote != "" {
 		rec := func(k int, d time.Duration) { latencies[k] = d }
-		q, fl, fin, err := remoteQuerier(*remote, *workload, *exact, clients, *pipeline, pop, rec)
+		q, fl, fin, err := remoteQuerier(*remote, *workload, *codec, *exact, clients, *pipeline, pop, rec)
 		if err != nil {
 			fmt.Fprintln(stderr, "hsched bench:", err)
 			return 1
@@ -356,7 +371,7 @@ func Bench(args []string, stdout, stderr io.Writer) int {
 		// Remote runs gate against their own baseline key: the wire
 		// round-trip dominates, so comparing them to the in-process
 		// numbers would always read as a regression.
-		rep.Workload = remoteWorkloadName(*workload)
+		rep.Workload = remoteWorkloadName(*workload, *codec)
 	}
 	us := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
 	rep.Latency.P50us = us(quantile(0.50))
@@ -401,13 +416,19 @@ func Bench(args []string, stdout, stderr io.Writer) int {
 
 // remoteWorkloadName maps a workload preset to its baseline key for
 // remote (client-mode) runs: "serve" for the default preset,
-// "serve-<preset>" otherwise. Remote throughput is wire-bound, so it
-// gates against its own recorded baseline, never the in-process one.
-func remoteWorkloadName(workload string) string {
-	if workload == "default" {
-		return "serve"
+// "serve-<preset>" otherwise, with "-binary" appended when the wire
+// codec is binary. Remote throughput is wire-bound, so it gates
+// against its own recorded baseline, never the in-process one — and
+// each codec against its own, since the encodings cost differently.
+func remoteWorkloadName(workload, codec string) string {
+	name := "serve"
+	if workload != "default" {
+		name += "-" + workload
 	}
-	return "serve-" + workload
+	if codec == "binary" {
+		name += "-binary"
+	}
+	return name
 }
 
 // remoteQuerier builds the client-mode query function: the same
@@ -415,7 +436,7 @@ func remoteWorkloadName(workload string) string {
 // running `hsched serve` over keep-alive connections. The returned
 // stats function reports the server-side counter delta over the run,
 // so the report's cache block means the same thing it does in-process.
-func remoteQuerier(base, workload string, exact bool, clients, window int, pop []*model.System, rec func(k int, d time.Duration)) (func(context.Context, int) error, func() error, func() (service.Stats, error), error) {
+func remoteQuerier(base, workload, codec string, exact bool, clients, window int, pop []*model.System, rec func(k int, d time.Duration)) (func(context.Context, int) error, func() error, func() (service.Stats, error), error) {
 	base = strings.TrimRight(base, "/")
 	u, err := url.Parse(base)
 	if err != nil || u.Host == "" {
@@ -442,13 +463,22 @@ func remoteQuerier(base, workload string, exact bool, clients, window int, pop [
 			data []byte
 			err  error
 		)
-		if search {
+		ctype, accept := "application/json", ""
+		switch {
+		case search:
 			data, err = json.Marshal(&httpd.AssignRequest{
 				System:  spec.FromSystem(sys),
 				Policy:  "audsley",
 				Options: httpd.OptionsSpec{Exact: exact},
 			})
-		} else {
+		case codec == "binary":
+			// Canonical wire bytes both ways: the server answers a
+			// repeated body from the intern pool without decoding, and
+			// the fixed-size binary response skips JSON encoding too.
+			ctype = httpd.ContentTypeBinary
+			accept = "Accept: " + httpd.ContentTypeBinary + "\r\n"
+			data, err = httpd.EncodeAnalyzeRequestBinary(sys, httpd.OptionsSpec{Exact: exact, StopAtDeadlineMiss: true})
+		default:
 			data, err = json.Marshal(&httpd.AnalyzeRequest{
 				System:  spec.FromSystem(sys),
 				Options: httpd.OptionsSpec{Exact: exact, StopAtDeadlineMiss: true},
@@ -458,8 +488,8 @@ func remoteQuerier(base, workload string, exact bool, clients, window int, pop [
 			return nil, nil, nil, err
 		}
 		reqs[k] = fmt.Appendf(nil,
-			"POST %s HTTP/1.1\r\nHost: %s\r\nContent-Type: application/json\r\nContent-Length: %d\r\n\r\n%s",
-			path, u.Host, len(data), data)
+			"POST %s HTTP/1.1\r\nHost: %s\r\nContent-Type: %s\r\n%sContent-Length: %d\r\n\r\n%s",
+			path, u.Host, ctype, accept, len(data), data)
 	}
 
 	// Warm-up: prime every distinct request once, sequentially, so the
@@ -538,6 +568,11 @@ func remoteQuerier(base, workload string, exact bool, clients, window int, pop [
 			RoundsSaved:     after.RoundsSaved - before.RoundsSaved,
 			ScenariosPruned: after.ScenariosPruned - before.ScenariosPruned,
 			SubtreesPruned:  after.SubtreesPruned - before.SubtreesPruned,
+			InternHits:      after.InternHits - before.InternHits,
+			InternMisses:    after.InternMisses - before.InternMisses,
+			// Resident is a gauge, not a counter: report the pool size
+			// at the end of the run, not a meaningless difference.
+			Resident: after.Resident,
 		}, nil
 	}
 	return query, flush, finalStats, nil

@@ -235,7 +235,7 @@ func TestAssignCacheFlag(t *testing.T) {
 	if strings.Contains(s, "delta-hits=0 ") {
 		t.Errorf("audsley probes never rode the delta path:\n%s", s)
 	}
-	if strings.Contains(s, "hits=0 ") {
+	if strings.Contains(s, " hits=0 ") {
 		t.Errorf("audsley probes never hit the memo:\n%s", s)
 	}
 

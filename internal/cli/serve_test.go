@@ -218,6 +218,88 @@ func TestBenchRemote(t *testing.T) {
 	}
 }
 
+// TestBenchRemoteBinary drives the bench client in binary-codec mode
+// against a served instance: the report must carry the "serve-binary"
+// baseline key, the query delta must be exact, and the server-side
+// intern counters must show the population resident with every repeat
+// answered without a decode.
+func TestBenchRemoteBinary(t *testing.T) {
+	base, exit, _ := startServe(t, []string{"-max-inflight", "64"})
+
+	var out, errb bytes.Buffer
+	code := Bench([]string{
+		"-remote", base, "-codec", "binary", "-systems", "4", "-mutations", "2",
+		"-queries", "128", "-goroutines", "4", "-json",
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("bench -remote -codec binary exit %d: %s", code, errb.String())
+	}
+	var rep struct {
+		Workload   string  `json:"workload"`
+		Throughput float64 `json:"throughput_qps"`
+		Cache      struct {
+			Queries      int64 `json:"queries"`
+			Hits         int64 `json:"hits"`
+			InternHits   int64 `json:"intern_hits"`
+			InternMisses int64 `json:"intern_misses"`
+			Resident     int64 `json:"intern_resident"`
+		} `json:"cache"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("report: %v\n%s", err, out.String())
+	}
+	if rep.Workload != "serve-binary" {
+		t.Errorf("baseline key %q, want serve-binary", rep.Workload)
+	}
+	if rep.Throughput <= 0 {
+		t.Error("no throughput measured")
+	}
+	if rep.Cache.Queries != 128 {
+		t.Errorf("server-side query delta = %d, want 128", rep.Cache.Queries)
+	}
+	// 12 distinct systems, 128 queries: the measured run sees only
+	// intern hits (the warm-up primed the pool) and the pool holds
+	// exactly the population.
+	if rep.Cache.InternHits != 128 || rep.Cache.InternMisses != 0 {
+		t.Errorf("intern delta = %d hits / %d misses, want 128/0", rep.Cache.InternHits, rep.Cache.InternMisses)
+	}
+	if rep.Cache.Resident != 12 {
+		t.Errorf("intern resident = %d, want 12", rep.Cache.Resident)
+	}
+
+	sigterm(t)
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("serve exited %d", code)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("serve did not exit")
+	}
+}
+
+// TestBenchCodecValidation: binary is remote-only and analyze-only.
+func TestBenchCodecValidation(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := Bench([]string{"-codec", "binary", "-queries", "8"}, &out, &errb); code != 1 {
+		t.Errorf("-codec binary without -remote: exit %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "requires -remote") {
+		t.Errorf("error does not explain the -remote requirement: %s", errb.String())
+	}
+	errb.Reset()
+	if code := Bench([]string{"-codec", "binary", "-remote", "http://127.0.0.1:1", "-workload", "assign"}, &out, &errb); code != 1 {
+		t.Errorf("-codec binary on assign: exit %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "JSON only") {
+		t.Errorf("error does not explain the JSON-only route: %s", errb.String())
+	}
+	errb.Reset()
+	if code := Bench([]string{"-codec", "msgpack"}, &out, &errb); code != 1 {
+		t.Errorf("unknown codec: exit %d, want 1", code)
+	}
+}
+
 // TestBenchRemoteUnreachable: a dead remote is a startup error, not a
 // hang or a zero-query report.
 func TestBenchRemoteUnreachable(t *testing.T) {

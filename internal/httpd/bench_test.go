@@ -2,12 +2,14 @@ package httpd
 
 import (
 	"bytes"
+	"crypto/sha256"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"testing"
 
 	"hsched/internal/experiments"
+	"hsched/internal/model"
 	"hsched/internal/service"
 	"hsched/internal/spec"
 )
@@ -17,25 +19,129 @@ import (
 // top of the in-process service ladder.
 func BenchmarkAnalyzeHandler(b *testing.B) {
 	s := New(Options{Service: service.New(service.Options{})})
-	h := s.Handler()
 	body, err := json.Marshal(&AnalyzeRequest{System: spec.FromSystem(experiments.PaperSystem())})
 	if err != nil {
 		b.Fatal(err)
 	}
-	// Warm the memo.
-	req := httptest.NewRequest("POST", "/v1/analyze", bytes.NewReader(body))
-	rec := httptest.NewRecorder()
-	h.ServeHTTP(rec, req)
-	if rec.Code != http.StatusOK {
-		b.Fatalf("warmup: %d: %s", rec.Code, rec.Body.String())
+	benchAnalyzePosts(b, s, body, false)
+}
+
+// BenchmarkAnalyzeHandlerBinary measures the binary intern-hit path:
+// one SHA-256 over the wire bytes, an intern-pool lookup, a verdict
+// memo hit, and the fixed-size binary response — the zero-decode
+// counterpart of BenchmarkAnalyzeHandler's JSON parse-memo hit.
+func BenchmarkAnalyzeHandlerBinary(b *testing.B) {
+	s := New(Options{Service: service.New(service.Options{})})
+	body, err := EncodeAnalyzeRequestBinary(experiments.PaperSystem(), OptionsSpec{})
+	if err != nil {
+		b.Fatal(err)
 	}
+	benchAnalyzePosts(b, s, body, true)
+}
+
+// benchWriter is a minimal reusable ResponseWriter: unlike
+// httptest.ResponseRecorder it does not clone the header map on every
+// WriteHeader, so iterations measure the handler, not the recorder.
+type benchWriter struct {
+	hdr  http.Header
+	code int
+	buf  bytes.Buffer
+}
+
+func (w *benchWriter) Header() http.Header         { return w.hdr }
+func (w *benchWriter) Write(p []byte) (int, error) { return w.buf.Write(p) }
+func (w *benchWriter) WriteHeader(code int)        { w.code = code }
+
+func (w *benchWriter) reset() {
+	w.code = 0
+	w.buf.Reset()
+}
+
+// benchAnalyzePosts drives repeated /v1/analyze posts of one body
+// through the handler. The request object, body reader and response
+// writer are all reused across iterations, so the measurement is the
+// handler path, not harness construction — the per-request cost a
+// pipelining client sees past the transport.
+func benchAnalyzePosts(b *testing.B, s *Server, body []byte, bin bool) {
+	b.Helper()
+	h := s.Handler()
+	rd := bytes.NewReader(body)
+	req := httptest.NewRequest("POST", "/v1/analyze", rd)
+	if bin {
+		req.Header.Set("Content-Type", ContentTypeBinary)
+		req.Header.Set("Accept", ContentTypeBinary)
+	}
+	w := &benchWriter{hdr: make(http.Header)}
+	post := func() {
+		rd.Reset(body)
+		w.reset()
+		h.ServeHTTP(w, req)
+	}
+	post()
+	if w.code != http.StatusOK {
+		b.Fatalf("warmup: %d: %s", w.code, w.buf.String())
+	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		req := httptest.NewRequest("POST", "/v1/analyze", bytes.NewReader(body))
-		rec := httptest.NewRecorder()
-		h.ServeHTTP(rec, req)
-		if rec.Code != http.StatusOK {
-			b.Fatal(rec.Code)
+		post()
+		if w.code != http.StatusOK {
+			b.Fatal(w.code)
+		}
+	}
+}
+
+// BenchmarkColdDecodeJSON measures the cold JSON intake path in
+// isolation: unmarshal the request document, convert the spec to a
+// model.System, and fingerprint it — the work a never-seen JSON body
+// costs before any analysis.
+func BenchmarkColdDecodeJSON(b *testing.B) {
+	body, err := json.Marshal(&AnalyzeRequest{System: spec.FromSystem(experiments.PaperSystem())})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var req AnalyzeRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			b.Fatal(err)
+		}
+		sys, err := req.System.ToSystem()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if fp := sys.Fingerprint(); fp == (model.Fingerprint{}) {
+			b.Fatal("zero fingerprint")
+		}
+	}
+}
+
+// BenchmarkColdDecodeBinary measures the cold binary intake path: hash
+// the wire bytes (which IS the fingerprint), unmarshal, validate — the
+// work a never-seen binary body costs before any analysis.
+func BenchmarkColdDecodeBinary(b *testing.B) {
+	body, err := EncodeAnalyzeRequestBinary(experiments.PaperSystem(), OptionsSpec{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, sysBytes, err := decodeBinaryAnalyzeRequest(body)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fp := model.Fingerprint(sha256.Sum256(sysBytes))
+		if fp == (model.Fingerprint{}) {
+			b.Fatal("zero fingerprint")
+		}
+		var sys model.System
+		if err := sys.UnmarshalBinary(sysBytes); err != nil {
+			b.Fatal(err)
+		}
+		if err := sys.Validate(); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -35,6 +35,18 @@
 // service guarantees an aborted analysis leaves no trace in the
 // verdict memo or the delta-seed pool.
 //
+// /v1/analyze and the session analyze endpoint negotiate a second,
+// binary content type: a request with Content-Type
+// application/x-hsched-bin carries a fixed 48-byte options header
+// followed by the system's canonical wire bytes
+// (model.System.MarshalBinary). The SHA-256 of those bytes IS the
+// system's fingerprint, so a repeated binary body is answered
+// entirely from the service's intern pool — no JSON, no decode, one
+// hash (BinaryHits in /v1/stats) — and a cold one decodes severalfold
+// faster than JSON. Accept: application/x-hsched-bin selects the
+// fixed-size binary response; errors are always JSON. The bench
+// client (`hsched bench -remote -codec binary`) speaks this format.
+//
 // Sessions are the remote form of service.Session: each token pins the
 // previous successful result as the seed of the next probe, so a
 // client chaining one-edit-apart probes (an admission controller, a

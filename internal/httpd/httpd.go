@@ -133,6 +133,10 @@ type Server struct {
 	drain       time.Duration
 	start       time.Time
 
+	// binHits counts binary analyze bodies answered from the intern
+	// pool — requests whose system was never decoded at all.
+	binHits atomic.Int64
+
 	metrics map[string]*endpointMetrics
 }
 
@@ -243,9 +247,35 @@ func errStatus(err error) int {
 	}
 }
 
-// rawBody reads the request body, enforcing the body cap. Read errors
-// wrap spec.ErrInvalid (the request is at fault).
+// rawBody reads the request body, enforcing the body cap. The declared
+// Content-Length pre-sizes the buffer so the common well-behaved
+// request is one allocation and one read, instead of io.ReadAll's
+// grow-and-copy ladder. Read errors wrap spec.ErrInvalid (the request
+// is at fault).
 func (s *Server) rawBody(r *http.Request) ([]byte, error) {
+	if n := r.ContentLength; n > 0 && n <= s.maxBody {
+		// Exact-size read: one allocation, no growth, no limiter
+		// wrapper (the length is already under the cap). net/http caps
+		// the body at Content-Length, but a short or over-long body
+		// from a non-conforming transport still degrades gracefully.
+		body := make([]byte, n)
+		switch m, err := io.ReadFull(r.Body, body); err {
+		case nil:
+			var extra [1]byte
+			if k, _ := r.Body.Read(extra[:]); k > 0 {
+				rest, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, s.maxBody-n))
+				if err != nil {
+					return nil, fmt.Errorf("%w: reading body: %w", spec.ErrInvalid, err)
+				}
+				return append(append(body, extra[0]), rest...), nil
+			}
+			return body, nil
+		case io.EOF, io.ErrUnexpectedEOF:
+			return body[:m], nil
+		default:
+			return nil, fmt.Errorf("%w: reading body: %w", spec.ErrInvalid, err)
+		}
+	}
 	body, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, s.maxBody))
 	if err != nil {
 		return nil, fmt.Errorf("%w: reading body: %w", spec.ErrInvalid, err)
@@ -286,8 +316,9 @@ func requestCtx(r *http.Request, o OptionsSpec) (context.Context, context.Cancel
 		}
 	}
 	if ms <= 0 {
-		ctx, cancel := context.WithCancel(r.Context())
-		return ctx, cancel, 0, nil
+		// No deadline: the request's own context already cancels on
+		// client disconnect, so wrapping it would only add allocation.
+		return r.Context(), func() {}, 0, nil
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), time.Duration(ms*float64(time.Millisecond)))
 	return ctx, cancel, ms, nil
@@ -300,53 +331,75 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err, start, 0)
 		return
 	}
-	// The decode path (JSON into the request struct, spec conversion,
-	// validation) costs far more than a memo-hit analysis does, so a
-	// byte-identical repeated body short-circuits through the parse
-	// memo on a hash of the raw bytes.
 	var (
 		sys  *model.System
 		opts OptionsSpec
-		key  [32]byte
+		fp   model.Fingerprint
 	)
-	if len(body) > 0 {
-		key = sha256.Sum256(body)
-	}
-	if cached, ok := s.parse.get(key); len(body) > 0 && ok {
-		sys, opts = cached.sys, cached.opt
-	} else {
-		var req AnalyzeRequest
-		if len(body) > 0 {
-			if err := json.Unmarshal(body, &req); err != nil {
-				s.writeError(w, http.StatusBadRequest,
-					fmt.Errorf("%w: decoding request: %w", spec.ErrInvalid, err), start, 0)
-				return
-			}
+	if isBinaryMedia(r.Header.Get("Content-Type")) {
+		// Binary codec: the body is an options header plus the system's
+		// canonical wire bytes. The SHA-256 of those bytes is the
+		// system's fingerprint, so one hash both keys the service memo
+		// and looks the system up in the intern pool — a repeated
+		// system is served with zero decoding.
+		var sysBytes []byte
+		opts, sysBytes, err = decodeBinaryAnalyzeRequest(body)
+		if err == nil {
+			sys, fp, _, err = s.resolveBinarySystem(sysBytes)
 		}
-		if req.System == nil && len(body) > 0 {
-			// curl friendliness: accept a bare spec document too.
-			var f spec.File
-			if json.Unmarshal(body, &f) == nil && len(f.Transactions) > 0 {
-				req.System = &f
-			}
-		}
-		if req.System == nil {
-			s.writeError(w, http.StatusBadRequest,
-				fmt.Errorf("%w: request has no system", spec.ErrInvalid), start, 0)
-			return
-		}
-		if req.Edit != nil {
-			s.writeError(w, http.StatusBadRequest,
-				fmt.Errorf("%w: edit requires a session-scoped analyze", spec.ErrInvalid), start, 0)
-			return
-		}
-		sys, err = req.System.ToSystem()
 		if err != nil {
 			s.writeError(w, http.StatusBadRequest, err, start, 0)
 			return
 		}
-		opts = req.Options
-		s.parse.put(key, sys, opts)
+	} else {
+		// JSON path: the decode path (JSON into the request struct,
+		// spec conversion, validation) costs far more than a memo-hit
+		// analysis does, so a byte-identical repeated body
+		// short-circuits through the parse memo on a hash of the raw
+		// bytes — which, with the fingerprint cached at parse time, is
+		// the request's only hash.
+		key := bodyKey(body)
+		if cached, ok := s.parse.get(key); len(body) > 0 && ok {
+			sys, fp, opts = cached.sys, cached.fp, cached.opt
+		} else {
+			var req AnalyzeRequest
+			if len(body) > 0 {
+				if err := json.Unmarshal(body, &req); err != nil {
+					s.writeError(w, http.StatusBadRequest,
+						fmt.Errorf("%w: decoding request: %w", spec.ErrInvalid, err), start, 0)
+					return
+				}
+			}
+			if req.System == nil && len(body) > 0 {
+				// curl friendliness: accept a bare spec document too.
+				var f spec.File
+				if json.Unmarshal(body, &f) == nil && len(f.Transactions) > 0 {
+					req.System = &f
+				}
+			}
+			if req.System == nil {
+				s.writeError(w, http.StatusBadRequest,
+					fmt.Errorf("%w: request has no system", spec.ErrInvalid), start, 0)
+				return
+			}
+			if req.Edit != nil {
+				s.writeError(w, http.StatusBadRequest,
+					fmt.Errorf("%w: edit requires a session-scoped analyze", spec.ErrInvalid), start, 0)
+				return
+			}
+			sys, err = req.System.ToSystem()
+			if err != nil {
+				s.writeError(w, http.StatusBadRequest, err, start, 0)
+				return
+			}
+			opts = req.Options
+			// Decoded systems are server-owned and never mutated, so
+			// they intern: duplicate posts across connections (and
+			// across the JSON and binary codecs) collapse onto one
+			// resident copy.
+			sys, fp = s.svc.Intern(sys)
+			s.parse.put(key, sys, fp, opts)
+		}
 	}
 	ctx, cancel, dms, err := requestCtx(r, opts)
 	if err != nil {
@@ -354,18 +407,24 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer cancel()
-	opt := opts.analysis(s.def)
-	var res *analysis.Result
-	if opts.Static {
-		res, err = s.svc.AnalyzeStaticOptions(ctx, sys, opt)
-	} else {
-		res, err = s.svc.AnalyzeOptions(ctx, sys, opt)
-	}
+	res, err := s.svc.AnalyzeFingerprinted(ctx, fp, sys, opts.analysis(s.def), opts.Static)
 	if err != nil {
 		s.writeError(w, errStatus(err), err, start, dms)
 		return
 	}
+	if isBinaryMedia(r.Header.Get("Accept")) {
+		writeBinaryAnalyzeResponse(w, res, elapsedMS(start))
+		return
+	}
 	writeJSON(w, http.StatusOK, buildAnalyzeResponse(res, opts.Bounds, elapsedMS(start)))
+}
+
+// bodyKey is the parse-memo key of a raw request body.
+func bodyKey(body []byte) [sha256.Size]byte {
+	if len(body) == 0 {
+		return [sha256.Size]byte{}
+	}
+	return sha256.Sum256(body)
 }
 
 func (s *Server) handleAssign(w http.ResponseWriter, r *http.Request) {
@@ -544,10 +603,19 @@ func (s *Server) handleSessionAnalyze(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusNotFound, errors.New("httpd: unknown session token"), start, 0)
 		return
 	}
-	var req AnalyzeRequest
-	if _, err := s.readBody(r, &req); err != nil {
+	body, err := s.rawBody(r)
+	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err, start, 0)
 		return
+	}
+	binaryReq := isBinaryMedia(r.Header.Get("Content-Type"))
+	var req AnalyzeRequest
+	if !binaryReq && len(body) > 0 {
+		if err := json.Unmarshal(body, &req); err != nil {
+			s.writeError(w, http.StatusBadRequest,
+				fmt.Errorf("%w: decoding request: %w", spec.ErrInvalid, err), start, 0)
+			return
+		}
 	}
 
 	// Serialise probes on the session: chained-edit determinism (and
@@ -555,7 +623,23 @@ func (s *Server) handleSessionAnalyze(w http.ResponseWriter, r *http.Request) {
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
 
+	var sys *model.System
+	var fp model.Fingerprint
 	ropt := req.Options
+	if binaryReq {
+		// Binary probes always carry a full system (edits are a JSON
+		// shape); a repeated probe body is recognised in the intern
+		// pool by the hash of its wire bytes, with zero decoding.
+		var sysBytes []byte
+		ropt, sysBytes, err = decodeBinaryAnalyzeRequest(body)
+		if err == nil {
+			sys, fp, _, err = s.resolveBinarySystem(sysBytes)
+		}
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, err, start, 0)
+			return
+		}
+	}
 	if ropt == (OptionsSpec{}) {
 		ropt = sess.opt
 	}
@@ -565,25 +649,30 @@ func (s *Server) handleSessionAnalyze(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	var sys *model.System
-	var err error
-	switch {
-	case req.System != nil && req.Edit != nil:
-		err = fmt.Errorf("%w: request has both system and edit", spec.ErrInvalid)
-	case req.System != nil:
-		sys, err = req.System.ToSystem()
-	case req.Edit != nil:
-		if sess.base == nil {
-			err = fmt.Errorf("%w: edit against a session with no accepted system yet", spec.ErrInvalid)
-		} else {
-			sys, err = req.Edit.apply(sess.base)
+	if !binaryReq {
+		switch {
+		case req.System != nil && req.Edit != nil:
+			err = fmt.Errorf("%w: request has both system and edit", spec.ErrInvalid)
+		case req.System != nil:
+			sys, err = req.System.ToSystem()
+		case req.Edit != nil:
+			if sess.base == nil {
+				err = fmt.Errorf("%w: edit against a session with no accepted system yet", spec.ErrInvalid)
+			} else {
+				sys, err = req.Edit.apply(sess.base)
+			}
+		default:
+			err = fmt.Errorf("%w: request has neither system nor edit", spec.ErrInvalid)
 		}
-	default:
-		err = fmt.Errorf("%w: request has neither system nor edit", spec.ErrInvalid)
-	}
-	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err, start, 0)
-		return
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, err, start, 0)
+			return
+		}
+		// Both arms produce a server-owned system (ToSystem builds
+		// fresh, apply clones before editing), so interning is safe
+		// and collapses a probe chain's revisited states onto the
+		// resident copies.
+		sys, fp = s.svc.Intern(sys)
 	}
 
 	ctx, cancel, dms, err := requestCtx(r, ropt)
@@ -592,13 +681,17 @@ func (s *Server) handleSessionAnalyze(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer cancel()
-	res, err := sess.probe.AnalyzeOptions(ctx, sys, ropt.analysis(s.def))
+	res, err := sess.probe.AnalyzeFingerprinted(ctx, fp, sys, ropt.analysis(s.def))
 	if err != nil {
 		s.writeError(w, errStatus(err), err, start, dms)
 		return
 	}
 	sess.base = sys
 
+	if isBinaryMedia(r.Header.Get("Accept")) {
+		writeBinaryAnalyzeResponse(w, res, elapsedMS(start))
+		return
+	}
 	resp := buildAnalyzeResponse(res, ropt.Bounds, elapsedMS(start))
 	ss := sess.probe.Stats()
 	resp.SessionStats = &ss
@@ -644,6 +737,7 @@ func (s *Server) statsSnapshot() *StatsResponse {
 	if s.parse != nil {
 		resp.ParseHits = s.parse.hits.Load()
 	}
+	resp.BinaryHits = s.binHits.Load()
 	for name, m := range s.metrics {
 		if m.requests.Load() > 0 || m.shed.Load() > 0 {
 			resp.Endpoints[name] = m.snapshot()

@@ -9,14 +9,18 @@ import (
 	"hsched/internal/model"
 )
 
-// parsedAnalyze is one decoded /v1/analyze body: the converted system
-// plus the request's options block. The *model.System is shared across
-// requests verbatim — the analyze path treats systems as read-only
-// (the service memoises shared *Results over them), so a repeated body
-// needs no re-decode and no fresh copy.
+// parsedAnalyze is one decoded /v1/analyze body: the converted system,
+// its fingerprint, and the request's options block. The *model.System
+// is shared across requests verbatim — the analyze path treats systems
+// as read-only (the service memoises shared *Results over them), so a
+// repeated body needs no re-decode and no fresh copy. Caching the
+// fingerprint alongside makes a memo-hit request exactly one hash: the
+// SHA-256 of the raw body that keys this memo — the service is handed
+// the cached fingerprint instead of re-encoding the system to hash it.
 type parsedAnalyze struct {
 	key [sha256.Size]byte
 	sys *model.System
+	fp  model.Fingerprint
 	opt OptionsSpec
 }
 
@@ -65,7 +69,7 @@ func (p *parseMemo) get(key [sha256.Size]byte) (*parsedAnalyze, bool) {
 
 // put records a successful parse, evicting the least-recently-used
 // entry beyond capacity.
-func (p *parseMemo) put(key [sha256.Size]byte, sys *model.System, opt OptionsSpec) {
+func (p *parseMemo) put(key [sha256.Size]byte, sys *model.System, fp model.Fingerprint, opt OptionsSpec) {
 	if p == nil {
 		return
 	}
@@ -75,7 +79,7 @@ func (p *parseMemo) put(key [sha256.Size]byte, sys *model.System, opt OptionsSpe
 		p.lru.MoveToFront(el)
 		return
 	}
-	p.byKey[key] = p.lru.PushFront(&parsedAnalyze{key: key, sys: sys, opt: opt})
+	p.byKey[key] = p.lru.PushFront(&parsedAnalyze{key: key, sys: sys, fp: fp, opt: opt})
 	for p.lru.Len() > p.cap {
 		victim := p.lru.Back()
 		p.lru.Remove(victim)

@@ -308,9 +308,14 @@ type StatsResponse struct {
 	// ParseHits counts /v1/analyze bodies served from the body-hash
 	// decode cache (byte-identical repeats skip JSON decoding and
 	// spec conversion).
-	ParseHits int64                    `json:"parse_hits"`
-	UptimeMS  float64                  `json:"uptime_ms"`
-	Endpoints map[string]EndpointStats `json:"endpoints"`
+	ParseHits int64 `json:"parse_hits"`
+	// BinaryHits counts binary analyze bodies whose system was
+	// recognised in the intern pool by the hash of its wire bytes —
+	// requests served with zero decoding (the binary counterpart of
+	// ParseHits).
+	BinaryHits int64                    `json:"binary_hits"`
+	UptimeMS   float64                  `json:"uptime_ms"`
+	Endpoints  map[string]EndpointStats `json:"endpoints"`
 }
 
 // SessionCounters describes the session registry.

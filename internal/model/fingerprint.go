@@ -4,7 +4,6 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
-	"math"
 )
 
 // Fingerprint is a stable identity of a System: a SHA-256 digest over a
@@ -28,70 +27,31 @@ func (f Fingerprint) Shard(n int) int {
 	return int(binary.LittleEndian.Uint64(f[:8]) % uint64(n))
 }
 
-// fingerprintVersion guards the canonical encoding: bump it whenever a
-// field is added to the model so stale persisted keys cannot alias new
-// systems.
-const fingerprintVersion = 1
+// fingerprintVersion is the digest's historical name for wireVersion:
+// since the fingerprint is the SHA-256 of the exact MarshalBinary byte
+// stream, the two versions are one constant and can never drift.
+//
+// BUMP CHECKLIST — changing the encoding (adding a model field,
+// reordering, resizing) means bumping wireVersion, and a bump changes
+// every fingerprint and every persisted wire body at once. When you
+// bump: (1) update the layout comment in wire.go and the README "Wire
+// format" table, (2) re-record the golden bytes in
+// TestSystemWireGoldenBytes (which locks this constant too), (3) keep
+// UnmarshalBinary returning ErrWireVersion for version 1 bytes unless
+// you implement explicit back-decoding, and (4) expect every
+// service-level cache key and intern-pool entry to turn over.
+const fingerprintVersion = wireVersion
 
-// Fingerprint computes the system's canonical fingerprint. The cost is
-// one digest pass over a flat encoding of the system's fields —
-// microseconds even for large systems, negligible next to an analysis
-// — so callers may recompute it freely rather than caching it
-// alongside the system. It is on the memoised-query hot path of the
-// analysis service, hence the single-buffer encoding: one Write to the
-// digest instead of one per field.
+// Fingerprint computes the system's canonical fingerprint: the SHA-256
+// of the system's canonical wire encoding (see wire.go), so encoding
+// and hashing are one buffer pass and the wire identity of a system is
+// its cache identity — a server can fingerprint a binary request by
+// hashing the body bytes without decoding them. The cost is
+// microseconds even for large systems, negligible next to an analysis,
+// so callers may recompute it freely rather than caching it alongside
+// the system.
 func (s *System) Fingerprint() Fingerprint {
-	buf := make([]byte, 0, s.fingerprintSize())
-	u64 := func(v uint64) {
-		buf = binary.LittleEndian.AppendUint64(buf, v)
-	}
-	f64 := func(v float64) { u64(math.Float64bits(v)) }
-	str := func(v string) {
-		u64(uint64(len(v)))
-		buf = append(buf, v...)
-	}
-
-	u64(fingerprintVersion)
-	u64(uint64(len(s.Platforms)))
-	for _, p := range s.Platforms {
-		f64(p.Alpha)
-		f64(p.Delta)
-		f64(p.Beta)
-	}
-	u64(uint64(len(s.Transactions)))
-	for i := range s.Transactions {
-		tr := &s.Transactions[i]
-		str(tr.Name)
-		f64(tr.Period)
-		f64(tr.Deadline)
-		u64(uint64(len(tr.Tasks)))
-		for j := range tr.Tasks {
-			t := &tr.Tasks[j]
-			str(t.Name)
-			f64(t.WCET)
-			f64(t.BCET)
-			f64(t.Offset)
-			f64(t.Jitter)
-			u64(uint64(int64(t.Priority)))
-			u64(uint64(int64(t.Platform)))
-			f64(t.Blocking)
-		}
-	}
-	return sha256.Sum256(buf)
-}
-
-// fingerprintSize returns the exact canonical-encoding length, so
-// Fingerprint allocates its buffer once.
-func (s *System) fingerprintSize() int {
-	n := 8 * (2 + 3*len(s.Platforms) + 1)
-	for i := range s.Transactions {
-		tr := &s.Transactions[i]
-		n += 8*4 + len(tr.Name)
-		for j := range tr.Tasks {
-			n += 8*8 + len(tr.Tasks[j].Name)
-		}
-	}
-	return n
+	return sha256.Sum256(s.appendBinary(make([]byte, 0, s.wireSize())))
 }
 
 // txFingerprintVersion guards the canonical per-transaction encoding,
@@ -119,31 +79,25 @@ const txFingerprintVersion = 1
 // need. Platform *parameters* are not covered (only the indices); Diff
 // reports platform changes separately.
 func (tr *Transaction) Fingerprint() Fingerprint {
-	n := 8 * (4 + 7*len(tr.Tasks))
-	buf := make([]byte, 0, n)
-	u64 := func(v uint64) {
-		buf = binary.LittleEndian.AppendUint64(buf, v)
-	}
-	f64 := func(v float64) { u64(math.Float64bits(v)) }
-
-	u64(txFingerprintVersion)
-	f64(tr.Period)
-	f64(tr.Deadline)
-	u64(uint64(len(tr.Tasks)))
+	buf := make([]byte, 0, 8*(4+7*len(tr.Tasks)))
+	buf = appendU64(buf, txFingerprintVersion)
+	buf = appendF64(buf, tr.Period)
+	buf = appendF64(buf, tr.Deadline)
+	buf = appendU64(buf, uint64(len(tr.Tasks)))
 	for j := range tr.Tasks {
 		t := &tr.Tasks[j]
-		f64(t.WCET)
-		f64(t.BCET)
+		buf = appendF64(buf, t.WCET)
+		buf = appendF64(buf, t.BCET)
 		if j == 0 {
-			f64(t.Offset)
-			f64(t.Jitter)
+			buf = appendF64(buf, t.Offset)
+			buf = appendF64(buf, t.Jitter)
 		} else {
-			f64(0)
-			f64(0)
+			buf = appendF64(buf, 0)
+			buf = appendF64(buf, 0)
 		}
-		u64(uint64(int64(t.Priority)))
-		u64(uint64(int64(t.Platform)))
-		f64(t.Blocking)
+		buf = appendU64(buf, uint64(int64(t.Priority)))
+		buf = appendU64(buf, uint64(int64(t.Platform)))
+		buf = appendF64(buf, t.Blocking)
 	}
 	return sha256.Sum256(buf)
 }

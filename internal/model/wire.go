@@ -1,0 +1,277 @@
+package model
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"hsched/internal/platform"
+)
+
+// The canonical binary wire format of a System (version 1): a
+// versioned, length-prefixed, little-endian encoding of every field,
+// floats as raw IEEE-754 bit patterns. It is one linear pass in both
+// directions and doubles as the fingerprint pre-image: Fingerprint is
+// the SHA-256 of exactly these bytes, so the wire identity of a system
+// and its cache identity can never drift.
+//
+//	u64  wireVersion
+//	u64  platform count M
+//	M ×  ( f64 alpha, f64 delta, f64 beta )
+//	u64  transaction count N
+//	N ×  ( str name, f64 period, f64 deadline, u64 task count n,
+//	       n × ( str name, f64 wcet, f64 bcet, f64 offset, f64 jitter,
+//	             u64 priority, u64 platform, f64 blocking ) )
+//
+// where `str` is a u64 byte length followed by the raw bytes, and
+// priority/platform are int64 two's-complement values in a u64 slot.
+// The encoding is canonical: every decodable byte string re-marshals
+// to itself bit-exactly (no padding, no optional fields, no
+// alternative spellings), which is what lets a server fingerprint a
+// request by hashing the wire bytes without decoding them first.
+
+// wireVersion guards the canonical encoding. fingerprintVersion (the
+// digest's historical name for the same constant) aliases it — see the
+// bump checklist there before changing this.
+const wireVersion = 1
+
+// ErrWireVersion is wrapped into the error UnmarshalBinary returns for
+// an encoding whose version word this build does not read. Callers
+// branch on it with errors.Is to distinguish "newer/older peer" from
+// "corrupt bytes".
+var ErrWireVersion = errors.New("model: unsupported wire version")
+
+// Minimum wire footprints, used to vet length-prefixed counts against
+// the remaining input before allocating.
+const (
+	wirePlatformSize = 3 * 8 // alpha, delta, beta
+	wireTxMinSize    = 4 * 8 // name length, period, deadline, task count
+	wireTaskMinSize  = 8 * 8 // name length + 7 fixed words
+)
+
+func appendU64(buf []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(buf, v)
+}
+
+func appendF64(buf []byte, v float64) []byte {
+	return appendU64(buf, math.Float64bits(v))
+}
+
+func appendStr(buf []byte, v string) []byte {
+	buf = appendU64(buf, uint64(len(v)))
+	return append(buf, v...)
+}
+
+// wireSize returns the exact encoded length, so the encoder and the
+// fingerprint allocate their buffer once.
+func (s *System) wireSize() int {
+	n := 8 + 8 + wirePlatformSize*len(s.Platforms) + 8
+	for i := range s.Transactions {
+		tr := &s.Transactions[i]
+		n += wireTxMinSize + len(tr.Name)
+		for j := range tr.Tasks {
+			n += wireTaskMinSize + len(tr.Tasks[j].Name)
+		}
+	}
+	return n
+}
+
+// appendBinary appends the canonical encoding to buf. It is the single
+// encoder behind MarshalBinary and Fingerprint.
+func (s *System) appendBinary(buf []byte) []byte {
+	buf = appendU64(buf, wireVersion)
+	buf = appendU64(buf, uint64(len(s.Platforms)))
+	for _, p := range s.Platforms {
+		buf = appendF64(buf, p.Alpha)
+		buf = appendF64(buf, p.Delta)
+		buf = appendF64(buf, p.Beta)
+	}
+	buf = appendU64(buf, uint64(len(s.Transactions)))
+	for i := range s.Transactions {
+		tr := &s.Transactions[i]
+		buf = appendStr(buf, tr.Name)
+		buf = appendF64(buf, tr.Period)
+		buf = appendF64(buf, tr.Deadline)
+		buf = appendU64(buf, uint64(len(tr.Tasks)))
+		for j := range tr.Tasks {
+			t := &tr.Tasks[j]
+			buf = appendStr(buf, t.Name)
+			buf = appendF64(buf, t.WCET)
+			buf = appendF64(buf, t.BCET)
+			buf = appendF64(buf, t.Offset)
+			buf = appendF64(buf, t.Jitter)
+			buf = appendU64(buf, uint64(int64(t.Priority)))
+			buf = appendU64(buf, uint64(int64(t.Platform)))
+			buf = appendF64(buf, t.Blocking)
+		}
+	}
+	return buf
+}
+
+// MarshalBinary encodes the system in the canonical wire format. The
+// error is always nil (the signature matches encoding.BinaryMarshaler).
+func (s *System) MarshalBinary() ([]byte, error) {
+	return s.appendBinary(make([]byte, 0, s.wireSize())), nil
+}
+
+// AppendBinary appends the canonical wire encoding to b, implementing
+// encoding.BinaryAppender. The error is always nil.
+func (s *System) AppendBinary(b []byte) ([]byte, error) {
+	return s.appendBinary(b), nil
+}
+
+// wireReader is the decode cursor: every read validates against the
+// remaining input and returns an error instead of panicking, so
+// hostile bytes cost at most one linear scan and never over-allocate
+// (counts are vetted against the bytes that must back them before any
+// make call).
+type wireReader struct {
+	data []byte
+	off  int
+}
+
+func (r *wireReader) remaining() int { return len(r.data) - r.off }
+
+func (r *wireReader) u64(what string) (uint64, error) {
+	if r.remaining() < 8 {
+		return 0, fmt.Errorf("model: wire: truncated at %s (offset %d, %d bytes left)", what, r.off, r.remaining())
+	}
+	v := binary.LittleEndian.Uint64(r.data[r.off:])
+	r.off += 8
+	return v, nil
+}
+
+func (r *wireReader) f64(what string) (float64, error) {
+	v, err := r.u64(what)
+	return math.Float64frombits(v), err
+}
+
+func (r *wireReader) str(what string) (string, error) {
+	n, err := r.u64(what)
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(r.remaining()) {
+		return "", fmt.Errorf("model: wire: %s length %d exceeds %d remaining bytes", what, n, r.remaining())
+	}
+	v := string(r.data[r.off : r.off+int(n)])
+	r.off += int(n)
+	return v, nil
+}
+
+// count reads an element count and rejects any value the remaining
+// bytes cannot possibly back (each element occupies at least minSize
+// bytes), bounding the subsequent allocation by len(data)/minSize.
+func (r *wireReader) count(what string, minSize int) (int, error) {
+	n, err := r.u64(what)
+	if err != nil {
+		return 0, err
+	}
+	if n > uint64(r.remaining())/uint64(minSize) {
+		return 0, fmt.Errorf("model: wire: %s count %d exceeds %d remaining bytes", what, n, r.remaining())
+	}
+	return int(n), nil
+}
+
+// UnmarshalBinary decodes the canonical wire format, strictly: the
+// version word must match, every length prefix must fit the remaining
+// input, and the input must be consumed exactly (trailing bytes are an
+// error). Strictness is what makes the encoding canonical — every
+// successful decode re-marshals to the identical byte string, so
+// sha256(wire bytes) equals the decoded system's Fingerprint and a
+// server can establish identity without decoding. On error the
+// receiver is left unmodified. Structural validity (positive periods,
+// platform indices in range, …) is Validate's job, not the decoder's.
+func (s *System) UnmarshalBinary(data []byte) error {
+	r := wireReader{data: data}
+	v, err := r.u64("version")
+	if err != nil {
+		return err
+	}
+	if v != wireVersion {
+		return fmt.Errorf("%w: got %d, this build reads %d", ErrWireVersion, v, wireVersion)
+	}
+	var dec System
+	nPlat, err := r.count("platform", wirePlatformSize)
+	if err != nil {
+		return err
+	}
+	if nPlat > 0 {
+		dec.Platforms = make([]platform.Params, nPlat)
+	}
+	for m := range dec.Platforms {
+		p := &dec.Platforms[m]
+		if p.Alpha, err = r.f64("platform alpha"); err != nil {
+			return err
+		}
+		if p.Delta, err = r.f64("platform delta"); err != nil {
+			return err
+		}
+		if p.Beta, err = r.f64("platform beta"); err != nil {
+			return err
+		}
+	}
+	nTx, err := r.count("transaction", wireTxMinSize)
+	if err != nil {
+		return err
+	}
+	if nTx > 0 {
+		dec.Transactions = make([]Transaction, nTx)
+	}
+	for i := range dec.Transactions {
+		tr := &dec.Transactions[i]
+		if tr.Name, err = r.str("transaction name"); err != nil {
+			return err
+		}
+		if tr.Period, err = r.f64("period"); err != nil {
+			return err
+		}
+		if tr.Deadline, err = r.f64("deadline"); err != nil {
+			return err
+		}
+		nTasks, err := r.count("task", wireTaskMinSize)
+		if err != nil {
+			return err
+		}
+		if nTasks > 0 {
+			tr.Tasks = make([]Task, nTasks)
+		}
+		for j := range tr.Tasks {
+			t := &tr.Tasks[j]
+			if t.Name, err = r.str("task name"); err != nil {
+				return err
+			}
+			if t.WCET, err = r.f64("wcet"); err != nil {
+				return err
+			}
+			if t.BCET, err = r.f64("bcet"); err != nil {
+				return err
+			}
+			if t.Offset, err = r.f64("offset"); err != nil {
+				return err
+			}
+			if t.Jitter, err = r.f64("jitter"); err != nil {
+				return err
+			}
+			prio, err := r.u64("priority")
+			if err != nil {
+				return err
+			}
+			t.Priority = int(int64(prio))
+			plat, err := r.u64("platform index")
+			if err != nil {
+				return err
+			}
+			t.Platform = int(int64(plat))
+			if t.Blocking, err = r.f64("blocking"); err != nil {
+				return err
+			}
+		}
+	}
+	if r.remaining() != 0 {
+		return fmt.Errorf("model: wire: %d trailing bytes after system", r.remaining())
+	}
+	*s = dec
+	return nil
+}

@@ -1,0 +1,49 @@
+package model_test
+
+import (
+	"bytes"
+	"testing"
+
+	"hsched/internal/model"
+)
+
+// FuzzSystemUnmarshalBinary feeds arbitrary bytes to the wire decoder
+// and asserts the two properties the binary HTTP path depends on:
+// hostile input never panics, and every successful decode re-marshals
+// to the identical byte string (canonicality — sha256 of the wire
+// bytes is the decoded system's fingerprint). The seed corpus is the
+// valid encodings of the round-trip subjects plus a few deliberately
+// broken mutations.
+func FuzzSystemUnmarshalBinary(f *testing.F) {
+	for _, sys := range wireSubjects(f) {
+		data, err := sys.MarshalBinary()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+		if len(data) > 16 {
+			f.Add(data[:len(data)/2])                      // truncation
+			f.Add(append(append([]byte(nil), data...), 0)) // trailing byte
+			flip := append([]byte(nil), data...)
+			flip[9] ^= 0x80 // inflate the platform count
+			f.Add(flip)
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte{1})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var dec model.System
+		if err := dec.UnmarshalBinary(data); err != nil {
+			return
+		}
+		again, err := dec.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-marshal of decoded system failed: %v", err)
+		}
+		if !bytes.Equal(again, data) {
+			t.Fatalf("decode not canonical: %d input bytes re-marshal to %d different bytes",
+				len(data), len(again))
+		}
+	})
+}

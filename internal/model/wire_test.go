@@ -1,0 +1,230 @@
+package model_test
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"hsched/internal/experiments"
+	"hsched/internal/gen"
+	"hsched/internal/model"
+)
+
+// wireSubjects returns the systems the round-trip tests cover: the
+// paper example plus generated systems across sizes, and degenerate
+// shapes (no platforms, no transactions, empty names).
+func wireSubjects(t testing.TB) map[string]*model.System {
+	subjects := map[string]*model.System{
+		"paper": experiments.PaperSystem(),
+		"empty": {},
+		"no-tx": {Platforms: experiments.PaperSystem().Platforms},
+		"empty-names": {
+			Transactions: []model.Transaction{{
+				Period: 1, Deadline: 1,
+				Tasks: []model.Task{{WCET: 0.5, BCET: 0.25, Priority: -3, Platform: -1}},
+			}},
+		},
+	}
+	for _, cfg := range []gen.Config{
+		{Seed: 1, Platforms: 1, Transactions: 1, ChainLen: 1,
+			PeriodMin: 10, PeriodMax: 100, Utilization: 0.3, AlphaMin: 0.5, AlphaMax: 0.9},
+		{Seed: 7, Platforms: 3, Transactions: 5, ChainLen: 4,
+			PeriodMin: 20, PeriodMax: 500, Utilization: 0.5, AlphaMin: 0.4, AlphaMax: 0.9},
+		{Seed: 42, Platforms: 4, Transactions: 12, ChainLen: 6,
+			PeriodMin: 5, PeriodMax: 1000, Utilization: 0.6, AlphaMin: 0.3, AlphaMax: 1.0,
+			RandomPriorities: true},
+	} {
+		sys, err := gen.System(cfg)
+		if err != nil {
+			t.Fatalf("gen.System(seed %d): %v", cfg.Seed, err)
+		}
+		subjects["gen-"+hex.EncodeToString([]byte{byte(cfg.Seed)})] = sys
+	}
+	return subjects
+}
+
+// TestSystemWireRoundTrip asserts the codec is lossless and canonical:
+// decode(encode(sys)) is DeepEqual to sys with the same fingerprint,
+// and re-encoding reproduces the identical byte string.
+func TestSystemWireRoundTrip(t *testing.T) {
+	for name, sys := range wireSubjects(t) {
+		data, err := sys.MarshalBinary()
+		if err != nil {
+			t.Fatalf("%s: MarshalBinary: %v", name, err)
+		}
+		var dec model.System
+		if err := dec.UnmarshalBinary(data); err != nil {
+			t.Fatalf("%s: UnmarshalBinary: %v", name, err)
+		}
+		if !reflect.DeepEqual(&dec, sys) {
+			t.Errorf("%s: decoded system differs from original", name)
+		}
+		if dec.Fingerprint() != sys.Fingerprint() {
+			t.Errorf("%s: fingerprint changed across round trip", name)
+		}
+		again, err := dec.MarshalBinary()
+		if err != nil {
+			t.Fatalf("%s: re-marshal: %v", name, err)
+		}
+		if !bytes.Equal(again, data) {
+			t.Errorf("%s: re-marshal not bit-identical (%d vs %d bytes)", name, len(again), len(data))
+		}
+		// The fingerprint is the SHA-256 of exactly these bytes, so a
+		// server can hash a wire body without decoding it.
+		if sha256.Sum256(data) != [32]byte(sys.Fingerprint()) {
+			t.Errorf("%s: sha256(wire bytes) != Fingerprint()", name)
+		}
+	}
+}
+
+// TestSystemWireAppendBinary asserts AppendBinary appends to an
+// existing buffer without disturbing its prefix.
+func TestSystemWireAppendBinary(t *testing.T) {
+	sys := experiments.PaperSystem()
+	prefix := []byte("prefix")
+	buf, err := sys.AppendBinary(append([]byte(nil), prefix...))
+	if err != nil {
+		t.Fatalf("AppendBinary: %v", err)
+	}
+	data, _ := sys.MarshalBinary()
+	if !bytes.Equal(buf[:len(prefix)], prefix) || !bytes.Equal(buf[len(prefix):], data) {
+		t.Fatalf("AppendBinary did not append the canonical encoding after the prefix")
+	}
+}
+
+// paperWireHex is the golden v1 encoding of experiments.PaperSystem().
+// It locks the wire layout and, transitively, every fingerprint: if
+// this test fails you changed the encoding, which means wireVersion
+// must be bumped and the checklist at fingerprintVersion followed.
+const paperWireHex = "010000000000000003000000000000009a9999999999d93f000000000000f03f" +
+	"000000000000f03f9a9999999999d93f000000000000f03f000000000000f03f" +
+	"9a9999999999c93f0000000000000040000000000000f03f0400000000000000" +
+	"060000000000000047616d6d6131000000000000494000000000000049400400" +
+	"0000000000000600000000000000746175312c31000000000000f03f9a999999" +
+	"9999e93f00000000000000000000000000000000020000000000000002000000" +
+	"0000000000000000000000000600000000000000746175312c32000000000000" +
+	"f03f9a9999999999e93f00000000000000000000000000000000010000000000" +
+	"0000000000000000000000000000000000000600000000000000746175312c33" +
+	"000000000000f03f9a9999999999e93f00000000000000000000000000000000" +
+	"0100000000000000010000000000000000000000000000000600000000000000" +
+	"746175312c34000000000000f03f9a9999999999e93f00000000000000000000" +
+	"0000000000000300000000000000020000000000000000000000000000000600" +
+	"00000000000047616d6d61320000000000002e400000000000002e4001000000" +
+	"000000000600000000000000746175322c31000000000000f03f000000000000" +
+	"d03f000000000000000000000000000000000300000000000000000000000000" +
+	"00000000000000000000060000000000000047616d6d61330000000000002e40" +
+	"0000000000002e4001000000000000000600000000000000746175332c310000" +
+	"00000000f03f000000000000d03f000000000000000000000000000000000300" +
+	"0000000000000100000000000000000000000000000006000000000000004761" +
+	"6d6d613400000000008051400000000000805140010000000000000006000000" +
+	"00000000746175342c310000000000001c400000000000001440000000000000" +
+	"0000000000000000000001000000000000000200000000000000000000000000" +
+	"0000"
+
+// TestSystemWireGoldenBytes locks the v1 encoding of the paper
+// example byte for byte, including the leading version word.
+func TestSystemWireGoldenBytes(t *testing.T) {
+	want, err := hex.DecodeString(paperWireHex)
+	if err != nil {
+		t.Fatalf("bad golden hex: %v", err)
+	}
+	got, err := experiments.PaperSystem().MarshalBinary()
+	if err != nil {
+		t.Fatalf("MarshalBinary: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("paper system encoding drifted from golden v1 bytes\n got %d bytes: %s\nwant %d bytes: %s",
+			len(got), hex.EncodeToString(got), len(want), hex.EncodeToString(want))
+	}
+	if v := binary.LittleEndian.Uint64(got); v != 1 {
+		t.Fatalf("version word = %d, want 1", v)
+	}
+	// The fingerprint is pinned transitively.
+	if fp := experiments.PaperSystem().Fingerprint(); fp.String() != "585d4d361acbd341" {
+		t.Fatalf("paper fingerprint drifted: %s", fp)
+	}
+}
+
+// TestSystemWireVersionGuard asserts an unknown version word yields
+// the typed ErrWireVersion error and leaves the receiver untouched.
+func TestSystemWireVersionGuard(t *testing.T) {
+	data, _ := experiments.PaperSystem().MarshalBinary()
+	for _, v := range []uint64{0, 2, 99, math.MaxUint64} {
+		bad := append([]byte(nil), data...)
+		binary.LittleEndian.PutUint64(bad, v)
+		prev := *experiments.PaperSystem()
+		dec := prev
+		err := dec.UnmarshalBinary(bad)
+		if !errors.Is(err, model.ErrWireVersion) {
+			t.Fatalf("version %d: err = %v, want ErrWireVersion", v, err)
+		}
+		if !reflect.DeepEqual(dec, prev) {
+			t.Fatalf("version %d: receiver modified on error", v)
+		}
+	}
+}
+
+// TestSystemWireHostileInput asserts the decoder errors — never
+// panics, never over-allocates — on truncated, oversized-count,
+// oversized-length and trailing-garbage inputs.
+func TestSystemWireHostileInput(t *testing.T) {
+	data, _ := experiments.PaperSystem().MarshalBinary()
+
+	t.Run("truncations", func(t *testing.T) {
+		for n := 0; n < len(data); n++ {
+			var dec model.System
+			if err := dec.UnmarshalBinary(data[:n]); err == nil {
+				t.Fatalf("decode of %d-byte prefix succeeded, want error", n)
+			}
+		}
+	})
+
+	t.Run("trailing", func(t *testing.T) {
+		var dec model.System
+		err := dec.UnmarshalBinary(append(append([]byte(nil), data...), 0))
+		if err == nil || !strings.Contains(err.Error(), "trailing") {
+			t.Fatalf("trailing byte: err = %v, want trailing-bytes error", err)
+		}
+	})
+
+	// A huge count word must be rejected before any allocation: these
+	// inputs claim 2^61 platforms/transactions in a few dozen bytes.
+	t.Run("huge-counts", func(t *testing.T) {
+		huge := uint64(1) << 61
+		mk := func(words ...uint64) []byte {
+			buf := make([]byte, 0, 8*len(words))
+			for _, w := range words {
+				buf = binary.LittleEndian.AppendUint64(buf, w)
+			}
+			return buf
+		}
+		for name, in := range map[string][]byte{
+			"platforms":    mk(1, huge),
+			"transactions": mk(1, 0, huge),
+			"tasks":        mk(1, 0, 1, 0, math.Float64bits(1), math.Float64bits(1), huge),
+		} {
+			var dec model.System
+			if err := dec.UnmarshalBinary(in); err == nil {
+				t.Fatalf("%s: huge count accepted, want error", name)
+			}
+		}
+	})
+
+	t.Run("huge-string", func(t *testing.T) {
+		// version, 0 platforms, 1 transaction, name length 2^61.
+		buf := make([]byte, 0, 32)
+		for _, w := range []uint64{1, 0, 1, 1 << 61} {
+			buf = binary.LittleEndian.AppendUint64(buf, w)
+		}
+		var dec model.System
+		if err := dec.UnmarshalBinary(buf); err == nil {
+			t.Fatal("huge string length accepted, want error")
+		}
+	})
+}

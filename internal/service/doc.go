@@ -65,7 +65,21 @@
 //     keeps one engine set per shard behind a mutex and routes
 //     queries by model.System.Fingerprint, so same-system traffic
 //     reuses a warm engine while distinct systems analyse
-//     concurrently on other shards.
+//     concurrently on other shards;
+//
+//   - a fingerprint-keyed intern pool (Intern, InternFingerprinted,
+//     Interned; Options.InternCapacity) sitting in front of the
+//     ladder for callers that decode systems from bytes. Interning a
+//     system returns the canonical resident *model.System for its
+//     fingerprint, so a population of duplicate-heavy traffic (an
+//     admission controller re-posting the same systems, the httpd
+//     transport's binary codec) collapses to one resident copy per
+//     distinct system — and a transport that already knows the
+//     fingerprint (the SHA-256 of the canonical wire bytes IS the
+//     fingerprint; see model.System.MarshalBinary) answers a repeat
+//     without decoding at all. Interned systems must never be
+//     mutated. Stats reports InternHits, InternMisses and Resident
+//     (a gauge: distinct systems currently pooled).
 //
 // Search loops — the priority-assignment searches of package sched,
 // the bandwidth minimisation of package design, an admission

@@ -1,0 +1,138 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+
+	"hsched/internal/model"
+)
+
+// internPool is the fingerprint-keyed pool of canonical resident
+// systems: every decoded copy of one system collapses to a single
+// *model.System shared by the memo, delta-seed and session paths, so a
+// million clients posting the same platform pin one copy instead of a
+// million. Residents are shared and therefore read-only by contract —
+// only callers that never mutate their systems (the HTTP decode paths)
+// may intern; search loops that edit systems in place (sched.Assign,
+// design.Minimize) must not.
+//
+// The pool is LRU-bounded; eviction only drops the pool's reference,
+// so a resident still held by a caller or a memoised Result simply
+// stops being shared with future requests.
+type internPool struct {
+	mu    sync.Mutex
+	lru   *list.List // of *internEntry; front = most recently used
+	index map[model.Fingerprint]*list.Element
+	cap   int
+
+	hits, misses int64
+}
+
+type internEntry struct {
+	fp  model.Fingerprint
+	sys *model.System
+}
+
+func newInternPool(capacity int) *internPool {
+	if capacity <= 0 {
+		return nil
+	}
+	return &internPool{
+		lru:   list.New(),
+		index: make(map[model.Fingerprint]*list.Element),
+		cap:   capacity,
+	}
+}
+
+// lookup returns the resident system for fp, if any, counting a hit.
+// A miss counts nothing: the caller will decode and come back through
+// intern, which does the miss accounting — so each request is counted
+// exactly once however it splits the lookup.
+func (p *internPool) lookup(fp model.Fingerprint) (*model.System, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	el, ok := p.index[fp]
+	if !ok {
+		return nil, false
+	}
+	p.lru.MoveToFront(el)
+	p.hits++
+	return el.Value.(*internEntry).sys, true
+}
+
+// intern returns the canonical resident system for fp, installing sys
+// as the resident if none exists. A concurrent duplicate that lost the
+// race to install still gets the winner's pointer (and counts as a
+// hit), so equal fingerprints always yield one pointer.
+func (p *internPool) intern(fp model.Fingerprint, sys *model.System) *model.System {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if el, ok := p.index[fp]; ok {
+		p.lru.MoveToFront(el)
+		p.hits++
+		return el.Value.(*internEntry).sys
+	}
+	p.misses++
+	p.index[fp] = p.lru.PushFront(&internEntry{fp: fp, sys: sys})
+	for p.lru.Len() > p.cap {
+		last := p.lru.Back()
+		p.lru.Remove(last)
+		delete(p.index, last.Value.(*internEntry).fp)
+	}
+	return sys
+}
+
+// snapshot reads the pool counters: hits, misses, and the resident
+// count gauge.
+func (p *internPool) snapshot() (hits, misses, resident int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.hits, p.misses, int64(p.lru.Len())
+}
+
+func (p *internPool) reset() {
+	p.mu.Lock()
+	p.lru.Init()
+	clear(p.index)
+	p.mu.Unlock()
+}
+
+// Intern returns the canonical resident *model.System equal to sys,
+// plus its fingerprint: the first caller's copy becomes the resident
+// and every later caller with an equal system gets that same pointer,
+// so duplicate decoded systems collapse to one copy. Residents are
+// shared across requests — callers must treat both the argument (once
+// interned) and the result as read-only. Code that mutates systems in
+// place must keep its private copy and skip interning.
+//
+// With interning disabled (Options.InternCapacity < 0) sys is returned
+// unchanged and nothing is counted.
+func (s *Service) Intern(sys *model.System) (*model.System, model.Fingerprint) {
+	fp := sys.Fingerprint()
+	return s.InternFingerprinted(fp, sys), fp
+}
+
+// InternFingerprinted is Intern for callers that already hold the
+// system's fingerprint (typically the SHA-256 of its canonical wire
+// bytes) and must not pay a second encoding pass. fp must be
+// sys.Fingerprint(); an inconsistent pair poisons the pool for that
+// fingerprint.
+func (s *Service) InternFingerprinted(fp model.Fingerprint, sys *model.System) *model.System {
+	if s.intern == nil {
+		return sys
+	}
+	return s.intern.intern(fp, sys)
+}
+
+// Interned returns the resident system for fp, if one exists — the
+// zero-decode path: a server holding the fingerprint of a binary
+// request body (the SHA-256 of the wire bytes) can recover the decoded
+// system without touching the bytes again. A miss is not counted; the
+// caller decodes and calls InternFingerprinted, which counts the miss,
+// so each request increments exactly one intern counter.
+func (s *Service) Interned(fp model.Fingerprint) (*model.System, bool) {
+	if s.intern == nil {
+		return nil, false
+	}
+	return s.intern.lookup(fp)
+}

@@ -1,0 +1,165 @@
+package service
+
+import (
+	"context"
+	"testing"
+
+	"hsched/internal/gen"
+	"hsched/internal/model"
+)
+
+// internTestSystem returns a fresh decoded-copy-equivalent of one
+// fixed system: equal across calls, never pointer-shared.
+func internTestSystem(t testing.TB) *model.System {
+	t.Helper()
+	sys, err := gen.System(gen.Config{
+		Seed: 9, Platforms: 2, Transactions: 3, ChainLen: 3,
+		PeriodMin: 20, PeriodMax: 300, Utilization: 0.4,
+		AlphaMin: 0.4, AlphaMax: 0.9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// TestInternCollapsesDuplicates drives the 1e5-duplicate workload of
+// the acceptance criteria: every decoded copy of one system collapses
+// onto the first caller's pointer and the pool stays at one resident —
+// the memory-stability property, asserted via stats.
+func TestInternCollapsesDuplicates(t *testing.T) {
+	svc := New(Options{})
+	canonical, fp := svc.Intern(internTestSystem(t))
+	if fp != canonical.Fingerprint() {
+		t.Fatal("Intern returned a fingerprint that is not the resident's")
+	}
+	const dups = 100_000
+	for i := 0; i < dups; i++ {
+		// Each iteration simulates one freshly decoded copy.
+		got, gotFP := svc.Intern(internTestSystem(t))
+		if got != canonical {
+			t.Fatalf("duplicate %d: got a distinct pointer", i)
+		}
+		if gotFP != fp {
+			t.Fatalf("duplicate %d: fingerprint drifted", i)
+		}
+	}
+	st := svc.Stats()
+	if st.Resident != 1 {
+		t.Fatalf("Resident = %d after %d duplicate interns, want 1", st.Resident, dups)
+	}
+	if st.InternMisses != 1 || st.InternHits != dups {
+		t.Fatalf("InternHits/Misses = %d/%d, want %d/1", st.InternHits, st.InternMisses, dups)
+	}
+}
+
+// TestInternedZeroDecode exercises the lookup-only path: a miss counts
+// nothing (the caller will decode and intern, which counts it), a hit
+// counts one hit and returns the resident pointer.
+func TestInternedZeroDecode(t *testing.T) {
+	svc := New(Options{})
+	sys := internTestSystem(t)
+	fp := sys.Fingerprint()
+
+	if _, ok := svc.Interned(fp); ok {
+		t.Fatal("Interned hit on an empty pool")
+	}
+	if st := svc.Stats(); st.InternHits != 0 || st.InternMisses != 0 {
+		t.Fatalf("lookup miss counted: %+v", st)
+	}
+
+	resident := svc.InternFingerprinted(fp, sys)
+	if resident != sys {
+		t.Fatal("first intern did not install the argument")
+	}
+	got, ok := svc.Interned(fp)
+	if !ok || got != resident {
+		t.Fatal("Interned did not return the resident after intern")
+	}
+	if st := svc.Stats(); st.InternHits != 1 || st.InternMisses != 1 || st.Resident != 1 {
+		t.Fatalf("counters after miss+intern+hit: %+v", st)
+	}
+}
+
+// TestInternEviction asserts the pool is LRU-bounded: past capacity
+// the least recently used resident is dropped and the gauge tracks it.
+func TestInternEviction(t *testing.T) {
+	svc := New(Options{InternCapacity: 2})
+	mk := func(period float64) *model.System {
+		sys := internTestSystem(t)
+		sys.Transactions[0].Period = period
+		return sys
+	}
+	a, fpA := svc.Intern(mk(100))
+	svc.Intern(mk(200))
+	svc.Intern(mk(300)) // evicts a
+	if st := svc.Stats(); st.Resident != 2 {
+		t.Fatalf("Resident = %d with capacity 2, want 2", st.Resident)
+	}
+	if _, ok := svc.Interned(fpA); ok {
+		t.Fatal("evicted resident still resident")
+	}
+	// Re-interning after eviction installs anew.
+	a2, _ := svc.Intern(mk(100))
+	if a2 == a {
+		t.Fatal("evicted pointer returned by a fresh intern (pool kept a stale reference)")
+	}
+}
+
+// TestInternDisabled asserts a negative capacity turns interning off:
+// arguments pass through unchanged and nothing is counted.
+func TestInternDisabled(t *testing.T) {
+	svc := New(Options{InternCapacity: -1})
+	sys := internTestSystem(t)
+	got, fp := svc.Intern(sys)
+	if got != sys || fp != sys.Fingerprint() {
+		t.Fatal("disabled Intern must return its argument and true fingerprint")
+	}
+	if _, ok := svc.Interned(fp); ok {
+		t.Fatal("disabled pool reported a resident")
+	}
+	if st := svc.Stats(); st.InternHits != 0 || st.InternMisses != 0 || st.Resident != 0 {
+		t.Fatalf("disabled pool counted: %+v", st)
+	}
+}
+
+// TestAnalyzeFingerprinted asserts the fingerprint-threaded entry
+// point joins the ladder exactly like AnalyzeOptions: same result,
+// memo hits across the two spellings, and the session variant pins
+// seeds like its plain counterpart.
+func TestAnalyzeFingerprinted(t *testing.T) {
+	ctx := context.Background()
+	svc := New(Options{})
+	sys, fp := svc.Intern(internTestSystem(t))
+
+	res1, err := svc.AnalyzeFingerprinted(ctx, fp, sys, svc.opt.Analysis, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := svc.Analyze(ctx, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1 != res2 {
+		t.Fatal("AnalyzeFingerprinted and Analyze did not share one memo entry")
+	}
+	if st := svc.Stats(); st.Queries != 2 || st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats after fp+plain query: %+v", st)
+	}
+
+	stat, err := svc.AnalyzeFingerprinted(ctx, fp, sys, svc.opt.Analysis, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stat == res1 {
+		t.Fatal("static=true shared the dynamic memo entry")
+	}
+
+	sess := svc.NewSession()
+	if _, err := sess.AnalyzeFingerprinted(ctx, fp, sys, svc.opt.Analysis); err != nil {
+		t.Fatal(err)
+	}
+	if st := sess.Stats(); st.Probes != 1 || st.MemoHits != 1 {
+		t.Fatalf("session stats after memoised fp probe: %+v", st)
+	}
+}

@@ -43,6 +43,12 @@ type Options struct {
 	// time. 0 selects 4 × shards; a negative value disables the delta
 	// path entirely.
 	DeltaWindow int
+
+	// InternCapacity bounds the fingerprint-keyed intern pool of
+	// canonical resident systems (see Intern) in entries. 0 selects
+	// 4096; a negative value disables interning (Intern returns its
+	// argument unchanged).
+	InternCapacity int
 }
 
 func (o Options) shards() int {
@@ -71,6 +77,17 @@ func (o Options) deltaWindow() int {
 		return 4 * o.shards()
 	default:
 		return o.DeltaWindow
+	}
+}
+
+func (o Options) internCapacity() int {
+	switch {
+	case o.InternCapacity < 0:
+		return 0
+	case o.InternCapacity == 0:
+		return 4096
+	default:
+		return o.InternCapacity
 	}
 }
 
@@ -119,6 +136,18 @@ type Stats struct {
 	// size — the depth the branch-and-bound bounds cut at. Always 0
 	// for purely approximate traffic.
 	SubtreesPruned int64 `json:"subtrees_pruned"`
+	// InternHits counts Intern/Interned calls answered by an existing
+	// resident system — each one a decoded copy that collapsed onto
+	// the canonical pointer (and, on the binary HTTP path, a request
+	// that needed zero decoding).
+	InternHits int64 `json:"intern_hits"`
+	// InternMisses counts Intern calls that installed their argument
+	// as a new resident.
+	InternMisses int64 `json:"intern_misses"`
+	// Resident is a gauge (not a counter): the number of distinct
+	// systems currently resident in the intern pool. A workload of any
+	// number of duplicate posts of one system holds it at 1.
+	Resident int64 `json:"intern_resident"`
 }
 
 // HitRate returns Hits/Queries, or 0 before the first query.
@@ -212,6 +241,11 @@ type Service struct {
 	seedMu  sync.Mutex
 	seeds   *list.List // of *seedEntry; front = most recent
 	seedIdx map[cacheKey]*list.Element
+
+	// intern is the fingerprint-keyed pool of canonical resident
+	// systems (nil when disabled); it has its own mutex and counters,
+	// merged into Stats snapshots.
+	intern *internPool
 }
 
 type entry struct {
@@ -240,6 +274,7 @@ func New(opt Options) *Service {
 		seeds:    list.New(),
 		seedIdx:  make(map[cacheKey]*list.Element),
 		shards:   make([]shard, opt.shards()),
+		intern:   newInternPool(opt.internCapacity()),
 	}
 	for i := range s.shards {
 		s.shards[i].engines = make(map[engineKey]*analysis.Engine)
@@ -270,11 +305,27 @@ func (s *Service) AnalyzeStaticOptions(ctx context.Context, sys *model.System, o
 	return s.analyze(ctx, sys, opt, true, nil)
 }
 
+// AnalyzeFingerprinted is AnalyzeOptions (static selects the one-pass
+// static-offset analysis) for callers that already hold the system's
+// fingerprint — typically the SHA-256 of its canonical wire bytes —
+// and must not pay a second encoding-and-hash pass. fp must equal
+// sys.Fingerprint(); an inconsistent pair poisons the verdict memo for
+// that fingerprint. The binary HTTP path rides this: hash the request
+// body once, look the system up in the intern pool, and analyse, with
+// no per-request fingerprint encoding at all.
+func (s *Service) AnalyzeFingerprinted(ctx context.Context, fp model.Fingerprint, sys *model.System, opt analysis.Options, static bool) (*analysis.Result, error) {
+	return s.analyzeFP(ctx, fp, sys, opt, static, nil)
+}
+
 // Stats returns a snapshot of the service counters.
 func (s *Service) Stats() Stats {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	st := s.stats
+	s.mu.Unlock()
+	if s.intern != nil {
+		st.InternHits, st.InternMisses, st.Resident = s.intern.snapshot()
+	}
+	return st
 }
 
 // Reset drops every memo entry and every resident engine, releasing
@@ -297,6 +348,9 @@ func (s *Service) Reset() {
 		clear(sh.engines)
 		sh.mu.Unlock()
 	}
+	if s.intern != nil {
+		s.intern.reset()
+	}
 }
 
 func (s *Service) analyze(ctx context.Context, sys *model.System, opt analysis.Options, static bool, sess *Session) (*analysis.Result, error) {
@@ -305,8 +359,12 @@ func (s *Service) analyze(ctx context.Context, sys *model.System, opt analysis.O
 	// fingerprint (the fingerprint covers every field validation
 	// reads), so the hit path skips the check — it is the single most
 	// expensive part of a memoised query.
-	fp := sys.Fingerprint()
+	return s.analyzeFP(ctx, sys.Fingerprint(), sys, opt, static, sess)
+}
 
+// analyzeFP is the query ladder proper; fp must be sys.Fingerprint(),
+// computed by the caller exactly once per request.
+func (s *Service) analyzeFP(ctx context.Context, fp model.Fingerprint, sys *model.System, opt analysis.Options, static bool, sess *Session) (*analysis.Result, error) {
 	if sess != nil {
 		sess.noteProbe()
 	}

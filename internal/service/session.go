@@ -89,6 +89,14 @@ func (ss *Session) AnalyzeOptions(ctx context.Context, sys *model.System, opt an
 	return ss.svc.analyze(ctx, sys, opt, false, ss)
 }
 
+// AnalyzeFingerprinted is AnalyzeOptions for callers that already hold
+// sys.Fingerprint() — typically the SHA-256 of the probe's canonical
+// wire bytes — and must not pay a second encoding-and-hash pass (see
+// Service.AnalyzeFingerprinted).
+func (ss *Session) AnalyzeFingerprinted(ctx context.Context, fp model.Fingerprint, sys *model.System, opt analysis.Options) (*analysis.Result, error) {
+	return ss.svc.analyzeFP(ctx, fp, sys, opt, false, ss)
+}
+
 // Stats returns a snapshot of the session's probe counters.
 func (ss *Session) Stats() SessionStats {
 	ss.mu.Lock()
