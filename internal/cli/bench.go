@@ -33,12 +33,18 @@ import (
 // at the repository root holds one report per workload preset — the
 // committed baseline the CI regression gate compares against.
 type benchReport struct {
-	Workload   string  `json:"workload"`
-	Remote     string  `json:"remote,omitempty"`
-	Systems    int     `json:"systems"`
-	Mutations  int     `json:"mutations"`
-	Queries    int     `json:"queries"`
+	Workload  string `json:"workload"`
+	Remote    string `json:"remote,omitempty"`
+	Systems   int    `json:"systems"`
+	Mutations int    `json:"mutations"`
+	Queries   int    `json:"queries"`
+	// Goroutines and GOMAXPROCS together make a baseline
+	// self-describing: contended presets are only comparable when both
+	// the client parallelism and the scheduler width match the
+	// recording (the committed contended baseline is GOMAXPROCS=4,
+	// goroutines 16).
 	Goroutines int     `json:"goroutines"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
 	Exact      bool    `json:"exact"`
 	Delta      bool    `json:"delta"`
 	ElapsedMS  float64 `json:"elapsed_ms"`
@@ -73,9 +79,13 @@ const regressionTolerance = 0.75
 // resident result), and reports throughput, cache hit rate, delta hit
 // rate and p50/p99 latency — humanly, or as JSON with -json.
 //
-// Four workload presets exist: "default" exercises the memo and
+// Five workload presets exist: "default" exercises the memo and
 // delta paths with the approximate analysis on multi-platform chains;
-// "exact-heavy" routes single-platform, high-interference systems
+// "contended" is the same population driven from more goroutines than
+// processors (16 by default; record and compare it at GOMAXPROCS=4),
+// so the almost-always-hit traffic measures the memo's serialisation
+// points — stripe locks, CLOCK touches, counters — rather than
+// analysis work; "exact-heavy" routes single-platform, high-interference systems
 // through the exact scenario sweep — the streamed/pruned/parallel
 // branch-and-bound hot path — and reports the scenarios and subtrees
 // the admissible bounds refuted; "exact-search" runs one exact-oracle
@@ -102,7 +112,7 @@ func Bench(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("hsched bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		workload   = fs.String("workload", "default", "workload preset: default (approximate admission-control chains), exact-heavy (exact scenario sweeps), exact-search (exact-oracle priority searches) or assign (priority-assignment searches)")
+		workload   = fs.String("workload", "default", "workload preset: default (approximate admission-control chains), contended (default population, 16 goroutines, hit-path contention), exact-heavy (exact scenario sweeps), exact-search (exact-oracle priority searches) or assign (priority-assignment searches)")
 		systems    = fs.Int("systems", 64, "distinct random base systems in the workload population")
 		mutations  = fs.Int("mutations", 4, "single-transaction mutations chained onto each base system")
 		queries    = fs.Int("queries", 4096, "total queries to issue")
@@ -142,6 +152,15 @@ func Bench(args []string, stdout, stderr io.Writer) int {
 	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 	switch *workload {
 	case "default":
+	case "contended":
+		// The default admission-control population driven from more
+		// client goroutines than processors (16 at the recorded
+		// GOMAXPROCS=4): nearly every query is a memo hit, so what the
+		// preset measures is the hit path's serialisation — stripe
+		// mutexes, CLOCK touches, atomic counters — not analysis work.
+		if !explicit["goroutines"] {
+			*goroutines = 16
+		}
 	case "exact-heavy":
 		// Fewer, hotter systems: every miss is a full exact sweep, so
 		// the population stays small and the interesting signal is the
@@ -200,7 +219,7 @@ func Bench(args []string, stdout, stderr io.Writer) int {
 			*queries = 64
 		}
 	default:
-		fmt.Fprintf(stderr, "hsched bench: unknown -workload %q (want default, exact-heavy, exact-search or assign)\n", *workload)
+		fmt.Fprintf(stderr, "hsched bench: unknown -workload %q (want default, contended, exact-heavy, exact-search or assign)\n", *workload)
 		return 1
 	}
 	if *systems <= 0 || *queries <= 0 || *mutations < 0 {
@@ -363,7 +382,8 @@ func Bench(args []string, stdout, stderr io.Writer) int {
 	rep := benchReport{
 		Workload: *workload, Remote: *remote,
 		Systems: *systems, Mutations: *mutations, Queries: *queries,
-		Goroutines: clients, Exact: *exact, Delta: *delta,
+		Goroutines: clients, GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Exact: *exact, Delta: *delta,
 		ElapsedMS:  float64(elapsed.Microseconds()) / 1e3,
 		Throughput: float64(*queries) / elapsed.Seconds(),
 	}

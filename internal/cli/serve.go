@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -34,9 +35,20 @@ func Serve(args []string, stdout, stderr io.Writer) int {
 		parseMemo   = fs.Int("parse-memo", 0, "analyze bodies kept in the body-hash decode cache (0 = default 512, negative = off)")
 		workers     = fs.Int("workers", 1, "default per-analysis worker bound; requests may override (0 = all CPUs)")
 		drain       = fs.Duration("drain", 30*time.Second, "graceful-shutdown bound for in-flight requests")
+		pprofFlag   = fs.Bool("pprof", false, "expose /debug/pprof and enable mutex/block profiling at a low sample rate")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 1
+	}
+
+	if *pprofFlag {
+		// Low-rate contention profiling: 1 in 100 mutex contention
+		// events and blocking events ≥ 1 ms are cheap enough to leave
+		// on in production, and enough signal to diagnose a stripe or
+		// engine-lock regression with `go tool pprof
+		// http://.../debug/pprof/mutex` (or /block).
+		runtime.SetMutexProfileFraction(100)
+		runtime.SetBlockProfileRate(int(time.Millisecond.Nanoseconds()))
 	}
 
 	deltaWindow := 0
@@ -57,6 +69,7 @@ func Serve(args []string, stdout, stderr io.Writer) int {
 		MaxSessions:  *maxSessions,
 		ParseMemo:    *parseMemo,
 		DrainTimeout: *drain,
+		Pprof:        *pprofFlag,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -135,6 +135,44 @@ func TestServeSIGTERM(t *testing.T) {
 	}
 }
 
+// TestServePprof smoke-tests the -pprof flag: the profile routes only
+// exist when asked for, and the mutex profile — enabled at a low
+// sample rate by the flag — is served.
+func TestServePprof(t *testing.T) {
+	base, exit, stderr := startServe(t, []string{"-pprof"})
+	resp, err := http.Get(base + "/debug/pprof/mutex?debug=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof mutex: status %d: %s", resp.StatusCode, data)
+	}
+	if !strings.Contains(string(data), "mutex") {
+		t.Errorf("pprof mutex profile body: %q", data)
+	}
+	sigterm(t)
+	if code := <-exit; code != 0 {
+		t.Fatalf("serve exited %d: %s", code, stderr.String())
+	}
+
+	// Without the flag the debug surface must not exist.
+	base, exit, stderr = startServe(t, nil)
+	resp, err = http.Get(base + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof routes without -pprof: status %d, want 404", resp.StatusCode)
+	}
+	sigterm(t)
+	if code := <-exit; code != 0 {
+		t.Fatalf("serve exited %d: %s", code, stderr.String())
+	}
+}
+
 func TestServeBadFlags(t *testing.T) {
 	var out, errb bytes.Buffer
 	if code := Serve([]string{"-bogus"}, &out, &errb); code != 1 {

@@ -158,7 +158,15 @@ func (s *Server) resolveBinarySystem(sysBytes []byte) (sys *model.System, fp mod
 	return s.svc.InternFingerprinted(fp, &dec), fp, false, nil
 }
 
-// writeBinaryAnalyzeResponse renders the terse binary verdict.
+// contentTypeBinaryValue is the preallocated header value slice:
+// Header().Set allocates a fresh []string per call, which would be the
+// last allocation on the binary hit path.
+var contentTypeBinaryValue = []string{ContentTypeBinary}
+
+// writeBinaryAnalyzeResponse renders the terse binary verdict. The
+// encode buffer is pooled (net/http copies the bytes during Write, so
+// the buffer is reusable as soon as Write returns) and the hit path
+// allocates nothing.
 func writeBinaryAnalyzeResponse(w http.ResponseWriter, res *analysis.Result, elapsedMS float64) {
 	var flags uint64
 	if res.Schedulable {
@@ -167,7 +175,8 @@ func writeBinaryAnalyzeResponse(w http.ResponseWriter, res *analysis.Result, ela
 	if res.Converged {
 		flags |= binaryRespFlagConverged
 	}
-	buf := make([]byte, 0, 7*8+24*len(res.Tasks))
+	pb := bufPool.Get().(*poolBuf)
+	buf := pb.b[:0]
 	buf = binary.LittleEndian.AppendUint64(buf, binaryVersion)
 	buf = binary.LittleEndian.AppendUint64(buf, flags)
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(res.Iterations))
@@ -186,9 +195,11 @@ func writeBinaryAnalyzeResponse(w http.ResponseWriter, res *analysis.Result, ela
 		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(endToEnd))
 		buf = binary.LittleEndian.AppendUint64(buf, sched)
 	}
-	w.Header().Set("Content-Type", ContentTypeBinary)
+	w.Header()["Content-Type"] = contentTypeBinaryValue
 	w.WriteHeader(http.StatusOK)
 	w.Write(buf) //nolint:errcheck // client gone; nothing to do
+	pb.b = buf
+	pb.release()
 }
 
 // DecodeAnalyzeResponseBinary parses a binary analyze response into

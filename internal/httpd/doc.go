@@ -18,6 +18,8 @@
 //	DELETE /v1/session/{token}           drop the session (and its pinned seed)
 //	GET    /v1/stats                     service counters + per-endpoint transport stats
 //	GET    /v1/healthz                   liveness
+//	GET    /debug/pprof/...              runtime profiles (only with Options.Pprof;
+//	                                     CLI: `hsched serve -pprof`)
 //
 // Request bodies reuse the internal/spec JSON system format, wrapped
 // with an options block mirroring the CLI flags (exact, workers,

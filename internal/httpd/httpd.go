@@ -10,7 +10,9 @@ import (
 	"math"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -48,6 +50,13 @@ type Options struct {
 	// DrainTimeout bounds the graceful shutdown: after it expires
 	// in-flight requests are cut off hard. 0 selects 30 s.
 	DrainTimeout time.Duration
+	// Pprof exposes the net/http/pprof handlers under /debug/pprof/ on
+	// the server mux, so a production contention regression can be
+	// diagnosed in place (`go tool pprof .../debug/pprof/mutex`). The
+	// handlers only serve what the runtime collects — `hsched serve
+	// -pprof` additionally enables mutex and block profiling at a low
+	// sample rate.
+	Pprof bool
 }
 
 func (o Options) maxSessions() int {
@@ -78,13 +87,22 @@ func (o Options) drainTimeout() time.Duration {
 	return o.DrainTimeout
 }
 
+// padded is a cache-line-padded atomic counter: 8 (Int64) + 56 = 64
+// bytes, so adjacent counters never share a cache line and concurrent
+// requests bumping different counters never ping-pong one between
+// cores (the httpd mirror of service's padded stats counters).
+type padded struct {
+	atomic.Int64
+	_ [56]byte
+}
+
 // endpointMetrics are one route's atomic request counters.
 type endpointMetrics struct {
-	requests atomic.Int64
-	errors   atomic.Int64
-	shed     atomic.Int64
-	totalUS  atomic.Int64
-	maxUS    atomic.Int64
+	requests padded
+	errors   padded
+	shed     padded
+	totalUS  padded
+	maxUS    padded
 }
 
 func (m *endpointMetrics) observe(status int, d time.Duration) {
@@ -167,6 +185,16 @@ func New(opt Options) *Server {
 	s.route("DELETE /v1/session/{token}", "session.delete", false, s.handleSessionDelete)
 	s.route("GET /v1/stats", "stats", false, s.handleStats)
 	s.route("GET /v1/healthz", "healthz", false, s.handleHealthz)
+	if opt.Pprof {
+		// Uninstrumented on purpose: profile downloads are operator
+		// traffic and must not skew the endpoint metrics or the
+		// in-flight shed accounting.
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 
@@ -193,17 +221,24 @@ func (s *Server) route(pattern, name string, sheds bool, h http.HandlerFunc) {
 				return
 			}
 		}
-		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		sw := swPool.Get().(*statusWriter)
+		sw.ResponseWriter, sw.status = w, http.StatusOK
 		h(sw, r)
 		m.observe(sw.status, time.Since(start))
+		sw.ResponseWriter = nil // don't pin the connection's writer
+		swPool.Put(sw)
 	})
 }
 
-// statusWriter captures the response status for the metrics.
+// statusWriter captures the response status for the metrics. Instances
+// are pooled (one Get/Put per request, never retained past the
+// handler) so the wrapper costs the hit path no allocation.
 type statusWriter struct {
 	http.ResponseWriter
 	status int
 }
+
+var swPool = sync.Pool{New: func() any { return new(statusWriter) }}
 
 func (w *statusWriter) WriteHeader(code int) {
 	w.status = code
@@ -247,57 +282,81 @@ func errStatus(err error) int {
 	}
 }
 
+// poolBuf is a pooled byte buffer shared by the request-body read path
+// and the binary response encoder. The bytes handed out alias pb.b, so
+// release only after every use of them; release(nil) is a no-op (the
+// degraded read paths return unpooled buffers).
+type poolBuf struct{ b []byte }
+
+var bufPool = sync.Pool{New: func() any { return new(poolBuf) }}
+
+func (pb *poolBuf) release() {
+	if pb != nil {
+		bufPool.Put(pb)
+	}
+}
+
 // rawBody reads the request body, enforcing the body cap. The declared
-// Content-Length pre-sizes the buffer so the common well-behaved
-// request is one allocation and one read, instead of io.ReadAll's
-// grow-and-copy ladder. Read errors wrap spec.ErrInvalid (the request
-// is at fault).
-func (s *Server) rawBody(r *http.Request) ([]byte, error) {
+// Content-Length sizes a pooled buffer so the common well-behaved
+// request is zero allocations and one read, instead of io.ReadAll's
+// grow-and-copy ladder; the returned poolBuf owns the body bytes and
+// must be released (nil on the degraded paths) once they are done
+// with. Read errors wrap spec.ErrInvalid (the request is at fault).
+func (s *Server) rawBody(r *http.Request) ([]byte, *poolBuf, error) {
 	if n := r.ContentLength; n > 0 && n <= s.maxBody {
-		// Exact-size read: one allocation, no growth, no limiter
-		// wrapper (the length is already under the cap). net/http caps
-		// the body at Content-Length, but a short or over-long body
-		// from a non-conforming transport still degrades gracefully.
-		body := make([]byte, n)
+		// Exact-size read: no growth, no limiter wrapper (the length
+		// is already under the cap). net/http caps the body at
+		// Content-Length, but a short or over-long body from a
+		// non-conforming transport still degrades gracefully.
+		pb := bufPool.Get().(*poolBuf)
+		// One spare byte past n probes for body-longer-than-declared
+		// without a separate buffer (a [1]byte would escape through the
+		// io.Reader call — the last allocation on this path).
+		if cap(pb.b) < int(n)+1 {
+			pb.b = make([]byte, n+1)
+		}
+		body := pb.b[:n]
 		switch m, err := io.ReadFull(r.Body, body); err {
 		case nil:
-			var extra [1]byte
-			if k, _ := r.Body.Read(extra[:]); k > 0 {
+			if k, _ := r.Body.Read(pb.b[n : n+1]); k > 0 {
 				rest, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, s.maxBody-n))
 				if err != nil {
-					return nil, fmt.Errorf("%w: reading body: %w", spec.ErrInvalid, err)
+					pb.release()
+					return nil, nil, fmt.Errorf("%w: reading body: %w", spec.ErrInvalid, err)
 				}
-				return append(append(body, extra[0]), rest...), nil
+				long := append(append([]byte{}, pb.b[:n+1]...), rest...)
+				pb.release()
+				return long, nil, nil
 			}
-			return body, nil
+			return body, pb, nil
 		case io.EOF, io.ErrUnexpectedEOF:
-			return body[:m], nil
+			return body[:m], pb, nil
 		default:
-			return nil, fmt.Errorf("%w: reading body: %w", spec.ErrInvalid, err)
+			pb.release()
+			return nil, nil, fmt.Errorf("%w: reading body: %w", spec.ErrInvalid, err)
 		}
 	}
 	body, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, s.maxBody))
 	if err != nil {
-		return nil, fmt.Errorf("%w: reading body: %w", spec.ErrInvalid, err)
+		return nil, nil, fmt.Errorf("%w: reading body: %w", spec.ErrInvalid, err)
 	}
-	return body, nil
+	return body, nil, nil
 }
 
 // readBody decodes the request body into v, enforcing the body cap.
-// The raw bytes are returned for shape-fallback re-decodes. Decode
-// errors wrap spec.ErrInvalid (the request is at fault).
-func (s *Server) readBody(r *http.Request, v any) ([]byte, error) {
-	body, err := s.rawBody(r)
-	if err != nil {
-		return nil, err
-	}
-	if len(body) == 0 {
-		return body, nil
+// The pooled read buffer is released here — json.Unmarshal copies
+// everything it keeps. Decode errors wrap spec.ErrInvalid (the request
+// is at fault).
+func (s *Server) readBody(r *http.Request, v any) error {
+	body, pb, err := s.rawBody(r)
+	defer pb.release()
+	if err != nil || len(body) == 0 {
+		return err
 	}
 	if err := json.Unmarshal(body, v); err != nil {
-		return nil, fmt.Errorf("%w: decoding request: %w", spec.ErrInvalid, err)
+		return fmt.Errorf("%w: decoding request: %w", spec.ErrInvalid, err)
 	}
-	return body, nil
+	return nil
 }
 
 // requestCtx derives the per-request analysis context: the options
@@ -326,7 +385,11 @@ func requestCtx(r *http.Request, o OptionsSpec) (context.Context, context.Cancel
 
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
-	body, err := s.rawBody(r)
+	body, pb, err := s.rawBody(r)
+	// Everything decoded below is copied out of body (intern/parse
+	// memo entries hold decoded systems, never raw bytes), so the
+	// buffer can be released when the handler returns.
+	defer pb.release()
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err, start, 0)
 		return
@@ -430,7 +493,7 @@ func bodyKey(body []byte) [sha256.Size]byte {
 func (s *Server) handleAssign(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	var req AssignRequest
-	if _, err := s.readBody(r, &req); err != nil {
+	if err := s.readBody(r, &req); err != nil {
 		s.writeError(w, http.StatusBadRequest, err, start, 0)
 		return
 	}
@@ -489,7 +552,7 @@ func (s *Server) handleAssign(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMinimize(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	var req MinimizeRequest
-	if _, err := s.readBody(r, &req); err != nil {
+	if err := s.readBody(r, &req); err != nil {
 		s.writeError(w, http.StatusBadRequest, err, start, 0)
 		return
 	}
@@ -584,7 +647,7 @@ func buildFamilies(fs []FamilySpec, sys *model.System) ([]design.Family, error) 
 func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	var req SessionRequest
-	if _, err := s.readBody(r, &req); err != nil {
+	if err := s.readBody(r, &req); err != nil {
 		s.writeError(w, http.StatusBadRequest, err, start, 0)
 		return
 	}
@@ -603,7 +666,8 @@ func (s *Server) handleSessionAnalyze(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusNotFound, errors.New("httpd: unknown session token"), start, 0)
 		return
 	}
-	body, err := s.rawBody(r)
+	body, pb, err := s.rawBody(r)
+	defer pb.release()
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err, start, 0)
 		return

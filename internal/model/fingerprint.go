@@ -4,6 +4,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
+	"sync"
 )
 
 // Fingerprint is a stable identity of a System: a SHA-256 digest over a
@@ -42,6 +43,13 @@ func (f Fingerprint) Shard(n int) int {
 // service-level cache key and intern-pool entry to turn over.
 const fingerprintVersion = wireVersion
 
+// fpBuf wraps the encode buffer Fingerprint hashes; pooling it keeps
+// the analysis service's memo-hit path — whose only per-query encoding
+// work is this one fingerprint — allocation-free.
+type fpBuf struct{ b []byte }
+
+var fpBufPool = sync.Pool{New: func() any { return new(fpBuf) }}
+
 // Fingerprint computes the system's canonical fingerprint: the SHA-256
 // of the system's canonical wire encoding (see wire.go), so encoding
 // and hashing are one buffer pass and the wire identity of a system is
@@ -49,9 +57,14 @@ const fingerprintVersion = wireVersion
 // hashing the body bytes without decoding them. The cost is
 // microseconds even for large systems, negligible next to an analysis,
 // so callers may recompute it freely rather than caching it alongside
-// the system.
+// the system. The encode buffer is pooled and the call does not
+// allocate in steady state.
 func (s *System) Fingerprint() Fingerprint {
-	return sha256.Sum256(s.appendBinary(make([]byte, 0, s.wireSize())))
+	bb := fpBufPool.Get().(*fpBuf)
+	bb.b = s.appendBinary(bb.b[:0])
+	fp := Fingerprint(sha256.Sum256(bb.b))
+	fpBufPool.Put(bb)
+	return fp
 }
 
 // txFingerprintVersion guards the canonical per-transaction encoding,

@@ -62,6 +62,54 @@ func BenchmarkServiceMiss(b *testing.B) {
 	}
 }
 
+// BenchmarkServiceHitParallel measures the pure contended hit path:
+// every query after warm-up is a memo hit, issued from 4 goroutines
+// per P (16 at -cpu 4) over a small population so the stripes all see
+// traffic. This is the benchmark the lock-striping work is gated on —
+// run it as
+//
+//	GOMAXPROCS=4 go test -run=NONE -bench=ServiceHitParallel -cpu 4 ./internal/service
+//
+// before and after a change to the hit path.
+func BenchmarkServiceHitParallel(b *testing.B) {
+	ctx := context.Background()
+	systems := make([]*model.System, 8)
+	for k := range systems {
+		sys, err := gen.System(gen.Config{
+			Seed: int64(20 + k), Platforms: 2, Transactions: 3, ChainLen: 3,
+			PeriodMin: 20, PeriodMax: 300, Utilization: 0.45,
+			AlphaMin: 0.4, AlphaMax: 0.9,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		systems[k] = sys
+	}
+	svc := service.New(service.Options{Shards: 4, Analysis: analysis.Options{Workers: 1}})
+	for _, sys := range systems {
+		if _, err := svc.Analyze(ctx, sys); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.SetParallelism(4)
+	b.ResetTimer()
+	var firstErr atomic.Value
+	b.RunParallel(func(pb *testing.PB) {
+		k := 0
+		for pb.Next() {
+			if _, err := svc.Analyze(ctx, systems[k%len(systems)]); err != nil {
+				firstErr.CompareAndSwap(nil, err)
+				return
+			}
+			k++
+		}
+	})
+	if err := firstErr.Load(); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // BenchmarkServiceConcurrent measures service throughput under
 // contended parallel load with a high hit rate — the admission-control
 // traffic shape.

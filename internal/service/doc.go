@@ -30,18 +30,26 @@
 //
 // The mechanisms, top to bottom:
 //
-//   - an LRU verdict memo of detached *analysis.Results keyed by
-//     (fingerprint, normalised options). Options.Normalised
-//     materialises defaulted fields, so a zero-value Options and an
-//     explicitly-spelled-default Options share an entry; Workers is
-//     excluded from keys (results are identical for every worker
-//     count) and Recorder queries bypass the memo (a hit would
-//     silence their callbacks). Memo hits return a shared pointer —
-//     treat cached Results as read-only. Eviction is cost-weighted:
-//     among the oldest quarter of the memo the cheapest-to-recompute
-//     entry goes first, so exact-analysis verdicts (~30× the
-//     recomputation price of approximate ones) survive bursts of
-//     cheap traffic;
+//   - a lock-striped verdict memo of detached *analysis.Results keyed
+//     by (fingerprint, normalised options). The memo is split into
+//     Options.Shards independent stripes routed by fingerprint (the
+//     same routing as the engine pool, so one query takes exactly one
+//     stripe mutex), each holding its slice of the capacity.
+//     Options.Normalised materialises defaulted fields, so a
+//     zero-value Options and an explicitly-spelled-default Options
+//     share an entry; Workers is excluded from keys (results are
+//     identical for every worker count) and Recorder queries bypass
+//     the memo (a hit would silence their callbacks). Memo hits
+//     return a shared pointer — treat cached Results as read-only —
+//     and are allocation-free: a hit reads the stripe's index under
+//     its mutex and records recency by setting the entry's CLOCK bit
+//     (an atomic, touched outside the lock) instead of reordering a
+//     list. Eviction is second-chance and cost-weighted: the evictor
+//     scans from the cold end, rotates touched entries back with
+//     their bit cleared, and among the untouched sample evicts the
+//     cheapest-to-recompute entry first, so exact-analysis verdicts
+//     (~30× the recomputation price of approximate ones) survive
+//     bursts of cheap traffic;
 //
 //   - singleflight-style deduplication: concurrent identical queries
 //     block on the first one's in-flight analysis instead of running
@@ -59,13 +67,14 @@
 //     analyses served this way and Stats.RoundsSaved the per-task
 //     response computations the replay skipped;
 //
-//   - a sharded pool of resident analysis.Engines. Engines amortise
-//     their transaction-keyed slabs (interference rows, bounds, round
-//     buffers) across calls but are single-goroutine; the service
-//     keeps one engine set per shard behind a mutex and routes
-//     queries by model.System.Fingerprint, so same-system traffic
-//     reuses a warm engine while distinct systems analyse
-//     concurrently on other shards;
+//   - a pool of resident analysis.Engines, one set per stripe.
+//     Engines amortise their transaction-keyed slabs (interference
+//     rows, bounds, round buffers) across calls but are
+//     single-goroutine; the service keeps each stripe's engines
+//     behind their own mutex and routes queries by
+//     model.System.Fingerprint, so same-system traffic reuses a warm
+//     engine while distinct systems analyse concurrently on other
+//     stripes;
 //
 //   - a fingerprint-keyed intern pool (Intern, InternFingerprinted,
 //     Interned; Options.InternCapacity) sitting in front of the
@@ -103,9 +112,14 @@
 // in-flight dedups, delta hits, rounds saved, and scenarios and
 // subtrees pruned (the exact sweeps' branch-and-bound savings — per-
 // scenario skips and whole-subtree cursor jumps — summed over executed
-// analyses); Hits + Misses == Queries by construction, Misses is
-// exactly the number of analyses executed, and DeltaHits ⊆ Misses —
-// which is what the design-search and benchmark tests assert on.
+// analyses). The counters are individually-padded atomics, bumped
+// without any lock; Stats reads them without stopping traffic, so a
+// mid-traffic snapshot is a consistent-enough view rather than an
+// instantaneous one (attribution lands before the query count, and
+// the snapshot reads Queries first, so Hits+Misses ≥ Queries in any
+// snapshot). At quiescence Hits + Misses == Queries exactly, Misses
+// is exactly the number of analyses executed, and DeltaHits ⊆ Misses
+// — which is what the design-search and benchmark tests assert on.
 //
 // The heavy consumers are wired through this package: sched.Audsley
 // and sched.HOPA probe their schedulability oracle through a Session

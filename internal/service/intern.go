@@ -3,6 +3,7 @@ package service
 import (
 	"container/list"
 	"sync"
+	"sync/atomic"
 
 	"hsched/internal/model"
 )
@@ -16,32 +17,57 @@ import (
 // may intern; search loops that edit systems in place (sched.Assign,
 // design.Minimize) must not.
 //
-// The pool is LRU-bounded; eviction only drops the pool's reference,
-// so a resident still held by a caller or a memoised Result simply
-// stops being shared with future requests.
+// The pool is striped by fingerprint like the verdict memo (the binary
+// wire path takes an intern lookup and a memo lookup per request, and
+// both must scale), with the same CLOCK discipline: a hit sets the
+// entry's touched bit instead of reordering the list, so the lookup
+// mutex is held for a map read only, and counters are padded atomics.
+// Each stripe is bounded at ceil(capacity/stripes) entries; eviction
+// only drops the pool's reference, so a resident still held by a
+// caller or a memoised Result simply stops being shared with future
+// requests.
 type internPool struct {
-	mu    sync.Mutex
-	lru   *list.List // of *internEntry; front = most recently used
-	index map[model.Fingerprint]*list.Element
-	cap   int
+	stripes []internStripe
+	capPer  int
 
-	hits, misses int64
+	hits     counter
+	misses   counter
+	resident counter // gauge: entries currently pooled, all stripes
+}
+
+type internStripe struct {
+	mu    sync.Mutex
+	lru   *list.List // of *internEntry; front = most recently inserted
+	index map[model.Fingerprint]*list.Element
+
+	_ [64]byte // keep neighbouring stripes' mutexes off one cache line
 }
 
 type internEntry struct {
 	fp  model.Fingerprint
 	sys *model.System
+	// touched is the CLOCK bit (see entry.touched): set lock-free on
+	// hit, cleared for a second chance by the evictor.
+	touched atomic.Bool
 }
 
-func newInternPool(capacity int) *internPool {
+func newInternPool(capacity, stripes int) *internPool {
 	if capacity <= 0 {
 		return nil
 	}
-	return &internPool{
-		lru:   list.New(),
-		index: make(map[model.Fingerprint]*list.Element),
-		cap:   capacity,
+	p := &internPool{
+		stripes: make([]internStripe, stripes),
+		capPer:  perStripe(capacity, stripes),
 	}
+	for i := range p.stripes {
+		p.stripes[i].lru = list.New()
+		p.stripes[i].index = make(map[model.Fingerprint]*list.Element)
+	}
+	return p
+}
+
+func (p *internPool) stripeFor(fp model.Fingerprint) *internStripe {
+	return &p.stripes[fp.Shard(len(p.stripes))]
 }
 
 // lookup returns the resident system for fp, if any, counting a hit.
@@ -49,15 +75,19 @@ func newInternPool(capacity int) *internPool {
 // intern, which does the miss accounting — so each request is counted
 // exactly once however it splits the lookup.
 func (p *internPool) lookup(fp model.Fingerprint) (*model.System, bool) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	el, ok := p.index[fp]
+	st := p.stripeFor(fp)
+	st.mu.Lock()
+	el, ok := st.index[fp]
 	if !ok {
+		st.mu.Unlock()
 		return nil, false
 	}
-	p.lru.MoveToFront(el)
-	p.hits++
-	return el.Value.(*internEntry).sys, true
+	e := el.Value.(*internEntry)
+	sys := e.sys
+	st.mu.Unlock()
+	e.touched.Store(true)
+	p.hits.Add(1)
+	return sys, true
 }
 
 // intern returns the canonical resident system for fp, installing sys
@@ -65,36 +95,63 @@ func (p *internPool) lookup(fp model.Fingerprint) (*model.System, bool) {
 // race to install still gets the winner's pointer (and counts as a
 // hit), so equal fingerprints always yield one pointer.
 func (p *internPool) intern(fp model.Fingerprint, sys *model.System) *model.System {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if el, ok := p.index[fp]; ok {
-		p.lru.MoveToFront(el)
-		p.hits++
-		return el.Value.(*internEntry).sys
+	st := p.stripeFor(fp)
+	st.mu.Lock()
+	if el, ok := st.index[fp]; ok {
+		e := el.Value.(*internEntry)
+		res := e.sys
+		st.mu.Unlock()
+		e.touched.Store(true)
+		p.hits.Add(1)
+		return res
 	}
-	p.misses++
-	p.index[fp] = p.lru.PushFront(&internEntry{fp: fp, sys: sys})
-	for p.lru.Len() > p.cap {
-		last := p.lru.Back()
-		p.lru.Remove(last)
-		delete(p.index, last.Value.(*internEntry).fp)
+	st.index[fp] = st.lru.PushFront(&internEntry{fp: fp, sys: sys})
+	evicted := 0
+	for st.lru.Len() > p.capPer {
+		// Second-chance scan from the cold end: a touched entry was
+		// hit since the last sweep, so clear the bit and rotate it to
+		// the hot end; the first untouched entry goes.
+		var victim *list.Element
+		for el := st.lru.Back(); el != nil; {
+			prev := el.Prev()
+			e := el.Value.(*internEntry)
+			if e.touched.CompareAndSwap(true, false) {
+				st.lru.MoveToFront(el)
+			} else {
+				victim = el
+				break
+			}
+			el = prev
+		}
+		if victim == nil {
+			victim = st.lru.Back()
+		}
+		st.lru.Remove(victim)
+		delete(st.index, victim.Value.(*internEntry).fp)
+		evicted++
 	}
+	st.mu.Unlock()
+	p.misses.Add(1)
+	p.resident.Add(int64(1 - evicted))
 	return sys
 }
 
 // snapshot reads the pool counters: hits, misses, and the resident
 // count gauge.
 func (p *internPool) snapshot() (hits, misses, resident int64) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.hits, p.misses, int64(p.lru.Len())
+	return p.hits.Load(), p.misses.Load(), p.resident.Load()
 }
 
 func (p *internPool) reset() {
-	p.mu.Lock()
-	p.lru.Init()
-	clear(p.index)
-	p.mu.Unlock()
+	for i := range p.stripes {
+		st := &p.stripes[i]
+		st.mu.Lock()
+		dropped := int64(st.lru.Len())
+		st.lru.Init()
+		clear(st.index)
+		st.mu.Unlock()
+		p.resident.Add(-dropped)
+	}
 }
 
 // Intern returns the canonical resident *model.System equal to sys,

@@ -81,10 +81,12 @@ func TestInternedZeroDecode(t *testing.T) {
 	}
 }
 
-// TestInternEviction asserts the pool is LRU-bounded: past capacity
-// the least recently used resident is dropped and the gauge tracks it.
+// TestInternEviction asserts the pool is recency-bounded: past
+// capacity the coldest resident (untouched since the last sweep, per
+// the CLOCK bit) is dropped and the gauge tracks it. One stripe, so
+// the whole capacity is one slice and the eviction order is exact.
 func TestInternEviction(t *testing.T) {
-	svc := New(Options{InternCapacity: 2})
+	svc := New(Options{Shards: 1, InternCapacity: 2})
 	mk := func(period float64) *model.System {
 		sys := internTestSystem(t)
 		sys.Transactions[0].Period = period

@@ -1,0 +1,6 @@
+//go:build !race
+
+package service_test
+
+// raceEnabled gates the AllocsPerRun tests; see race_enabled_test.go.
+const raceEnabled = false

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hsched/internal/analysis"
@@ -15,18 +16,21 @@ import (
 
 // Options configures a Service.
 type Options struct {
-	// Shards is the number of resident engine shards. Each shard owns
-	// one set of analysis engines behind its own mutex; queries are
-	// routed by system fingerprint, so repeated queries on the same
-	// system land on the same warm engine while distinct systems
-	// spread across shards and run concurrently. 0 selects
-	// runtime.GOMAXPROCS(0).
+	// Shards is the number of stripes the service's state is split
+	// into. Each stripe owns one slice of the verdict memo, in-flight
+	// table and delta-seed pool behind a short-held mutex, plus one set
+	// of resident analysis engines behind a long-held one; queries are
+	// routed by system fingerprint, so one fingerprint touches exactly
+	// one stripe — repeated queries on the same system land on the same
+	// warm engine while distinct systems spread across stripes and run
+	// concurrently. 0 selects runtime.GOMAXPROCS(0).
 	Shards int
 
 	// Capacity bounds the verdict memo in entries (whole detached
-	// Results). 0 selects 4096; a negative value disables memoisation
-	// entirely (every query runs an analysis) while keeping the engine
-	// pool and in-flight deduplication.
+	// Results), divided evenly across stripes. 0 selects 4096; a
+	// negative value disables memoisation entirely (every query runs an
+	// analysis) while keeping the engine pool and in-flight
+	// deduplication.
 	Capacity int
 
 	// Analysis is the default analysis configuration used by Analyze
@@ -34,20 +38,20 @@ type Options struct {
 	Analysis analysis.Options
 
 	// DeltaWindow bounds the pool of recent results the service keeps
-	// as incremental-analysis seeds: on a memo miss the incoming
-	// system is diffed against the pool (by per-transaction
-	// fingerprint overlap) and a near-match routes the query through
-	// Engine.AnalyzeFrom, which replays the unchanged transactions'
-	// state instead of recomputing it — the fast path for
+	// as incremental-analysis seeds, divided evenly across stripes: on
+	// a memo miss the incoming system is diffed against the pool (by
+	// per-transaction fingerprint overlap) and a near-match routes the
+	// query through Engine.AnalyzeFrom, which replays the unchanged
+	// transactions' state instead of recomputing it — the fast path for
 	// admission-control traffic that mutates one transaction at a
 	// time. 0 selects 4 × shards; a negative value disables the delta
 	// path entirely.
 	DeltaWindow int
 
 	// InternCapacity bounds the fingerprint-keyed intern pool of
-	// canonical resident systems (see Intern) in entries. 0 selects
-	// 4096; a negative value disables interning (Intern returns its
-	// argument unchanged).
+	// canonical resident systems (see Intern) in entries, divided
+	// evenly across stripes. 0 selects 4096; a negative value disables
+	// interning (Intern returns its argument unchanged).
 	InternCapacity int
 }
 
@@ -91,10 +95,21 @@ func (o Options) internCapacity() int {
 	}
 }
 
+// perStripe divides a total capacity over n stripes, rounding up so a
+// positive total stays positive on every stripe (the bound becomes
+// "at most ceil(total/n) per stripe", i.e. total rounded up to a
+// multiple of n overall). Zero stays zero: disabled is disabled.
+func perStripe(total, n int) int {
+	if total <= 0 {
+		return 0
+	}
+	return (total + n - 1) / n
+}
+
 // Stats is a snapshot of the service's counters. Every query is
 // counted exactly once as either a hit (served from the memo, or from
 // a concurrent duplicate's in-flight analysis) or a miss (it ran an
-// analysis), so Hits + Misses == Queries always holds; Misses is the
+// analysis), so Hits + Misses == Queries at quiescence; Misses is the
 // number of analyses the engines actually executed.
 //
 // The json tags are a stable wire contract: /v1/stats (internal/httpd)
@@ -158,6 +173,40 @@ func (st Stats) HitRate() float64 {
 	return float64(st.Hits) / float64(st.Queries)
 }
 
+// counter is a cache-line-padded atomic counter. The padding keeps
+// adjacent counters out of each other's cache line, so two cores
+// bumping different counters never ping-pong a line between them —
+// stats accounting takes no lock and causes no false sharing.
+type counter struct {
+	atomic.Int64
+	_ [56]byte // 8 (Int64) + 56 = 64, one cache line per counter
+}
+
+// counters is the service's live tally, one padded atomic per Stats
+// field (intern counters live in internPool).
+//
+// Counting protocol: each query increments exactly one attribution
+// counter — hits (memo hit or in-flight dedup, the latter also bumping
+// inflightDedups) or misses (it became an analysis leader, or is a
+// recorder bypass) — at the point its outcome is decided, and then
+// increments queries. A dedup waiter whose leader is cancelled loops
+// back uncounted and is attributed at its eventual resolution, so the
+// exactly-once guarantee needs no per-call flag. Because attribution
+// always precedes the queries bump and Stats loads queries first, a
+// concurrent snapshot satisfies Hits + Misses ≥ Queries at every
+// instant, with equality at quiescence.
+type counters struct {
+	queries         counter
+	hits            counter
+	misses          counter
+	evictions       counter
+	inflightDedups  counter
+	deltaHits       counter
+	roundsSaved     counter
+	scenariosPruned counter
+	subtreesPruned  counter
+}
+
 // optKey is the comparable form of normalised analysis options used in
 // cache keys: analysis.ReplayKey — the package's single enumeration of
 // semantics-affecting option fields, so a future field is respected
@@ -183,20 +232,12 @@ type cacheKey struct {
 	opt optKey
 }
 
-// engineKey identifies one resident engine within a shard. Unlike the
+// engineKey identifies one resident engine within a stripe. Unlike the
 // cache key it includes Workers, because an engine is constructed with
 // a fixed worker bound.
 type engineKey struct {
 	opt     optKey
 	workers int
-}
-
-// shard owns the resident engines of one fingerprint slice. Engines
-// are not safe for concurrent use, so the mutex serialises analyses
-// within a shard; distinct shards analyse concurrently.
-type shard struct {
-	mu      sync.Mutex
-	engines map[engineKey]*analysis.Engine
 }
 
 // inflight is one in-progress analysis that concurrent identical
@@ -208,10 +249,41 @@ type inflight struct {
 	err  error
 }
 
+// stripe owns one fingerprint slice of every piece of per-system
+// service state: the memo, the in-flight table, the delta-seed pool
+// and the resident engines. Routing is model.Fingerprint.Shard, so one
+// fingerprint touches exactly one stripe and a query acquires at most
+// one stripe mutex. Three locks with three very different hold times
+// live here deliberately:
+//
+//   - mu guards the memo and in-flight table — map/list operations
+//     only, never held across an analysis, and taken exactly once per
+//     memoised query;
+//   - engMu guards the resident engines and IS held across an
+//     analysis (engines are single-goroutine), so a long cold run
+//     never blocks the stripe's hit path;
+//   - seedMu guards the stripe's slice of the delta-seed pool, taken
+//     only on the miss path (seed scan + store).
+type stripe struct {
+	mu       sync.Mutex
+	lru      *list.List // of *entry; front = most recently inserted
+	index    map[cacheKey]*list.Element
+	inflight map[cacheKey]*inflight
+
+	engMu   sync.Mutex
+	engines map[engineKey]*analysis.Engine
+
+	seedMu  sync.Mutex
+	seeds   *list.List // of *seedEntry; front = most recent
+	seedIdx map[cacheKey]*list.Element
+
+	_ [64]byte // keep neighbouring stripes' mutexes off one cache line
+}
+
 // Service is a concurrency-safe front-end over a pool of resident
 // analysis engines: the long-running "admission control" shape of the
-// ROADMAP. It routes each query to an engine shard by system
-// fingerprint, memoises detached Results in an LRU keyed by
+// ROADMAP. It routes each query to a stripe by system fingerprint,
+// memoises detached Results in per-stripe CLOCK-tempered LRUs keyed by
 // (fingerprint, normalised options), and deduplicates concurrent
 // identical queries singleflight-style so the analysis runs once.
 //
@@ -223,28 +295,23 @@ type inflight struct {
 type Service struct {
 	opt Options
 
-	// mu guards the memo, the in-flight table and the counters. It is
-	// held only for map/list operations — never across an analysis —
-	// so it is not a throughput bottleneck even under heavy traffic.
-	mu       sync.Mutex
-	lru      *list.List // of *entry; front = most recently used
-	index    map[cacheKey]*list.Element
-	inflight map[cacheKey]*inflight
-	stats    Stats
+	// stripes is the fingerprint-routed state; capPerStripe and
+	// seedWindow are the per-stripe slices of Options.Capacity and
+	// Options.DeltaWindow (0 = disabled), fixed at construction.
+	stripes      []stripe
+	capPerStripe int
+	seedWindow   int
 
-	shards []shard
+	ctr counters
 
-	// seedMu guards the delta-seed pool: recent dynamic Results kept
-	// (most recent first) so a memo miss can look for a near-match to
-	// seed an incremental analysis. Separate from mu so seed scans on
-	// the miss path never block the memoised hit path.
-	seedMu  sync.Mutex
-	seeds   *list.List // of *seedEntry; front = most recent
-	seedIdx map[cacheKey]*list.Element
+	// seedSeq stamps seed-pool entries with a global insertion order so
+	// cross-stripe seed scans can break ties by recency without any
+	// shared list.
+	seedSeq atomic.Int64
 
 	// intern is the fingerprint-keyed pool of canonical resident
-	// systems (nil when disabled); it has its own mutex and counters,
-	// merged into Stats snapshots.
+	// systems (nil when disabled); it is striped like the memo and its
+	// counters are merged into Stats snapshots.
 	intern *internPool
 }
 
@@ -254,32 +321,49 @@ type entry struct {
 	// cost is the measured wall time of the analysis that produced
 	// res — the recomputation price the eviction policy protects.
 	cost time.Duration
+	// touched is the CLOCK bit: a memo hit sets it (lock-free, after
+	// releasing the stripe mutex) instead of moving the entry, so hits
+	// never mutate the list; the evictor clears it and grants a second
+	// chance. It is the only entry field written outside the stripe
+	// mutex.
+	touched atomic.Bool
 }
 
 // seedEntry is one delta-seed candidate: a recent result plus the
-// precomputed per-transaction fingerprints its matching runs on.
+// precomputed per-transaction fingerprints its matching runs on. seq
+// is the Service-wide recency stamp (seedSeq); res, txFPs and seq are
+// guarded by the owning stripe's seedMu.
 type seedEntry struct {
 	key   cacheKey
 	txFPs []model.Fingerprint
 	res   *analysis.Result
+	seq   int64
 }
 
 // New constructs a Service with the given options.
 func New(opt Options) *Service {
+	n := opt.shards()
 	s := &Service{
-		opt:      opt,
-		lru:      list.New(),
-		index:    make(map[cacheKey]*list.Element),
-		inflight: make(map[cacheKey]*inflight),
-		seeds:    list.New(),
-		seedIdx:  make(map[cacheKey]*list.Element),
-		shards:   make([]shard, opt.shards()),
-		intern:   newInternPool(opt.internCapacity()),
+		opt:          opt,
+		stripes:      make([]stripe, n),
+		capPerStripe: perStripe(opt.capacity(), n),
+		seedWindow:   perStripe(opt.deltaWindow(), n),
+		intern:       newInternPool(opt.internCapacity(), n),
 	}
-	for i := range s.shards {
-		s.shards[i].engines = make(map[engineKey]*analysis.Engine)
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.lru = list.New()
+		st.index = make(map[cacheKey]*list.Element)
+		st.inflight = make(map[cacheKey]*inflight)
+		st.engines = make(map[engineKey]*analysis.Engine)
+		st.seeds = list.New()
+		st.seedIdx = make(map[cacheKey]*list.Element)
 	}
 	return s
+}
+
+func (s *Service) stripeFor(fp model.Fingerprint) *stripe {
+	return &s.stripes[fp.Shard(len(s.stripes))]
 }
 
 // Analyze runs (or recalls) the holistic dynamic-offset analysis of
@@ -317,11 +401,20 @@ func (s *Service) AnalyzeFingerprinted(ctx context.Context, fp model.Fingerprint
 	return s.analyzeFP(ctx, fp, sys, opt, static, nil)
 }
 
-// Stats returns a snapshot of the service counters.
+// Stats returns a snapshot of the service counters. Queries is loaded
+// first: attribution counters are bumped before queries (see the
+// counters doc), so the snapshot never shows a query that has not been
+// attributed — Hits + Misses ≥ Queries transiently, == at quiescence.
 func (s *Service) Stats() Stats {
-	s.mu.Lock()
-	st := s.stats
-	s.mu.Unlock()
+	st := Stats{Queries: s.ctr.queries.Load()}
+	st.Hits = s.ctr.hits.Load()
+	st.Misses = s.ctr.misses.Load()
+	st.Evictions = s.ctr.evictions.Load()
+	st.InflightDedups = s.ctr.inflightDedups.Load()
+	st.DeltaHits = s.ctr.deltaHits.Load()
+	st.RoundsSaved = s.ctr.roundsSaved.Load()
+	st.ScenariosPruned = s.ctr.scenariosPruned.Load()
+	st.SubtreesPruned = s.ctr.subtreesPruned.Load()
 	if s.intern != nil {
 		st.InternHits, st.InternMisses, st.Resident = s.intern.snapshot()
 	}
@@ -334,19 +427,19 @@ func (s *Service) Stats() Stats {
 // processes that query the service in bursts over disjoint system
 // populations can call it between bursts.
 func (s *Service) Reset() {
-	s.mu.Lock()
-	s.lru.Init()
-	clear(s.index)
-	s.mu.Unlock()
-	s.seedMu.Lock()
-	s.seeds.Init()
-	clear(s.seedIdx)
-	s.seedMu.Unlock()
-	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.mu.Lock()
-		clear(sh.engines)
-		sh.mu.Unlock()
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.Lock()
+		st.lru.Init()
+		clear(st.index)
+		st.mu.Unlock()
+		st.seedMu.Lock()
+		st.seeds.Init()
+		clear(st.seedIdx)
+		st.seedMu.Unlock()
+		st.engMu.Lock()
+		clear(st.engines)
+		st.engMu.Unlock()
 	}
 	if s.intern != nil {
 		s.intern.reset()
@@ -373,56 +466,55 @@ func (s *Service) analyzeFP(ctx context.Context, fp model.Fingerprint, sys *mode
 		// which a memo hit would silence; they bypass both the memo
 		// and the resident engines (an engine is constructed with its
 		// recorder baked in).
-		s.mu.Lock()
-		s.stats.Queries++
-		s.stats.Misses++
-		s.mu.Unlock()
+		s.ctr.misses.Add(1)
+		s.ctr.queries.Add(1)
 		res, err := s.runFresh(ctx, sys, opt, static)
 		if sess != nil {
 			sess.noteExecuted(res)
 		}
-		if err == nil && (res.ScenariosPruned > 0 || res.SubtreesPruned > 0) {
-			s.mu.Lock()
-			s.stats.ScenariosPruned += res.ScenariosPruned
-			s.stats.SubtreesPruned += res.SubtreesPruned
-			s.mu.Unlock()
+		if err == nil {
+			if res.ScenariosPruned > 0 {
+				s.ctr.scenariosPruned.Add(res.ScenariosPruned)
+			}
+			if res.SubtreesPruned > 0 {
+				s.ctr.subtreesPruned.Add(res.SubtreesPruned)
+			}
 		}
 		return res, err
 	}
 
 	key := cacheKey{fp: fp, opt: keyOf(opt, static)}
-	counted := false
+	st := s.stripeFor(fp)
 	for {
-		s.mu.Lock()
-		// One query is counted exactly once even if a cancelled
-		// singleflight leader forces this caller back around the loop.
-		if !counted {
-			s.stats.Queries++
-			counted = true
-		}
-		if el, ok := s.index[key]; ok {
-			s.lru.MoveToFront(el)
-			s.stats.Hits++
-			res := el.Value.(*entry).res
-			s.mu.Unlock()
+		// The memoised hit path: one stripe-mutex acquisition, held for
+		// a map lookup and a pointer read only. res must be read under
+		// the lock (insert may refresh e.res); the CLOCK touch and all
+		// counting are lock-free and happen after release.
+		st.mu.Lock()
+		if el, ok := st.index[key]; ok {
+			e := el.Value.(*entry)
+			res := e.res
+			st.mu.Unlock()
+			e.touched.Store(true)
+			s.ctr.hits.Add(1)
+			s.ctr.queries.Add(1)
 			if sess != nil {
 				sess.noteHit()
 			}
 			return res, nil
 		}
-		if fl, ok := s.inflight[key]; ok {
+		if fl, ok := st.inflight[key]; ok {
 			// A concurrent identical query is already analysing; wait
 			// for it instead of burning a second engine. Attribution
 			// happens at resolution: a query that ends here — result,
 			// leader error, or its own cancellation — ran no analysis
 			// and counts as a hit; one that loops back to become the
 			// new leader is attributed there instead.
-			s.mu.Unlock()
+			st.mu.Unlock()
 			dedupHit := func() {
-				s.mu.Lock()
-				s.stats.Hits++
-				s.stats.InflightDedups++
-				s.mu.Unlock()
+				s.ctr.hits.Add(1)
+				s.ctr.inflightDedups.Add(1)
+				s.ctr.queries.Add(1)
 				if sess != nil {
 					sess.noteHit()
 				}
@@ -446,10 +538,11 @@ func (s *Service) analyzeFP(ctx context.Context, fp model.Fingerprint, sys *mode
 			dedupHit()
 			return fl.res, nil
 		}
-		s.stats.Misses++
 		fl := &inflight{done: make(chan struct{})}
-		s.inflight[key] = fl
-		s.mu.Unlock()
+		st.inflight[key] = fl
+		st.mu.Unlock()
+		s.ctr.misses.Add(1)
+		s.ctr.queries.Add(1)
 
 		// Before running cold, look for a seed for an incremental
 		// analysis: the session's pinned previous result first (the
@@ -459,7 +552,7 @@ func (s *Service) analyzeFP(ctx context.Context, fp model.Fingerprint, sys *mode
 		// transparently, so a bad candidate only costs the plan.
 		var seed *analysis.Result
 		var txFPs []model.Fingerprint
-		if !static && opt.Recorder == nil && s.opt.deltaWindow() > 0 {
+		if !static && opt.Recorder == nil && s.seedWindow > 0 {
 			txFPs = sys.TransactionFingerprints()
 			if sess != nil {
 				seed = sess.currentSeed()
@@ -469,7 +562,7 @@ func (s *Service) analyzeFP(ctx context.Context, fp model.Fingerprint, sys *mode
 			}
 		}
 
-		res, cost, err := s.run(ctx, fp, sys, opt, static, seed)
+		res, cost, err := s.run(ctx, st, sys, opt, static, seed)
 		if sess != nil {
 			sess.noteExecuted(res)
 		}
@@ -493,120 +586,130 @@ func (s *Service) analyzeFP(ctx context.Context, fp model.Fingerprint, sys *mode
 		shared := res
 		if err == nil {
 			if txFPs != nil && res.HasReplayState() {
-				s.storeSeed(key, txFPs, res)
+				s.storeSeed(st, key, txFPs, res)
 			}
 			shared = res.WithoutReplayState()
 		}
 
 		fl.res, fl.err = shared, err
-		s.mu.Lock()
-		delete(s.inflight, key)
-		if err == nil {
-			if s.opt.capacity() > 0 {
-				s.insert(key, shared, cost)
-			}
-			if res.Delta != nil {
-				s.stats.DeltaHits++
-				s.stats.RoundsSaved += int64(res.Delta.TaskRoundsSaved)
-			}
-			s.stats.ScenariosPruned += res.ScenariosPruned
-			s.stats.SubtreesPruned += res.SubtreesPruned
+		st.mu.Lock()
+		delete(st.inflight, key)
+		if err == nil && s.capPerStripe > 0 {
+			s.insert(st, key, shared, cost)
 		}
-		s.mu.Unlock()
+		st.mu.Unlock()
+		if err == nil {
+			if res.Delta != nil {
+				s.ctr.deltaHits.Add(1)
+				s.ctr.roundsSaved.Add(int64(res.Delta.TaskRoundsSaved))
+			}
+			if res.ScenariosPruned > 0 {
+				s.ctr.scenariosPruned.Add(res.ScenariosPruned)
+			}
+			if res.SubtreesPruned > 0 {
+				s.ctr.subtreesPruned.Add(res.SubtreesPruned)
+			}
+		}
 		close(fl.done)
 		return shared, err
 	}
 }
 
-// findSeed scans the seed pool for the best incremental baseline for a
-// system with the given transaction fingerprints: same normalised
-// options, same platform count, maximal transaction overlap, then
-// fewest platform-parameter differences, then recency. Returns nil
-// when nothing overlaps.
+// findSeed scans every stripe's seed pool for the best incremental
+// baseline for a system with the given transaction fingerprints: same
+// normalised options, same platform count, maximal transaction
+// overlap, then fewest platform-parameter differences, then recency
+// (the seedSeq stamp — the cross-stripe replacement for a single
+// recency-ordered list). Each stripe is scanned under its own seedMu
+// and the candidate's res pointer is captured inside that locked
+// region (storeSeed may rewrite it); stripes are compared lock-free
+// afterwards. Returns nil when nothing overlaps.
 func (s *Service) findSeed(opt optKey, txFPs []model.Fingerprint, sys *model.System) *analysis.Result {
 	counts := make(map[model.Fingerprint]int, len(txFPs))
 	for _, fp := range txFPs {
 		counts[fp]++
 	}
-	s.seedMu.Lock()
-	defer s.seedMu.Unlock()
-	var best *seedEntry
+	var best *analysis.Result
 	bestScore, bestPlat := 0, 0
+	bestSeq := int64(-1)
 	used := make(map[model.Fingerprint]int, len(txFPs))
-	for el := s.seeds.Front(); el != nil; el = el.Next() {
-		se := el.Value.(*seedEntry)
-		if se.key.opt != opt || len(se.res.System.Platforms) != len(sys.Platforms) {
-			continue
-		}
-		// Multiset overlap: each incoming transaction can match at
-		// most its multiplicity in the candidate.
-		clear(used)
-		overlap := 0
-		for _, fp := range se.txFPs {
-			if used[fp] < counts[fp] {
-				used[fp]++
-				overlap++
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.seedMu.Lock()
+		for el := st.seeds.Front(); el != nil; el = el.Next() {
+			se := el.Value.(*seedEntry)
+			if se.key.opt != opt || len(se.res.System.Platforms) != len(sys.Platforms) {
+				continue
+			}
+			// Multiset overlap: each incoming transaction can match at
+			// most its multiplicity in the candidate.
+			clear(used)
+			overlap := 0
+			for _, fp := range se.txFPs {
+				if used[fp] < counts[fp] {
+					used[fp]++
+					overlap++
+				}
+			}
+			if overlap == 0 {
+				continue
+			}
+			samePlat := 0
+			for m := range sys.Platforms {
+				if se.res.System.Platforms[m] == sys.Platforms[m] {
+					samePlat++
+				}
+			}
+			if overlap > bestScore ||
+				(overlap == bestScore && samePlat > bestPlat) ||
+				(overlap == bestScore && samePlat == bestPlat && se.seq > bestSeq) {
+				best, bestScore, bestPlat, bestSeq = se.res, overlap, samePlat, se.seq
 			}
 		}
-		if overlap == 0 {
-			continue
-		}
-		samePlat := 0
-		for m := range sys.Platforms {
-			if se.res.System.Platforms[m] == sys.Platforms[m] {
-				samePlat++
-			}
-		}
-		// Entries are scanned most-recent-first, so strict improvement
-		// keeps the most recent among equals.
-		if overlap > bestScore || (overlap == bestScore && samePlat > bestPlat) {
-			best, bestScore, bestPlat = se, overlap, samePlat
-		}
+		st.seedMu.Unlock()
 	}
-	if best == nil {
-		return nil
-	}
-	return best.res
+	return best
 }
 
-// storeSeed records a fresh result in the delta-seed pool, replacing
-// any entry with the same cache key and evicting the oldest past the
-// window.
-func (s *Service) storeSeed(key cacheKey, txFPs []model.Fingerprint, res *analysis.Result) {
-	s.seedMu.Lock()
-	defer s.seedMu.Unlock()
-	if el, ok := s.seedIdx[key]; ok {
+// storeSeed records a fresh result in its stripe's slice of the
+// delta-seed pool, replacing any entry with the same cache key and
+// evicting the oldest past the per-stripe window. The seedSeq stamp
+// gives the entry its recency rank for cross-stripe findSeed scans.
+func (s *Service) storeSeed(st *stripe, key cacheKey, txFPs []model.Fingerprint, res *analysis.Result) {
+	seq := s.seedSeq.Add(1)
+	st.seedMu.Lock()
+	defer st.seedMu.Unlock()
+	if el, ok := st.seedIdx[key]; ok {
 		se := el.Value.(*seedEntry)
-		se.txFPs, se.res = txFPs, res
-		s.seeds.MoveToFront(el)
+		se.txFPs, se.res, se.seq = txFPs, res, seq
+		st.seeds.MoveToFront(el)
 		return
 	}
-	s.seedIdx[key] = s.seeds.PushFront(&seedEntry{key: key, txFPs: txFPs, res: res})
-	for s.seeds.Len() > s.opt.deltaWindow() {
-		last := s.seeds.Back()
-		s.seeds.Remove(last)
-		delete(s.seedIdx, last.Value.(*seedEntry).key)
+	st.seedIdx[key] = st.seeds.PushFront(&seedEntry{key: key, txFPs: txFPs, res: res, seq: seq})
+	for st.seeds.Len() > s.seedWindow {
+		last := st.seeds.Back()
+		st.seeds.Remove(last)
+		delete(st.seedIdx, last.Value.(*seedEntry).key)
 	}
 }
 
-// maxEnginesPerShard bounds the resident engines one shard keeps. A
+// maxEnginesPerStripe bounds the resident engines one stripe keeps. A
 // serving process normally sees a handful of option sets, but nothing
 // stops clients from sending per-query options (distinct Epsilon or
 // Workers values), and each engine pins interference caches and
 // scratch buffers for the process lifetime — so past the bound an
 // arbitrary resident engine is dropped and rebuilt on demand, which
 // only costs the warm-up of the next analysis with its options.
-const maxEnginesPerShard = 8
+const maxEnginesPerStripe = 8
 
 // run executes one analysis on the resident engine of the query's
-// shard, constructing the engine on first use. A non-nil seed routes
+// stripe, constructing the engine on first use. A non-nil seed routes
 // the analysis through the incremental path; the engine falls back to
 // a cold run when the seed turns out not to be soundly replayable.
 // cost is the wall time of the engine call alone — measured past the
-// shard-lock acquisition, so queueing behind an unrelated analysis
+// engine-lock acquisition, so queueing behind an unrelated analysis
 // does not misprice this entry for the eviction policy.
-func (s *Service) run(ctx context.Context, fp model.Fingerprint, sys *model.System, opt analysis.Options, static bool, seed *analysis.Result) (res *analysis.Result, cost time.Duration, err error) {
-	sh := &s.shards[fp.Shard(len(s.shards))]
+func (s *Service) run(ctx context.Context, st *stripe, sys *model.System, opt analysis.Options, static bool, seed *analysis.Result) (res *analysis.Result, cost time.Duration, err error) {
 	// Workers is resolved to its effective value for the engine key so
 	// Workers:0 and an explicit Workers:GOMAXPROCS share one engine.
 	workers := opt.Workers
@@ -614,24 +717,24 @@ func (s *Service) run(ctx context.Context, fp model.Fingerprint, sys *model.Syst
 		workers = runtime.GOMAXPROCS(0)
 	}
 	ek := engineKey{opt: keyOf(opt, false), workers: workers}
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	eng, ok := sh.engines[ek]
+	st.engMu.Lock()
+	defer st.engMu.Unlock()
+	eng, ok := st.engines[ek]
 	if !ok {
-		for k := range sh.engines {
-			if len(sh.engines) < maxEnginesPerShard {
+		for k := range st.engines {
+			if len(st.engines) < maxEnginesPerStripe {
 				break
 			}
-			delete(sh.engines, k)
+			delete(st.engines, k)
 		}
 		engOpt := opt.Normalised()
 		// With the delta path disabled no Result will ever be used as
 		// a seed, so don't pay for recording replay state. The flag is
-		// uniform per service (deltaWindow is fixed at construction),
+		// uniform per service (seedWindow is fixed at construction),
 		// so it cannot alias engines across settings.
-		engOpt.DisableReplayState = s.opt.deltaWindow() == 0
+		engOpt.DisableReplayState = s.seedWindow == 0
 		eng = analysis.NewEngine(engOpt)
-		sh.engines[ek] = eng
+		st.engines[ek] = eng
 	}
 	start := time.Now()
 	switch {
@@ -658,42 +761,69 @@ func (s *Service) runFresh(ctx context.Context, sys *model.System, opt analysis.
 	return eng.AnalyzeContext(ctx, sys)
 }
 
-// evictionSample bounds how many of the oldest entries the eviction
-// policy weighs against each other. Larger samples protect expensive
-// entries more aggressively but let stale ones linger; recency stays
-// the primary signal because the sample is drawn from the LRU tail
-// only.
+// evictionSample bounds how many of the oldest untouched entries the
+// eviction policy weighs against each other. Larger samples protect
+// expensive entries more aggressively but let stale ones linger;
+// recency stays the primary signal because the sample is drawn from
+// the cold end of the stripe only.
 const evictionSample = 8
 
-// insert adds (or refreshes) a memo entry and evicts past capacity.
-// Eviction is cost-weighted, not pure LRU: among the oldest quarter of
-// the memo (capped at evictionSample entries) the cheapest-to-recompute
-// entry goes first, so a resident exact-analysis verdict — ~30× the
-// recomputation price of an approximate one — is not displaced by a
-// burst of cheap entries of equal recency. cost is the measured wall
-// time of the analysis that produced res. Caller holds s.mu.
-func (s *Service) insert(key cacheKey, res *analysis.Result, cost time.Duration) {
-	if el, ok := s.index[key]; ok {
-		s.lru.MoveToFront(el)
+// insert adds (or refreshes) a memo entry in the stripe and evicts
+// past the per-stripe capacity. Caller holds st.mu.
+//
+// Eviction is cost-weighted CLOCK (second chance), not pure LRU. Hits
+// do not reorder the list — they set the entry's touched bit — so the
+// list is ordered by insertion and the evictor supplies the recency
+// signal: scanning from the cold end, an entry whose touched bit is
+// set has been hit since the last sweep, so the bit is cleared and the
+// entry rotates to the hot end (its second chance); among the first
+// quarter of the stripe's untouched entries (capped at
+// evictionSample), the cheapest-to-recompute entry goes first, so a
+// resident exact-analysis verdict — ~30× the recomputation price of an
+// approximate one — is not displaced by a burst of cheap entries of
+// equal coldness. cost is the measured wall time of the analysis that
+// produced res.
+func (s *Service) insert(st *stripe, key cacheKey, res *analysis.Result, cost time.Duration) {
+	if el, ok := st.index[key]; ok {
+		st.lru.MoveToFront(el)
 		e := el.Value.(*entry)
 		e.res, e.cost = res, cost
 		return
 	}
-	s.index[key] = s.lru.PushFront(&entry{key: key, res: res, cost: cost})
-	for s.lru.Len() > s.opt.capacity() {
-		sample := (s.lru.Len() + 3) / 4
+	st.index[key] = st.lru.PushFront(&entry{key: key, res: res, cost: cost})
+	for st.lru.Len() > s.capPerStripe {
+		sample := (st.lru.Len() + 3) / 4
 		if sample > evictionSample {
 			sample = evictionSample
 		}
-		victim := s.lru.Back()
-		for k, el := 1, victim.Prev(); k < sample; k, el = k+1, el.Prev() {
-			if el.Value.(*entry).cost < victim.Value.(*entry).cost {
-				victim = el
+		var victim *list.Element
+		seen := 0
+		for el := st.lru.Back(); el != nil && seen < sample; {
+			prev := el.Prev()
+			e := el.Value.(*entry)
+			if e.touched.CompareAndSwap(true, false) {
+				// Hit since the last sweep: second chance. The rotation
+				// happens at eviction time, under the same st.mu the
+				// hit path held for its lookup, so the list is never
+				// mutated concurrently.
+				st.lru.MoveToFront(el)
+			} else {
+				seen++
+				if victim == nil || e.cost < victim.Value.(*entry).cost {
+					victim = el
+				}
 			}
+			el = prev
 		}
-		s.lru.Remove(victim)
-		delete(s.index, victim.Value.(*entry).key)
-		s.stats.Evictions++
+		if victim == nil {
+			// Every entry was touched since the last sweep (all bits
+			// now cleared and the scan order preserved the rotation):
+			// degrade to evicting the current cold end.
+			victim = st.lru.Back()
+		}
+		st.lru.Remove(victim)
+		delete(st.index, victim.Value.(*entry).key)
+		s.ctr.evictions.Add(1)
 	}
 }
 
